@@ -1,0 +1,52 @@
+"""Ablation (Section 6) — rankings with many contestants and γ correction.
+
+When a benchmark hosts many algorithms, reporting only the single best
+performer over-claims: several contestants are usually statistical ties.
+This ablation builds a field of algorithms whose true means differ by less
+than the benchmark noise (plus one clear laggard), ranks them with the
+variance-aware criterion, and checks that (a) the top group contains the
+statistical ties and excludes the laggard, and (b) the Bonferroni-style γ
+correction grows with the number of contestants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.core.multidataset import corrected_gamma
+from repro.core.ranking import rank_algorithms
+from repro.utils.tables import format_table
+
+
+def test_ablation_ranking_with_many_contestants(benchmark, scale):
+    def run():
+        rng = np.random.default_rng(0)
+        k = 29
+        sigma = 0.02
+        shared = rng.normal(0.0, sigma / 2, size=k)
+        means = {
+            "contestant-1": 0.800,
+            "contestant-2": 0.799,
+            "contestant-3": 0.801,
+            "contestant-4": 0.7985,
+            "laggard": 0.730,
+        }
+        scores = {
+            name: mean + shared + rng.normal(0.0, sigma, size=k)
+            for name, mean in means.items()
+        }
+        return rank_algorithms(scores, n_bootstraps=300, random_state=0)
+
+    ranking = run_once(benchmark, run)
+    print()
+    print(ranking.report())
+    benchmark.extra_info["rows"] = ranking.as_rows()
+
+    # The near-tied contestants share the top group; the laggard does not.
+    assert "laggard" not in ranking.top_group
+    assert len(ranking.top_group) >= 3
+    # The correction raises the effective threshold above the nominal one.
+    assert ranking.effective_gamma > ranking.gamma
+    # And it grows with the number of comparisons.
+    assert corrected_gamma(0.75, 10) > corrected_gamma(0.75, 4) > corrected_gamma(0.75, 1)

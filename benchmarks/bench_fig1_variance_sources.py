@@ -1,0 +1,72 @@
+"""Figure 1 — variance of the measured performance per source of variation.
+
+Paper claim: bootstrapping the data is the largest source of variance;
+weight initialization contributes roughly half of it or less (on par with
+data ordering); the three HOpt algorithms induce variance on the same order
+as weight initialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import run_variance_study
+from repro.utils.tables import format_table
+
+
+def test_fig1_variance_sources(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_variance_study,
+        ("entailment", "sentiment"),
+        n_seeds=scale["n_seeds"],
+        n_hpo_repetitions=scale["n_hpo_repetitions"],
+        hpo_budget=scale["hpo_budget"],
+        dataset_size=scale["dataset_size"],
+        random_state=0,
+    )
+    print()
+    print(result.report())
+    benchmark.extra_info["rows"] = result.rows()
+
+    for task_name, decomposition in result.decompositions.items():
+        stds = decomposition.stds
+        # Data bootstrap should be among the dominant learning-procedure
+        # sources (the paper finds it the largest; on the analogue tasks it
+        # must at least be a major contributor and never dwarfed by init).
+        assert stds["data"] > 0, task_name
+        assert stds["data"] >= 0.5 * max(stds.values()), task_name
+        # Weight init does not dominate data sampling by a large factor.
+        assert stds["init"] <= 2.0 * stds["data"]
+        # The numerical-noise floor is the smallest contribution.
+        assert stds["numerical"] <= stds["data"]
+        # HOpt-induced variance is non-negligible: same order of magnitude
+        # as weight initialization (within one order of magnitude).
+        hpo_std = np.mean(list(result.hpo_stds[task_name].values()))
+        assert hpo_std < 10 * stds["data"]
+        assert hpo_std > 0
+
+
+def test_fig1_relative_scale_printout(benchmark, scale):
+    """Smaller companion run printing the per-source fractions of data std."""
+    result = run_once(
+        benchmark,
+        run_variance_study,
+        ("entailment",),
+        n_seeds=max(8, scale["n_seeds"] // 2),
+        include_hpo=False,
+        dataset_size=scale["dataset_size"],
+        random_state=1,
+    )
+    decomposition = result.decompositions["entailment"]
+    relative = decomposition.relative_to("data")
+    print()
+    print(
+        format_table(
+            [{"source": k, "fraction_of_data_std": v} for k, v in relative.items()],
+            title="Figure 1 (fractions of the data-bootstrap std)",
+        )
+    )
+    assert relative["data"] == 1.0
+    assert all(v >= 0 for v in relative.values())

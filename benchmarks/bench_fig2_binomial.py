@@ -1,0 +1,48 @@
+"""Figure 2 — error due to data sampling vs the binomial model.
+
+Paper claim: the standard deviation of the accuracy observed under random
+splits matches the binomial model of test-set sampling noise, so the data
+variance is mostly explained by the limited statistical power of the test
+set; the predicted std decreases as 1/sqrt(test size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import run_binomial_study
+from repro.stats.binomial import binomial_std_curve
+
+
+def test_fig2_binomial_model_vs_bootstrap(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_binomial_study,
+        ("entailment", "sentiment", "image-classification"),
+        n_splits=scale["n_splits"],
+        random_state=0,
+    )
+    print()
+    print(result.report())
+    benchmark.extra_info["rows"] = result.rows()
+
+    for row in result.rows():
+        # The observed bootstrap std should be on the same order as the
+        # binomial prediction (the paper finds a close match; correlated
+        # errors can make the observed value larger).
+        assert 0.3 < row["ratio_observed_over_binomial"] < 5.0
+    # Harder tasks (lower accuracy, smaller test sets) have larger stds.
+    by_task = {row["task"]: row for row in result.rows()}
+    assert by_task["entailment"]["binomial_std"] > by_task["sentiment"]["binomial_std"]
+
+
+def test_fig2_std_curve_shape(benchmark):
+    """The dotted theoretical curves of Figure 2: std ~ 1/sqrt(n')."""
+    sizes = np.array([10**2, 10**3, 10**4, 10**5, 10**6], dtype=float)
+    curve = run_once(benchmark, binomial_std_curve, 0.91, sizes)
+    print()
+    for n, s in zip(sizes, curve):
+        print(f"test size {int(n):>8d}  binomial std {100 * s:6.3f}% acc")
+    ratios = curve[:-1] / curve[1:]
+    np.testing.assert_allclose(ratios, np.sqrt(10), rtol=1e-6)

@@ -1,0 +1,53 @@
+"""Figures 5 and H.4 — standard error of the biased and ideal estimators.
+
+Paper claim: randomizing only the weight initialization
+(FixHOptEst(k, Init)) barely improves the estimator as k grows; randomizing
+the data splits helps more; randomizing all learning-procedure sources
+(FixHOptEst(k, All)) is by far the best biased estimator and approaches the
+ideal estimator, at no extra compute cost over FixHOptEst(k, Init).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import run_estimator_study
+
+
+def test_fig5_estimator_standard_errors(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_estimator_study,
+        ("entailment",),
+        k_max=scale["k_max"],
+        n_repetitions=scale["n_repetitions"],
+        hpo_budget=scale["hpo_budget"],
+        dataset_size=scale["dataset_size"],
+        random_state=0,
+    )
+    print()
+    print(result.report())
+    benchmark.extra_info["rows"] = result.standard_error_rows()
+
+    quality = result.quality["entailment"]
+    k_final = max(result.ks)
+    finals = {
+        name: res.standard_error_curve([k_final])[0] for name, res in quality.items()
+    }
+    print()
+    for name, value in finals.items():
+        print(f"standard error at k={k_final}: {name:22s} {value:.4f}")
+
+    # FixHOptEst(All) should be at least as good as FixHOptEst(Init) — the
+    # paper's headline ordering — and the ideal estimator better than the
+    # init-only practice.  (FixHOptEst(Data) sits between Init and All in
+    # the paper; with a small number of repetitions its position fluctuates,
+    # so only a loose bound is asserted against it.)
+    assert finals["FixHOptEst(all)"] <= finals["FixHOptEst(init)"] * 1.25
+    assert finals["FixHOptEst(all)"] <= finals["FixHOptEst(data)"] * 4.0
+    assert finals["IdealEst"] <= finals["FixHOptEst(init)"] * 1.5
+
+    # The ideal estimator's standard error must shrink with k (i.i.d. samples).
+    ideal_curve = quality["IdealEst"].standard_error_curve(result.ks)
+    assert ideal_curve[-1] <= ideal_curve[0] + 1e-9

@@ -1,0 +1,62 @@
+"""Figure 6 — rate of detections of the comparison methods.
+
+Paper claims:
+* the single-point comparison has both high false positives (~10%) and high
+  false negatives (~75%);
+* the average comparison with a published-improvement threshold is very
+  conservative: <5% false positives but ~90% false negatives;
+* the probability-of-outperforming test balances the two (~5% false
+  positives, ~30% false negatives) and degrades only mildly when used with
+  the biased estimator.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_detection_study
+
+
+def test_fig6_detection_rates(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_detection_study,
+        probabilities=(0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.99),
+        k=scale["k_detection"],
+        n_simulations=scale["n_simulations"],
+        random_state=0,
+    )
+    print()
+    print(result.report())
+    benchmark.extra_info["rows"] = result.rows()
+
+    fp = {
+        (m, e): result.false_positive_rate(m, e)
+        for m in ("single_point", "average", "probability_of_outperforming")
+        for e in ("ideal", "biased")
+    }
+    fn = {
+        (m, e): result.false_negative_rate(m, e)
+        for m in ("single_point", "average", "probability_of_outperforming")
+        for e in ("ideal", "biased")
+    }
+    print()
+    for (m, e), value in fp.items():
+        print(f"false positives  {m:32s} ({e:6s}): {100 * value:5.1f}%")
+    for (m, e), value in fn.items():
+        print(f"false negatives  {m:32s} ({e:6s}): {100 * value:5.1f}%")
+
+    # Average comparison: conservative (low FP, very high FN).
+    assert fp[("average", "ideal")] <= 0.10
+    assert fn[("average", "ideal")] >= 0.5
+    # Probability of outperforming: low FP and markedly lower FN than the
+    # average comparison.
+    assert fp[("probability_of_outperforming", "ideal")] <= 0.15
+    assert (
+        fn[("probability_of_outperforming", "ideal")]
+        < fn[("average", "ideal")]
+    )
+    # Single point comparison is the least reliable: worse false negatives
+    # than the recommended criterion.
+    assert fn[("single_point", "ideal")] > fn[("probability_of_outperforming", "ideal")]
+    # The recommended criterion keeps working with the biased estimator.
+    assert fp[("probability_of_outperforming", "biased")] <= 0.25

@@ -1,0 +1,32 @@
+"""Figure C.1 — minimum sample size to detect P(A>B) > γ reliably.
+
+Paper claim: detecting probabilities below γ=0.6 requires hundreds of
+trainings, while the recommended γ=0.75 needs only 29.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_sample_size_study
+
+
+def test_figC1_sample_size_curve(benchmark):
+    result = run_once(
+        benchmark,
+        run_sample_size_study,
+        (0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 0.99),
+    )
+    print()
+    print(result.report())
+    benchmark.extra_info["rows"] = result.rows()
+
+    sizes = {round(float(g), 2): int(n) for g, n in zip(result.gammas, result.sample_sizes)}
+    # Paper's recommended threshold needs 29 paired trainings.
+    assert result.recommended_sample_size == 29
+    assert sizes[0.75] == 29
+    # Detecting small probabilities is impractical (>500 below 0.55, >150 at 0.6).
+    assert sizes[0.55] > 500
+    assert sizes[0.6] > 150
+    # The curve decreases monotonically with gamma.
+    ordered = [sizes[g] for g in sorted(sizes)]
+    assert ordered == sorted(ordered, reverse=True)

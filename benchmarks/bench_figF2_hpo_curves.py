@@ -1,0 +1,50 @@
+"""Figure F.2 — hyperparameter-optimization curves.
+
+Paper claims: 1) the typical search spaces are well optimized by all three
+algorithms (best-so-far validation regret decreases and converges);
+2) the across-seed standard deviation of the best-so-far value stabilizes
+early, so larger HOpt budgets would not remove the HOpt-seed variance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import run_hpo_curves_study
+
+
+def test_figF2_hpo_optimization_curves(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_hpo_curves_study,
+        ("entailment",),
+        budget=scale["hpo_budget"],
+        n_repetitions=scale["n_hpo_repetitions"],
+        dataset_size=scale["dataset_size"],
+        random_state=0,
+    )
+    print()
+    print(result.report())
+    benchmark.extra_info["rows"] = result.rows()
+
+    for algorithm, matrix in result.curves["entailment"].items():
+        # Best-so-far curves never increase and end at least as good as the
+        # first trial.
+        assert np.all(np.diff(matrix, axis=1) <= 1e-12), algorithm
+        assert np.all(matrix[:, -1] <= matrix[:, 0] + 1e-12), algorithm
+
+    # The residual across-seed variability does not explode between the
+    # middle and the end of the budget (it "stabilizes early").
+    for algorithm, matrix in result.curves["entailment"].items():
+        if matrix.shape[0] < 2:
+            continue
+        mid = matrix[:, matrix.shape[1] // 2].std(ddof=1)
+        end = matrix[:, -1].std(ddof=1)
+        assert end <= mid + 0.05, algorithm
+
+    # Every algorithm ends with a usable configuration: the selected test
+    # scores are finite and within metric bounds.
+    for algorithm, finals in result.test_scores["entailment"].items():
+        assert np.all(np.isfinite(finals))
+        assert np.all((finals >= 0.0) & (finals <= 1.0))

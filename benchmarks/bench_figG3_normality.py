@@ -1,0 +1,38 @@
+"""Figure G.3 — normality of the performance distributions.
+
+Paper claim: for almost every (task, source of variation) cell the
+distribution of test performances is close to normal (Shapiro-Wilk does not
+reject at conventional levels for most cells), which justifies the normal
+models used in the simulations of Section 4.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_normality_study
+
+
+def test_figG3_normality_of_performance_distributions(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_normality_study,
+        ("entailment", "sentiment"),
+        n_seeds=scale["n_seeds"],
+        dataset_size=scale["dataset_size"],
+        random_state=0,
+    )
+    print()
+    print(result.report())
+    benchmark.extra_info["rows"] = result.rows()
+    fraction = result.fraction_consistent_with_normal(alpha=0.05)
+    print(f"\nfraction of cells consistent with normality: {100 * fraction:.0f}%")
+
+    # Most cells should be consistent with a normal distribution.  (The
+    # paper's Glue-SST2 column fails because its tiny test set discretizes
+    # the accuracies — the same effect can appear here, hence 50% not 90%.)
+    assert fraction >= 0.5
+    # The "altogether" condition (all learning sources randomized) is
+    # reported for every task.
+    for task_reports in result.reports.values():
+        assert "altogether" in task_reports
+        assert task_reports["altogether"].n == scale["n_seeds"]

@@ -1,0 +1,42 @@
+"""Figure I.6 — robustness of comparison methods to sample size and threshold.
+
+Paper claim: the probability-of-outperforming test gains power as the
+sample size grows, and tightening the threshold γ lowers its detection rate
+at a fixed true effect; the average comparison remains conservative across
+the sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import run_robustness_study
+
+
+def test_figI6_robustness(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_robustness_study,
+        p_a_gt_b=0.9,
+        sample_sizes=(10, 20, 50, 100),
+        thresholds=(0.6, 0.7, 0.75, 0.8, 0.9),
+        k=scale["k_detection"],
+        n_simulations=scale["n_simulations"],
+        random_state=0,
+    )
+    print()
+    print(result.report())
+    benchmark.extra_info["rows"] = result.rows()
+
+    prob_rates = result.by_sample_size["probability_of_outperforming"]
+    # Power grows with the sample size for the recommended criterion.
+    assert prob_rates[-1] >= prob_rates[0]
+    assert prob_rates[-1] >= 0.5
+
+    # Tightening gamma reduces detections at a fixed true P(A>B).
+    thresholds = result.by_threshold["probability_of_outperforming"]
+    assert thresholds[0.9] <= thresholds[0.6]
+
+    # The average comparison with the published-improvement threshold stays
+    # conservative relative to the recommended criterion at large samples.
+    avg_rates = result.by_sample_size["average"]
+    assert avg_rates[-1] <= prob_rates[-1] + 0.1

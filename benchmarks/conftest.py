@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper at a
+laptop-friendly scale: the experiment runs once inside
+``benchmark.pedantic`` (benchmarks here are about *regenerating results*,
+not micro-timings), prints the rows/series the paper reports, and asserts
+the qualitative shape the paper claims (who wins, by roughly what factor,
+where crossovers fall).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_SCALE=full`` to run closer to paper-scale settings (more
+seeds, larger budgets); the default ``quick`` profile finishes in a couple
+of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Scale profiles: number of seeds / repetitions / budgets used by the
+#: experiment layer.  "quick" reproduces shapes in minutes; "full" gets
+#: closer to the paper's protocol (hours).
+SCALES = {
+    "quick": {
+        "n_seeds": 15,
+        "n_hpo_repetitions": 4,
+        "hpo_budget": 8,
+        "k_max": 12,
+        "n_repetitions": 4,
+        "n_simulations": 60,
+        "n_splits": 15,
+        "dataset_size": 500,
+        "k_detection": 50,
+    },
+    "full": {
+        "n_seeds": 100,
+        "n_hpo_repetitions": 10,
+        "hpo_budget": 50,
+        "k_max": 50,
+        "n_repetitions": 10,
+        "n_simulations": 300,
+        "n_splits": 50,
+        "dataset_size": 2000,
+        "k_detection": 50,
+    },
+}
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Experiment-size profile selected by the REPRO_BENCH_SCALE env var."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Error rates of comparison criteria (Figure 6 workflow).
+
+Simulates benchmark outcomes with the variances measured on the case
+studies and sweeps the true probability that algorithm A outperforms B.
+For each decision criterion — single-point comparison, average comparison
+with a published-improvement threshold, and the recommended probability of
+outperforming — the detection rate is reported in the three regions of the
+sweep: H0 true (any detection is a false positive), the grey zone, and H1
+true (a missed detection is a false negative).
+
+Run with:  python examples/detection_rates.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_detection_study
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("Simulating benchmark comparisons (a few thousand simulated benchmarks)...\n")
+    result = run_detection_study(
+        probabilities=(0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.99),
+        k=50,
+        n_simulations=100,
+        random_state=0,
+    )
+    print(result.report())
+
+    rows = []
+    for method in ("single_point", "average", "probability_of_outperforming"):
+        for estimator in ("ideal", "biased"):
+            rows.append(
+                {
+                    "method": method,
+                    "estimator": estimator,
+                    "false_positive_rate": result.false_positive_rate(method, estimator),
+                    "false_negative_rate": result.false_negative_rate(method, estimator),
+                }
+            )
+    print()
+    print(format_table(rows, title="Error rates per criterion (Figure 6 summary)"))
+    print(
+        "\nTakeaway: the average comparison is over-conservative, the single-point\n"
+        "comparison is unreliable in both directions, and the probability-of-\n"
+        "outperforming test balances false positives and false negatives — even\n"
+        "when fed by the cheap biased estimator."
+    )
+
+
+if __name__ == "__main__":
+    main()

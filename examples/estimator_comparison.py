@@ -1,0 +1,64 @@
+"""Ideal vs biased estimators of a pipeline's expected performance.
+
+Reproduces the Section 3.3 comparison: the ideal estimator re-runs
+hyperparameter optimization for every measurement (unbiased, O(k·T) fits),
+while the biased estimator runs HOpt once and only re-randomizes a subset
+of the learning-procedure sources (O(k+T) fits).  The example prints the
+standard error of each estimator as the number of measurements k grows, and
+the compute cost of each — the paper's "a better biased estimator for 51x
+less compute" argument.
+
+Run with:  python examples/estimator_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BenchmarkProcess, estimator_cost, get_task
+from repro.core.variance import EstimatorQualityStudy
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    task = get_task("entailment")
+    dataset = task.make_dataset(random_state=1, n_samples=500)
+    process = BenchmarkProcess(
+        dataset, task.make_pipeline(n_epochs=8), hpo_budget=10
+    )
+
+    print("Running the estimator quality study (this trains a few hundred tiny models)...\n")
+    study = EstimatorQualityStudy(subsets=("init", "data", "all"), n_repetitions=5, k_max=12)
+    results = study.run(process, random_state=0)
+
+    ks = [2, 4, 8, 12]
+    rows = []
+    for name, result in results.items():
+        curve = result.standard_error_curve(ks)
+        rows.append({"estimator": name, **{f"k={k}": float(c) for k, c in zip(ks, curve)}})
+    print(format_table(rows, title="Standard error of the estimators vs number of measurements (Figure 5)"))
+
+    print()
+    cost_rows = [
+        {
+            "estimator": "IdealEst(k=100)",
+            "model_fits": estimator_cost(100, process.hpo_budget, ideal=True),
+        },
+        {
+            "estimator": "FixHOptEst(k=100, All)",
+            "model_fits": estimator_cost(100, process.hpo_budget, ideal=False),
+        },
+    ]
+    print(format_table(cost_rows, title="Compute cost (number of model fits)"))
+
+    best_biased = results["FixHOptEst(all)"].standard_error_curve([12])[0]
+    init_only = results["FixHOptEst(init)"].standard_error_curve([12])[0]
+    print(
+        f"\nRandomizing all sources instead of only the weight initialization\n"
+        f"shrinks the estimator's standard error from {init_only:.4f} to {best_biased:.4f}\n"
+        f"at identical compute cost — ignoring HOpt variance is what hurts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Peptide-MHC binding case study: single MLP vs ensemble (Tables 8/9 analogue).
+
+The paper's fifth case study predicts peptide-MHC binding affinities with a
+shallow MLP and compares against an MHCflurry-style ensemble.  This example
+builds the synthetic analogue dataset, trains both models, prints the
+AUC / Pearson-correlation table, and then — as the paper recommends —
+replaces the bare table with a variance-aware conclusion from the
+probability-of-outperforming test over paired runs.
+
+Run with:  python examples/mhc_binding.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_mhc_model_comparison
+
+
+def main() -> None:
+    print("Training the single-MLP and ensemble models on the peptide-binding analogue...\n")
+    result = run_mhc_model_comparison(
+        n_samples=900,
+        n_ensemble_members=5,
+        k_pairs=15,
+        random_state=0,
+    )
+    print(result.report())
+    comparison = result.comparison
+    print(
+        "\nRather than reading the table alone, the recommended test accounts for\n"
+        "the variance of both pipelines across data splits and seeds:"
+    )
+    print(
+        f"  P(ensemble > single MLP) = {comparison.p_a_gt_b:.2f} "
+        f"(95% CI [{comparison.ci_low:.2f}, {comparison.ci_high:.2f}])"
+    )
+    print(f"  conclusion: {comparison.conclusion.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: variance-aware comparison of two learning pipelines.
+
+The recommended workflow of the paper in ~40 lines:
+
+1. pick a task and build two benchmark processes (algorithm A and B on the
+   same finite dataset);
+2. decide how many paired runs you need with Noether's formula;
+3. run the paired measurements with every learning-procedure source of
+   variance randomized (the affordable ``FixHOptEst``-style protocol);
+4. conclude with the probability-of-outperforming test: the result must be
+   both statistically significant (CI_min > 0.5) and meaningful
+   (CI_max > gamma = 0.75).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BenchmarkProcess, compare_pipelines, get_task, minimum_sample_size
+
+
+def main() -> None:
+    task = get_task("entailment")
+    dataset = task.make_dataset(random_state=42, n_samples=600)
+
+    # Algorithm A: a 32-unit MLP.  Algorithm B: a much smaller model.
+    process_a = BenchmarkProcess(
+        dataset, task.make_pipeline(hidden_sizes=(32,), n_epochs=10), hpo_budget=10
+    )
+    process_b = BenchmarkProcess(
+        dataset, task.make_pipeline(hidden_sizes=(2,), n_epochs=10), hpo_budget=10
+    )
+
+    k = minimum_sample_size(gamma=0.75, alpha=0.05, beta=0.05)
+    print(f"Noether minimum sample size for gamma=0.75: {k} paired runs")
+
+    report, scores = compare_pipelines(process_a, process_b, k=k, random_state=0)
+
+    print(f"mean score A: {scores.scores_a.mean():.3f}   mean score B: {scores.scores_b.mean():.3f}")
+    print(
+        f"P(A > B) = {report.p_a_gt_b:.3f} "
+        f"[{report.ci_low:.3f}, {report.ci_high:.3f}] (gamma = {report.gamma})"
+    )
+    print(f"conclusion: {report.conclusion.value}")
+    if report.meaningful:
+        print("-> algorithm A is a meaningful improvement over B on this task.")
+    elif report.significant:
+        print("-> A is better than B, but not by a meaningful margin.")
+    else:
+        print("-> the observed difference could be explained by noise alone.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Measure where the variance of a benchmark comes from (Figure 1 workflow).
+
+This example reproduces the paper's variance decomposition on one of the
+case-study analogue tasks: every learning-procedure source of variation is
+randomized in isolation (data bootstrap, data order, weight init, dropout,
+data augmentation), then the three hyperparameter-optimization algorithms
+are re-run with only their seed varied.  The output is the per-source
+standard deviation of the test metric, as a fraction of the data-bootstrap
+standard deviation.
+
+Run with:  python examples/variance_study.py [task-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import run_variance_study
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    task_name = sys.argv[1] if len(sys.argv) > 1 else "entailment"
+    print(f"Running the per-source variance study on {task_name!r} ...\n")
+    result = run_variance_study(
+        (task_name,),
+        n_seeds=20,
+        n_hpo_repetitions=5,
+        hpo_budget=15,
+        dataset_size=600,
+        random_state=0,
+    )
+    print(result.report())
+
+    decomposition = result.decompositions[task_name]
+    relative = decomposition.relative_to("data")
+    rows = [
+        {"source": source, "fraction_of_data_bootstrap_std": value}
+        for source, value in sorted(relative.items(), key=lambda kv: -kv[1])
+    ]
+    for algorithm, std in result.hpo_stds[task_name].items():
+        rows.append(
+            {
+                "source": f"hopt/{algorithm}",
+                "fraction_of_data_bootstrap_std": std / decomposition.stds["data"],
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            title="Sources of variation relative to bootstrapping the data (Figure 1)",
+        )
+    )
+    print(
+        "\nTakeaway: data sampling dominates; weight initialization and the\n"
+        "residual HOpt noise are smaller but of comparable order — all of them\n"
+        "should be randomized when estimating a pipeline's performance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package installs in environments
+without the ``wheel`` package (legacy ``pip install -e .`` falls back to
+``setup.py develop``, which needs no wheel build).
+"""
+
+from setuptools import setup
+
+setup()

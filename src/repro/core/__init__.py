@@ -1,0 +1,111 @@
+"""Core contribution of the paper: variance-aware benchmarking.
+
+This package contains the reproduction of the paper's primary machinery:
+
+* :mod:`repro.core.sources` — the taxonomy of variance sources
+  (:math:`\\xi_O` and :math:`\\xi_H`);
+* :mod:`repro.core.benchmark` — the benchmark process
+  :math:`P(S_{tv}) = \\mathrm{Opt}(S_{tv}, \\mathrm{HOpt}(S_{tv}))`
+  wired onto concrete datasets and pipelines;
+* :mod:`repro.core.estimators` — Algorithm 1 (`IdealEstimator`) and
+  Algorithm 2 (`FixHOptEstimator`) with their cost model;
+* :mod:`repro.core.variance` — per-source variance studies and estimator
+  quality (bias / variance / correlation) studies;
+* :mod:`repro.core.comparison` — decision criteria (single point, average
+  difference, probability of outperforming);
+* :mod:`repro.core.significance` — the recommended statistical-testing
+  workflow of Appendix C;
+* :mod:`repro.core.sample_size` — Noether sample-size determination.
+"""
+
+from repro.core.benchmark import BenchmarkProcess, Measurement
+from repro.core.comparison import (
+    AverageComparison,
+    ComparisonDecision,
+    ComparisonMethod,
+    ProbabilityOfOutperforming,
+    SinglePointComparison,
+)
+from repro.core.estimators import (
+    EstimatorResult,
+    FixHOptEstimator,
+    IdealEstimator,
+    estimator_cost,
+)
+from repro.core.multidataset import (
+    MultiDatasetComparison,
+    bonferroni_correction,
+    corrected_gamma,
+    friedman_test,
+    holm_correction,
+    replicability_analysis,
+    wilcoxon_signed_rank,
+)
+from repro.core.pairing import (
+    PairedScores,
+    compare_pipelines,
+    paired_measurements,
+    paired_seed_bundles,
+)
+from repro.core.ranking import BenchmarkRanking, RankedAlgorithm, rank_algorithms
+from repro.core.sample_size import minimum_sample_size, sample_size_curve
+from repro.core.significance import (
+    SignificanceConclusion,
+    SignificanceReport,
+    probability_of_outperforming_test,
+)
+from repro.core.sources import (
+    ALL_SOURCES,
+    HOPT_SOURCES,
+    LEARNING_SOURCES,
+    VarianceSource,
+    sources_for_subset,
+)
+from repro.core.variance import (
+    EstimatorQualityStudy,
+    VarianceDecomposition,
+    estimator_standard_error_curve,
+    variance_decomposition_study,
+)
+
+__all__ = [
+    "BenchmarkProcess",
+    "Measurement",
+    "AverageComparison",
+    "ComparisonDecision",
+    "ComparisonMethod",
+    "ProbabilityOfOutperforming",
+    "SinglePointComparison",
+    "EstimatorResult",
+    "FixHOptEstimator",
+    "IdealEstimator",
+    "estimator_cost",
+    "MultiDatasetComparison",
+    "bonferroni_correction",
+    "corrected_gamma",
+    "friedman_test",
+    "holm_correction",
+    "replicability_analysis",
+    "wilcoxon_signed_rank",
+    "BenchmarkRanking",
+    "RankedAlgorithm",
+    "rank_algorithms",
+    "PairedScores",
+    "compare_pipelines",
+    "paired_measurements",
+    "paired_seed_bundles",
+    "minimum_sample_size",
+    "sample_size_curve",
+    "SignificanceConclusion",
+    "SignificanceReport",
+    "probability_of_outperforming_test",
+    "ALL_SOURCES",
+    "HOPT_SOURCES",
+    "LEARNING_SOURCES",
+    "VarianceSource",
+    "sources_for_subset",
+    "EstimatorQualityStudy",
+    "VarianceDecomposition",
+    "estimator_standard_error_curve",
+    "variance_decomposition_study",
+]

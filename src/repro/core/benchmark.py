@@ -1,0 +1,175 @@
+"""The benchmark process: data splitting, HOpt, training and evaluation.
+
+This module wires a dataset, a learning pipeline, a resampling scheme and a
+hyperparameter-optimization algorithm into the probabilistic benchmark
+process of Section 2.1:
+
+.. math::
+
+    \\hat{h}^*(S_{tv}) = P(S_{tv}) = \\mathrm{Opt}(S_{tv}, \\mathrm{HOpt}(S_{tv}))
+
+A single *measurement* of the process — one point :math:`\\hat{R}_e` — is a
+complete realization: draw a (train, valid, test) resample with the
+``data`` stream, (optionally) run HOpt with the ``hopt`` stream, train the
+pipeline with the remaining :math:`\\xi_O` streams, and evaluate the test
+score.  The estimators of :mod:`repro.core.estimators` are thin policies on
+top of this class that decide which seeds are randomized between
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.data.dataset import Dataset
+from repro.data.resampling import BootstrapResampler
+from repro.hpo.base import HPOptimizer, HPOResult
+from repro.hpo.random_search import RandomSearch
+from repro.pipelines.base import Pipeline, fit_and_score
+from repro.utils.rng import SeedBundle
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Measurement", "BenchmarkProcess"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One realization of the benchmark process.
+
+    Attributes
+    ----------
+    test_score:
+        :math:`\\hat{R}_e(\\hat{h}^*, S_o)` on the held-out (out-of-bootstrap)
+        set; larger is better.
+    valid_score, train_score:
+        Scores on the validation and training subsets.
+    hparams:
+        Hyperparameters used for the final fit.
+    seeds:
+        Seed bundle that produced this measurement.
+    n_fits:
+        Number of model fits consumed to produce the measurement (1 when
+        hyperparameters were supplied, ``T + 1`` when HOpt ran first).
+    """
+
+    test_score: float
+    valid_score: Optional[float]
+    train_score: float
+    hparams: Dict[str, Any] = field(default_factory=dict)
+    seeds: Optional[SeedBundle] = None
+    n_fits: int = 1
+
+
+class BenchmarkProcess:
+    """A complete learning pipeline evaluated on a finite dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The finite dataset :math:`S`.
+    pipeline:
+        Learning pipeline (model family + training procedure).
+    resampler:
+        Resampling scheme producing (train, valid, test) from the dataset;
+        defaults to out-of-bootstrap resampling (Appendix B).
+    hpo_algorithm:
+        Hyperparameter-optimization algorithm (``HOpt``); defaults to
+        random search.
+    hpo_budget:
+        Number of HOpt trials ``T``.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        pipeline: Pipeline,
+        *,
+        resampler: Optional[BootstrapResampler] = None,
+        hpo_algorithm: Optional[HPOptimizer] = None,
+        hpo_budget: int = 20,
+    ) -> None:
+        self.dataset = dataset
+        self.pipeline = pipeline
+        self.resampler = resampler if resampler is not None else BootstrapResampler()
+        self.hpo_algorithm = (
+            hpo_algorithm if hpo_algorithm is not None else RandomSearch()
+        )
+        self.hpo_budget = check_positive_int(hpo_budget, "hpo_budget")
+
+    # ------------------------------------------------------------------
+    # Benchmark-process building blocks
+    # ------------------------------------------------------------------
+    def split(self, seeds: SeedBundle) -> Tuple[Dataset, Dataset, Dataset]:
+        """Draw a (train, valid, test) resample using the ``data`` stream."""
+        return self.resampler.split(self.dataset, seeds.rng_for("data"))
+
+    def run_hpo(
+        self,
+        seeds: SeedBundle,
+        *,
+        budget: Optional[int] = None,
+    ) -> HPOResult:
+        """Run hyperparameter optimization: :math:`HOpt(S_{tv}, \\xi_O, \\xi_H)`.
+
+        The data split and the training seeds used inside the HOpt objective
+        are taken from ``seeds`` (the :math:`\\xi_O` part); the optimizer's
+        own randomness comes from the ``hopt`` stream (the :math:`\\xi_H`
+        part).  The objective minimized is ``1 - validation score``, i.e.
+        the validation error / regret tracked in Figure F.2.
+        """
+        budget = self.hpo_budget if budget is None else check_positive_int(budget, "budget")
+        train, valid, _ = self.split(seeds)
+
+        def objective(config: Mapping[str, Any]) -> float:
+            outcome = fit_and_score(
+                self.pipeline, train, valid, config, seeds, valid=valid
+            )
+            return 1.0 - float(outcome.valid_score)
+
+        return self.hpo_algorithm.optimize(
+            objective,
+            self.pipeline.search_space(),
+            budget=budget,
+            random_state=seeds.rng_for("hopt"),
+        )
+
+    def measure(
+        self,
+        seeds: SeedBundle,
+        hparams: Optional[Mapping[str, Any]] = None,
+    ) -> Measurement:
+        """One measurement with *given* hyperparameters (``Opt`` + evaluate).
+
+        This is the inner loop of the biased estimator (Algorithm 2): the
+        hyperparameters come from a previous HOpt run and only the
+        :math:`\\xi_O` seeds of ``seeds`` matter.
+        """
+        train, valid, test = self.split(seeds)
+        outcome = fit_and_score(self.pipeline, train, test, hparams, seeds, valid=valid)
+        return Measurement(
+            test_score=float(outcome.test_score),
+            valid_score=outcome.valid_score,
+            train_score=float(outcome.train_score),
+            hparams=dict(outcome.hparams),
+            seeds=seeds,
+            n_fits=1,
+        )
+
+    def measure_with_hpo(self, seeds: SeedBundle) -> Measurement:
+        """One measurement including its own HOpt run (Algorithm 1 inner loop).
+
+        Runs :math:`HOpt` for ``hpo_budget`` trials under the given seeds,
+        then trains with the best configuration and evaluates on the test
+        set.  Costs ``hpo_budget + 1`` model fits.
+        """
+        hpo_result = self.run_hpo(seeds)
+        measurement = self.measure(seeds, hpo_result.best_config)
+        return Measurement(
+            test_score=measurement.test_score,
+            valid_score=measurement.valid_score,
+            train_score=measurement.train_score,
+            hparams=measurement.hparams,
+            seeds=seeds,
+            n_fits=self.hpo_budget + 1,
+        )

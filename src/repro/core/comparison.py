@@ -1,0 +1,187 @@
+"""Decision criteria for concluding that algorithm A outperforms B.
+
+Three criteria are formalized, matching Section 4.1 and the legend of
+Figure 6:
+
+* :class:`SinglePointComparison` — compare one run of each algorithm and
+  require the difference to exceed a threshold δ (the historical, and worst,
+  practice);
+* :class:`AverageComparison` — compare the averages of ``k`` runs against
+  the same threshold δ (prevalent practice, no variance accounting);
+* :class:`ProbabilityOfOutperforming` — the paper's recommendation: require
+  the paired probability of outperforming to be statistically significant
+  *and* meaningful with threshold γ.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.significance import (
+    SignificanceConclusion,
+    probability_of_outperforming_test,
+)
+from repro.utils.validation import check_array
+
+__all__ = [
+    "ComparisonDecision",
+    "ComparisonMethod",
+    "SinglePointComparison",
+    "AverageComparison",
+    "ProbabilityOfOutperforming",
+]
+
+
+@dataclass(frozen=True)
+class ComparisonDecision:
+    """Outcome of a comparison criterion.
+
+    Attributes
+    ----------
+    a_is_better:
+        Whether the criterion concludes that A outperforms B.
+    method:
+        Name of the criterion.
+    details:
+        Criterion-specific diagnostics (estimates, thresholds, intervals).
+    """
+
+    a_is_better: bool
+    method: str
+    details: Dict[str, float] = field(default_factory=dict)
+
+
+class ComparisonMethod(ABC):
+    """Interface shared by all comparison criteria."""
+
+    name: str = "comparison"
+
+    @abstractmethod
+    def decide(self, scores_a: np.ndarray, scores_b: np.ndarray) -> ComparisonDecision:
+        """Decide whether A outperforms B given performance samples."""
+
+
+class SinglePointComparison(ComparisonMethod):
+    """Compare a single run of each algorithm against a threshold δ.
+
+    Parameters
+    ----------
+    delta:
+        Minimum difference of the (single) performances to call A better.
+    """
+
+    name = "single_point"
+
+    def __init__(self, delta: float = 0.0) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self.delta = float(delta)
+
+    def decide(self, scores_a: np.ndarray, scores_b: np.ndarray) -> ComparisonDecision:
+        scores_a = check_array(scores_a, ndim=1, min_length=1, name="scores_a")
+        scores_b = check_array(scores_b, ndim=1, min_length=1, name="scores_b")
+        difference = float(scores_a[0] - scores_b[0])
+        return ComparisonDecision(
+            a_is_better=difference > self.delta,
+            method=self.name,
+            details={"difference": difference, "delta": self.delta},
+        )
+
+
+class AverageComparison(ComparisonMethod):
+    """Compare average performances against a threshold δ.
+
+    The paper calibrates δ to 1.9952σ, the scale of typical published
+    improvements on paperswithcode.com, where σ is the benchmark's standard
+    deviation measured with the ideal estimator.
+
+    Parameters
+    ----------
+    delta:
+        Minimum difference of mean performances required to call A better.
+    """
+
+    name = "average"
+
+    def __init__(self, delta: float = 0.0) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self.delta = float(delta)
+
+    @classmethod
+    def from_sigma(cls, sigma: float, multiplier: float = 1.9952) -> "AverageComparison":
+        """Build the criterion with δ = ``multiplier`` × σ (paper's choice)."""
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        return cls(delta=multiplier * sigma)
+
+    def decide(self, scores_a: np.ndarray, scores_b: np.ndarray) -> ComparisonDecision:
+        scores_a = check_array(scores_a, ndim=1, min_length=1, name="scores_a")
+        scores_b = check_array(scores_b, ndim=1, min_length=1, name="scores_b")
+        difference = float(np.mean(scores_a) - np.mean(scores_b))
+        return ComparisonDecision(
+            a_is_better=difference > self.delta,
+            method=self.name,
+            details={"difference": difference, "delta": self.delta},
+        )
+
+
+class ProbabilityOfOutperforming(ComparisonMethod):
+    """The paper's recommended criterion based on :math:`P(A>B)`.
+
+    A is declared better than B only when the percentile-bootstrap
+    confidence interval shows the probability of outperforming to be both
+    statistically significant (CI_min > 0.5) and meaningful (CI_max > γ).
+
+    Parameters
+    ----------
+    gamma:
+        Meaningfulness threshold (paper recommendation: 0.75).
+    alpha:
+        Tail probability of the bootstrap confidence interval.
+    n_bootstraps:
+        Number of bootstrap resamples.
+    random_state:
+        Seed or generator for the bootstrap (kept explicit so decisions are
+        reproducible).
+    """
+
+    name = "probability_of_outperforming"
+
+    def __init__(
+        self,
+        gamma: float = 0.75,
+        *,
+        alpha: float = 0.05,
+        n_bootstraps: int = 500,
+        random_state: Optional[int] = 0,
+    ) -> None:
+        self.gamma = float(gamma)
+        self.alpha = float(alpha)
+        self.n_bootstraps = int(n_bootstraps)
+        self.random_state = random_state
+
+    def decide(self, scores_a: np.ndarray, scores_b: np.ndarray) -> ComparisonDecision:
+        report = probability_of_outperforming_test(
+            scores_a,
+            scores_b,
+            gamma=self.gamma,
+            alpha=self.alpha,
+            n_bootstraps=self.n_bootstraps,
+            random_state=self.random_state,
+        )
+        return ComparisonDecision(
+            a_is_better=report.conclusion
+            == SignificanceConclusion.SIGNIFICANT_AND_MEANINGFUL,
+            method=self.name,
+            details={
+                "p_a_gt_b": report.p_a_gt_b,
+                "ci_low": report.ci_low,
+                "ci_high": report.ci_high,
+                "gamma": report.gamma,
+            },
+        )

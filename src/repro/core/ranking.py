@@ -1,0 +1,185 @@
+"""Ranking many algorithms with variance-aware ties (Section 5 and 6).
+
+The paper recommends to "always highlight not only the best-performing
+procedure, but also all those within the significance bounds".  This module
+turns a set of paired per-run scores (one vector per algorithm, all measured
+on the same splits/seeds) into a ranking where every algorithm that is not
+meaningfully outperformed by the leader shares the top group, with the
+threshold γ optionally corrected for the number of pairwise comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.core.multidataset import corrected_gamma
+from repro.core.significance import (
+    SignificanceReport,
+    probability_of_outperforming_test,
+)
+from repro.utils.tables import format_table
+from repro.utils.validation import check_array
+
+__all__ = ["RankedAlgorithm", "BenchmarkRanking", "rank_algorithms"]
+
+
+@dataclass(frozen=True)
+class RankedAlgorithm:
+    """One algorithm's entry in a benchmark ranking.
+
+    Attributes
+    ----------
+    name:
+        Algorithm name.
+    mean_score:
+        Average paired score (larger is better).
+    std_score:
+        Standard deviation of the paired scores.
+    within_significance_bounds:
+        Whether the leader does *not* meaningfully outperform this
+        algorithm — i.e. it belongs to the group that should be highlighted
+        together with the best performer.
+    comparison_with_leader:
+        The significance report of leader-vs-this-algorithm (``None`` for
+        the leader itself).
+    """
+
+    name: str
+    mean_score: float
+    std_score: float
+    within_significance_bounds: bool
+    comparison_with_leader: SignificanceReport | None = None
+
+
+@dataclass
+class BenchmarkRanking:
+    """Full ranking of a benchmark's contestants."""
+
+    entries: List[RankedAlgorithm] = field(default_factory=list)
+    gamma: float = 0.75
+    effective_gamma: float = 0.75
+
+    @property
+    def leader(self) -> RankedAlgorithm:
+        """Best-performing algorithm by mean score."""
+        if not self.entries:
+            raise ValueError("ranking is empty")
+        return self.entries[0]
+
+    @property
+    def top_group(self) -> List[str]:
+        """Names of all algorithms within the significance bounds."""
+        return [e.name for e in self.entries if e.within_significance_bounds]
+
+    def as_rows(self) -> List[dict]:
+        """Rows for plain-text reporting."""
+        rows = []
+        for rank, entry in enumerate(self.entries, start=1):
+            report = entry.comparison_with_leader
+            rows.append(
+                {
+                    "rank": rank,
+                    "algorithm": entry.name,
+                    "mean_score": entry.mean_score,
+                    "std": entry.std_score,
+                    "P(leader>this)": report.p_a_gt_b if report else float("nan"),
+                    "within_significance_bounds": entry.within_significance_bounds,
+                }
+            )
+        return rows
+
+    def report(self) -> str:
+        """Plain-text ranking table."""
+        return format_table(
+            self.as_rows(),
+            columns=[
+                "rank",
+                "algorithm",
+                "mean_score",
+                "std",
+                "P(leader>this)",
+                "within_significance_bounds",
+            ],
+            title=(
+                "Benchmark ranking "
+                f"(gamma={self.gamma}, corrected gamma={self.effective_gamma:.3f})"
+            ),
+        )
+
+
+def rank_algorithms(
+    scores: Mapping[str, np.ndarray],
+    *,
+    gamma: float = 0.75,
+    alpha: float = 0.05,
+    correct_for_multiple_comparisons: bool = True,
+    n_bootstraps: int = 1000,
+    random_state=None,
+) -> BenchmarkRanking:
+    """Rank algorithms and identify the leading group of statistical ties.
+
+    Parameters
+    ----------
+    scores:
+        Mapping from algorithm name to its paired per-run scores; all
+        vectors must have the same length and be measured on the same
+        splits/seeds so comparisons can be paired.
+    gamma:
+        Per-comparison meaningfulness threshold.
+    alpha:
+        Confidence level of the percentile-bootstrap intervals.
+    correct_for_multiple_comparisons:
+        Raise γ with a Bonferroni-style correction for the number of
+        leader-vs-other comparisons (Section 6 of the paper).
+    n_bootstraps, random_state:
+        Bootstrap configuration for each pairwise test.
+    """
+    if len(scores) < 2:
+        raise ValueError("ranking requires at least two algorithms")
+    arrays: Dict[str, np.ndarray] = {
+        name: check_array(values, ndim=1, min_length=2, name=name)
+        for name, values in scores.items()
+    }
+    lengths = {arr.shape[0] for arr in arrays.values()}
+    if len(lengths) != 1:
+        raise ValueError("all algorithms must have the same number of paired runs")
+    n_comparisons = len(arrays) - 1
+    effective = (
+        corrected_gamma(gamma, n_comparisons, alpha=alpha)
+        if correct_for_multiple_comparisons
+        else gamma
+    )
+    ordered = sorted(arrays.items(), key=lambda kv: -float(np.mean(kv[1])))
+    leader_name, leader_scores = ordered[0]
+    ranking = BenchmarkRanking(gamma=gamma, effective_gamma=effective)
+    ranking.entries.append(
+        RankedAlgorithm(
+            name=leader_name,
+            mean_score=float(np.mean(leader_scores)),
+            std_score=float(np.std(leader_scores, ddof=1)),
+            within_significance_bounds=True,
+            comparison_with_leader=None,
+        )
+    )
+    for name, values in ordered[1:]:
+        report = probability_of_outperforming_test(
+            leader_scores,
+            values,
+            gamma=effective,
+            alpha=alpha,
+            n_bootstraps=n_bootstraps,
+            random_state=random_state,
+        )
+        ranking.entries.append(
+            RankedAlgorithm(
+                name=name,
+                mean_score=float(np.mean(values)),
+                std_score=float(np.std(values, ddof=1)),
+                within_significance_bounds=not report.meaningful,
+                comparison_with_leader=report,
+            )
+        )
+    return ranking

@@ -1,0 +1,143 @@
+"""The recommended statistical-testing workflow (Section 4.1, Appendix C).
+
+The paper's decision rule for "is algorithm A better than B?" combines a
+null hypothesis (significance) and an alternative hypothesis
+(meaningfulness) in the Neyman-Pearson framing:
+
+* **not significant** — the lower confidence bound of :math:`P(A>B)` does
+  not exceed 0.5: the observed advantage could be noise alone;
+* **significant but not meaningful** — the advantage is real but smaller
+  than the community threshold :math:`\\gamma`;
+* **significant and meaningful** — :math:`CI_{min} > 0.5` and
+  :math:`CI_{max} > \\gamma`: conclude that A outperforms B.
+
+The confidence interval is the non-parametric percentile bootstrap over the
+paired performance measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.stats.bootstrap import percentile_bootstrap_ci
+from repro.stats.mann_whitney import paired_probability_of_outperforming
+from repro.utils.validation import check_array, check_fraction
+
+__all__ = [
+    "SignificanceConclusion",
+    "SignificanceReport",
+    "probability_of_outperforming_test",
+]
+
+
+class SignificanceConclusion(str, Enum):
+    """The three possible outcomes of the recommended test."""
+
+    NOT_SIGNIFICANT = "not_significant"
+    SIGNIFICANT_NOT_MEANINGFUL = "significant_not_meaningful"
+    SIGNIFICANT_AND_MEANINGFUL = "significant_and_meaningful"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class SignificanceReport:
+    """Full outcome of the probability-of-outperforming test.
+
+    Attributes
+    ----------
+    p_a_gt_b:
+        Point estimate of :math:`P(A>B)` over paired measurements.
+    ci_low, ci_high:
+        Percentile-bootstrap confidence bounds.
+    gamma:
+        Meaningfulness threshold used.
+    alpha:
+        Total tail probability of the confidence interval.
+    conclusion:
+        One of :class:`SignificanceConclusion`.
+    n_pairs:
+        Number of paired measurements.
+    """
+
+    p_a_gt_b: float
+    ci_low: float
+    ci_high: float
+    gamma: float
+    alpha: float
+    conclusion: SignificanceConclusion
+    n_pairs: int
+
+    @property
+    def significant(self) -> bool:
+        """Whether the result is statistically significant (CI_min > 0.5)."""
+        return self.conclusion != SignificanceConclusion.NOT_SIGNIFICANT
+
+    @property
+    def meaningful(self) -> bool:
+        """Whether the result is statistically meaningful (CI_max > gamma)."""
+        return self.conclusion == SignificanceConclusion.SIGNIFICANT_AND_MEANINGFUL
+
+
+def probability_of_outperforming_test(
+    scores_a: np.ndarray,
+    scores_b: np.ndarray,
+    *,
+    gamma: float = 0.75,
+    alpha: float = 0.05,
+    n_bootstraps: int = 1000,
+    random_state=None,
+) -> SignificanceReport:
+    """Run the paper's recommended comparison test on paired scores.
+
+    Parameters
+    ----------
+    scores_a, scores_b:
+        Paired performance measurements (larger is better), ideally obtained
+        on the same data splits and seeds (Appendix C.2).
+    gamma:
+        Meaningfulness threshold on :math:`P(A>B)`; the paper recommends
+        0.75.
+    alpha:
+        Tail probability of the percentile-bootstrap confidence interval.
+    n_bootstraps:
+        Number of bootstrap resamples of the pairs.
+    random_state:
+        Seed or generator for the bootstrap.
+    """
+    gamma = check_fraction(gamma, "gamma")
+    scores_a = check_array(scores_a, ndim=1, min_length=1, name="scores_a")
+    scores_b = check_array(scores_b, ndim=1, min_length=1, name="scores_b")
+    if scores_a.shape != scores_b.shape:
+        raise ValueError("scores_a and scores_b must be paired (same length)")
+
+    def statistic(pairs: np.ndarray) -> float:
+        return paired_probability_of_outperforming(pairs[:, 0], pairs[:, 1])
+
+    ci = percentile_bootstrap_ci(
+        scores_a,
+        statistic,
+        alpha=alpha,
+        n_bootstraps=n_bootstraps,
+        random_state=random_state,
+        paired=scores_b,
+    )
+    if ci.low <= 0.5:
+        conclusion = SignificanceConclusion.NOT_SIGNIFICANT
+    elif ci.high <= gamma:
+        conclusion = SignificanceConclusion.SIGNIFICANT_NOT_MEANINGFUL
+    else:
+        conclusion = SignificanceConclusion.SIGNIFICANT_AND_MEANINGFUL
+    return SignificanceReport(
+        p_a_gt_b=ci.estimate,
+        ci_low=ci.low,
+        ci_high=ci.high,
+        gamma=gamma,
+        alpha=alpha,
+        conclusion=conclusion,
+        n_pairs=int(scores_a.size),
+    )

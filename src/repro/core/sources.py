@@ -1,0 +1,97 @@
+"""Taxonomy of the sources of variance in a machine-learning benchmark.
+
+Section 2.1 of the paper splits the uncontrolled randomness of a learning
+pipeline into two groups:
+
+* :math:`\\xi_O` — randomness of the learning procedure itself: data
+  sampling (bootstrap of the finite dataset), stochastic data augmentation,
+  the order in which examples are visited by SGD, weight initialization,
+  dropout, and residual numerical noise;
+* :math:`\\xi_H` — randomness of the hyperparameter-optimization procedure
+  (its seed, arbitrary grid placement, internal splits).
+
+The estimator variants ``FixHOptEst(k, Init)``, ``FixHOptEst(k, Data)`` and
+``FixHOptEst(k, All)`` of Section 3.3 randomize growing subsets of
+:math:`\\xi_O`; :func:`sources_for_subset` maps those names to source lists.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import FrozenSet, Iterable, Tuple
+
+__all__ = [
+    "VarianceSource",
+    "LEARNING_SOURCES",
+    "HOPT_SOURCES",
+    "ALL_SOURCES",
+    "sources_for_subset",
+]
+
+
+class VarianceSource(str, Enum):
+    """Named source of uncontrolled variation in a benchmark."""
+
+    #: Bootstrap sampling of the finite dataset into train/valid/test.
+    DATA = "data"
+    #: Stochastic data augmentation.
+    AUGMENT = "augment"
+    #: Data visit order in stochastic gradient descent.
+    ORDER = "order"
+    #: Weight initialization.
+    INIT = "init"
+    #: Dropout masks and other model stochasticity.
+    DROPOUT = "dropout"
+    #: Residual numerical noise (non-deterministic kernels).
+    NUMERICAL = "numerical"
+    #: Hyperparameter-optimization procedure (xi_H).
+    HOPT = "hopt"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Learning-procedure sources, the paper's :math:`\xi_O`.
+LEARNING_SOURCES: Tuple[VarianceSource, ...] = (
+    VarianceSource.DATA,
+    VarianceSource.AUGMENT,
+    VarianceSource.ORDER,
+    VarianceSource.INIT,
+    VarianceSource.DROPOUT,
+    VarianceSource.NUMERICAL,
+)
+
+#: Hyperparameter-optimization sources, the paper's :math:`\xi_H`.
+HOPT_SOURCES: Tuple[VarianceSource, ...] = (VarianceSource.HOPT,)
+
+#: Every source, :math:`\xi = \xi_O \cup \xi_H`.
+ALL_SOURCES: Tuple[VarianceSource, ...] = LEARNING_SOURCES + HOPT_SOURCES
+
+#: Named subsets used by the biased estimator variants of Section 3.3.
+_SUBSETS = {
+    # FixHOptEst(k, Init): randomize only the weight initialization — the
+    # predominant practice in the deep-learning literature.
+    "init": (VarianceSource.INIT,),
+    # FixHOptEst(k, Data): randomize only the data split / bootstrap.
+    "data": (VarianceSource.DATA,),
+    # FixHOptEst(k, All): randomize every learning-procedure source but keep
+    # the hyperparameters from a single HOpt run.
+    "all": LEARNING_SOURCES,
+}
+
+
+def sources_for_subset(subset: str | Iterable[VarianceSource]) -> FrozenSet[VarianceSource]:
+    """Resolve a subset name (``"init"``, ``"data"``, ``"all"``) to sources.
+
+    An explicit iterable of :class:`VarianceSource` (or of their string
+    values) is passed through unchanged, which lets callers build custom
+    subsets, e.g. ``{"init", "order"}``.
+    """
+    if isinstance(subset, str):
+        key = subset.lower()
+        if key not in _SUBSETS:
+            raise ValueError(
+                f"unknown source subset {subset!r}; expected one of {sorted(_SUBSETS)}"
+            )
+        return frozenset(_SUBSETS[key])
+    return frozenset(VarianceSource(s) for s in subset)

@@ -1,0 +1,322 @@
+"""Variance studies: per-source decomposition and estimator quality.
+
+Two experimental protocols from the paper are implemented here:
+
+* the **per-source variance study** behind Figure 1: hold every seed fixed
+  except one source, repeat the measurement many times, and report the
+  standard deviation attributable to that source (plus the numerical-noise
+  floor measured with *all* seeds fixed);
+* the **estimator quality study** behind Figures 5, H.4 and H.5: compare
+  the standard error of ``IdealEst(k)`` with that of
+  ``FixHOptEst(k, Init/Data/All)`` as ``k`` grows, and decompose their mean
+  squared error into bias, variance and measurement correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.benchmark import BenchmarkProcess
+from repro.core.estimators import FixHOptEstimator, IdealEstimator
+from repro.core.sources import VarianceSource
+from repro.stats.correlated import MSEDecomposition, mse_decomposition
+from repro.utils.rng import SeedBundle
+from repro.utils.validation import check_positive_int, check_random_state
+
+__all__ = [
+    "VarianceDecomposition",
+    "variance_decomposition_study",
+    "hpo_variance_study",
+    "estimator_standard_error_curve",
+    "EstimatorQualityStudy",
+    "EstimatorQualityResult",
+]
+
+
+@dataclass
+class VarianceDecomposition:
+    """Per-source standard deviations of the benchmark measurement.
+
+    Attributes
+    ----------
+    task_name:
+        Name of the benchmark / task studied.
+    stds:
+        Mapping from source name to the standard deviation of the test
+        score when only that source is randomized.
+    scores:
+        Mapping from source name to the raw scores behind each std, kept
+        for normality analyses (Figure G.3).
+    """
+
+    task_name: str
+    stds: Dict[str, float] = field(default_factory=dict)
+    scores: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def relative_to(self, reference: str = "data") -> Dict[str, float]:
+        """Standard deviations as a fraction of the reference source's std.
+
+        Figure 1 reports every source relative to the variance induced by
+        bootstrapping the data.
+        """
+        if reference not in self.stds:
+            raise KeyError(f"reference source {reference!r} not in the study")
+        ref = self.stds[reference]
+        if ref == 0:
+            raise ValueError("reference source has zero standard deviation")
+        return {name: std / ref for name, std in self.stds.items()}
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows for :func:`repro.utils.tables.format_table`."""
+        reference = self.stds.get("data", 0.0)
+        rows = []
+        for name, std in self.stds.items():
+            rows.append(
+                {
+                    "source": name,
+                    "std": std,
+                    "relative_to_data": std / reference if reference else float("nan"),
+                }
+            )
+        return rows
+
+
+def variance_decomposition_study(
+    process: BenchmarkProcess,
+    *,
+    sources: Optional[Sequence[VarianceSource]] = None,
+    n_seeds: int = 20,
+    hparams: Optional[Mapping[str, float]] = None,
+    include_numerical_noise: bool = True,
+    random_state=None,
+) -> VarianceDecomposition:
+    """Measure the variance contributed by each source in isolation.
+
+    For every studied source, all other seeds are held at their base value
+    while the studied source's seed is re-drawn ``n_seeds`` times; the
+    standard deviation of the resulting test scores is that source's
+    contribution.  Hyperparameters are fixed (the paper uses pre-selected
+    reasonable defaults for this study) so :math:`\\xi_H` is excluded — HOpt
+    variance is studied separately by :func:`hpo_variance_study`.
+
+    Parameters
+    ----------
+    process:
+        The benchmark process under study.
+    sources:
+        Learning-procedure sources to probe; defaults to data, augment,
+        order, init and dropout.
+    n_seeds:
+        Number of seed draws per source (the paper uses 200; the analogue
+        tasks are cheap enough that 20-50 already gives stable estimates).
+    hparams:
+        Hyperparameters used for every fit; defaults to the pipeline's
+        defaults.
+    include_numerical_noise:
+        Also measure the all-seeds-fixed noise floor.
+    random_state:
+        Seed or generator for the study.
+    """
+    n_seeds = check_positive_int(n_seeds, "n_seeds", minimum=2)
+    rng = check_random_state(random_state)
+    if sources is None:
+        sources = (
+            VarianceSource.DATA,
+            VarianceSource.AUGMENT,
+            VarianceSource.ORDER,
+            VarianceSource.INIT,
+            VarianceSource.DROPOUT,
+        )
+    base_seeds = SeedBundle.random(rng)
+    decomposition = VarianceDecomposition(task_name=process.pipeline.name)
+    for source in sources:
+        name = VarianceSource(source).value
+        scores = np.empty(n_seeds)
+        for i in range(n_seeds):
+            seeds = base_seeds.randomized([name], rng)
+            scores[i] = process.measure(seeds, hparams).test_score
+        decomposition.scores[name] = scores
+        decomposition.stds[name] = float(np.std(scores, ddof=1))
+    if include_numerical_noise:
+        scores = np.empty(n_seeds)
+        for i in range(n_seeds):
+            # All seeds fixed: only the injected numerical-noise stream
+            # differs between runs, mirroring the paper's fixed-seed runs.
+            seeds = base_seeds.randomized(["numerical"], rng)
+            scores[i] = process.measure(seeds, hparams).test_score
+        decomposition.scores["numerical"] = scores
+        decomposition.stds["numerical"] = float(np.std(scores, ddof=1))
+    return decomposition
+
+
+def hpo_variance_study(
+    process: BenchmarkProcess,
+    hpo_algorithms: Mapping[str, object],
+    *,
+    n_repetitions: int = 10,
+    random_state=None,
+) -> Dict[str, np.ndarray]:
+    """Variance induced by the hyperparameter-optimization procedure.
+
+    All :math:`\\xi_O` seeds are held fixed; only the HOpt seed is varied
+    across ``n_repetitions`` independent HOpt runs per algorithm (Section
+    2.2).  The returned scores are the test performances obtained with each
+    run's selected hyperparameters.
+
+    Parameters
+    ----------
+    process:
+        Benchmark process under study.
+    hpo_algorithms:
+        Mapping from algorithm name to an :class:`~repro.hpo.base.HPOptimizer`
+        instance (e.g. random search, noisy grid search, Bayesian
+        optimization).
+    n_repetitions:
+        Number of independent HOpt runs per algorithm.
+    random_state:
+        Seed or generator.
+    """
+    n_repetitions = check_positive_int(n_repetitions, "n_repetitions", minimum=2)
+    rng = check_random_state(random_state)
+    base_seeds = SeedBundle.random(rng)
+    results: Dict[str, np.ndarray] = {}
+    original_algorithm = process.hpo_algorithm
+    try:
+        for name, algorithm in hpo_algorithms.items():
+            process.hpo_algorithm = algorithm
+            scores = np.empty(n_repetitions)
+            for i in range(n_repetitions):
+                seeds = base_seeds.randomized(["hopt"], rng)
+                hpo_result = process.run_hpo(seeds)
+                scores[i] = process.measure(seeds, hpo_result.best_config).test_score
+            results[name] = scores
+    finally:
+        process.hpo_algorithm = original_algorithm
+    return results
+
+
+def estimator_standard_error_curve(
+    score_matrix: np.ndarray,
+    ks: Iterable[int],
+) -> np.ndarray:
+    """Standard deviation of :math:`\\mu_{(k)}` as a function of ``k``.
+
+    Parameters
+    ----------
+    score_matrix:
+        Array of shape ``(n_repetitions, k_max)``: each row holds the
+        sequence of measurements of one estimator realization.
+    ks:
+        Values of ``k`` at which to evaluate the curve (each must be
+        ``<= k_max``).
+
+    Returns
+    -------
+    ndarray
+        For each ``k``, the standard deviation across repetitions of the
+        mean of the first ``k`` measurements — the y-axis of Figures 5 and
+        H.4.
+    """
+    matrix = np.asarray(score_matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("score_matrix must be 2-D (n_repetitions, k_max)")
+    n_rep, k_max = matrix.shape
+    if n_rep < 2:
+        raise ValueError("at least two repetitions are needed")
+    curve = []
+    for k in ks:
+        k = check_positive_int(k, "k")
+        if k > k_max:
+            raise ValueError(f"k={k} exceeds the number of measurements {k_max}")
+        means = matrix[:, :k].mean(axis=1)
+        curve.append(float(np.std(means, ddof=1)))
+    return np.array(curve)
+
+
+@dataclass
+class EstimatorQualityResult:
+    """Outputs of :class:`EstimatorQualityStudy` for one estimator variant."""
+
+    name: str
+    score_matrix: np.ndarray
+    reference_mean: float
+
+    def standard_error_curve(self, ks: Sequence[int]) -> np.ndarray:
+        """Standard error of the estimator at each ``k``."""
+        return estimator_standard_error_curve(self.score_matrix, ks)
+
+    def mse(self, k: Optional[int] = None) -> MSEDecomposition:
+        """Bias/variance/correlation decomposition at sample size ``k``."""
+        k = self.score_matrix.shape[1] if k is None else k
+        realizations = self.score_matrix[:, :k].mean(axis=1)
+        return mse_decomposition(
+            realizations, self.reference_mean, measurements=self.score_matrix[:, :k]
+        )
+
+
+class EstimatorQualityStudy:
+    """Compare the ideal estimator with biased estimator variants.
+
+    The protocol follows Section 3.3: one long run of the ideal estimator
+    provides the reference mean and its standard error curve (its samples
+    are i.i.d., so sub-sampling rows is valid); each biased variant is
+    repeated ``n_repetitions`` times with different arbitrary fixed seeds
+    and a shared HOpt budget.
+
+    Parameters
+    ----------
+    subsets:
+        The ``FixHOptEst`` randomization subsets to study.
+    n_repetitions:
+        Number of repetitions (arbitrary ξ draws) per biased variant.
+    k_max:
+        Number of measurements per estimator realization.
+    """
+
+    def __init__(
+        self,
+        subsets: Sequence[str] = ("init", "data", "all"),
+        *,
+        n_repetitions: int = 5,
+        k_max: int = 20,
+    ) -> None:
+        self.subsets = tuple(subsets)
+        self.n_repetitions = check_positive_int(n_repetitions, "n_repetitions", minimum=2)
+        self.k_max = check_positive_int(k_max, "k_max", minimum=2)
+
+    def run(
+        self, process: BenchmarkProcess, *, random_state=None
+    ) -> Dict[str, EstimatorQualityResult]:
+        """Run the study and return one result per estimator variant."""
+        rng = check_random_state(random_state)
+        ideal = IdealEstimator().estimate(process, self.k_max, random_state=rng)
+        reference_mean = ideal.mean
+        results: Dict[str, EstimatorQualityResult] = {}
+        # The ideal estimator's measurements are i.i.d.; independent "rows"
+        # are obtained by collecting separate batches.
+        ideal_matrix = [ideal.scores]
+        for _ in range(self.n_repetitions - 1):
+            ideal_matrix.append(
+                IdealEstimator().estimate(process, self.k_max, random_state=rng).scores
+            )
+        results["IdealEst"] = EstimatorQualityResult(
+            name="IdealEst",
+            score_matrix=np.vstack(ideal_matrix),
+            reference_mean=reference_mean,
+        )
+        for subset in self.subsets:
+            rows = []
+            for _ in range(self.n_repetitions):
+                estimator = FixHOptEstimator(randomize=subset)
+                rows.append(
+                    estimator.estimate(process, self.k_max, random_state=rng).scores
+                )
+            results[f"FixHOptEst({subset})"] = EstimatorQualityResult(
+                name=f"FixHOptEst({subset})",
+                score_matrix=np.vstack(rows),
+                reference_mean=reference_mean,
+            )
+        return results

@@ -1,0 +1,50 @@
+"""Data substrate: synthetic datasets, case-study analogue tasks, resampling.
+
+The paper's five case studies (CIFAR10/VGG11, PascalVOC/ResNet, Glue
+SST-2/RTE with BERT, MHC-I/MLP) require ~8 GPU-years of compute.  This
+package provides laptop-scale synthetic analogues that preserve what the
+paper actually studies: the *statistics* of performance measurements under
+independently controllable sources of variance (see DESIGN.md, section 2).
+"""
+
+from repro.data.augmentation import GaussianJitter, FeatureDropout, augment_dataset
+from repro.data.dataset import Dataset
+from repro.data.encoding import one_hot_encode_labels, one_hot_encode_sequences
+from repro.data.resampling import (
+    BootstrapResampler,
+    CrossValidationResampler,
+    bootstrap_split,
+    out_of_bootstrap_indices,
+)
+from repro.data.splits import train_valid_test_split, stratified_indices
+from repro.data.synthetic import (
+    make_gaussian_blobs,
+    make_nonlinear_classification,
+    make_peptide_binding,
+    make_sentiment_bags,
+    make_segmentation_grids,
+)
+from repro.data.tasks import CaseStudyTask, get_task, list_tasks
+
+__all__ = [
+    "GaussianJitter",
+    "FeatureDropout",
+    "augment_dataset",
+    "Dataset",
+    "one_hot_encode_labels",
+    "one_hot_encode_sequences",
+    "BootstrapResampler",
+    "CrossValidationResampler",
+    "bootstrap_split",
+    "out_of_bootstrap_indices",
+    "train_valid_test_split",
+    "stratified_indices",
+    "make_gaussian_blobs",
+    "make_nonlinear_classification",
+    "make_peptide_binding",
+    "make_sentiment_bags",
+    "make_segmentation_grids",
+    "CaseStudyTask",
+    "get_task",
+    "list_tasks",
+]

@@ -1,0 +1,95 @@
+"""A minimal immutable dataset container used across the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A supervised dataset of (input, target) pairs.
+
+    Attributes
+    ----------
+    X:
+        Feature matrix of shape ``(n_samples, n_features)``.
+    y:
+        Target vector of shape ``(n_samples,)``.  Integer class labels for
+        classification tasks, floats for regression tasks.
+    name:
+        Optional human-readable name.
+    task_type:
+        Either ``"classification"`` or ``"regression"``.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    name: str = "dataset"
+    task_type: str = "classification"
+
+    def __post_init__(self) -> None:
+        X = np.asarray(self.X, dtype=float)
+        y = np.asarray(self.y)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (n_samples, n_features)")
+        if y.ndim != 1:
+            raise ValueError("y must be 1-D (n_samples,)")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y must have the same number of samples")
+        if self.task_type not in ("classification", "regression"):
+            raise ValueError("task_type must be 'classification' or 'regression'")
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+
+    def __len__(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        """Number of examples."""
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of input features."""
+        return int(self.X.shape[1])
+
+    @property
+    def n_classes(self) -> Optional[int]:
+        """Number of classes for classification tasks, ``None`` otherwise."""
+        if self.task_type != "classification":
+            return None
+        return int(np.unique(self.y).size)
+
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "Dataset":
+        """Return the dataset restricted to ``indices`` (with repetition allowed)."""
+        indices = np.asarray(indices, dtype=int)
+        return Dataset(
+            X=self.X[indices],
+            y=self.y[indices],
+            name=name or self.name,
+            task_type=self.task_type,
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        """Return a copy with rows permuted using ``rng``."""
+        perm = rng.permutation(self.n_samples)
+        return self.subset(perm)
+
+    def concatenate(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets with compatible shapes and task types."""
+        if other.task_type != self.task_type:
+            raise ValueError("cannot concatenate datasets of different task types")
+        if other.n_features != self.n_features:
+            raise ValueError("cannot concatenate datasets with different feature counts")
+        return Dataset(
+            X=np.vstack([self.X, other.X]),
+            y=np.concatenate([self.y, other.y]),
+            name=self.name,
+            task_type=self.task_type,
+        )

@@ -1,0 +1,74 @@
+"""Encoding helpers: one-hot labels and one-hot sequence features.
+
+The MHC case study of the paper encodes amino-acid sequences as sparse
+one-hot vectors (Nielsen et al., 2007); the same encoding is provided here
+for the peptide-binding analogue task.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["one_hot_encode_labels", "one_hot_encode_sequences"]
+
+
+def one_hot_encode_labels(labels: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """One-hot encode integer class labels.
+
+    Parameters
+    ----------
+    labels:
+        Integer labels in ``[0, n_classes)``.
+    n_classes:
+        Number of classes; inferred from the labels when omitted.
+
+    Returns
+    -------
+    ndarray of shape ``(n_samples, n_classes)``.
+    """
+    labels = np.asarray(labels, dtype=int)
+    if labels.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    if n_classes is None:
+        n_classes = int(labels.max()) + 1 if labels.size else 0
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError("labels out of range for the given n_classes")
+    encoded = np.zeros((labels.shape[0], n_classes), dtype=float)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def one_hot_encode_sequences(
+    sequences: Sequence[str],
+    alphabet: str,
+) -> np.ndarray:
+    """One-hot encode fixed-length strings over a finite alphabet.
+
+    Parameters
+    ----------
+    sequences:
+        Equal-length strings (e.g. peptides over the amino-acid alphabet).
+    alphabet:
+        String listing the allowed symbols; position in the string gives the
+        encoding index.
+
+    Returns
+    -------
+    ndarray of shape ``(n_sequences, length * len(alphabet))``.
+    """
+    if not sequences:
+        return np.zeros((0, 0))
+    length = len(sequences[0])
+    lookup = {symbol: i for i, symbol in enumerate(alphabet)}
+    n_symbols = len(alphabet)
+    encoded = np.zeros((len(sequences), length * n_symbols), dtype=float)
+    for row, seq in enumerate(sequences):
+        if len(seq) != length:
+            raise ValueError("all sequences must have the same length")
+        for pos, symbol in enumerate(seq):
+            if symbol not in lookup:
+                raise ValueError(f"symbol {symbol!r} not in alphabet")
+            encoded[row, pos * n_symbols + lookup[symbol]] = 1.0
+    return encoded

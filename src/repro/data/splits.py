@@ -1,0 +1,104 @@
+"""Deterministic and stratified splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.validation import check_fraction, check_random_state
+
+__all__ = ["train_valid_test_split", "stratified_indices"]
+
+
+def stratified_indices(
+    labels: np.ndarray,
+    fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split indices into two groups preserving class proportions.
+
+    Parameters
+    ----------
+    labels:
+        Integer class labels.
+    fraction:
+        Fraction of each class assigned to the first group.
+    rng:
+        Random generator controlling the assignment.
+
+    Returns
+    -------
+    (first, second):
+        Disjoint index arrays covering all samples.
+    """
+    fraction = check_fraction(fraction, "fraction")
+    labels = np.asarray(labels)
+    first_parts = []
+    second_parts = []
+    for cls in np.unique(labels):
+        cls_idx = np.flatnonzero(labels == cls)
+        cls_idx = rng.permutation(cls_idx)
+        cut = int(round(fraction * cls_idx.size))
+        first_parts.append(cls_idx[:cut])
+        second_parts.append(cls_idx[cut:])
+    first = rng.permutation(np.concatenate(first_parts))
+    second = rng.permutation(np.concatenate(second_parts))
+    return first, second
+
+
+def train_valid_test_split(
+    dataset: Dataset,
+    *,
+    train_fraction: float = 0.6,
+    valid_fraction: float = 0.2,
+    stratify: bool = True,
+    random_state=None,
+) -> Tuple[Dataset, Dataset, Dataset]:
+    """Split a dataset into train/validation/test subsets.
+
+    This mirrors the fixed-split design that most benchmarks use and that
+    the paper argues against as the *only* estimate (Section 3.1).  It is
+    used as the baseline against bootstrap resampling.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset to split.
+    train_fraction, valid_fraction:
+        Fractions assigned to training and validation; the remainder is the
+        test set.  Their sum must be < 1.
+    stratify:
+        Preserve class proportions (classification tasks only).
+    random_state:
+        Seed or generator for the split.
+    """
+    train_fraction = check_fraction(train_fraction, "train_fraction")
+    valid_fraction = check_fraction(valid_fraction, "valid_fraction")
+    if train_fraction + valid_fraction >= 1.0:
+        raise ValueError("train_fraction + valid_fraction must be < 1")
+    rng = check_random_state(random_state)
+    n = dataset.n_samples
+    if stratify and dataset.task_type == "classification":
+        trainvalid_idx, test_idx = stratified_indices(
+            dataset.y, train_fraction + valid_fraction, rng
+        )
+        inner_fraction = train_fraction / (train_fraction + valid_fraction)
+        train_idx, valid_idx = stratified_indices(
+            dataset.y[trainvalid_idx], inner_fraction, rng
+        )
+        train_idx = trainvalid_idx[train_idx]
+        valid_idx = trainvalid_idx[valid_idx]
+    else:
+        perm = rng.permutation(n)
+        n_train = int(round(train_fraction * n))
+        n_valid = int(round(valid_fraction * n))
+        train_idx = perm[:n_train]
+        valid_idx = perm[n_train : n_train + n_valid]
+        test_idx = perm[n_train + n_valid :]
+    return (
+        dataset.subset(train_idx, name=f"{dataset.name}-train"),
+        dataset.subset(valid_idx, name=f"{dataset.name}-valid"),
+        dataset.subset(test_idx, name=f"{dataset.name}-test"),
+    )

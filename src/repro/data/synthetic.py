@@ -1,0 +1,228 @@
+"""Synthetic dataset generators standing in for the paper's case studies.
+
+Each generator produces a :class:`~repro.data.dataset.Dataset` whose
+difficulty is controlled so that the trained pipelines land in realistic
+accuracy regimes (paper case studies range from ~66% accuracy on Glue-RTE
+to ~95% on Glue-SST2 and ~91% on CIFAR10), because the binomial test-set
+noise model of Figure 2 depends on the operating accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.validation import check_positive_int, check_random_state
+
+__all__ = [
+    "make_gaussian_blobs",
+    "make_nonlinear_classification",
+    "make_sentiment_bags",
+    "make_peptide_binding",
+    "make_segmentation_grids",
+]
+
+
+def make_gaussian_blobs(
+    n_samples: int = 2000,
+    n_features: int = 16,
+    n_classes: int = 10,
+    class_separation: float = 2.2,
+    noise: float = 1.0,
+    random_state=None,
+    name: str = "gaussian-blobs",
+) -> Dataset:
+    """Multi-class Gaussian blobs (analogue of CIFAR10-style classification).
+
+    Class centroids are drawn on a sphere of radius ``class_separation``;
+    samples are isotropic Gaussians around their centroid with standard
+    deviation ``noise``.
+
+    Parameters
+    ----------
+    n_samples, n_features, n_classes:
+        Dataset dimensions.
+    class_separation:
+        Distance scale between class centroids; larger is easier.
+    noise:
+        Within-class standard deviation.
+    random_state:
+        Seed or generator controlling the *dataset realization*.
+    """
+    rng = check_random_state(random_state)
+    n_samples = check_positive_int(n_samples, "n_samples")
+    n_classes = check_positive_int(n_classes, "n_classes", minimum=2)
+    centroids = rng.normal(size=(n_classes, n_features))
+    centroids *= class_separation / np.linalg.norm(centroids, axis=1, keepdims=True)
+    labels = rng.integers(0, n_classes, size=n_samples)
+    X = centroids[labels] + noise * rng.normal(size=(n_samples, n_features))
+    return Dataset(X=X, y=labels, name=name, task_type="classification")
+
+
+def make_nonlinear_classification(
+    n_samples: int = 1500,
+    n_features: int = 12,
+    n_classes: int = 2,
+    nonlinearity: float = 1.5,
+    noise: float = 0.6,
+    random_state=None,
+    name: str = "nonlinear-classification",
+) -> Dataset:
+    """Binary/multi-class task with a genuinely nonlinear decision boundary.
+
+    For the binary case the label is the sign of a *product* of two random
+    linear projections (an XOR-like interaction): a linear model cannot do
+    better than chance, while a small MLP can learn the quadratic feature.
+    This is the analogue of the harder Glue-RTE-style task, where
+    accuracies sit in the 60-80% range.  For more than two classes a random
+    two-layer teacher network assigns the labels.
+
+    Parameters
+    ----------
+    nonlinearity:
+        Sharpness of the teacher's decision surface.
+    noise:
+        Label noise scale; larger values lower the achievable accuracy.
+    """
+    rng = check_random_state(random_state)
+    n_samples = check_positive_int(n_samples, "n_samples")
+    n_classes = check_positive_int(n_classes, "n_classes", minimum=2)
+    X = rng.normal(size=(n_samples, n_features))
+    if n_classes == 2:
+        w1 = rng.normal(size=n_features)
+        w2 = rng.normal(size=n_features)
+        w1 /= np.linalg.norm(w1)
+        w2 /= np.linalg.norm(w2)
+        interaction = nonlinearity * (X @ w1) * (X @ w2)
+        logits = interaction + noise * rng.normal(size=n_samples)
+        labels = (logits > 0).astype(int)
+    else:
+        hidden = np.tanh(nonlinearity * X @ rng.normal(size=(n_features, 2 * n_features)))
+        logits = hidden @ rng.normal(size=(2 * n_features, n_classes))
+        logits += noise * rng.normal(size=logits.shape)
+        labels = np.argmax(logits, axis=1)
+    return Dataset(X=X, y=labels, name=name, task_type="classification")
+
+
+def make_sentiment_bags(
+    n_samples: int = 3000,
+    vocabulary_size: int = 60,
+    document_length: int = 25,
+    polarity_strength: float = 1.4,
+    random_state=None,
+    name: str = "sentiment-bags",
+) -> Dataset:
+    """Bag-of-words binary sentiment analogue (Glue-SST2-style task).
+
+    Documents are sampled from one of two topic distributions over a small
+    vocabulary; features are word-count vectors.  With a strong polarity the
+    task is easy (accuracies in the 90%+ regime, like SST-2).
+
+    Parameters
+    ----------
+    polarity_strength:
+        How much the two class-conditional word distributions differ.
+    """
+    rng = check_random_state(random_state)
+    n_samples = check_positive_int(n_samples, "n_samples")
+    vocabulary_size = check_positive_int(vocabulary_size, "vocabulary_size", minimum=4)
+    base = rng.dirichlet(np.ones(vocabulary_size))
+    tilt = rng.normal(size=vocabulary_size)
+    pos = base * np.exp(polarity_strength * tilt)
+    neg = base * np.exp(-polarity_strength * tilt)
+    pos /= pos.sum()
+    neg /= neg.sum()
+    labels = rng.integers(0, 2, size=n_samples)
+    X = np.empty((n_samples, vocabulary_size), dtype=float)
+    for i, label in enumerate(labels):
+        dist = pos if label == 1 else neg
+        X[i] = rng.multinomial(document_length, dist)
+    X /= document_length
+    return Dataset(X=X, y=labels, name=name, task_type="classification")
+
+
+#: Amino-acid alphabet used by the peptide-binding analogue.
+AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def make_peptide_binding(
+    n_samples: int = 2500,
+    peptide_length: int = 9,
+    allele_length: int = 6,
+    motif_strength: float = 1.2,
+    noise: float = 0.15,
+    random_state=None,
+    name: str = "peptide-binding",
+) -> Dataset:
+    """Peptide-MHC binding-affinity regression analogue (MHC-MLP case study).
+
+    Inputs are one-hot encoded concatenations of a peptide sequence and an
+    allele (binding-pocket) sequence; the target is a normalised binding
+    affinity in [0, 1] produced by a position-weight-matrix interaction
+    between peptide and allele, plus observation noise.
+    """
+    rng = check_random_state(random_state)
+    n_samples = check_positive_int(n_samples, "n_samples")
+    n_aa = len(AMINO_ACIDS)
+    peptides = rng.integers(0, n_aa, size=(n_samples, peptide_length))
+    alleles = rng.integers(0, n_aa, size=(n_samples, allele_length))
+    # Ground truth combines a direct position-weight-matrix effect of the
+    # peptide (learnable from the one-hot features alone) and an
+    # allele-peptide interaction term (requires modelling the pairing).
+    direct_pwm = rng.normal(size=(peptide_length, n_aa))
+    direct = direct_pwm[np.arange(peptide_length)[None, :], peptides].mean(axis=1)
+    interaction_pwm = rng.normal(size=(n_aa, peptide_length, n_aa))
+    interaction = np.zeros(n_samples)
+    for pos in range(allele_length):
+        allele_residues = alleles[:, pos]
+        position_weights = interaction_pwm[allele_residues]  # (n, pep_len, n_aa)
+        interaction += np.take_along_axis(
+            position_weights, peptides[:, :, None], axis=2
+        ).squeeze(-1).mean(axis=1)
+    interaction /= allele_length
+    scores = motif_strength * (direct + 0.5 * interaction)
+    scores += noise * rng.normal(size=n_samples)
+    affinity = 1.0 / (1.0 + np.exp(-scores * 3.0))
+    # One-hot encode both sequences into a flat feature vector.
+    features = np.zeros((n_samples, (peptide_length + allele_length) * n_aa))
+    for i in range(peptide_length):
+        features[np.arange(n_samples), i * n_aa + peptides[:, i]] = 1.0
+    offset = peptide_length * n_aa
+    for i in range(allele_length):
+        features[np.arange(n_samples), offset + i * n_aa + alleles[:, i]] = 1.0
+    return Dataset(X=features, y=affinity, name=name, task_type="regression")
+
+
+def make_segmentation_grids(
+    n_samples: int = 1200,
+    grid_size: int = 6,
+    n_classes: int = 5,
+    shape_noise: float = 0.5,
+    random_state=None,
+    name: str = "segmentation-grids",
+) -> Dataset:
+    """Tiny dense-prediction analogue of the PascalVOC segmentation task.
+
+    Each example is a flattened ``grid_size x grid_size`` "image" containing
+    a randomly placed square of one of ``n_classes - 1`` foreground classes
+    over background; the classification target is the dominant foreground
+    class.  Although reduced to multi-class classification (so the same
+    pipelines apply), the input statistics — localized structure plus pixel
+    noise — mimic a segmentation backbone's regime, and the evaluation
+    metric used for this task is a mean-IoU analogue (see
+    :mod:`repro.pipelines.metrics`).
+    """
+    rng = check_random_state(random_state)
+    n_samples = check_positive_int(n_samples, "n_samples")
+    n_classes = check_positive_int(n_classes, "n_classes", minimum=2)
+    n_pixels = grid_size * grid_size
+    X = rng.normal(scale=shape_noise, size=(n_samples, n_pixels))
+    labels = rng.integers(1, n_classes, size=n_samples)
+    for i in range(n_samples):
+        size = rng.integers(2, max(3, grid_size // 2) + 1)
+        row = rng.integers(0, grid_size - size + 1)
+        col = rng.integers(0, grid_size - size + 1)
+        patch = np.zeros((grid_size, grid_size))
+        patch[row : row + size, col : col + size] = labels[i]
+        X[i] += patch.ravel()
+    return Dataset(X=X, y=labels - 1, name=name, task_type="classification")

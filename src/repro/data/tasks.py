@@ -1,0 +1,230 @@
+"""Registry of case-study analogue tasks.
+
+The paper evaluates its claims on five (task, model) case studies.  Each
+analogue here bundles a synthetic dataset generator with the pipeline
+configuration that plays the corresponding role, at a scale that runs on a
+laptop in seconds:
+
+=====================  ==========================  ===========================
+Paper case study       Analogue task name          Pipeline
+=====================  ==========================  ===========================
+CIFAR10 + VGG11        ``image-classification``    MLP classifier (SGD, Glorot)
+PascalVOC + ResNet     ``segmentation``            MLP classifier, mIoU metric
+Glue-SST2 + BERT       ``sentiment``               MLP classifier (Adam, easy)
+Glue-RTE + BERT        ``entailment``              MLP classifier (Adam, hard)
+MHC-I + MLP            ``peptide-binding``         MLP regressor
+=====================  ==========================  ===========================
+
+Pipelines are built lazily to keep this module import-light and avoid a
+circular dependency between the data and pipeline layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.data.dataset import Dataset
+from repro.utils.validation import check_random_state
+
+__all__ = ["CaseStudyTask", "get_task", "list_tasks", "TASK_REGISTRY"]
+
+
+@dataclass(frozen=True)
+class CaseStudyTask:
+    """One case-study analogue: dataset factory plus pipeline factory.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the task.
+    paper_case_study:
+        The paper case study this task stands in for.
+    dataset_factory:
+        Callable ``(random_state) -> Dataset`` generating the finite dataset
+        ``S`` (the dataset realization itself is *not* a studied source of
+        variance; bootstrapping it is).
+    pipeline_factory:
+        Callable ``() -> Pipeline`` building the learning pipeline.
+    metric_name:
+        Name of the evaluation metric reported for the task.
+    task_type:
+        ``"classification"`` or ``"regression"``.
+    default_dataset_kwargs:
+        Extra keyword arguments forwarded to the dataset factory.
+    """
+
+    name: str
+    paper_case_study: str
+    dataset_factory: Callable[..., Dataset]
+    pipeline_factory: Callable[[], object]
+    metric_name: str = "accuracy"
+    task_type: str = "classification"
+    default_dataset_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def make_dataset(self, random_state=None, **overrides) -> Dataset:
+        """Generate the finite dataset for this task."""
+        rng = check_random_state(random_state)
+        kwargs = dict(self.default_dataset_kwargs)
+        kwargs.update(overrides)
+        return self.dataset_factory(random_state=rng, **kwargs)
+
+    def make_pipeline(self, **overrides):
+        """Build the learning pipeline for this task."""
+        return self.pipeline_factory(**overrides)
+
+
+def _image_classification_pipeline(**overrides):
+    from repro.data.augmentation import FeatureDropout, GaussianJitter
+    from repro.pipelines.mlp import MLPClassifierPipeline
+
+    kwargs = dict(
+        hidden_sizes=(32,),
+        n_epochs=15,
+        optimizer="sgd",
+        augmentations=(GaussianJitter(0.05), FeatureDropout(0.05)),
+        numerical_noise_scale=1e-4,
+        name="mlp-image-classification",
+    )
+    kwargs.update(overrides)
+    return MLPClassifierPipeline(**kwargs)
+
+
+def _segmentation_pipeline(**overrides):
+    from repro.pipelines.mlp import MLPClassifierPipeline
+
+    kwargs = dict(
+        hidden_sizes=(48,),
+        n_epochs=15,
+        optimizer="sgd",
+        metric_name="mean_iou",
+        numerical_noise_scale=3e-4,
+        name="mlp-segmentation",
+    )
+    kwargs.update(overrides)
+    return MLPClassifierPipeline(**kwargs)
+
+
+def _sentiment_pipeline(**overrides):
+    from repro.pipelines.mlp import MLPClassifierPipeline
+
+    kwargs = dict(
+        hidden_sizes=(24,),
+        n_epochs=10,
+        optimizer="adam",
+        dropout_rate=0.1,
+        numerical_noise_scale=1e-3,
+        name="mlp-sentiment",
+    )
+    kwargs.update(overrides)
+    return MLPClassifierPipeline(**kwargs)
+
+
+def _entailment_pipeline(**overrides):
+    from repro.pipelines.mlp import MLPClassifierPipeline
+
+    kwargs = dict(
+        hidden_sizes=(16,),
+        n_epochs=10,
+        optimizer="adam",
+        dropout_rate=0.1,
+        numerical_noise_scale=1e-3,
+        name="mlp-entailment",
+    )
+    kwargs.update(overrides)
+    return MLPClassifierPipeline(**kwargs)
+
+
+def _peptide_binding_pipeline(**overrides):
+    from repro.pipelines.mlp import MLPRegressorPipeline
+
+    kwargs = dict(
+        hidden_sizes=(64,),
+        n_epochs=15,
+        optimizer="sgd",
+        metric_name="r2",
+        name="mlp-peptide-binding",
+    )
+    kwargs.update(overrides)
+    return MLPRegressorPipeline(**kwargs)
+
+
+def _build_registry() -> Dict[str, CaseStudyTask]:
+    from repro.data.synthetic import (
+        make_gaussian_blobs,
+        make_nonlinear_classification,
+        make_peptide_binding,
+        make_segmentation_grids,
+        make_sentiment_bags,
+    )
+
+    return {
+        "image-classification": CaseStudyTask(
+            name="image-classification",
+            paper_case_study="CIFAR10 + VGG11",
+            dataset_factory=make_gaussian_blobs,
+            pipeline_factory=_image_classification_pipeline,
+            metric_name="accuracy",
+            default_dataset_kwargs={
+                "n_samples": 1500,
+                "n_classes": 10,
+                "class_separation": 3.0,
+            },
+        ),
+        "segmentation": CaseStudyTask(
+            name="segmentation",
+            paper_case_study="PascalVOC + FCN/ResNet18",
+            dataset_factory=make_segmentation_grids,
+            pipeline_factory=_segmentation_pipeline,
+            metric_name="mean_iou",
+            default_dataset_kwargs={"n_samples": 1000, "n_classes": 5},
+        ),
+        "sentiment": CaseStudyTask(
+            name="sentiment",
+            paper_case_study="Glue-SST2 + BERT",
+            dataset_factory=make_sentiment_bags,
+            pipeline_factory=_sentiment_pipeline,
+            metric_name="accuracy",
+            default_dataset_kwargs={"n_samples": 1500, "polarity_strength": 0.5},
+        ),
+        "entailment": CaseStudyTask(
+            name="entailment",
+            paper_case_study="Glue-RTE + BERT",
+            dataset_factory=make_nonlinear_classification,
+            pipeline_factory=_entailment_pipeline,
+            metric_name="accuracy",
+            default_dataset_kwargs={"n_samples": 700, "noise": 1.2},
+        ),
+        "peptide-binding": CaseStudyTask(
+            name="peptide-binding",
+            paper_case_study="MHC-I binding + shallow MLP",
+            dataset_factory=make_peptide_binding,
+            pipeline_factory=_peptide_binding_pipeline,
+            metric_name="r2",
+            task_type="regression",
+            default_dataset_kwargs={"n_samples": 1200},
+        ),
+    }
+
+
+#: Singleton task registry, built on first access.
+TASK_REGISTRY: Dict[str, CaseStudyTask] = {}
+
+
+def _registry() -> Dict[str, CaseStudyTask]:
+    if not TASK_REGISTRY:
+        TASK_REGISTRY.update(_build_registry())
+    return TASK_REGISTRY
+
+
+def list_tasks() -> list[str]:
+    """Names of all registered case-study analogue tasks."""
+    return sorted(_registry().keys())
+
+
+def get_task(name: str) -> CaseStudyTask:
+    """Look up a case-study task by name."""
+    registry = _registry()
+    if name not in registry:
+        raise KeyError(f"unknown task {name!r}; available: {list_tasks()}")
+    return registry[name]

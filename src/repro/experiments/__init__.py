@@ -1,0 +1,37 @@
+"""Experiment layer: one module per paper figure or table.
+
+Each module wires the substrates (data, pipelines, HOpt) and the core
+estimators/criteria into the experiment behind one artefact of the paper's
+evaluation, and returns plain data structures that the benchmark harness
+formats into the same rows/series the paper reports.  All experiments take
+size parameters so the benchmark suite can run them at laptop scale while
+examples and EXPERIMENTS.md use larger settings.
+"""
+
+from repro.experiments.binomial_study import run_binomial_study
+from repro.experiments.detection_study import (
+    default_comparison_methods,
+    run_detection_study,
+    run_robustness_study,
+)
+from repro.experiments.estimator_study import run_estimator_study
+from repro.experiments.hpo_curves import run_hpo_curves_study
+from repro.experiments.mhc_comparison import run_mhc_model_comparison
+from repro.experiments.normality_study import run_normality_study
+from repro.experiments.sample_size_study import run_sample_size_study
+from repro.experiments.sota_study import run_sota_study
+from repro.experiments.variance_study import run_variance_study
+
+__all__ = [
+    "run_binomial_study",
+    "default_comparison_methods",
+    "run_detection_study",
+    "run_robustness_study",
+    "run_estimator_study",
+    "run_hpo_curves_study",
+    "run_mhc_model_comparison",
+    "run_normality_study",
+    "run_sample_size_study",
+    "run_sota_study",
+    "run_variance_study",
+]

@@ -1,0 +1,118 @@
+"""Experiment E2 — binomial model of test-set noise vs observed std (Figure 2).
+
+For each classification case study, the standard deviation of the accuracy
+predicted by the binomial model at the task's operating accuracy is
+compared with the standard deviation actually observed when the data is
+resampled with out-of-bootstrap splits.  The paper finds the two to match,
+showing data-sampling variance is mostly the limited statistical power of
+the test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.benchmark import BenchmarkProcess
+from repro.data.tasks import get_task
+from repro.stats.binomial import binomial_accuracy_std, binomial_std_curve
+from repro.utils.rng import SeedBundle
+from repro.utils.tables import format_table
+from repro.utils.validation import check_positive_int, check_random_state
+
+__all__ = ["BinomialStudyResult", "run_binomial_study"]
+
+
+@dataclass
+class BinomialStudyResult:
+    """Per-task comparison of the binomial model with the observed std."""
+
+    rows_: List[dict] = field(default_factory=list)
+    curves: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def rows(self) -> List[dict]:
+        """One row per task: accuracy, test size, predicted and observed std."""
+        return list(self.rows_)
+
+    def report(self) -> str:
+        """Plain-text rendition of Figure 2's crosses and dotted curves."""
+        return format_table(
+            self.rows(),
+            columns=[
+                "task",
+                "mean_accuracy",
+                "test_set_size",
+                "binomial_std",
+                "observed_std",
+                "ratio_observed_over_binomial",
+            ],
+            title="Figure 2 — binomial model of accuracy noise vs bootstrap observation",
+        )
+
+
+def run_binomial_study(
+    task_names: Sequence[str] = ("entailment", "sentiment", "image-classification"),
+    *,
+    n_splits: int = 15,
+    test_sizes: Sequence[int] = (100, 300, 1000, 3000, 10000),
+    random_state=None,
+) -> BinomialStudyResult:
+    """Compare binomial-model and observed accuracy standard deviations.
+
+    Parameters
+    ----------
+    task_names:
+        Classification tasks to study (regression tasks are skipped since
+        the binomial model only applies to accuracies).
+    n_splits:
+        Number of out-of-bootstrap resamples used to observe the std.
+    test_sizes:
+        Test-set sizes at which the theoretical curve is tabulated.
+    random_state:
+        Seed or generator.
+    """
+    check_positive_int(n_splits, "n_splits", minimum=2)
+    rng = check_random_state(random_state)
+    result = BinomialStudyResult()
+    for task_name in task_names:
+        task = get_task(task_name)
+        if task.task_type != "classification":
+            continue
+        dataset = task.make_dataset(random_state=rng)
+        pipeline = task.make_pipeline()
+        process = BenchmarkProcess(dataset, pipeline)
+        scores = []
+        test_set_sizes = []
+        base = SeedBundle.random(rng)
+        for _ in range(n_splits):
+            seeds = base.randomized(["data"], rng)
+            _, _, test = process.split(seeds)
+            measurement = process.measure(seeds)
+            scores.append(measurement.test_score)
+            test_set_sizes.append(test.n_samples)
+        scores_arr = np.array(scores)
+        mean_accuracy = float(np.mean(scores_arr))
+        observed_std = float(np.std(scores_arr, ddof=1))
+        typical_test_size = int(np.median(test_set_sizes))
+        predicted = binomial_accuracy_std(
+            min(max(mean_accuracy, 1e-6), 1 - 1e-6), typical_test_size
+        )
+        result.rows_.append(
+            {
+                "task": task_name,
+                "mean_accuracy": mean_accuracy,
+                "test_set_size": typical_test_size,
+                "binomial_std": predicted,
+                "observed_std": observed_std,
+                "ratio_observed_over_binomial": observed_std / predicted if predicted else float("nan"),
+            }
+        )
+        result.curves[task_name] = {
+            "test_sizes": np.asarray(test_sizes, dtype=float),
+            "binomial_std": binomial_std_curve(
+                min(max(mean_accuracy, 1e-6), 1 - 1e-6), np.asarray(test_sizes, dtype=float)
+            ),
+        }
+    return result

@@ -1,0 +1,64 @@
+"""Experiment E9 — minimum sample size vs threshold γ (Figure C.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.sample_size import minimum_sample_size
+from repro.utils.tables import format_table
+
+__all__ = ["SampleSizeStudyResult", "run_sample_size_study"]
+
+
+@dataclass
+class SampleSizeStudyResult:
+    """Minimum Noether sample size for each threshold γ."""
+
+    gammas: np.ndarray = None
+    sample_sizes: np.ndarray = None
+    alpha: float = 0.05
+    beta: float = 0.05
+    recommended_gamma: float = 0.75
+
+    def rows(self) -> List[dict]:
+        """One row per threshold, flagging the paper's recommended γ=0.75."""
+        return [
+            {
+                "gamma": float(g),
+                "min_sample_size": int(n),
+                "recommended": bool(abs(g - self.recommended_gamma) < 1e-9),
+            }
+            for g, n in zip(self.gammas, self.sample_sizes)
+        ]
+
+    @property
+    def recommended_sample_size(self) -> int:
+        """Sample size at the recommended threshold γ=0.75 (paper: 29)."""
+        return minimum_sample_size(self.recommended_gamma, alpha=self.alpha, beta=self.beta)
+
+    def report(self) -> str:
+        """Plain-text rendition of Figure C.1."""
+        return format_table(
+            self.rows(),
+            columns=["gamma", "min_sample_size", "recommended"],
+            title="Figure C.1 — minimum sample size to detect P(A>B) > gamma",
+        )
+
+
+def run_sample_size_study(
+    gammas: Sequence[float] = (0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 0.99),
+    *,
+    alpha: float = 0.05,
+    beta: float = 0.05,
+) -> SampleSizeStudyResult:
+    """Tabulate Noether's minimum sample size over thresholds γ."""
+    gammas_arr = np.asarray(list(gammas), dtype=float)
+    sizes = np.array(
+        [minimum_sample_size(g, alpha=alpha, beta=beta) for g in gammas_arr], dtype=int
+    )
+    return SampleSizeStudyResult(
+        gammas=gammas_arr, sample_sizes=sizes, alpha=alpha, beta=beta
+    )

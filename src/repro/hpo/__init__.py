@@ -1,0 +1,47 @@
+"""Hyperparameter-optimization substrate.
+
+The paper studies the variance :math:`\\xi_H` induced by the hyperparameter
+optimization procedure itself, using three algorithms: random search, a
+*noisy* grid search (where the arbitrary placement of the grid is treated
+as a random variable, Appendix E.2), and Gaussian-process Bayesian
+optimization.  All three are implemented here from scratch over a shared
+:class:`~repro.hpo.space.SearchSpace` abstraction, and are driven by a
+single explicit random generator so that the HOpt seed can be randomized or
+held fixed like any other variance source.
+"""
+
+from repro.hpo.base import HPOptimizer, HPOResult, Trial
+from repro.hpo.bayesopt import BayesianOptimization
+from repro.hpo.gp import GaussianProcess
+from repro.hpo.grid import GridSearch, NoisyGridSearch
+from repro.hpo.random_search import RandomSearch
+from repro.hpo.space import (
+    CategoricalDimension,
+    LinearDimension,
+    LogUniformDimension,
+    SearchSpace,
+    UniformDimension,
+)
+
+__all__ = [
+    "HPOptimizer",
+    "HPOResult",
+    "Trial",
+    "BayesianOptimization",
+    "GaussianProcess",
+    "GridSearch",
+    "NoisyGridSearch",
+    "RandomSearch",
+    "CategoricalDimension",
+    "LinearDimension",
+    "LogUniformDimension",
+    "SearchSpace",
+    "UniformDimension",
+]
+
+#: Registry of HOpt algorithms by the names used in the paper's Figure 1.
+HPO_ALGORITHMS = {
+    "random_search": RandomSearch,
+    "noisy_grid_search": NoisyGridSearch,
+    "bayesopt": BayesianOptimization,
+}

@@ -1,0 +1,126 @@
+"""Common interface and result containers for hyperparameter optimizers.
+
+All optimizers minimize an objective ``objective(config) -> float`` (the
+validation error / regret, matching the paper's Figure F.2 which tracks
+error-rates) over a :class:`~repro.hpo.space.SearchSpace`, within a budget
+of ``T`` trials.  Every stochastic choice is drawn from the generator the
+caller provides, so the whole procedure is a deterministic function of its
+seed — that seed *is* the :math:`\\xi_H` variance source.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.hpo.space import SearchSpace
+from repro.utils.validation import check_positive_int, check_random_state
+
+__all__ = ["Trial", "HPOResult", "HPOptimizer"]
+
+#: Type of the objective handed to optimizers: smaller is better.
+Objective = Callable[[Dict[str, float]], float]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One evaluated hyperparameter configuration."""
+
+    config: Dict[str, float]
+    value: float
+    index: int
+
+
+@dataclass
+class HPOResult:
+    """Outcome of a hyperparameter-optimization run.
+
+    Attributes
+    ----------
+    trials:
+        All evaluated trials in execution order.
+    """
+
+    trials: List[Trial] = field(default_factory=list)
+
+    @property
+    def best_trial(self) -> Trial:
+        """Trial with the smallest objective value."""
+        if not self.trials:
+            raise ValueError("no trials were run")
+        return min(self.trials, key=lambda t: t.value)
+
+    @property
+    def best_config(self) -> Dict[str, float]:
+        """Configuration of the best trial."""
+        return dict(self.best_trial.config)
+
+    @property
+    def best_value(self) -> float:
+        """Objective value of the best trial."""
+        return self.best_trial.value
+
+    @property
+    def n_trials(self) -> int:
+        """Number of trials executed."""
+        return len(self.trials)
+
+    def optimization_curve(self) -> np.ndarray:
+        """Best objective value found up to each trial (Figure F.2 curves)."""
+        values = np.array([t.value for t in self.trials], dtype=float)
+        return np.minimum.accumulate(values)
+
+
+class HPOptimizer(ABC):
+    """Base class for hyperparameter optimizers."""
+
+    #: Registry name of the algorithm.
+    name: str = "hpoptimizer"
+
+    @abstractmethod
+    def propose(
+        self,
+        space: SearchSpace,
+        history: List[Trial],
+        rng: np.random.Generator,
+        budget: int,
+    ) -> Dict[str, float]:
+        """Propose the next configuration to evaluate."""
+
+    def prepare(self, space: SearchSpace, rng: np.random.Generator, budget: int) -> SearchSpace:
+        """Hook run once before optimization; may return a modified space."""
+        return space
+
+    def optimize(
+        self,
+        objective: Objective,
+        space: SearchSpace,
+        *,
+        budget: int = 50,
+        random_state=None,
+    ) -> HPOResult:
+        """Run the optimizer for ``budget`` trials and return all trials.
+
+        Parameters
+        ----------
+        objective:
+            Function mapping a configuration dict to a value to minimize.
+        space:
+            Search space.
+        budget:
+            Number of trials ``T``.
+        random_state:
+            Seed or generator — the :math:`\\xi_H` source.
+        """
+        budget = check_positive_int(budget, "budget")
+        rng = check_random_state(random_state)
+        space = self.prepare(space, rng, budget)
+        result = HPOResult()
+        for index in range(budget):
+            config = self.propose(space, result.trials, rng, budget)
+            value = float(objective(config))
+            result.trials.append(Trial(config=dict(config), value=value, index=index))
+        return result

@@ -1,0 +1,227 @@
+"""Hyperparameter search-space description.
+
+A :class:`SearchSpace` maps hyperparameter names to dimensions.  Each
+dimension knows how to sample uniformly, lay out grid points, and convert
+values to/from the unit hypercube (used by the Gaussian-process optimizer).
+The dimension types mirror the paper's search-space tables: log-uniform for
+learning rate and weight decay, linear (uniform) for momentum and the
+learning-rate decay.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "Dimension",
+    "UniformDimension",
+    "LinearDimension",
+    "LogUniformDimension",
+    "CategoricalDimension",
+    "SearchSpace",
+]
+
+
+class Dimension(ABC):
+    """A single hyperparameter dimension."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value uniformly over the dimension."""
+
+    @abstractmethod
+    def grid(self, n: int) -> List:
+        """Return ``n`` evenly spaced values covering the dimension."""
+
+    @abstractmethod
+    def to_unit(self, value) -> float:
+        """Map a value to [0, 1]."""
+
+    @abstractmethod
+    def from_unit(self, unit: float):
+        """Inverse of :meth:`to_unit`."""
+
+    def clip(self, value):
+        """Project a value back inside the dimension."""
+        return self.from_unit(min(1.0, max(0.0, self.to_unit(value))))
+
+
+@dataclass(frozen=True)
+class UniformDimension(Dimension):
+    """Continuous dimension with a uniform prior on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError("low must be strictly smaller than high")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def grid(self, n: int) -> List[float]:
+        n = check_positive_int(n, "n")
+        return list(np.linspace(self.low, self.high, n))
+
+    def to_unit(self, value: float) -> float:
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def from_unit(self, unit: float) -> float:
+        return self.low + float(unit) * (self.high - self.low)
+
+    def shifted(self, offset: float) -> "UniformDimension":
+        """Return a copy with both bounds shifted by ``offset``.
+
+        Used by the noisy grid search to model the arbitrariness of the
+        grid placement (Appendix E.2).
+        """
+        return UniformDimension(self.low + offset, self.high + offset)
+
+
+#: The paper's tables call uniform continuous ranges "lin(a, b)".
+LinearDimension = UniformDimension
+
+
+@dataclass(frozen=True)
+class LogUniformDimension(Dimension):
+    """Continuous dimension uniform in log-space on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low < self.high:
+            raise ValueError("bounds must be positive with low < high")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(np.exp(rng.uniform(np.log(self.low), np.log(self.high))))
+
+    def grid(self, n: int) -> List[float]:
+        n = check_positive_int(n, "n")
+        return list(np.exp(np.linspace(np.log(self.low), np.log(self.high), n)))
+
+    def to_unit(self, value: float) -> float:
+        return (np.log(float(value)) - np.log(self.low)) / (
+            np.log(self.high) - np.log(self.low)
+        )
+
+    def from_unit(self, unit: float) -> float:
+        return float(
+            np.exp(np.log(self.low) + float(unit) * (np.log(self.high) - np.log(self.low)))
+        )
+
+    def shifted(self, offset: float) -> "LogUniformDimension":
+        """Shift the bounds multiplicatively by ``exp(offset)`` in log-space."""
+        factor = float(np.exp(offset))
+        return LogUniformDimension(self.low * factor, self.high * factor)
+
+
+@dataclass(frozen=True)
+class CategoricalDimension(Dimension):
+    """Finite unordered set of choices."""
+
+    choices: Sequence
+
+    def __post_init__(self) -> None:
+        if len(self.choices) == 0:
+            raise ValueError("choices must be non-empty")
+
+    def sample(self, rng: np.random.Generator):
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def grid(self, n: int) -> List:
+        return list(self.choices)
+
+    def to_unit(self, value) -> float:
+        index = list(self.choices).index(value)
+        if len(self.choices) == 1:
+            return 0.0
+        return index / (len(self.choices) - 1)
+
+    def from_unit(self, unit: float):
+        index = int(round(float(unit) * (len(self.choices) - 1)))
+        index = min(len(self.choices) - 1, max(0, index))
+        return self.choices[index]
+
+
+class SearchSpace:
+    """An ordered mapping of hyperparameter names to dimensions."""
+
+    def __init__(self, dimensions: Mapping[str, Dimension]) -> None:
+        if not dimensions:
+            raise ValueError("search space needs at least one dimension")
+        self.dimensions: Dict[str, Dimension] = dict(dimensions)
+
+    @property
+    def names(self) -> List[str]:
+        """Hyperparameter names in insertion order."""
+        return list(self.dimensions.keys())
+
+    def __len__(self) -> int:
+        return len(self.dimensions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.dimensions
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, float]:
+        """Draw one configuration uniformly from the space."""
+        return {name: dim.sample(rng) for name, dim in self.dimensions.items()}
+
+    def grid(self, points_per_dimension: int) -> List[Dict[str, float]]:
+        """Full Cartesian grid with ``points_per_dimension`` values per axis."""
+        points_per_dimension = check_positive_int(
+            points_per_dimension, "points_per_dimension"
+        )
+        axes = [dim.grid(points_per_dimension) for dim in self.dimensions.values()]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        flat = [m.ravel() for m in mesh]
+        return [
+            {name: flat[i][j] for i, name in enumerate(self.names)}
+            for j in range(flat[0].size)
+        ]
+
+    def to_unit(self, config: Mapping[str, float]) -> np.ndarray:
+        """Map a configuration to a point in the unit hypercube."""
+        return np.array(
+            [self.dimensions[name].to_unit(config[name]) for name in self.names]
+        )
+
+    def from_unit(self, point: np.ndarray) -> Dict[str, float]:
+        """Map a unit-hypercube point back to a configuration."""
+        point = np.asarray(point, dtype=float)
+        if point.shape != (len(self),):
+            raise ValueError("point has the wrong dimensionality")
+        return {
+            name: self.dimensions[name].from_unit(point[i])
+            for i, name in enumerate(self.names)
+        }
+
+    def perturbed(self, rng: np.random.Generator, relative_scale: float = 0.5):
+        """Return a copy with every continuous dimension's bounds jittered.
+
+        This implements the *noisy grid search* construction of Appendix
+        E.2: the grid step :math:`\\Delta_i` of each dimension is computed,
+        then the bounds are shifted by a uniform offset in
+        ``[-relative_scale * Δ_i, +relative_scale * Δ_i]`` (in log-space for
+        log-uniform dimensions).  Categorical dimensions are unchanged.
+        """
+        new_dims: Dict[str, Dimension] = {}
+        for name, dim in self.dimensions.items():
+            if isinstance(dim, LogUniformDimension):
+                width = np.log(dim.high) - np.log(dim.low)
+                offset = rng.uniform(-relative_scale * width, relative_scale * width)
+                new_dims[name] = dim.shifted(offset)
+            elif isinstance(dim, UniformDimension):
+                width = dim.high - dim.low
+                offset = rng.uniform(-relative_scale * width, relative_scale * width)
+                new_dims[name] = dim.shifted(offset)
+            else:
+                new_dims[name] = dim
+        return SearchSpace(new_dims)

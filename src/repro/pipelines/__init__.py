@@ -1,0 +1,39 @@
+"""Learning-pipeline substrate: from-scratch NumPy models and training.
+
+The paper's case studies train deep networks (VGG11, ResNet18, BERT) and a
+shallow MLP.  This package provides a self-contained NumPy substrate with
+the same *structure of randomness*: weight initialization, data ordering,
+dropout, data augmentation and numerical noise are each driven by their own
+random stream from a :class:`~repro.utils.rng.SeedBundle`, and every model
+exposes tunable hyperparameters for the HOpt layer.
+"""
+
+from repro.pipelines.base import FitOutcome, Pipeline, fit_and_score
+from repro.pipelines.linear import LogisticRegressionPipeline, RidgeRegressionPipeline
+from repro.pipelines.metrics import (
+    accuracy,
+    binary_auc,
+    error_rate,
+    mean_iou,
+    pearson_correlation,
+    regression_score,
+)
+from repro.pipelines.mlp import MLPClassifierPipeline, MLPRegressorPipeline
+from repro.pipelines.ensemble import EnsembleMLPRegressorPipeline
+
+__all__ = [
+    "FitOutcome",
+    "Pipeline",
+    "fit_and_score",
+    "LogisticRegressionPipeline",
+    "RidgeRegressionPipeline",
+    "MLPClassifierPipeline",
+    "MLPRegressorPipeline",
+    "EnsembleMLPRegressorPipeline",
+    "accuracy",
+    "binary_auc",
+    "error_rate",
+    "mean_iou",
+    "pearson_correlation",
+    "regression_score",
+]

@@ -1,0 +1,121 @@
+"""Pipeline interface shared by all learning pipelines.
+
+A *pipeline* in the sense of the paper is everything between raw data and a
+performance number: preprocessing, model family, training procedure and its
+hyperparameters.  The estimators of :mod:`repro.core.estimators` only rely
+on this small interface, so new pipelines (or wrappers around external
+libraries) can be plugged in.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import SeedBundle
+
+__all__ = ["Pipeline", "FitOutcome", "fit_and_score"]
+
+
+@dataclass
+class FitOutcome:
+    """Everything produced by one training run of a pipeline.
+
+    Attributes
+    ----------
+    model:
+        The fitted model object (pipeline-specific).
+    train_score:
+        Metric on the training set (larger is better).
+    valid_score:
+        Metric on the validation set, if one was provided.
+    test_score:
+        Metric on the test set, if one was provided.
+    hparams:
+        Hyperparameters used for this fit.
+    seeds:
+        Seed bundle that drove all stochastic elements of the fit.
+    history:
+        Optional per-epoch diagnostics (loss curve, learning rate, ...).
+    """
+
+    model: Any
+    train_score: float
+    valid_score: Optional[float] = None
+    test_score: Optional[float] = None
+    hparams: Dict[str, Any] = field(default_factory=dict)
+    seeds: Optional[SeedBundle] = None
+    history: Dict[str, list] = field(default_factory=dict)
+
+
+class Pipeline(ABC):
+    """Abstract learning pipeline.
+
+    Concrete pipelines define the model family, its default hyperparameters,
+    a hyperparameter search space, and how to fit and evaluate a model.
+    All scores follow the *larger is better* convention so estimators and
+    comparison criteria can treat every task uniformly.
+    """
+
+    #: Human-readable pipeline name.
+    name: str = "pipeline"
+    #: Name of the evaluation metric (key of ``repro.pipelines.metrics.METRICS``).
+    metric_name: str = "accuracy"
+
+    @abstractmethod
+    def default_hparams(self) -> Dict[str, Any]:
+        """Default hyperparameter values (the paper's per-task defaults)."""
+
+    @abstractmethod
+    def search_space(self) -> "Any":
+        """Hyperparameter search space (:class:`repro.hpo.space.SearchSpace`)."""
+
+    @abstractmethod
+    def fit(
+        self,
+        train: Dataset,
+        hparams: Mapping[str, Any],
+        seeds: SeedBundle,
+        valid: Optional[Dataset] = None,
+    ) -> FitOutcome:
+        """Train a model on ``train`` under the given hyperparameters and seeds."""
+
+    @abstractmethod
+    def evaluate(self, model: Any, dataset: Dataset) -> float:
+        """Evaluate a fitted model on ``dataset``; larger is better."""
+
+    def resolve_hparams(self, hparams: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Merge user hyperparameters over the defaults."""
+        merged = dict(self.default_hparams())
+        if hparams:
+            unknown = set(hparams) - set(merged)
+            if unknown:
+                raise ValueError(
+                    f"unknown hyperparameters for {self.name}: {sorted(unknown)}"
+                )
+            merged.update(hparams)
+        return merged
+
+
+def fit_and_score(
+    pipeline: Pipeline,
+    train: Dataset,
+    test: Dataset,
+    hparams: Optional[Mapping[str, Any]],
+    seeds: SeedBundle,
+    valid: Optional[Dataset] = None,
+) -> FitOutcome:
+    """Fit ``pipeline`` and fill in validation/test scores.
+
+    This is the single entry point used by estimators and HOpt: one call is
+    one model fit, which is the unit the paper's cost accounting counts
+    (O(kT) for the ideal estimator vs O(k+T) for the biased one).
+    """
+    resolved = pipeline.resolve_hparams(hparams)
+    outcome = pipeline.fit(train, resolved, seeds, valid=valid)
+    if valid is not None and outcome.valid_score is None:
+        outcome.valid_score = pipeline.evaluate(outcome.model, valid)
+    outcome.test_score = pipeline.evaluate(outcome.model, test)
+    return outcome

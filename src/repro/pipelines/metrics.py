@@ -1,0 +1,115 @@
+"""Evaluation metrics.  All metrics follow the convention *larger is better*.
+
+The paper's case studies use classification accuracy (CIFAR10, SST-2, RTE),
+mean intersection-over-union (PascalVOC) and AUC / Pearson correlation
+(MHC binding).  Equivalents for the analogue tasks are provided here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "binary_auc",
+    "mean_iou",
+    "pearson_correlation",
+    "regression_score",
+    "METRICS",
+]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correctly predicted labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of an empty sample")
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Complement of :func:`accuracy` — note smaller is better here."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def binary_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve for binary labels, via the rank statistic.
+
+    Equivalent to the probability that a random positive example receives a
+    higher score than a random negative example (ties count 1/2).
+    """
+    y_true = np.asarray(y_true)
+    scores = check_array(scores, ndim=1, name="scores")
+    positives = scores[y_true == 1]
+    negatives = scores[y_true == 0]
+    if positives.size == 0 or negatives.size == 0:
+        raise ValueError("binary_auc requires both positive and negative examples")
+    diff = positives[:, None] - negatives[None, :]
+    wins = np.count_nonzero(diff > 0) + 0.5 * np.count_nonzero(diff == 0)
+    return float(wins / (positives.size * negatives.size))
+
+
+def mean_iou(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None) -> float:
+    """Mean intersection-over-union across classes (PascalVOC-style metric).
+
+    For the flattened dense-prediction analogue each sample is treated as a
+    prediction unit; classes absent from both prediction and ground truth
+    are skipped, matching the usual mIoU convention.
+    """
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    ious = []
+    for cls in range(n_classes):
+        true_mask = y_true == cls
+        pred_mask = y_pred == cls
+        union = np.count_nonzero(true_mask | pred_mask)
+        if union == 0:
+            continue
+        intersection = np.count_nonzero(true_mask & pred_mask)
+        ious.append(intersection / union)
+    if not ious:
+        raise ValueError("no classes present in either prediction or ground truth")
+    return float(np.mean(ious))
+
+
+def pearson_correlation(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Pearson correlation coefficient between targets and predictions."""
+    y_true = check_array(y_true, ndim=1, name="y_true")
+    y_pred = check_array(y_pred, ndim=1, name="y_pred")
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if np.std(y_true) == 0 or np.std(y_pred) == 0:
+        return 0.0
+    return float(np.corrcoef(y_true, y_pred)[0, 1])
+
+
+def regression_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination R², clipped below at -1 for stability."""
+    y_true = check_array(y_true, ndim=1, name="y_true")
+    y_pred = check_array(y_pred, ndim=1, name="y_pred")
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0:
+        return 0.0 if ss_res > 0 else 1.0
+    return float(max(-1.0, 1.0 - ss_res / ss_tot))
+
+
+#: Registry of label-based metrics usable by pipelines, larger is better.
+METRICS = {
+    "accuracy": accuracy,
+    "mean_iou": mean_iou,
+    "pearson": pearson_correlation,
+    "r2": regression_score,
+}

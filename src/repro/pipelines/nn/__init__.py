@@ -1,0 +1,30 @@
+"""Minimal neural-network building blocks implemented with NumPy.
+
+Everything the MLP pipelines need — initializers, activations, losses,
+optimizers, learning-rate schedules and the multi-layer perceptron itself —
+is implemented here from scratch so the repository has no deep-learning
+framework dependency.
+"""
+
+from repro.pipelines.nn.activations import ACTIVATIONS, Activation
+from repro.pipelines.nn.initializers import INITIALIZERS, initialize_weights
+from repro.pipelines.nn.losses import cross_entropy_loss, mse_loss, softmax
+from repro.pipelines.nn.network import MLPNetwork
+from repro.pipelines.nn.optimizers import SGD, Adam, Optimizer
+from repro.pipelines.nn.schedules import ConstantSchedule, ExponentialDecaySchedule
+
+__all__ = [
+    "ACTIVATIONS",
+    "Activation",
+    "INITIALIZERS",
+    "initialize_weights",
+    "cross_entropy_loss",
+    "mse_loss",
+    "softmax",
+    "MLPNetwork",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "ConstantSchedule",
+    "ExponentialDecaySchedule",
+]

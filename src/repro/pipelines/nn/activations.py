@@ -1,0 +1,76 @@
+"""Activation functions with their derivatives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["Activation", "ACTIVATIONS"]
+
+
+@dataclass(frozen=True)
+class Activation:
+    """An element-wise activation and its derivative.
+
+    Attributes
+    ----------
+    name:
+        Registry name.
+    forward:
+        Element-wise function applied to pre-activations.
+    derivative:
+        Derivative expressed as a function of the *activation output*, which
+        is what backpropagation has available.
+    """
+
+    name: str
+    forward: Callable[[np.ndarray], np.ndarray]
+    derivative: Callable[[np.ndarray], np.ndarray]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_derivative(output: np.ndarray) -> np.ndarray:
+    return (output > 0).astype(float)
+
+
+def _tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_derivative(output: np.ndarray) -> np.ndarray:
+    return 1.0 - output**2
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def _sigmoid_derivative(output: np.ndarray) -> np.ndarray:
+    return output * (1.0 - output)
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _identity_derivative(output: np.ndarray) -> np.ndarray:
+    return np.ones_like(output)
+
+
+#: Registry of available activations, keyed by name.
+ACTIVATIONS: Dict[str, Activation] = {
+    "relu": Activation("relu", _relu, _relu_derivative),
+    "tanh": Activation("tanh", _tanh, _tanh_derivative),
+    "sigmoid": Activation("sigmoid", _sigmoid, _sigmoid_derivative),
+    "identity": Activation("identity", _identity, _identity_derivative),
+}

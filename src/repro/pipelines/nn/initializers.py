@@ -1,0 +1,93 @@
+"""Weight initialization schemes (the ``init`` variance source).
+
+The paper's CIFAR10 case study uses Glorot uniform initialization (Glorot &
+Bengio, 2010); BERT fine-tuning uses Gaussian initialization of the final
+classifier with a tunable standard deviation.  Both are provided, plus He
+initialization for ReLU networks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["INITIALIZERS", "initialize_weights"]
+
+
+def glorot_uniform(
+    shape: Tuple[int, int], rng: np.random.Generator, scale: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = shape
+    limit = scale * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(
+    shape: Tuple[int, int], rng: np.random.Generator, scale: float = 1.0
+) -> np.ndarray:
+    """He normal initialization, suited to ReLU networks."""
+    fan_in, _ = shape
+    std = scale * np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def gaussian(
+    shape: Tuple[int, int], rng: np.random.Generator, scale: float = 0.2
+) -> np.ndarray:
+    """Plain Gaussian initialization with tunable standard deviation.
+
+    The scale is exposed as the ``init_std`` hyperparameter of the BERT-like
+    pipelines (Table 3 of the paper).
+    """
+    return rng.normal(0.0, scale, size=shape)
+
+
+#: Registry of weight initializers keyed by name.
+INITIALIZERS: Dict[str, Callable[..., np.ndarray]] = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "gaussian": gaussian,
+}
+
+
+def initialize_weights(
+    layer_sizes: list[int],
+    rng: np.random.Generator,
+    *,
+    scheme: str = "glorot_uniform",
+    scale: float = 1.0,
+) -> Tuple[list[np.ndarray], list[np.ndarray]]:
+    """Initialize weights and biases for a fully-connected network.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes of every layer, input first, output last.
+    rng:
+        Generator drawn from the ``init`` stream of a
+        :class:`~repro.utils.rng.SeedBundle`.
+    scheme:
+        One of :data:`INITIALIZERS`.
+    scale:
+        Multiplicative scale (or standard deviation for ``gaussian``).
+
+    Returns
+    -------
+    (weights, biases):
+        Lists with one entry per layer transition; biases start at zero.
+    """
+    if scheme not in INITIALIZERS:
+        raise ValueError(
+            f"unknown initializer {scheme!r}; available: {sorted(INITIALIZERS)}"
+        )
+    if len(layer_sizes) < 2:
+        raise ValueError("layer_sizes needs at least input and output sizes")
+    initializer = INITIALIZERS[scheme]
+    weights = []
+    biases = []
+    for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+        weights.append(initializer((fan_in, fan_out), rng, scale))
+        biases.append(np.zeros(fan_out))
+    return weights, biases

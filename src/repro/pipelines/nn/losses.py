@@ -1,0 +1,62 @@
+"""Loss functions used by the NumPy training loop."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["softmax", "cross_entropy_loss", "mse_loss"]
+
+#: Numerical floor to keep logarithms finite.
+_EPS = 1e-12
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for numerical stability."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def cross_entropy_loss(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Softmax cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        Array of shape ``(n_samples, n_classes)``.
+    labels:
+        Integer class labels of shape ``(n_samples,)``.
+
+    Returns
+    -------
+    (loss, gradient):
+        Mean loss and the gradient with respect to ``logits``.
+    """
+    labels = np.asarray(labels, dtype=int)
+    probabilities = softmax(logits)
+    n = logits.shape[0]
+    picked = probabilities[np.arange(n), labels]
+    loss = float(-np.mean(np.log(picked + _EPS)))
+    gradient = probabilities.copy()
+    gradient[np.arange(n), labels] -= 1.0
+    gradient /= n
+    return loss, gradient
+
+
+def mse_loss(predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. the predictions.
+
+    Predictions may be ``(n, 1)`` or ``(n,)``; the gradient matches the
+    prediction shape.
+    """
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float).reshape(predictions.shape)
+    n = predictions.shape[0]
+    residuals = predictions - targets
+    loss = float(np.mean(residuals**2))
+    gradient = 2.0 * residuals / n
+    return loss, gradient

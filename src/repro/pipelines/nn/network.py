@@ -1,0 +1,183 @@
+"""A fully-connected network with dropout, trained by mini-batch SGD.
+
+The network keeps the stochastic elements that the paper identifies as
+sources of variance explicit: weight initialization uses a dedicated
+generator, dropout masks use another, and the data visit order yet another.
+All forward/backward passes are vectorized over the mini-batch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.pipelines.nn.activations import ACTIVATIONS
+from repro.pipelines.nn.initializers import initialize_weights
+from repro.pipelines.nn.losses import cross_entropy_loss, mse_loss, softmax
+
+__all__ = ["MLPNetwork"]
+
+
+class MLPNetwork:
+    """Multi-layer perceptron supporting classification and regression heads.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Layer widths, input dimension first and output dimension last.
+    activation:
+        Hidden-layer activation name from
+        :data:`repro.pipelines.nn.activations.ACTIVATIONS`.
+    task_type:
+        ``"classification"`` (softmax + cross-entropy) or ``"regression"``
+        (linear output + mean squared error).
+    dropout_rate:
+        Probability of dropping a hidden unit during training.
+    init_scheme, init_scale:
+        Weight-initialization scheme and scale
+        (see :mod:`repro.pipelines.nn.initializers`).
+    init_rng:
+        Generator used to draw the initial weights — the ``init`` variance
+        source.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: List[int],
+        *,
+        activation: str = "relu",
+        task_type: str = "classification",
+        dropout_rate: float = 0.0,
+        init_scheme: str = "glorot_uniform",
+        init_scale: float = 1.0,
+        init_rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if task_type not in ("classification", "regression"):
+            raise ValueError("task_type must be 'classification' or 'regression'")
+        if activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        if not 0.0 <= dropout_rate < 1.0:
+            raise ValueError("dropout_rate must be in [0, 1)")
+        self.layer_sizes = list(layer_sizes)
+        self.activation = ACTIVATIONS[activation]
+        self.task_type = task_type
+        self.dropout_rate = float(dropout_rate)
+        rng = init_rng if init_rng is not None else np.random.default_rng()
+        self.weights, self.biases = initialize_weights(
+            self.layer_sizes, rng, scheme=init_scheme, scale=init_scale
+        )
+
+    @property
+    def n_layers(self) -> int:
+        """Number of weight layers."""
+        return len(self.weights)
+
+    def parameters(self) -> List[np.ndarray]:
+        """Flat list of parameter arrays (weights then biases, per layer)."""
+        params: List[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            params.extend([w, b])
+        return params
+
+    def forward(
+        self,
+        X: np.ndarray,
+        *,
+        dropout_rng: Optional[np.random.Generator] = None,
+    ) -> tuple[np.ndarray, list[np.ndarray], list[np.ndarray]]:
+        """Forward pass returning the output and cached activations.
+
+        Parameters
+        ----------
+        X:
+            Input batch ``(n, d)``.
+        dropout_rng:
+            When given, dropout is active (training mode) and masks are
+            drawn from this generator — the ``dropout`` variance source.
+            When ``None`` (evaluation), no units are dropped.
+
+        Returns
+        -------
+        (output, activations, masks):
+            ``output`` are logits (classification) or predictions
+            (regression); ``activations`` caches the input and every hidden
+            activation; ``masks`` caches dropout masks per hidden layer.
+        """
+        activations = [X]
+        masks: list[np.ndarray] = []
+        hidden = X
+        for layer in range(self.n_layers - 1):
+            pre = hidden @ self.weights[layer] + self.biases[layer]
+            hidden = self.activation.forward(pre)
+            if dropout_rng is not None and self.dropout_rate > 0:
+                mask = (
+                    dropout_rng.random(hidden.shape) >= self.dropout_rate
+                ).astype(float) / (1.0 - self.dropout_rate)
+                hidden = hidden * mask
+            else:
+                mask = np.ones_like(hidden)
+            masks.append(mask)
+            activations.append(hidden)
+        output = hidden @ self.weights[-1] + self.biases[-1]
+        return output, activations, masks
+
+    def loss_and_gradients(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        dropout_rng: Optional[np.random.Generator] = None,
+    ) -> tuple[float, List[np.ndarray]]:
+        """Compute the loss and gradients for a mini-batch.
+
+        Returns the loss value and gradients ordered like
+        :meth:`parameters`.
+        """
+        output, activations, masks = self.forward(X, dropout_rng=dropout_rng)
+        if self.task_type == "classification":
+            loss, grad_output = cross_entropy_loss(output, y)
+        else:
+            loss, grad_output = mse_loss(output, y)
+        weight_grads: List[np.ndarray] = [np.empty(0)] * self.n_layers
+        bias_grads: List[np.ndarray] = [np.empty(0)] * self.n_layers
+        delta = grad_output
+        for layer in range(self.n_layers - 1, -1, -1):
+            weight_grads[layer] = activations[layer].T @ delta
+            bias_grads[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = delta @ self.weights[layer].T
+                delta = delta * masks[layer - 1]
+                delta = delta * self.activation.derivative(activations[layer])
+        gradients: List[np.ndarray] = []
+        for wg, bg in zip(weight_grads, bias_grads):
+            gradients.extend([wg, bg])
+        return loss, gradients
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels (classification) or values (regression)."""
+        output, _, _ = self.forward(X)
+        if self.task_type == "classification":
+            return np.argmax(output, axis=1)
+        return output.ravel()
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class probabilities (classification only)."""
+        if self.task_type != "classification":
+            raise ValueError("predict_proba is only defined for classification")
+        output, _, _ = self.forward(X)
+        return softmax(output)
+
+    def perturb_parameters(self, scale: float, rng: np.random.Generator) -> None:
+        """Add small Gaussian noise to every parameter.
+
+        Used to emulate the residual numerical noise the paper measures when
+        all seeds are fixed (different GPU kernels, non-deterministic
+        reductions); see Appendix A.
+        """
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        if scale == 0:
+            return
+        for param in self.parameters():
+            param += scale * rng.normal(size=param.shape) * (np.abs(param) + 1e-8)

@@ -1,0 +1,122 @@
+"""First-order optimizers: SGD with momentum, and Adam.
+
+Weight decay is applied as an L2 penalty added to the gradients (coupled
+weight decay), matching the formulation of the regularized objective in
+Equation 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer(ABC):
+    """Base class holding per-parameter state for in-place updates."""
+
+    def __init__(self, learning_rate: float, weight_decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.learning_rate = float(learning_rate)
+        self.weight_decay = float(weight_decay)
+
+    @abstractmethod
+    def update(
+        self,
+        parameters: List[np.ndarray],
+        gradients: List[np.ndarray],
+        learning_rate: float,
+    ) -> None:
+        """Apply one in-place update of ``parameters`` given ``gradients``."""
+
+    def step(
+        self,
+        parameters: List[np.ndarray],
+        gradients: List[np.ndarray],
+        learning_rate: float | None = None,
+    ) -> None:
+        """Update parameters, adding the weight-decay term to the gradients."""
+        lr = self.learning_rate if learning_rate is None else float(learning_rate)
+        if self.weight_decay > 0:
+            gradients = [
+                g + self.weight_decay * p for g, p in zip(gradients, parameters)
+            ]
+        self.update(parameters, gradients, lr)
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocities: List[np.ndarray] | None = None
+
+    def update(
+        self,
+        parameters: List[np.ndarray],
+        gradients: List[np.ndarray],
+        learning_rate: float,
+    ) -> None:
+        if self._velocities is None:
+            self._velocities = [np.zeros_like(p) for p in parameters]
+        for param, grad, velocity in zip(parameters, gradients, self._velocities):
+            velocity *= self.momentum
+            velocity -= learning_rate * grad
+            param += velocity
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba), used for the BERT-like pipelines."""
+
+    def __init__(
+        self,
+        learning_rate: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: List[np.ndarray] | None = None
+        self._v: List[np.ndarray] | None = None
+        self._t = 0
+
+    def update(
+        self,
+        parameters: List[np.ndarray],
+        gradients: List[np.ndarray],
+        learning_rate: float,
+    ) -> None:
+        if self._m is None or self._v is None:
+            self._m = [np.zeros_like(p) for p in parameters]
+            self._v = [np.zeros_like(p) for p in parameters]
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, grad, m, v in zip(parameters, gradients, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,40 @@
+"""Learning-rate schedules.
+
+The paper's CIFAR10 search space tunes the decay rate ``gamma`` of an
+exponential learning-rate schedule; the same hyperparameter is exposed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConstantSchedule", "ExponentialDecaySchedule"]
+
+
+@dataclass(frozen=True)
+class ConstantSchedule:
+    """Constant learning rate."""
+
+    learning_rate: float
+
+    def __call__(self, epoch: int) -> float:
+        """Learning rate at ``epoch`` (0-indexed)."""
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        return self.learning_rate
+
+
+@dataclass(frozen=True)
+class ExponentialDecaySchedule:
+    """Exponentially decaying learning rate ``lr * gamma**epoch``."""
+
+    learning_rate: float
+    gamma: float = 0.97
+
+    def __call__(self, epoch: int) -> float:
+        """Learning rate at ``epoch`` (0-indexed)."""
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        return self.learning_rate * self.gamma**epoch

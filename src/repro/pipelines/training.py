@@ -1,0 +1,153 @@
+"""Seed-controlled mini-batch training loop.
+
+This is where the paper's learning-procedure variance sources
+:math:`\\xi_O` physically enter a fit:
+
+* ``order``      — the permutation of examples at every epoch,
+* ``dropout``    — the dropout masks,
+* ``augment``    — stochastic data augmentation applied per epoch,
+* ``init``       — consumed earlier, when the network weights are drawn,
+* ``numerical``  — a small post-training parameter perturbation emulating
+  non-deterministic kernels (Appendix A measures this as the noise floor).
+
+Each source reads from its own :class:`numpy.random.Generator` supplied by a
+:class:`~repro.utils.rng.SeedBundle`, so experiments can randomize any
+subset while holding the others fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.pipelines.nn.network import MLPNetwork
+from repro.pipelines.nn.optimizers import Optimizer
+from repro.utils.rng import SeedBundle
+from repro.utils.validation import check_positive_int
+
+__all__ = ["TrainingConfig", "TrainingHistory", "train_network"]
+
+#: Type of an augmentation transform: (X, rng) -> X'.
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Static configuration of one training run.
+
+    Attributes
+    ----------
+    n_epochs:
+        Number of passes over the training data.
+    batch_size:
+        Mini-batch size.
+    schedule:
+        Callable mapping epoch index to learning rate.
+    augmentations:
+        Sequence of stochastic transforms applied to each epoch's features.
+    numerical_noise_scale:
+        Relative scale of the post-training parameter perturbation emulating
+        numerical non-determinism; 0 disables it.
+    shuffle:
+        Whether to reshuffle the data every epoch (the ``order`` source).
+    """
+
+    n_epochs: int = 20
+    batch_size: int = 32
+    schedule: Optional[Callable[[int], float]] = None
+    augmentations: Sequence[Transform] = ()
+    numerical_noise_scale: float = 0.0
+    shuffle: bool = True
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch diagnostics collected during training."""
+
+    losses: List[float] = field(default_factory=list)
+    learning_rates: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by :class:`repro.pipelines.base.FitOutcome`."""
+        return {"losses": list(self.losses), "learning_rates": list(self.learning_rates)}
+
+
+def _epoch_batches(
+    n_samples: int,
+    batch_size: int,
+    order_rng: Optional[np.random.Generator],
+    shuffle: bool,
+) -> List[np.ndarray]:
+    """Split sample indices into mini-batches, optionally shuffled."""
+    if shuffle and order_rng is not None:
+        indices = order_rng.permutation(n_samples)
+    else:
+        indices = np.arange(n_samples)
+    return [
+        indices[start : start + batch_size]
+        for start in range(0, n_samples, batch_size)
+    ]
+
+
+def train_network(
+    network: MLPNetwork,
+    train: Dataset,
+    optimizer: Optimizer,
+    config: TrainingConfig,
+    seeds: SeedBundle,
+) -> TrainingHistory:
+    """Train ``network`` in place on ``train`` and return the loss history.
+
+    Parameters
+    ----------
+    network:
+        A freshly initialized :class:`~repro.pipelines.nn.network.MLPNetwork`
+        (its weights should have been drawn with the ``init`` stream of the
+        same seed bundle).
+    train:
+        Training dataset.
+    optimizer:
+        Optimizer instance holding learning rate / momentum state.
+    config:
+        Static training configuration.
+    seeds:
+        Seed bundle supplying the ``order``, ``dropout``, ``augment`` and
+        ``numerical`` random streams.
+    """
+    check_positive_int(config.n_epochs, "n_epochs")
+    check_positive_int(config.batch_size, "batch_size")
+    order_rng = seeds.rng_for("order")
+    dropout_rng = seeds.rng_for("dropout") if network.dropout_rate > 0 else None
+    augment_rng = seeds.rng_for("augment") if config.augmentations else None
+    history = TrainingHistory()
+    parameters = network.parameters()
+    for epoch in range(config.n_epochs):
+        lr = (
+            config.schedule(epoch)
+            if config.schedule is not None
+            else optimizer.learning_rate
+        )
+        X_epoch = train.X
+        if augment_rng is not None:
+            for transform in config.augmentations:
+                X_epoch = transform(X_epoch, augment_rng)
+        epoch_loss = 0.0
+        batches = _epoch_batches(
+            train.n_samples, config.batch_size, order_rng, config.shuffle
+        )
+        for batch in batches:
+            loss, gradients = network.loss_and_gradients(
+                X_epoch[batch], train.y[batch], dropout_rng=dropout_rng
+            )
+            optimizer.step(parameters, gradients, lr)
+            epoch_loss += loss * batch.size
+        history.losses.append(epoch_loss / train.n_samples)
+        history.learning_rates.append(lr)
+    if config.numerical_noise_scale > 0:
+        network.perturb_parameters(
+            config.numerical_noise_scale, seeds.rng_for("numerical")
+        )
+    return history

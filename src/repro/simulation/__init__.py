@@ -1,0 +1,53 @@
+"""Simulation framework for studying decision-criterion error rates.
+
+Section 4.2 of the paper characterizes the error rates of comparison
+criteria by *simulating* algorithm performances from the means and
+variances measured on the real case studies — running the actual learning
+pipelines for every point of Figure 6 would be prohibitively expensive.
+The same approach is used here: :mod:`repro.simulation.performance_model`
+draws synthetic performance measurements for the ideal and biased
+estimators, :mod:`repro.simulation.detection` sweeps the true probability
+of outperforming and records the detection rates of each criterion, and
+:mod:`repro.simulation.sota` generates the published-improvement timelines
+of Figure 3.
+"""
+
+from repro.simulation.detection import (
+    DetectionRateResult,
+    detection_rate,
+    detection_rate_curve,
+    robustness_to_sample_size,
+    robustness_to_threshold,
+)
+from repro.simulation.oracle import OracleComparison
+from repro.simulation.performance_model import (
+    SimulatedTask,
+    mean_shift_for_probability,
+    simulate_biased_measurements,
+    simulate_ideal_measurements,
+    true_probability_of_outperforming,
+)
+from repro.simulation.sota import (
+    PublishedResult,
+    load_sota_timeline,
+    significance_timeline,
+    synthetic_sota_timeline,
+)
+
+__all__ = [
+    "DetectionRateResult",
+    "detection_rate",
+    "detection_rate_curve",
+    "robustness_to_sample_size",
+    "robustness_to_threshold",
+    "OracleComparison",
+    "SimulatedTask",
+    "mean_shift_for_probability",
+    "simulate_biased_measurements",
+    "simulate_ideal_measurements",
+    "true_probability_of_outperforming",
+    "PublishedResult",
+    "load_sota_timeline",
+    "significance_timeline",
+    "synthetic_sota_timeline",
+]

@@ -1,0 +1,34 @@
+"""The optimal oracle decision rule used as reference in Figure 6."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_probability
+
+__all__ = ["OracleComparison"]
+
+
+@dataclass(frozen=True)
+class OracleComparison:
+    """Decision rule with perfect knowledge of the true :math:`P(A>B)`.
+
+    The oracle knows the generative model exactly, so it makes no estimation
+    error: it declares A better than B precisely when the true probability
+    of outperforming exceeds the meaningfulness threshold γ.  Real criteria
+    can at best approach this step function; the gap between a criterion's
+    detection-rate curve and the oracle's is its combined false-positive /
+    false-negative cost.
+
+    Parameters
+    ----------
+    gamma:
+        Meaningfulness threshold.
+    """
+
+    gamma: float = 0.75
+
+    def decide(self, true_p_a_gt_b: float) -> bool:
+        """Whether the oracle declares A better than B."""
+        p = check_probability(true_p_a_gt_b, "true_p_a_gt_b")
+        return p > self.gamma

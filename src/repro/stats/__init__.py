@@ -1,0 +1,63 @@
+"""Statistical substrate used by the benchmarking framework.
+
+This package implements the statistical machinery the paper relies on:
+
+* percentile-bootstrap confidence intervals (Efron, 1982) used for the
+  :math:`P(A>B)` decision criterion,
+* the binomial model of test-set sampling noise (Figure 2),
+* the Mann-Whitney style estimate of the probability of outperforming,
+* variance of the mean of correlated measurements (Equation 7),
+* classic z/t tests used by the average-comparison criterion,
+* normality diagnostics (Shapiro-Wilk, Figure G.3).
+"""
+
+from repro.stats.binomial import (
+    binomial_accuracy_std,
+    binomial_std_curve,
+    effective_test_size,
+)
+from repro.stats.bootstrap import (
+    BootstrapCI,
+    percentile_bootstrap_ci,
+    bootstrap_distribution,
+)
+from repro.stats.correlated import (
+    average_pairwise_correlation,
+    correlated_mean_variance,
+    mse_decomposition,
+    standard_error_of_std,
+)
+from repro.stats.mann_whitney import (
+    mann_whitney_u,
+    probability_of_outperforming,
+    paired_probability_of_outperforming,
+)
+from repro.stats.normality import normality_report, shapiro_wilk_pvalue
+from repro.stats.tests import (
+    TestResult,
+    paired_t_test,
+    t_test,
+    z_test,
+)
+
+__all__ = [
+    "binomial_accuracy_std",
+    "binomial_std_curve",
+    "effective_test_size",
+    "BootstrapCI",
+    "percentile_bootstrap_ci",
+    "bootstrap_distribution",
+    "average_pairwise_correlation",
+    "correlated_mean_variance",
+    "mse_decomposition",
+    "standard_error_of_std",
+    "mann_whitney_u",
+    "probability_of_outperforming",
+    "paired_probability_of_outperforming",
+    "normality_report",
+    "shapiro_wilk_pvalue",
+    "TestResult",
+    "paired_t_test",
+    "t_test",
+    "z_test",
+]

@@ -1,0 +1,79 @@
+"""Binomial model of test-set sampling noise (Figure 2).
+
+If a trained pipeline has probability :math:`\\tau` of mis-classifying an
+example, makes i.i.d. errors and is evaluated on :math:`n'` test examples,
+the measured accuracy follows a binomial distribution.  The standard
+deviation of the *accuracy estimate* is then
+
+.. math:: \\sigma = \\sqrt{\\tau (1 - \\tau) / n'}
+
+Figure 2 of the paper compares this simple model with the standard
+deviation observed when bootstrapping the data and finds a good match,
+meaning data-sampling variance is mostly limited test-set statistical power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["binomial_accuracy_std", "binomial_std_curve", "effective_test_size"]
+
+
+def binomial_accuracy_std(accuracy: float, test_size: int) -> float:
+    """Standard deviation of a measured accuracy under the binomial model.
+
+    Parameters
+    ----------
+    accuracy:
+        True accuracy :math:`1 - \\tau` of the pipeline, in [0, 1].
+    test_size:
+        Number of test examples :math:`n'`.
+
+    Returns
+    -------
+    float
+        Standard deviation of the accuracy estimate (same scale as
+        ``accuracy``, i.e. a fraction, not a percentage).
+    """
+    accuracy = check_probability(accuracy, "accuracy")
+    test_size = check_positive_int(test_size, "test_size")
+    return float(np.sqrt(accuracy * (1.0 - accuracy) / test_size))
+
+
+def binomial_std_curve(
+    accuracy: float,
+    test_sizes: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`binomial_accuracy_std` over many test-set sizes.
+
+    This is the dotted curve of Figure 2: standard deviation of the
+    accuracy measure as a function of the test-set size.
+    """
+    accuracy = check_probability(accuracy, "accuracy")
+    sizes = np.asarray(test_sizes, dtype=float)
+    if np.any(sizes <= 0):
+        raise ValueError("test_sizes must be positive")
+    return np.sqrt(accuracy * (1.0 - accuracy) / sizes)
+
+
+def effective_test_size(accuracy: float, observed_std: float) -> float:
+    """Invert the binomial model to get the effective number of test samples.
+
+    When errors are correlated (not i.i.d.) the observed standard deviation
+    is wider than the binomial prediction; the effective test size returned
+    here is then smaller than the true test-set size.  Comparing the two is
+    a direct diagnostic of error correlation.
+
+    Parameters
+    ----------
+    accuracy:
+        Measured accuracy.
+    observed_std:
+        Observed standard deviation of the accuracy across resamplings.
+    """
+    accuracy = check_probability(accuracy, "accuracy")
+    if observed_std <= 0:
+        raise ValueError("observed_std must be positive")
+    return float(accuracy * (1.0 - accuracy) / observed_std**2)

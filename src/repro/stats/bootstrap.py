@@ -1,0 +1,140 @@
+"""Percentile bootstrap confidence intervals (Efron, 1982; Appendix C.5).
+
+The paper recommends quantifying the reliability of the estimated
+probability of outperforming :math:`P(A>B)` with a non-parametric
+percentile bootstrap over the paired performance measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_fraction, check_positive_int, check_random_state
+
+__all__ = ["BootstrapCI", "bootstrap_distribution", "percentile_bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A percentile-bootstrap confidence interval.
+
+    Attributes
+    ----------
+    estimate:
+        Point estimate of the statistic on the original sample.
+    low, high:
+        Lower / upper percentile bounds.
+    alpha:
+        Total tail probability (e.g. ``0.05`` for a 95% interval).
+    n_bootstraps:
+        Number of bootstrap resamples used.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    alpha: float
+    n_bootstraps: int
+
+    @property
+    def width(self) -> float:
+        """Width of the interval."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_distribution(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    *,
+    n_bootstraps: int = 1000,
+    random_state: Union[None, int, np.random.Generator] = None,
+    paired: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Return the bootstrap distribution of ``statistic``.
+
+    Parameters
+    ----------
+    values:
+        1-D sample, or the first element of a paired sample.
+    statistic:
+        Callable evaluated on each resample.  For paired data it receives
+        a 2-D array of shape ``(n, 2)``.
+    n_bootstraps:
+        Number of resamples with replacement.
+    random_state:
+        Seed or generator.
+    paired:
+        Optional second sample of the same length; resampling then keeps
+        pairs together (as required for paired comparisons, Appendix C.2).
+    """
+    rng = check_random_state(random_state)
+    n_bootstraps = check_positive_int(n_bootstraps, "n_bootstraps")
+    values = check_array(values, ndim=1, min_length=1, name="values")
+    if paired is not None:
+        paired = check_array(paired, ndim=1, min_length=1, name="paired")
+        if paired.shape != values.shape:
+            raise ValueError("paired sample must have the same length as values")
+        data = np.column_stack([values, paired])
+    else:
+        data = values
+    n = values.shape[0]
+    indices = rng.integers(0, n, size=(n_bootstraps, n))
+    stats = np.empty(n_bootstraps, dtype=float)
+    for b in range(n_bootstraps):
+        stats[b] = float(statistic(data[indices[b]]))
+    return stats
+
+
+def percentile_bootstrap_ci(
+    values: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    *,
+    alpha: float = 0.05,
+    n_bootstraps: int = 1000,
+    random_state: Union[None, int, np.random.Generator] = None,
+    paired: Optional[np.ndarray] = None,
+) -> BootstrapCI:
+    """Percentile bootstrap confidence interval for an arbitrary statistic.
+
+    Parameters
+    ----------
+    values, statistic, n_bootstraps, random_state, paired:
+        See :func:`bootstrap_distribution`.
+    alpha:
+        Total tail probability; the interval spans the
+        ``alpha/2`` and ``1 - alpha/2`` percentiles of the bootstrap
+        distribution.
+
+    Returns
+    -------
+    BootstrapCI
+    """
+    alpha = check_fraction(alpha, "alpha")
+    dist = bootstrap_distribution(
+        values,
+        statistic,
+        n_bootstraps=n_bootstraps,
+        random_state=random_state,
+        paired=paired,
+    )
+    values_arr = check_array(values, ndim=1, name="values")
+    if paired is not None:
+        paired_arr = check_array(paired, ndim=1, name="paired")
+        point = float(statistic(np.column_stack([values_arr, paired_arr])))
+    else:
+        point = float(statistic(values_arr))
+    low, high = np.percentile(dist, [100 * alpha / 2, 100 * (1 - alpha / 2)])
+    return BootstrapCI(
+        estimate=point,
+        low=float(low),
+        high=float(high),
+        alpha=alpha,
+        n_bootstraps=len(dist),
+    )

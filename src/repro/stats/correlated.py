@@ -1,0 +1,157 @@
+"""Variance of the mean of correlated measurements and MSE decomposition.
+
+Equation 7 of the paper gives the variance of the biased estimator
+:math:`\\tilde{\\mu}_{(k)}` whose :math:`k` performance measurements share a
+fixed hyperparameter configuration and are therefore *correlated*:
+
+.. math::
+
+    \\mathrm{Var}(\\tilde{\\mu}_{(k)} \\mid \\xi)
+      = \\frac{\\mathrm{Var}(\\hat{R}_e \\mid \\xi)}{k}
+      + \\frac{k-1}{k} \\rho \\, \\mathrm{Var}(\\hat{R}_e \\mid \\xi)
+
+With enough correlation :math:`\\rho`, adding more splits does not shrink
+the estimator's variance; randomizing more sources of variation reduces
+:math:`\\rho` and moves the biased estimator towards the ideal one
+(Figure H.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = [
+    "correlated_mean_variance",
+    "average_pairwise_correlation",
+    "standard_error_of_std",
+    "mse_decomposition",
+    "MSEDecomposition",
+]
+
+
+def correlated_mean_variance(variance: float, k: int, rho: float) -> float:
+    """Variance of the mean of ``k`` equally correlated measurements (Eq. 7).
+
+    Parameters
+    ----------
+    variance:
+        Variance of a single measurement, :math:`\\mathrm{Var}(\\hat{R}_e|\\xi)`.
+    k:
+        Number of measurements averaged.
+    rho:
+        Average pairwise correlation between measurements, in [-1, 1].
+    """
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    k = check_positive_int(k, "k")
+    if not -1.0 <= rho <= 1.0:
+        raise ValueError("rho must be in [-1, 1]")
+    return variance / k + (k - 1) / k * rho * variance
+
+
+def average_pairwise_correlation(samples: np.ndarray) -> float:
+    """Average pairwise correlation among repeated measurement vectors.
+
+    Parameters
+    ----------
+    samples:
+        Array of shape ``(n_repetitions, k)``: each row is one realization
+        of the k measurements produced by an estimator (e.g. one fixed
+        hyperparameter configuration evaluated on k splits).  The average
+        correlation is computed across repetitions, between measurement
+        slots, matching the :math:`\\rho` of Equation 7.
+
+    Returns
+    -------
+    float
+        Mean off-diagonal entry of the correlation matrix of the columns.
+        Zero-variance columns contribute zero correlation.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2:
+        raise ValueError("samples must be 2-D (n_repetitions, k)")
+    n_rep, k = samples.shape
+    if n_rep < 2 or k < 2:
+        return 0.0
+    stds = samples.std(axis=0, ddof=1)
+    valid = stds > 0
+    if valid.sum() < 2:
+        return 0.0
+    sub = samples[:, valid]
+    corr = np.corrcoef(sub, rowvar=False)
+    m = corr.shape[0]
+    off_diagonal = corr[~np.eye(m, dtype=bool)]
+    return float(np.mean(off_diagonal))
+
+
+def standard_error_of_std(std: float, k: int) -> float:
+    """Approximate standard deviation of a sample standard deviation.
+
+    Under a normal assumption, the standard deviation computed from ``k``
+    samples has standard error approximately :math:`\\sigma / \\sqrt{2(k-1)}`.
+    The paper uses this to draw the uncertainty bands of Figures 5 and H.4.
+    """
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    k = check_positive_int(k, "k", minimum=2)
+    return float(std / np.sqrt(2.0 * (k - 1)))
+
+
+@dataclass(frozen=True)
+class MSEDecomposition:
+    """Bias/variance/correlation decomposition of an estimator (Figure H.5).
+
+    Attributes
+    ----------
+    bias:
+        Mean deviation of the estimator realizations from the true value.
+    variance:
+        Variance of the estimator realizations.
+    correlation:
+        Average pairwise correlation among the underlying measurements.
+    mse:
+        Mean squared error ``bias**2 + variance``.
+    """
+
+    bias: float
+    variance: float
+    correlation: float
+
+    @property
+    def mse(self) -> float:
+        """Mean squared error of the estimator."""
+        return self.bias**2 + self.variance
+
+
+def mse_decomposition(
+    estimator_realizations: np.ndarray,
+    true_value: float,
+    measurements: np.ndarray | None = None,
+) -> MSEDecomposition:
+    """Decompose an estimator's error into bias, variance and correlation.
+
+    Parameters
+    ----------
+    estimator_realizations:
+        1-D array of independent realizations of the estimator
+        (e.g. 20 values of :math:`\\tilde{\\mu}_{(k)}` from 20 arbitrary
+        hyperparameter seeds).
+    true_value:
+        Reference value :math:`\\mu` (estimated with the ideal estimator).
+    measurements:
+        Optional 2-D array ``(n_repetitions, k)`` of the raw measurements
+        behind each realization, used to compute the average correlation.
+    """
+    realizations = check_array(
+        estimator_realizations, ndim=1, min_length=1, name="estimator_realizations"
+    )
+    bias = float(np.mean(realizations) - true_value)
+    variance = float(np.var(realizations, ddof=1)) if realizations.size > 1 else 0.0
+    correlation = (
+        average_pairwise_correlation(measurements) if measurements is not None else 0.0
+    )
+    return MSEDecomposition(bias=bias, variance=variance, correlation=correlation)

@@ -1,0 +1,77 @@
+"""Probability of outperforming and the Mann-Whitney U statistic.
+
+The paper's recommended decision criterion compares two learning algorithms
+through :math:`P(A>B)`, the probability that a single run of algorithm A
+outperforms a single run of algorithm B across random fluctuations
+(Equation 9).  The empirical estimate is the proportion of pairs
+:math:`(\\hat{R}^A_{e_i}, \\hat{R}^B_{e_i})` for which A beats B, which is
+the Mann-Whitney U statistic normalised by the number of comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_array
+
+__all__ = [
+    "mann_whitney_u",
+    "probability_of_outperforming",
+    "paired_probability_of_outperforming",
+]
+
+
+def mann_whitney_u(a: np.ndarray, b: np.ndarray) -> float:
+    """Mann-Whitney U statistic counting wins of ``a`` over ``b``.
+
+    Ties count for half a win, the standard mid-rank convention.
+
+    Parameters
+    ----------
+    a, b:
+        1-D samples of performance measures where *larger is better*.
+
+    Returns
+    -------
+    float
+        Number of (i, j) pairs with ``a[i] > b[j]`` plus half the ties.
+    """
+    a = check_array(a, ndim=1, min_length=1, name="a")
+    b = check_array(b, ndim=1, min_length=1, name="b")
+    diff = a[:, None] - b[None, :]
+    wins = np.count_nonzero(diff > 0)
+    ties = np.count_nonzero(diff == 0)
+    return float(wins + 0.5 * ties)
+
+
+def probability_of_outperforming(a: np.ndarray, b: np.ndarray) -> float:
+    """Unpaired estimate of :math:`P(A>B)` from all cross pairs.
+
+    Equivalent to the normalised Mann-Whitney U statistic (also known as
+    the common-language effect size or AUC of the comparison).
+    """
+    a = check_array(a, ndim=1, min_length=1, name="a")
+    b = check_array(b, ndim=1, min_length=1, name="b")
+    return mann_whitney_u(a, b) / (a.shape[0] * b.shape[0])
+
+
+def paired_probability_of_outperforming(a: np.ndarray, b: np.ndarray) -> float:
+    """Paired estimate of :math:`P(A>B)` (Equation 9 of the paper).
+
+    The i-th measurement of A is compared only with the i-th measurement of
+    B, which is appropriate when both algorithms were run on the same data
+    splits and seeds (Appendix C.2).  Ties count for half a win.
+
+    Parameters
+    ----------
+    a, b:
+        Same-length 1-D arrays of paired performance measures where larger
+        is better.
+    """
+    a = check_array(a, ndim=1, min_length=1, name="a")
+    b = check_array(b, ndim=1, min_length=1, name="b")
+    if a.shape != b.shape:
+        raise ValueError("paired samples must have the same length")
+    wins = np.count_nonzero(a > b)
+    ties = np.count_nonzero(a == b)
+    return float((wins + 0.5 * ties) / a.shape[0])

@@ -1,0 +1,187 @@
+"""Seed management for independently controllable sources of variance.
+
+The paper's central experimental device is to *fix* every source of
+randomness except one, and measure the variance contributed by that single
+source (Section 2.2).  Doing this correctly requires that each source draws
+from its own random stream: re-seeding a single global generator would
+couple the sources together.
+
+``SeedBundle`` maps a source name (``"data"``, ``"init"``, ``"order"``,
+``"dropout"``, ``"augment"``, ``"hopt"``, ``"numerical"``, ...) to an integer
+seed, and can produce a dedicated :class:`numpy.random.Generator` per source.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "derive_seed",
+    "rng_from_seed",
+    "spawn_generators",
+    "SeedBundle",
+    "SeedSequencePool",
+]
+
+#: Largest seed value we hand out.  Kept below 2**32 so seeds remain valid
+#: inputs for ``numpy.random.SeedSequence`` and are easy to serialize.
+MAX_SEED = 2**32 - 1
+
+
+def derive_seed(base_seed: int, *keys: object) -> int:
+    """Deterministically derive a child seed from a base seed and keys.
+
+    Uses ``numpy.random.SeedSequence`` entropy mixing so that distinct keys
+    give statistically independent child seeds.
+
+    Parameters
+    ----------
+    base_seed:
+        Root seed.
+    *keys:
+        Arbitrary hashable objects (typically strings or ints) identifying
+        the child stream.
+
+    Returns
+    -------
+    int
+        A seed in ``[0, 2**32)``.
+    """
+    # A cryptographic digest (rather than Python's built-in hash) keeps the
+    # derivation stable across processes regardless of PYTHONHASHSEED.
+    key_ints = [
+        int.from_bytes(hashlib.sha256(str(k).encode("utf-8")).digest()[:4], "big")
+        % MAX_SEED
+        for k in keys
+    ]
+    seq = np.random.SeedSequence([int(base_seed) % MAX_SEED, *key_ints])
+    return int(seq.generate_state(1, dtype=np.uint32)[0])
+
+
+def rng_from_seed(seed: Optional[int]) -> np.random.Generator:
+    """Build a :class:`numpy.random.Generator` from an integer seed.
+
+    ``None`` gives a non-deterministic generator (fresh OS entropy), which
+    corresponds to the paper's recommendation of simply *not seeding* a
+    source when it should be randomized (Appendix C.1).
+    """
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: int, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent generators from a single seed."""
+    seq = np.random.SeedSequence(int(seed) % MAX_SEED)
+    return [np.random.default_rng(child) for child in seq.spawn(int(n))]
+
+
+#: Canonical variance-source names used throughout the library.  They match
+#: the rows of Figure 1 in the paper.
+KNOWN_SOURCES = (
+    "data",        # bootstrap / split sampling of the finite dataset
+    "augment",     # stochastic data augmentation
+    "order",       # data visit order in SGD
+    "init",        # weight initialization
+    "dropout",     # dropout masks / other model stochasticity
+    "numerical",   # residual numerical noise
+    "hopt",        # hyperparameter-optimization procedure (xi_H)
+)
+
+
+@dataclass(frozen=True)
+class SeedBundle:
+    """Immutable mapping from variance-source name to seed.
+
+    A ``SeedBundle`` fully determines the stochastic behaviour of one
+    training run.  The estimators in :mod:`repro.core.estimators` manipulate
+    bundles to hold some sources fixed while randomizing others.
+
+    Parameters
+    ----------
+    seeds:
+        Mapping from source name to integer seed.  Missing sources default
+        to a seed derived from ``base_seed``.
+    base_seed:
+        Seed used to fill in sources not explicitly listed.
+    """
+
+    base_seed: int = 0
+    seeds: Mapping[str, int] = field(default_factory=dict)
+
+    def seed_for(self, source: str) -> int:
+        """Return the seed assigned to ``source``."""
+        if source in self.seeds:
+            return int(self.seeds[source])
+        return derive_seed(self.base_seed, source)
+
+    def rng_for(self, source: str) -> np.random.Generator:
+        """Return a dedicated generator for ``source``."""
+        return rng_from_seed(self.seed_for(source))
+
+    def with_seeds(self, **updates: int) -> "SeedBundle":
+        """Return a copy with some source seeds replaced."""
+        merged: Dict[str, int] = dict(self.seeds)
+        merged.update({k: int(v) for k, v in updates.items()})
+        return replace(self, seeds=merged)
+
+    def randomized(
+        self,
+        sources: Iterable[str],
+        rng: np.random.Generator,
+    ) -> "SeedBundle":
+        """Return a copy where ``sources`` get fresh seeds drawn from ``rng``.
+
+        All other sources keep their current seeds — this is exactly the
+        "randomize a subset of :math:`\\xi`" operation used by the biased
+        estimator ``FixHOptEst(k, subset)``.
+        """
+        updates = {
+            source: int(rng.integers(0, MAX_SEED)) for source in sources
+        }
+        return self.with_seeds(**updates)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the explicit seed for every known source."""
+        return {source: self.seed_for(source) for source in KNOWN_SOURCES}
+
+    @classmethod
+    def random(cls, rng: np.random.Generator) -> "SeedBundle":
+        """Draw a bundle with every known source randomized."""
+        seeds = {
+            source: int(rng.integers(0, MAX_SEED)) for source in KNOWN_SOURCES
+        }
+        return cls(base_seed=int(rng.integers(0, MAX_SEED)), seeds=seeds)
+
+
+class SeedSequencePool:
+    """Hand out reproducible, non-overlapping seeds on demand.
+
+    Useful when an experiment needs "as many fresh seeds as it asks for"
+    while remaining reproducible from a single root seed.
+    """
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self._root = np.random.SeedSequence(int(root_seed) % MAX_SEED)
+        self._count = 0
+
+    def next_seed(self) -> int:
+        """Return the next seed in the pool."""
+        child = self._root.spawn(self._count + 1)[self._count]
+        self._count += 1
+        return int(child.generate_state(1, dtype=np.uint32)[0])
+
+    def next_bundle(self) -> SeedBundle:
+        """Return a fully-randomized :class:`SeedBundle`."""
+        return SeedBundle.random(rng_from_seed(self.next_seed()))
+
+    def next_rng(self) -> np.random.Generator:
+        """Return a generator seeded with the next pool seed."""
+        return rng_from_seed(self.next_seed())
+
+    @property
+    def issued(self) -> int:
+        """Number of seeds issued so far."""
+        return self._count

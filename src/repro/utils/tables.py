@@ -1,0 +1,70 @@
+"""Plain-text table and series formatting for experiment reports.
+
+The benchmark harness prints the same rows/series the paper reports
+(Figures 1-6, C.1, F.2, G.3, H.4, H.5, I.6).  Keeping the formatting here
+avoids pulling in plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _format_cell(value, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of mappings; all rows should share keys.
+    columns:
+        Column order; defaults to the keys of the first row.
+    precision:
+        Significant digits for float cells.
+    title:
+        Optional title printed above the table.
+    """
+    if not rows:
+        return title + "\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    table = [[_format_cell(row.get(col, ""), precision) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in table)) for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in table:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Iterable[object],
+    y: Iterable[object],
+    *,
+    x_name: str = "x",
+    y_name: str = "y",
+    precision: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render paired series as a two-column table."""
+    rows = [{x_name: xi, y_name: yi} for xi, yi in zip(x, y)]
+    return format_table(rows, columns=[x_name, y_name], precision=precision, title=title)

@@ -1,0 +1,88 @@
+"""Tests for the comparison criteria (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import (
+    AverageComparison,
+    ProbabilityOfOutperforming,
+    SinglePointComparison,
+)
+
+
+class TestSinglePointComparison:
+    def test_uses_only_first_run(self):
+        method = SinglePointComparison(delta=0.0)
+        a = np.array([0.9, 0.1, 0.1])
+        b = np.array([0.5, 0.99, 0.99])
+        assert method.decide(a, b).a_is_better
+
+    def test_threshold_applied(self):
+        method = SinglePointComparison(delta=0.2)
+        assert not method.decide(np.array([0.6]), np.array([0.5])).a_is_better
+        assert method.decide(np.array([0.8]), np.array([0.5])).a_is_better
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            SinglePointComparison(delta=-0.1)
+
+
+class TestAverageComparison:
+    def test_compares_means(self):
+        method = AverageComparison(delta=0.0)
+        a = np.array([0.6, 0.7, 0.8])
+        b = np.array([0.5, 0.6, 0.7])
+        assert method.decide(a, b).a_is_better
+        assert not method.decide(b, a).a_is_better
+
+    def test_from_sigma_uses_paper_multiplier(self):
+        method = AverageComparison.from_sigma(0.01)
+        assert method.delta == pytest.approx(0.019952)
+
+    def test_details_reported(self):
+        decision = AverageComparison(delta=0.1).decide(np.array([0.9]), np.array([0.5]))
+        assert decision.details["difference"] == pytest.approx(0.4)
+        assert decision.details["delta"] == pytest.approx(0.1)
+
+    def test_conservative_for_small_improvements(self, rng):
+        # An improvement smaller than delta is never detected, regardless of
+        # how many samples support it — the criterion ignores variance.
+        method = AverageComparison(delta=0.05)
+        a = rng.normal(0.72, 0.001, size=1000)
+        b = rng.normal(0.70, 0.001, size=1000)
+        assert not method.decide(a, b).a_is_better
+
+
+class TestProbabilityOfOutperforming:
+    def test_clear_improvement_detected(self, rng):
+        a = rng.normal(0.8, 0.01, size=40)
+        b = rng.normal(0.7, 0.01, size=40)
+        decision = ProbabilityOfOutperforming(random_state=0).decide(a, b)
+        assert decision.a_is_better
+        assert decision.details["p_a_gt_b"] > 0.95
+
+    def test_no_difference_not_detected(self, rng):
+        a = rng.normal(0.7, 0.01, size=40)
+        b = rng.normal(0.7, 0.01, size=40)
+        assert not ProbabilityOfOutperforming(random_state=0).decide(a, b).a_is_better
+
+    def test_significant_but_not_meaningful(self, rng):
+        # A tiny but consistent improvement: significant, yet P(A>B) stays
+        # below gamma, so the criterion does not declare a meaningful win.
+        sigma = 0.05
+        a = rng.normal(0.70 + 0.005, sigma, size=2000)
+        b = rng.normal(0.70, sigma, size=2000)
+        decision = ProbabilityOfOutperforming(gamma=0.75, random_state=0).decide(a, b)
+        assert not decision.a_is_better
+        assert 0.5 < decision.details["p_a_gt_b"] < 0.6
+
+    def test_direction_matters(self, rng):
+        a = rng.normal(0.6, 0.01, size=30)
+        b = rng.normal(0.8, 0.01, size=30)
+        assert not ProbabilityOfOutperforming(random_state=0).decide(a, b).a_is_better
+
+    def test_details_contain_interval(self, rng):
+        decision = ProbabilityOfOutperforming(random_state=0).decide(
+            rng.normal(size=20), rng.normal(size=20)
+        )
+        assert decision.details["ci_low"] <= decision.details["ci_high"]

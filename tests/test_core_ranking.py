@@ -1,0 +1,60 @@
+"""Tests for variance-aware ranking of many algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.ranking import rank_algorithms
+
+
+def _paired_scores(rng, means, sigma=0.02, k=30):
+    shared = rng.normal(0, sigma / 2, size=k)
+    return {
+        name: mean + shared + rng.normal(0, sigma, size=k)
+        for name, mean in means.items()
+    }
+
+
+class TestRankAlgorithms:
+    def test_leader_is_best_mean(self, rng):
+        scores = _paired_scores(rng, {"a": 0.7, "b": 0.8, "c": 0.75})
+        ranking = rank_algorithms(scores, random_state=0)
+        assert ranking.leader.name == "b"
+        assert [e.name for e in ranking.entries] == ["b", "c", "a"]
+
+    def test_clearly_worse_algorithm_outside_bounds(self, rng):
+        scores = _paired_scores(rng, {"strong": 0.9, "weak": 0.6})
+        ranking = rank_algorithms(scores, random_state=0)
+        assert ranking.top_group == ["strong"]
+        weak_entry = ranking.entries[1]
+        assert not weak_entry.within_significance_bounds
+        assert weak_entry.comparison_with_leader.meaningful
+
+    def test_statistical_ties_share_top_group(self, rng):
+        scores = _paired_scores(rng, {"a": 0.800, "b": 0.801, "c": 0.799})
+        ranking = rank_algorithms(scores, random_state=0)
+        assert set(ranking.top_group) == {"a", "b", "c"}
+
+    def test_gamma_correction_raises_threshold(self, rng):
+        scores = _paired_scores(rng, {"a": 0.8, "b": 0.79, "c": 0.78, "d": 0.77})
+        corrected = rank_algorithms(scores, random_state=0)
+        uncorrected = rank_algorithms(
+            scores, correct_for_multiple_comparisons=False, random_state=0
+        )
+        assert corrected.effective_gamma > uncorrected.effective_gamma
+        # A stricter threshold can only enlarge (or keep) the top group.
+        assert set(uncorrected.top_group) <= set(corrected.top_group)
+
+    def test_report_and_rows(self, rng):
+        scores = _paired_scores(rng, {"a": 0.8, "b": 0.7})
+        ranking = rank_algorithms(scores, random_state=0)
+        rows = ranking.as_rows()
+        assert rows[0]["rank"] == 1
+        assert "Benchmark ranking" in ranking.report()
+
+    def test_requires_two_algorithms(self, rng):
+        with pytest.raises(ValueError):
+            rank_algorithms({"only": np.ones(5)})
+
+    def test_requires_equal_lengths(self, rng):
+        with pytest.raises(ValueError):
+            rank_algorithms({"a": np.ones(5), "b": np.ones(6)})

@@ -1,0 +1,46 @@
+"""Tests for Noether sample-size determination (Figure C.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sample_size import minimum_sample_size, sample_size_curve
+
+
+class TestMinimumSampleSize:
+    def test_paper_recommended_threshold_gives_29(self):
+        assert minimum_sample_size(0.75, alpha=0.05, beta=0.05) == 29
+
+    def test_smaller_threshold_needs_many_more_samples(self):
+        assert minimum_sample_size(0.6) > 150
+        assert minimum_sample_size(0.55) > 700
+
+    def test_monotone_decreasing_in_gamma_above_half(self):
+        sizes = [minimum_sample_size(g) for g in (0.6, 0.7, 0.8, 0.9)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_symmetric_below_half(self):
+        assert minimum_sample_size(0.25) == minimum_sample_size(0.75)
+
+    def test_stricter_beta_needs_more_samples(self):
+        assert minimum_sample_size(0.75, beta=0.01) > minimum_sample_size(0.75, beta=0.2)
+
+    def test_gamma_half_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_sample_size(0.5)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_sample_size(1.0)
+        with pytest.raises(ValueError):
+            minimum_sample_size(0.75, alpha=0.0)
+
+
+class TestSampleSizeCurve:
+    def test_matches_pointwise(self):
+        gammas = np.array([0.7, 0.8])
+        curve = sample_size_curve(gammas)
+        assert curve[0] == minimum_sample_size(0.7)
+        assert curve[1] == minimum_sample_size(0.8)
+
+    def test_integer_dtype(self):
+        assert sample_size_curve(np.array([0.75])).dtype.kind == "i"

@@ -1,0 +1,65 @@
+"""Tests for the recommended statistical-testing workflow (Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.significance import (
+    SignificanceConclusion,
+    probability_of_outperforming_test,
+)
+
+
+class TestProbabilityOfOutperformingTest:
+    def test_clear_winner_is_significant_and_meaningful(self, rng):
+        a = rng.normal(0.9, 0.01, size=30)
+        b = rng.normal(0.7, 0.01, size=30)
+        report = probability_of_outperforming_test(a, b, random_state=0)
+        assert report.conclusion == SignificanceConclusion.SIGNIFICANT_AND_MEANINGFUL
+        assert report.significant and report.meaningful
+        assert report.p_a_gt_b == 1.0
+
+    def test_identical_algorithms_not_significant(self, rng):
+        scores = rng.normal(0.8, 0.02, size=30)
+        report = probability_of_outperforming_test(scores, scores + rng.normal(0, 0.02, 30), random_state=0)
+        assert report.conclusion == SignificanceConclusion.NOT_SIGNIFICANT or report.p_a_gt_b < 0.7
+
+    def test_small_consistent_improvement_significant_not_meaningful(self, rng):
+        sigma = 0.05
+        a = rng.normal(0.710, sigma, size=4000)
+        b = rng.normal(0.700, sigma, size=4000)
+        report = probability_of_outperforming_test(a, b, gamma=0.75, random_state=0)
+        assert report.conclusion == SignificanceConclusion.SIGNIFICANT_NOT_MEANINGFUL
+
+    def test_ci_bounds_ordered_and_contain_estimate(self, rng):
+        a = rng.normal(0.75, 0.02, size=25)
+        b = rng.normal(0.74, 0.02, size=25)
+        report = probability_of_outperforming_test(a, b, random_state=0)
+        assert report.ci_low <= report.p_a_gt_b <= report.ci_high
+
+    def test_unpaired_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            probability_of_outperforming_test(np.ones(5), np.ones(4))
+
+    def test_gamma_validated(self, rng):
+        with pytest.raises(ValueError):
+            probability_of_outperforming_test(
+                rng.normal(size=10), rng.normal(size=10), gamma=1.5
+            )
+
+    def test_n_pairs_recorded(self, rng):
+        report = probability_of_outperforming_test(
+            rng.normal(size=12), rng.normal(size=12), random_state=0
+        )
+        assert report.n_pairs == 12
+
+    def test_false_positive_rate_controlled(self):
+        # Under H0 (identical algorithms), the rate of "significant and
+        # meaningful" conclusions should be small.
+        master = np.random.default_rng(0)
+        detections = 0
+        for _ in range(40):
+            a = master.normal(0.7, 0.02, size=29)
+            b = master.normal(0.7, 0.02, size=29)
+            report = probability_of_outperforming_test(a, b, n_bootstraps=200, random_state=master)
+            detections += report.meaningful
+        assert detections <= 4

@@ -1,0 +1,50 @@
+"""Tests for the variance-source taxonomy."""
+
+import pytest
+
+from repro.core.sources import (
+    ALL_SOURCES,
+    HOPT_SOURCES,
+    LEARNING_SOURCES,
+    VarianceSource,
+    sources_for_subset,
+)
+
+
+class TestTaxonomy:
+    def test_all_is_union(self):
+        assert set(ALL_SOURCES) == set(LEARNING_SOURCES) | set(HOPT_SOURCES)
+
+    def test_hopt_not_in_learning_sources(self):
+        assert VarianceSource.HOPT not in LEARNING_SOURCES
+
+    def test_paper_sources_present(self):
+        values = {s.value for s in ALL_SOURCES}
+        assert {"data", "augment", "order", "init", "dropout", "numerical", "hopt"} == values
+
+    def test_str(self):
+        assert str(VarianceSource.DATA) == "data"
+
+
+class TestSourcesForSubset:
+    def test_init_subset(self):
+        assert sources_for_subset("init") == frozenset({VarianceSource.INIT})
+
+    def test_data_subset(self):
+        assert sources_for_subset("data") == frozenset({VarianceSource.DATA})
+
+    def test_all_subset_excludes_hopt(self):
+        subset = sources_for_subset("all")
+        assert VarianceSource.HOPT not in subset
+        assert subset == frozenset(LEARNING_SOURCES)
+
+    def test_case_insensitive(self):
+        assert sources_for_subset("Init") == sources_for_subset("init")
+
+    def test_explicit_iterable(self):
+        subset = sources_for_subset(["init", "order"])
+        assert subset == frozenset({VarianceSource.INIT, VarianceSource.ORDER})
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            sources_for_subset("everything")

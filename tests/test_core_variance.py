@@ -1,0 +1,111 @@
+"""Tests for the variance decomposition and estimator-quality studies."""
+
+import numpy as np
+import pytest
+
+from repro.core.variance import (
+    EstimatorQualityStudy,
+    VarianceDecomposition,
+    estimator_standard_error_curve,
+    hpo_variance_study,
+    variance_decomposition_study,
+)
+from repro.core.sources import VarianceSource
+from repro.hpo.random_search import RandomSearch
+
+
+class TestVarianceDecompositionStudy:
+    def test_sources_present(self, hard_process):
+        decomposition = variance_decomposition_study(
+            hard_process,
+            sources=(VarianceSource.DATA, VarianceSource.INIT),
+            n_seeds=4,
+            random_state=0,
+        )
+        assert set(decomposition.stds) == {"data", "init", "numerical"}
+        assert all(std >= 0 for std in decomposition.stds.values())
+
+    def test_scores_shape(self, hard_process):
+        decomposition = variance_decomposition_study(
+            hard_process, sources=(VarianceSource.DATA,), n_seeds=5, random_state=0
+        )
+        assert decomposition.scores["data"].shape == (5,)
+
+    def test_data_variance_positive(self, hard_process):
+        decomposition = variance_decomposition_study(
+            hard_process, sources=(VarianceSource.DATA,), n_seeds=6, random_state=0
+        )
+        assert decomposition.stds["data"] > 0
+
+    def test_relative_to_reference(self):
+        decomposition = VarianceDecomposition(
+            task_name="t", stds={"data": 0.02, "init": 0.01}
+        )
+        relative = decomposition.relative_to("data")
+        assert relative["init"] == pytest.approx(0.5)
+
+    def test_relative_to_missing_reference(self):
+        with pytest.raises(KeyError):
+            VarianceDecomposition(task_name="t", stds={"init": 0.1}).relative_to("data")
+
+    def test_rows_contain_relative_column(self, hard_process):
+        decomposition = variance_decomposition_study(
+            hard_process, sources=(VarianceSource.DATA,), n_seeds=3, random_state=0
+        )
+        rows = decomposition.as_rows()
+        assert all("relative_to_data" in row for row in rows)
+
+
+class TestHpoVarianceStudy:
+    def test_returns_scores_per_algorithm(self, hard_process):
+        results = hpo_variance_study(
+            hard_process, {"random_search": RandomSearch()}, n_repetitions=3, random_state=0
+        )
+        assert set(results) == {"random_search"}
+        assert results["random_search"].shape == (3,)
+
+    def test_restores_original_algorithm(self, hard_process):
+        original = hard_process.hpo_algorithm
+        hpo_variance_study(
+            hard_process, {"random_search": RandomSearch()}, n_repetitions=2, random_state=0
+        )
+        assert hard_process.hpo_algorithm is original
+
+
+class TestEstimatorStandardErrorCurve:
+    def test_iid_rows_match_sigma_over_sqrt_k(self, rng):
+        # For i.i.d. measurements the standard error should follow sigma/sqrt(k).
+        matrix = rng.normal(0.0, 1.0, size=(400, 50))
+        curve = estimator_standard_error_curve(matrix, [1, 4, 16, 49])
+        expected = 1.0 / np.sqrt(np.array([1, 4, 16, 49]))
+        np.testing.assert_allclose(curve, expected, rtol=0.25)
+
+    def test_correlated_rows_plateau(self, rng):
+        shared = rng.normal(size=(200, 1))
+        matrix = shared + 0.1 * rng.normal(size=(200, 50))
+        curve = estimator_standard_error_curve(matrix, [1, 10, 50])
+        # Standard error barely improves because measurements are correlated.
+        assert curve[-1] > 0.5 * curve[0]
+
+    def test_k_larger_than_matrix_rejected(self, rng):
+        with pytest.raises(ValueError):
+            estimator_standard_error_curve(rng.normal(size=(3, 5)), [6])
+
+    def test_requires_multiple_repetitions(self, rng):
+        with pytest.raises(ValueError):
+            estimator_standard_error_curve(rng.normal(size=(1, 5)), [2])
+
+
+class TestEstimatorQualityStudy:
+    def test_produces_all_variants(self, hard_process):
+        study = EstimatorQualityStudy(subsets=("init", "all"), n_repetitions=2, k_max=3)
+        results = study.run(hard_process, random_state=0)
+        assert set(results) == {"IdealEst", "FixHOptEst(init)", "FixHOptEst(all)"}
+        for result in results.values():
+            assert result.score_matrix.shape == (2, 3)
+
+    def test_mse_decomposition_available(self, hard_process):
+        study = EstimatorQualityStudy(subsets=("init",), n_repetitions=2, k_max=3)
+        results = study.run(hard_process, random_state=0)
+        decomposition = results["FixHOptEst(init)"].mse()
+        assert np.isfinite(decomposition.mse)

@@ -1,0 +1,56 @@
+"""Tests for stochastic data augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data.augmentation import FeatureDropout, GaussianJitter, augment_dataset
+
+
+class TestGaussianJitter:
+    def test_changes_features(self, blobs_dataset, rng):
+        out = GaussianJitter(scale=0.5)(blobs_dataset.X, rng)
+        assert not np.allclose(out, blobs_dataset.X)
+
+    def test_zero_scale_is_identity(self, blobs_dataset, rng):
+        out = GaussianJitter(scale=0.0)(blobs_dataset.X, rng)
+        np.testing.assert_array_equal(out, blobs_dataset.X)
+
+    def test_negative_scale_rejected(self, blobs_dataset, rng):
+        with pytest.raises(ValueError):
+            GaussianJitter(scale=-1.0)(blobs_dataset.X, rng)
+
+    def test_does_not_mutate_input(self, blobs_dataset, rng):
+        original = blobs_dataset.X.copy()
+        GaussianJitter(scale=0.5)(blobs_dataset.X, rng)
+        np.testing.assert_array_equal(blobs_dataset.X, original)
+
+
+class TestFeatureDropout:
+    def test_drops_roughly_rate_fraction(self, rng):
+        X = np.ones((200, 50))
+        out = FeatureDropout(rate=0.3)(X, rng)
+        dropped = np.mean(out == 0)
+        assert abs(dropped - 0.3) < 0.05
+
+    def test_zero_rate_identity(self, rng):
+        X = np.ones((5, 5))
+        np.testing.assert_array_equal(FeatureDropout(rate=0.0)(X, rng), X)
+
+    def test_invalid_rate_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FeatureDropout(rate=1.5)(np.ones((2, 2)), rng)
+
+
+class TestAugmentDataset:
+    def test_applies_transforms_in_sequence(self, blobs_dataset, rng):
+        augmented = augment_dataset(
+            blobs_dataset, [GaussianJitter(0.1), FeatureDropout(0.2)], rng
+        )
+        assert augmented.n_samples == blobs_dataset.n_samples
+        assert not np.allclose(augmented.X, blobs_dataset.X)
+        np.testing.assert_array_equal(augmented.y, blobs_dataset.y)
+
+    def test_reproducible_given_same_generator_seed(self, blobs_dataset):
+        a = augment_dataset(blobs_dataset, [GaussianJitter(0.1)], np.random.default_rng(0))
+        b = augment_dataset(blobs_dataset, [GaussianJitter(0.1)], np.random.default_rng(0))
+        np.testing.assert_array_equal(a.X, b.X)

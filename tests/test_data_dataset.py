@@ -1,0 +1,57 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+
+
+class TestDatasetValidation:
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset(X=np.ones(5), y=np.ones(5))
+
+    def test_rejects_2d_targets(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Dataset(X=np.ones((5, 2)), y=np.ones((5, 1)))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="same number"):
+            Dataset(X=np.ones((5, 2)), y=np.ones(4))
+
+    def test_rejects_bad_task_type(self):
+        with pytest.raises(ValueError, match="task_type"):
+            Dataset(X=np.ones((3, 2)), y=np.zeros(3), task_type="ranking")
+
+
+class TestDatasetProperties:
+    def test_shapes(self, blobs_dataset):
+        assert blobs_dataset.n_samples == len(blobs_dataset) == blobs_dataset.X.shape[0]
+        assert blobs_dataset.n_features == blobs_dataset.X.shape[1]
+
+    def test_n_classes(self, blobs_dataset):
+        assert blobs_dataset.n_classes == 3
+
+    def test_n_classes_none_for_regression(self, regression_dataset):
+        assert regression_dataset.n_classes is None
+
+
+class TestDatasetOperations:
+    def test_subset_with_repeats(self, blobs_dataset):
+        indices = np.array([0, 0, 1])
+        sub = blobs_dataset.subset(indices)
+        assert sub.n_samples == 3
+        np.testing.assert_array_equal(sub.X[0], sub.X[1])
+
+    def test_shuffled_preserves_content(self, blobs_dataset, rng):
+        shuffled = blobs_dataset.shuffled(rng)
+        assert shuffled.n_samples == blobs_dataset.n_samples
+        assert sorted(shuffled.y.tolist()) == sorted(blobs_dataset.y.tolist())
+
+    def test_concatenate(self, blobs_dataset):
+        combined = blobs_dataset.concatenate(blobs_dataset)
+        assert combined.n_samples == 2 * blobs_dataset.n_samples
+
+    def test_concatenate_rejects_mismatched_types(self, blobs_dataset, regression_dataset):
+        with pytest.raises(ValueError):
+            blobs_dataset.concatenate(regression_dataset)

@@ -1,0 +1,43 @@
+"""Tests for label and sequence encodings."""
+
+import numpy as np
+import pytest
+
+from repro.data.encoding import one_hot_encode_labels, one_hot_encode_sequences
+
+
+class TestOneHotLabels:
+    def test_basic_encoding(self):
+        encoded = one_hot_encode_labels(np.array([0, 2, 1]), n_classes=3)
+        expected = np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+        np.testing.assert_array_equal(encoded, expected)
+
+    def test_infers_n_classes(self):
+        assert one_hot_encode_labels(np.array([0, 3])).shape == (2, 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot_encode_labels(np.array([0, 5]), n_classes=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            one_hot_encode_labels(np.zeros((2, 2)))
+
+
+class TestOneHotSequences:
+    def test_shape_and_content(self):
+        encoded = one_hot_encode_sequences(["AC", "CA"], alphabet="AC")
+        assert encoded.shape == (2, 4)
+        np.testing.assert_array_equal(encoded[0], [1, 0, 0, 1])
+        np.testing.assert_array_equal(encoded[1], [0, 1, 1, 0])
+
+    def test_rejects_ragged_sequences(self):
+        with pytest.raises(ValueError):
+            one_hot_encode_sequences(["AB", "A"], alphabet="AB")
+
+    def test_rejects_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            one_hot_encode_sequences(["AZ"], alphabet="AB")
+
+    def test_empty_input(self):
+        assert one_hot_encode_sequences([], alphabet="AB").shape == (0, 0)

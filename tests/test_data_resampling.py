@@ -1,0 +1,87 @@
+"""Tests for bootstrap / out-of-bootstrap resampling (Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.data.resampling import (
+    BootstrapResampler,
+    CrossValidationResampler,
+    bootstrap_split,
+    out_of_bootstrap_indices,
+)
+
+
+class TestOutOfBootstrapIndices:
+    def test_in_bag_size(self, rng):
+        in_bag, _ = out_of_bootstrap_indices(100, rng)
+        assert in_bag.size == 100
+
+    def test_out_of_bag_disjoint_from_in_bag(self, rng):
+        in_bag, out_of_bag = out_of_bootstrap_indices(200, rng)
+        assert set(in_bag).isdisjoint(out_of_bag)
+
+    def test_out_of_bag_fraction_near_e_inverse(self, rng):
+        # Expected out-of-bag fraction is (1 - 1/n)^n -> 1/e ~ 0.368.
+        sizes = [out_of_bootstrap_indices(1000, rng)[1].size for _ in range(20)]
+        assert abs(np.mean(sizes) / 1000 - 0.368) < 0.03
+
+    def test_custom_draw_count(self, rng):
+        in_bag, _ = out_of_bootstrap_indices(50, rng, n_draws=10)
+        assert in_bag.size == 10
+
+
+class TestBootstrapSplit:
+    def test_no_leakage_between_train_and_test(self, blobs_dataset, rng):
+        train, valid, test = bootstrap_split(blobs_dataset, rng)
+        # Compare raw rows: no test row may appear in train or valid.
+        train_rows = {tuple(row) for row in np.vstack([train.X, valid.X])}
+        assert all(tuple(row) not in train_rows for row in test.X)
+
+    def test_sizes_positive(self, blobs_dataset, rng):
+        train, valid, test = bootstrap_split(blobs_dataset, rng)
+        assert train.n_samples > 0 and valid.n_samples > 0 and test.n_samples > 0
+
+    def test_stratified_train_keeps_class_balance(self, blobs_dataset, rng):
+        train, _, _ = bootstrap_split(blobs_dataset, rng, stratify=True)
+        counts = np.bincount(train.y.astype(int))
+        assert counts.min() > 0
+        assert counts.max() / counts.min() < 2.0
+
+    def test_valid_fraction_respected(self, blobs_dataset, rng):
+        train, valid, _ = bootstrap_split(blobs_dataset, rng, valid_fraction=0.4)
+        total = train.n_samples + valid.n_samples
+        assert abs(valid.n_samples / total - 0.4) < 0.1
+
+    def test_regression_unstratified_path(self, regression_dataset, rng):
+        train, valid, test = bootstrap_split(regression_dataset, rng)
+        assert train.n_samples + valid.n_samples == regression_dataset.n_samples
+        assert test.n_samples > 0
+
+
+class TestBootstrapResampler:
+    def test_splits_differ_across_draws(self, blobs_dataset, rng):
+        resampler = BootstrapResampler()
+        first = resampler.split(blobs_dataset, rng)[2]
+        second = resampler.split(blobs_dataset, rng)[2]
+        assert first.n_samples != second.n_samples or not np.array_equal(first.X, second.X)
+
+    def test_splits_iterator_count(self, blobs_dataset, rng):
+        resampler = BootstrapResampler()
+        assert len(list(resampler.splits(blobs_dataset, 4, rng))) == 4
+
+
+class TestCrossValidationResampler:
+    def test_yields_n_folds(self, blobs_dataset, rng):
+        resampler = CrossValidationResampler(n_folds=5)
+        folds = list(resampler.splits(blobs_dataset, rng))
+        assert len(folds) == 5
+
+    def test_test_folds_partition_dataset(self, blobs_dataset, rng):
+        resampler = CrossValidationResampler(n_folds=4)
+        test_sizes = sum(test.n_samples for _, _, test in resampler.splits(blobs_dataset, rng))
+        assert test_sizes == blobs_dataset.n_samples
+
+    def test_rejects_too_many_folds(self, rng, blobs_dataset):
+        resampler = CrossValidationResampler(n_folds=10_000)
+        with pytest.raises(ValueError):
+            list(resampler.splits(blobs_dataset, rng))

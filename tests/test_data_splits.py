@@ -1,0 +1,47 @@
+"""Tests for splitting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import stratified_indices, train_valid_test_split
+
+
+class TestStratifiedIndices:
+    def test_disjoint_and_complete(self, rng):
+        labels = np.repeat([0, 1, 2], 30)
+        first, second = stratified_indices(labels, 0.5, rng)
+        assert set(first).isdisjoint(second)
+        assert len(first) + len(second) == labels.size
+
+    def test_class_proportions_preserved(self, rng):
+        labels = np.array([0] * 80 + [1] * 20)
+        first, _ = stratified_indices(labels, 0.5, rng)
+        fraction_of_ones = np.mean(labels[first] == 1)
+        assert abs(fraction_of_ones - 0.2) < 0.05
+
+
+class TestTrainValidTestSplit:
+    def test_partition_covers_dataset(self, blobs_dataset):
+        train, valid, test = train_valid_test_split(blobs_dataset, random_state=0)
+        assert train.n_samples + valid.n_samples + test.n_samples == blobs_dataset.n_samples
+
+    def test_fraction_sizes(self, blobs_dataset):
+        train, valid, test = train_valid_test_split(
+            blobs_dataset, train_fraction=0.5, valid_fraction=0.25, random_state=0
+        )
+        assert abs(train.n_samples / blobs_dataset.n_samples - 0.5) < 0.1
+        assert abs(valid.n_samples / blobs_dataset.n_samples - 0.25) < 0.1
+
+    def test_rejects_fractions_summing_to_one(self, blobs_dataset):
+        with pytest.raises(ValueError):
+            train_valid_test_split(blobs_dataset, train_fraction=0.8, valid_fraction=0.2)
+
+    def test_stratification_keeps_all_classes_in_test(self, blobs_dataset):
+        _, _, test = train_valid_test_split(blobs_dataset, random_state=0, stratify=True)
+        assert set(np.unique(test.y)) == set(np.unique(blobs_dataset.y))
+
+    def test_unstratified_regression_split(self, regression_dataset):
+        train, valid, test = train_valid_test_split(
+            regression_dataset, stratify=False, random_state=0
+        )
+        assert train.n_samples > 0 and valid.n_samples > 0 and test.n_samples > 0

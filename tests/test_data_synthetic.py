@@ -1,0 +1,96 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    make_gaussian_blobs,
+    make_nonlinear_classification,
+    make_peptide_binding,
+    make_segmentation_grids,
+    make_sentiment_bags,
+)
+
+
+class TestGaussianBlobs:
+    def test_shapes_and_labels(self):
+        ds = make_gaussian_blobs(n_samples=100, n_features=5, n_classes=4, random_state=0)
+        assert ds.X.shape == (100, 5)
+        assert set(np.unique(ds.y)) <= set(range(4))
+
+    def test_reproducible(self):
+        a = make_gaussian_blobs(n_samples=50, random_state=3)
+        b = make_gaussian_blobs(n_samples=50, random_state=3)
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_separation_controls_difficulty(self):
+        easy = make_gaussian_blobs(n_samples=300, class_separation=6.0, noise=0.5, random_state=0)
+        hard = make_gaussian_blobs(n_samples=300, class_separation=0.5, noise=2.0, random_state=0)
+        # Nearest-centroid accuracy should be much higher on the easy set.
+        def centroid_accuracy(ds):
+            centroids = np.stack([ds.X[ds.y == c].mean(axis=0) for c in np.unique(ds.y)])
+            preds = np.argmin(
+                ((ds.X[:, None, :] - centroids[None]) ** 2).sum(-1), axis=1
+            )
+            return float(np.mean(np.unique(ds.y)[preds] == ds.y))
+
+        assert centroid_accuracy(easy) > centroid_accuracy(hard) + 0.2
+
+
+class TestNonlinearClassification:
+    def test_binary_by_default(self):
+        ds = make_nonlinear_classification(n_samples=100, random_state=0)
+        assert set(np.unique(ds.y)) <= {0, 1}
+
+    def test_all_classes_present(self):
+        ds = make_nonlinear_classification(n_samples=500, random_state=1)
+        assert len(np.unique(ds.y)) == 2
+
+
+class TestSentimentBags:
+    def test_features_are_normalized_counts(self):
+        ds = make_sentiment_bags(n_samples=50, vocabulary_size=20, document_length=10, random_state=0)
+        np.testing.assert_allclose(ds.X.sum(axis=1), 1.0)
+        assert np.all(ds.X >= 0)
+
+    def test_binary_labels(self):
+        ds = make_sentiment_bags(n_samples=100, random_state=0)
+        assert set(np.unique(ds.y)) <= {0, 1}
+
+
+class TestPeptideBinding:
+    def test_regression_targets_in_unit_interval(self):
+        ds = make_peptide_binding(n_samples=80, random_state=0)
+        assert ds.task_type == "regression"
+        assert np.all(ds.y >= 0) and np.all(ds.y <= 1)
+
+    def test_one_hot_feature_blocks(self):
+        ds = make_peptide_binding(
+            n_samples=10, peptide_length=3, allele_length=2, random_state=0
+        )
+        # 20 amino acids, (3 + 2) positions -> 100 features, 5 ones per row.
+        assert ds.X.shape[1] == 100
+        np.testing.assert_array_equal(ds.X.sum(axis=1), 5.0)
+
+    def test_signal_exists(self):
+        # A ridge fit on the one-hot features should beat predicting the mean:
+        # the peptide one-hots carry a marginal (allele-averaged) effect.
+        ds = make_peptide_binding(n_samples=2000, noise=0.05, random_state=0)
+        X = np.hstack([ds.X, np.ones((ds.n_samples, 1))])
+        train, test = slice(0, 1500), slice(1500, None)
+        gram = X[train].T @ X[train] + 1.0 * np.eye(X.shape[1])
+        coef = np.linalg.solve(gram, X[train].T @ ds.y[train])
+        pred = X[test] @ coef
+        ss_res = np.sum((ds.y[test] - pred) ** 2)
+        ss_tot = np.sum((ds.y[test] - ds.y[test].mean()) ** 2)
+        assert 1 - ss_res / ss_tot > 0.1
+
+
+class TestSegmentationGrids:
+    def test_labels_range(self):
+        ds = make_segmentation_grids(n_samples=60, n_classes=5, random_state=0)
+        assert ds.y.min() >= 0 and ds.y.max() < 4 + 1
+
+    def test_feature_dimension(self):
+        ds = make_segmentation_grids(n_samples=10, grid_size=6, random_state=0)
+        assert ds.X.shape[1] == 36

@@ -1,0 +1,56 @@
+"""Tests for the case-study analogue task registry."""
+
+import pytest
+
+from repro.data.tasks import CaseStudyTask, get_task, list_tasks
+from repro.pipelines.base import Pipeline
+
+
+class TestRegistry:
+    def test_five_case_studies_registered(self):
+        assert len(list_tasks()) == 5
+
+    def test_expected_names(self):
+        assert set(list_tasks()) == {
+            "image-classification",
+            "segmentation",
+            "sentiment",
+            "entailment",
+            "peptide-binding",
+        }
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            get_task("not-a-task")
+
+
+class TestTasks:
+    @pytest.mark.parametrize("name", ["entailment", "sentiment", "peptide-binding"])
+    def test_dataset_generation(self, name):
+        task = get_task(name)
+        dataset = task.make_dataset(random_state=0, n_samples=100)
+        assert dataset.n_samples == 100
+        assert dataset.task_type == task.task_type
+
+    @pytest.mark.parametrize("name", ["image-classification", "segmentation"])
+    def test_pipeline_construction(self, name):
+        task = get_task(name)
+        pipeline = task.make_pipeline(n_epochs=2)
+        assert isinstance(pipeline, Pipeline)
+        assert pipeline.metric_name == task.metric_name
+
+    def test_pipeline_overrides_forwarded(self):
+        pipeline = get_task("entailment").make_pipeline(hidden_sizes=(4,), n_epochs=1)
+        assert pipeline.hidden_sizes == (4,)
+        assert pipeline.n_epochs == 1
+
+    def test_regression_task_metadata(self):
+        task = get_task("peptide-binding")
+        assert task.task_type == "regression"
+        assert "MHC" in task.paper_case_study
+
+    def test_task_dataset_reproducibility(self):
+        task = get_task("sentiment")
+        a = task.make_dataset(random_state=7, n_samples=60)
+        b = task.make_dataset(random_state=7, n_samples=60)
+        assert (a.X == b.X).all()

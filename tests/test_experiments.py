@@ -1,0 +1,210 @@
+"""Integration tests for the experiment layer (one per paper artefact).
+
+These run every experiment at its smallest sensible size to check the
+plumbing end to end; the benchmark harness runs them at larger sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_binomial_study,
+    run_detection_study,
+    run_estimator_study,
+    run_hpo_curves_study,
+    run_mhc_model_comparison,
+    run_normality_study,
+    run_robustness_study,
+    run_sample_size_study,
+    run_sota_study,
+    run_variance_study,
+)
+
+
+class TestVarianceStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_variance_study(
+            ["entailment"],
+            n_seeds=6,
+            n_hpo_repetitions=2,
+            hpo_budget=3,
+            dataset_size=250,
+            random_state=0,
+        )
+
+    def test_all_sources_reported(self, result):
+        stds = result.decompositions["entailment"].stds
+        assert {"data", "order", "init", "dropout", "numerical"} <= set(stds)
+
+    def test_hpo_algorithms_reported(self, result):
+        assert set(result.hpo_stds["entailment"]) == {
+            "random_search",
+            "noisy_grid_search",
+            "bayesopt",
+        }
+
+    def test_data_variance_dominates_numerical_noise(self, result):
+        stds = result.decompositions["entailment"].stds
+        assert stds["data"] >= stds["numerical"]
+
+    def test_rows_and_report(self, result):
+        rows = result.rows()
+        assert any(row["source"].startswith("hopt/") for row in rows)
+        assert "Figure 1" in result.report()
+
+
+class TestBinomialStudy:
+    def test_observed_std_same_order_as_binomial_model(self):
+        result = run_binomial_study(["entailment"], n_splits=8, random_state=0)
+        row = result.rows()[0]
+        assert 0.3 < row["ratio_observed_over_binomial"] < 3.0
+
+    def test_curves_tabulated(self):
+        result = run_binomial_study(["sentiment"], n_splits=4, random_state=0)
+        curve = result.curves["sentiment"]
+        assert np.all(np.diff(curve["binomial_std"]) < 0)
+
+    def test_regression_tasks_skipped(self):
+        result = run_binomial_study(["peptide-binding"], n_splits=3, random_state=0)
+        assert result.rows() == []
+
+
+class TestSotaStudy:
+    def test_default_run(self):
+        result = run_sota_study()
+        assert set(result.timelines) == {"cifar10", "sst2"}
+        assert 0.0 <= result.fraction_significant("cifar10") <= 1.0
+
+    def test_large_sigma_suppresses_significance(self):
+        result = run_sota_study(sigmas={"cifar10": 0.2})
+        assert result.fraction_significant("cifar10") == 0.0
+
+    def test_report_mentions_figure(self):
+        assert "Figure 3" in run_sota_study().report()
+
+
+class TestEstimatorStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_estimator_study(
+            ["entailment"],
+            k_max=4,
+            n_repetitions=2,
+            hpo_budget=3,
+            dataset_size=250,
+            random_state=0,
+        )
+
+    def test_all_estimators_present(self, result):
+        names = {row["estimator"] for row in result.standard_error_rows()}
+        assert names == {
+            "IdealEst",
+            "FixHOptEst(init)",
+            "FixHOptEst(data)",
+            "FixHOptEst(all)",
+        }
+
+    def test_mse_rows_finite(self, result):
+        assert all(np.isfinite(row["mse"]) for row in result.mse_rows())
+
+    def test_cost_rows_reflect_51x_scale(self, result):
+        rows = {row["estimator"]: row["model_fits"] for row in result.cost_rows(k=100)}
+        assert rows["IdealEst"] > rows["FixHOptEst"]
+        assert rows["ratio"] == pytest.approx(rows["IdealEst"] / rows["FixHOptEst"])
+
+
+class TestDetectionStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_detection_study(
+            probabilities=(0.4, 0.5, 0.9, 0.99),
+            k=20,
+            n_simulations=20,
+            random_state=0,
+        )
+
+    def test_oracle_is_step_function(self, result):
+        assert result.oracle_rates.tolist() == [0.0, 0.0, 1.0, 1.0]
+
+    def test_curves_for_both_estimators(self, result):
+        estimators = {c.estimator for c in result.curves}
+        assert estimators == {"ideal", "biased"}
+
+    def test_probability_criterion_beats_average_on_power(self, result):
+        prob_fn = result.false_negative_rate("probability_of_outperforming", "ideal")
+        avg_fn = result.false_negative_rate("average", "ideal")
+        assert prob_fn <= avg_fn
+
+    def test_report_contains_rows(self, result):
+        assert "oracle" in result.report()
+
+
+class TestRobustnessStudy:
+    def test_structure(self):
+        result = run_robustness_study(
+            sample_sizes=(5, 20), thresholds=(0.7, 0.9), k=20, n_simulations=15, random_state=0
+        )
+        assert set(result.by_sample_size) == {
+            "average",
+            "probability_of_outperforming",
+            "t_test_like_average",
+        }
+        assert set(result.by_threshold) == {"probability_of_outperforming", "average"}
+        rows = result.rows()
+        assert any(row["sweep"] == "threshold" for row in rows)
+
+
+class TestSampleSizeStudy:
+    def test_recommended_29(self):
+        assert run_sample_size_study().recommended_sample_size == 29
+
+    def test_monotone_rows(self):
+        result = run_sample_size_study(gammas=(0.6, 0.75, 0.9))
+        sizes = [row["min_sample_size"] for row in result.rows()]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_recommended_flagged(self):
+        rows = run_sample_size_study(gammas=(0.7, 0.75)).rows()
+        assert any(row["recommended"] for row in rows)
+
+
+class TestHpoCurvesStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_hpo_curves_study(
+            ["entailment"], budget=4, n_repetitions=2, dataset_size=250, random_state=0
+        )
+
+    def test_curves_shape(self, result):
+        matrix = result.curves["entailment"]["random_search"]
+        assert matrix.shape == (2, 4)
+
+    def test_curves_monotone_non_increasing(self, result):
+        for matrix in result.curves["entailment"].values():
+            assert np.all(np.diff(matrix, axis=1) <= 1e-12)
+
+    def test_final_std_finite(self, result):
+        assert np.isfinite(result.final_std("entailment", "bayesopt"))
+
+    def test_rows_cover_all_algorithms(self, result):
+        algorithms = {row["algorithm"] for row in result.rows()}
+        assert algorithms == {"random_search", "noisy_grid_search", "bayesopt"}
+
+
+class TestNormalityStudy:
+    def test_reports_per_source(self):
+        result = run_normality_study(
+            ["entailment"], n_seeds=6, dataset_size=250, random_state=0
+        )
+        assert "altogether" in result.reports["entailment"]
+        assert 0.0 <= result.fraction_consistent_with_normal() <= 1.0
+        assert "Figure G.3" in result.report()
+
+
+class TestMHCComparison:
+    def test_rows_and_comparison(self):
+        result = run_mhc_model_comparison(n_samples=300, k_pairs=5, random_state=0)
+        assert len(result.model_rows) == 2
+        assert result.comparison is not None
+        assert "Table 8" in result.report()

@@ -1,0 +1,111 @@
+"""Tests for the Gaussian process and Bayesian optimization."""
+
+import numpy as np
+import pytest
+
+from repro.hpo.acquisition import expected_improvement, upper_confidence_bound
+from repro.hpo.bayesopt import BayesianOptimization
+from repro.hpo.gp import GaussianProcess, rbf_kernel
+from repro.hpo.space import SearchSpace, UniformDimension
+
+
+class TestRBFKernel:
+    def test_diagonal_is_signal_variance(self):
+        X = np.array([[0.1, 0.2], [0.5, 0.5]])
+        K = rbf_kernel(X, X, length_scale=0.3, signal_variance=2.0)
+        np.testing.assert_allclose(np.diag(K), 2.0)
+
+    def test_decays_with_distance(self):
+        a = np.array([[0.0]])
+        assert rbf_kernel(a, np.array([[0.1]]))[0, 0] > rbf_kernel(a, np.array([[0.9]]))[0, 0]
+
+    def test_symmetric(self, rng):
+        X = rng.random((5, 3))
+        K = rbf_kernel(X, X)
+        np.testing.assert_allclose(K, K.T)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            rbf_kernel(np.zeros((1, 1)), np.zeros((1, 1)), length_scale=0.0)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self, rng):
+        X = rng.random((15, 1))
+        y = np.sin(4 * X[:, 0])
+        gp = GaussianProcess(length_scale=0.2, noise_variance=1e-6).fit(X, y)
+        mean, _ = gp.predict(X)
+        np.testing.assert_allclose(mean, y, atol=1e-2)
+
+    def test_uncertainty_larger_away_from_data(self, rng):
+        X = rng.uniform(0.0, 0.4, size=(10, 1))
+        y = np.cos(X[:, 0])
+        gp = GaussianProcess(length_scale=0.1).fit(X, y)
+        _, std_near = gp.predict(np.array([[0.2]]))
+        _, std_far = gp.predict(np.array([[0.95]]))
+        assert std_far[0] > std_near[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 1)))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((3, 1)), np.zeros(2))
+
+    def test_target_normalization_recovers_offset(self, rng):
+        X = rng.random((20, 1))
+        y = 100.0 + 0.1 * X[:, 0]
+        gp = GaussianProcess(length_scale=0.3).fit(X, y)
+        mean, _ = gp.predict(np.array([[0.5]]))
+        assert abs(mean[0] - 100.05) < 1.0
+
+
+class TestAcquisition:
+    def test_expected_improvement_positive_when_mean_below_best(self):
+        ei = expected_improvement(np.array([0.0]), np.array([0.1]), best_value=1.0)
+        assert ei[0] > 0
+
+    def test_expected_improvement_zero_when_hopeless(self):
+        ei = expected_improvement(np.array([10.0]), np.array([1e-9]), best_value=0.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_ucb_prefers_uncertain_points(self):
+        scores = upper_confidence_bound(np.array([1.0, 1.0]), np.array([0.1, 1.0]))
+        assert scores[1] > scores[0]
+
+
+class TestBayesianOptimization:
+    def _space(self):
+        return SearchSpace({"x": UniformDimension(0.0, 1.0)})
+
+    def test_beats_random_search_on_smooth_function(self):
+        def objective(config):
+            return (config["x"] - 0.73) ** 2
+
+        bo = BayesianOptimization(n_initial_points=4, n_candidates=128)
+        result = bo.optimize(objective, self._space(), budget=20, random_state=0)
+        assert result.best_value < 1e-2
+
+    def test_initial_points_are_random(self):
+        bo = BayesianOptimization(n_initial_points=3)
+        seen = []
+
+        def objective(config):
+            seen.append(config["x"])
+            return config["x"]
+
+        bo.optimize(objective, self._space(), budget=3, random_state=0)
+        assert len(set(np.round(seen, 6))) == 3
+
+    def test_reproducible(self):
+        def objective(config):
+            return abs(config["x"] - 0.2)
+
+        a = BayesianOptimization().optimize(objective, self._space(), budget=10, random_state=5)
+        b = BayesianOptimization().optimize(objective, self._space(), budget=10, random_state=5)
+        assert a.best_config == b.best_config
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            BayesianOptimization(n_initial_points=0)

@@ -1,0 +1,127 @@
+"""Tests for the hyperparameter search-space abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.hpo.space import (
+    CategoricalDimension,
+    LinearDimension,
+    LogUniformDimension,
+    SearchSpace,
+    UniformDimension,
+)
+
+
+class TestUniformDimension:
+    def test_sample_within_bounds(self, rng):
+        dim = UniformDimension(0.2, 0.8)
+        samples = [dim.sample(rng) for _ in range(100)]
+        assert all(0.2 <= s <= 0.8 for s in samples)
+
+    def test_grid_endpoints(self):
+        grid = UniformDimension(0.0, 1.0).grid(5)
+        assert grid[0] == 0.0 and grid[-1] == 1.0 and len(grid) == 5
+
+    def test_unit_roundtrip(self):
+        dim = UniformDimension(-2.0, 6.0)
+        assert dim.from_unit(dim.to_unit(3.0)) == pytest.approx(3.0)
+
+    def test_shifted(self):
+        dim = UniformDimension(0.0, 1.0).shifted(0.5)
+        assert (dim.low, dim.high) == (0.5, 1.5)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformDimension(1.0, 1.0)
+
+    def test_linear_alias(self):
+        assert LinearDimension is UniformDimension
+
+
+class TestLogUniformDimension:
+    def test_sample_within_bounds(self, rng):
+        dim = LogUniformDimension(1e-4, 1e-1)
+        samples = [dim.sample(rng) for _ in range(200)]
+        assert all(1e-4 <= s <= 1e-1 for s in samples)
+
+    def test_samples_spread_across_decades(self, rng):
+        dim = LogUniformDimension(1e-4, 1e-1)
+        samples = np.array([dim.sample(rng) for _ in range(2000)])
+        # Roughly a third of samples should fall in each decade.
+        fraction_low = np.mean(samples < 1e-3)
+        assert 0.2 < fraction_low < 0.45
+
+    def test_grid_is_geometric(self):
+        grid = LogUniformDimension(1e-3, 1e-1).grid(3)
+        assert grid[1] == pytest.approx(1e-2)
+
+    def test_unit_roundtrip(self):
+        dim = LogUniformDimension(1e-5, 1e-1)
+        assert dim.from_unit(dim.to_unit(1e-3)) == pytest.approx(1e-3)
+
+    def test_requires_positive_bounds(self):
+        with pytest.raises(ValueError):
+            LogUniformDimension(0.0, 1.0)
+
+
+class TestCategoricalDimension:
+    def test_sample_from_choices(self, rng):
+        dim = CategoricalDimension(["a", "b", "c"])
+        assert dim.sample(rng) in {"a", "b", "c"}
+
+    def test_grid_is_all_choices(self):
+        assert CategoricalDimension([1, 2]).grid(10) == [1, 2]
+
+    def test_unit_roundtrip(self):
+        dim = CategoricalDimension(["x", "y", "z"])
+        assert dim.from_unit(dim.to_unit("y")) == "y"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalDimension([])
+
+
+class TestSearchSpace:
+    def _space(self):
+        return SearchSpace(
+            {
+                "lr": LogUniformDimension(1e-4, 1e-1),
+                "momentum": UniformDimension(0.5, 0.99),
+            }
+        )
+
+    def test_sample_has_all_names(self, rng):
+        config = self._space().sample(rng)
+        assert set(config) == {"lr", "momentum"}
+
+    def test_grid_size(self):
+        assert len(self._space().grid(3)) == 9
+
+    def test_unit_roundtrip(self):
+        space = self._space()
+        config = {"lr": 1e-2, "momentum": 0.7}
+        recovered = space.from_unit(space.to_unit(config))
+        assert recovered["lr"] == pytest.approx(1e-2)
+        assert recovered["momentum"] == pytest.approx(0.7)
+
+    def test_from_unit_wrong_shape(self):
+        with pytest.raises(ValueError):
+            self._space().from_unit(np.array([0.5]))
+
+    def test_perturbed_keeps_names_and_stays_valid(self, rng):
+        space = self._space()
+        perturbed = space.perturbed(rng, relative_scale=0.1)
+        assert perturbed.names == space.names
+        assert perturbed.dimensions["lr"].low > 0
+
+    def test_perturbed_in_expectation_matches_original(self):
+        # Averaged over many perturbations, the bounds should stay centered
+        # on the nominal ones (the noisy-grid property of Appendix E.2).
+        space = SearchSpace({"x": UniformDimension(0.0, 1.0)})
+        rng = np.random.default_rng(0)
+        lows = [space.perturbed(rng, 0.25).dimensions["x"].low for _ in range(500)]
+        assert abs(np.mean(lows)) < 0.02
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace({})

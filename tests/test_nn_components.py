@@ -1,0 +1,145 @@
+"""Tests for activations, initializers, losses, optimizers and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.pipelines.nn.activations import ACTIVATIONS
+from repro.pipelines.nn.initializers import INITIALIZERS, initialize_weights
+from repro.pipelines.nn.losses import cross_entropy_loss, mse_loss, softmax
+from repro.pipelines.nn.optimizers import SGD, Adam
+from repro.pipelines.nn.schedules import ConstantSchedule, ExponentialDecaySchedule
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", sorted(ACTIVATIONS))
+    def test_derivative_matches_finite_difference(self, name):
+        activation = ACTIVATIONS[name]
+        x = np.linspace(-2, 2, 41)
+        x = x[np.abs(x) > 1e-3]  # avoid the ReLU kink
+        eps = 1e-6
+        numeric = (activation.forward(x + eps) - activation.forward(x - eps)) / (2 * eps)
+        analytic = activation.derivative(activation.forward(x))
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+    def test_relu_clamps_negatives(self):
+        out = ACTIVATIONS["relu"].forward(np.array([-1.0, 0.5]))
+        np.testing.assert_array_equal(out, [0.0, 0.5])
+
+    def test_sigmoid_stable_for_large_inputs(self):
+        out = ACTIVATIONS["sigmoid"].forward(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+
+class TestInitializers:
+    def test_known_schemes(self):
+        assert {"glorot_uniform", "he_normal", "gaussian"} <= set(INITIALIZERS)
+
+    def test_initialize_weights_shapes(self, rng):
+        weights, biases = initialize_weights([4, 8, 3], rng)
+        assert [w.shape for w in weights] == [(4, 8), (8, 3)]
+        assert [b.shape for b in biases] == [(8,), (3,)]
+        assert all(np.all(b == 0) for b in biases)
+
+    def test_glorot_limit(self, rng):
+        weights, _ = initialize_weights([100, 100], rng, scheme="glorot_uniform")
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(weights[0]).max() <= limit + 1e-12
+
+    def test_gaussian_scale(self, rng):
+        weights, _ = initialize_weights([200, 200], rng, scheme="gaussian", scale=0.3)
+        assert abs(weights[0].std() - 0.3) < 0.02
+
+    def test_unknown_scheme_rejected(self, rng):
+        with pytest.raises(ValueError):
+            initialize_weights([2, 2], rng, scheme="nope")
+
+    def test_requires_two_layers(self, rng):
+        with pytest.raises(ValueError):
+            initialize_weights([3], rng)
+
+
+class TestLosses:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(10, 5)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = cross_entropy_loss(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_cross_entropy_gradient_matches_finite_difference(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        _, grad = cross_entropy_loss(logits, labels)
+        eps = 1e-6
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                plus = logits.copy(); plus[i, j] += eps
+                minus = logits.copy(); minus[i, j] -= eps
+                numeric = (cross_entropy_loss(plus, labels)[0] - cross_entropy_loss(minus, labels)[0]) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-5)
+
+    def test_mse_gradient_matches_finite_difference(self, rng):
+        predictions = rng.normal(size=(5, 1))
+        targets = rng.normal(size=5)
+        _, grad = mse_loss(predictions, targets)
+        eps = 1e-6
+        for i in range(5):
+            plus = predictions.copy(); plus[i, 0] += eps
+            minus = predictions.copy(); minus[i, 0] -= eps
+            numeric = (mse_loss(plus, targets)[0] - mse_loss(minus, targets)[0]) / (2 * eps)
+            assert grad[i, 0] == pytest.approx(numeric, abs=1e-6)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer, steps=200):
+        # Minimize f(x) = ||x - 3||^2 with gradient 2(x - 3).
+        params = [np.array([0.0, 0.0])]
+        for _ in range(steps):
+            grads = [2 * (params[0] - 3.0)]
+            optimizer.step(params, grads)
+        return params[0]
+
+    def test_sgd_converges_on_quadratic(self):
+        final = self._quadratic_descent(SGD(learning_rate=0.1, momentum=0.5))
+        np.testing.assert_allclose(final, 3.0, atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        final = self._quadratic_descent(Adam(learning_rate=0.1), steps=500)
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        plain = self._quadratic_descent(SGD(learning_rate=0.1))
+        decayed = self._quadratic_descent(SGD(learning_rate=0.1, weight_decay=1.0))
+        assert np.all(np.abs(decayed) < np.abs(plain))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=-0.1)
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam(learning_rate=0.1, beta1=1.2)
+
+    def test_explicit_learning_rate_overrides_default(self):
+        optimizer = SGD(learning_rate=1.0)
+        params = [np.array([0.0])]
+        optimizer.step(params, [np.array([1.0])], learning_rate=0.5)
+        np.testing.assert_allclose(params[0], [-0.5])
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.1)
+        assert schedule(0) == schedule(10) == 0.1
+
+    def test_exponential_decay(self):
+        schedule = ExponentialDecaySchedule(0.1, gamma=0.5)
+        assert schedule(0) == pytest.approx(0.1)
+        assert schedule(2) == pytest.approx(0.025)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            ExponentialDecaySchedule(0.1, gamma=1.5)(0)

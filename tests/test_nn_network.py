@@ -1,0 +1,119 @@
+"""Tests for the MLP network, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.pipelines.nn.network import MLPNetwork
+
+
+def _numeric_gradients(network, X, y, eps=1e-6):
+    """Finite-difference gradients for every parameter of the network."""
+    gradients = []
+    for param in network.parameters():
+        grad = np.zeros_like(param)
+        it = np.nditer(param, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            original = param[idx]
+            param[idx] = original + eps
+            loss_plus, _ = network.loss_and_gradients(X, y)
+            param[idx] = original - eps
+            loss_minus, _ = network.loss_and_gradients(X, y)
+            param[idx] = original
+            grad[idx] = (loss_plus - loss_minus) / (2 * eps)
+            it.iternext()
+        gradients.append(grad)
+    return gradients
+
+
+class TestForward:
+    def test_output_shape_classification(self, rng):
+        net = MLPNetwork([4, 6, 3], init_rng=rng)
+        output, activations, masks = net.forward(rng.normal(size=(7, 4)))
+        assert output.shape == (7, 3)
+        assert len(activations) == 2
+        assert len(masks) == 1
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        net = MLPNetwork([4, 6, 3], init_rng=rng)
+        probs = net.predict_proba(rng.normal(size=(5, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_predict_regression_shape(self, rng):
+        net = MLPNetwork([4, 6, 1], task_type="regression", init_rng=rng)
+        assert net.predict(rng.normal(size=(5, 4))).shape == (5,)
+
+    def test_predict_proba_rejected_for_regression(self, rng):
+        net = MLPNetwork([4, 2, 1], task_type="regression", init_rng=rng)
+        with pytest.raises(ValueError):
+            net.predict_proba(rng.normal(size=(3, 4)))
+
+    def test_dropout_only_active_with_rng(self, rng):
+        net = MLPNetwork([4, 32, 2], dropout_rate=0.5, init_rng=rng)
+        X = rng.normal(size=(6, 4))
+        eval_out, _, _ = net.forward(X)
+        eval_out2, _, _ = net.forward(X)
+        np.testing.assert_array_equal(eval_out, eval_out2)
+        train_out, _, masks = net.forward(X, dropout_rng=np.random.default_rng(0))
+        assert np.any(masks[0] == 0)
+
+
+class TestGradients:
+    def test_classification_gradient_check(self, rng):
+        net = MLPNetwork([3, 5, 2], activation="tanh", init_rng=rng)
+        X = rng.normal(size=(6, 3))
+        y = rng.integers(0, 2, size=6)
+        _, analytic = net.loss_and_gradients(X, y)
+        numeric = _numeric_gradients(net, X, y)
+        for a, n in zip(analytic, numeric):
+            np.testing.assert_allclose(a, n, atol=1e-5)
+
+    def test_regression_gradient_check(self, rng):
+        net = MLPNetwork([3, 4, 1], activation="tanh", task_type="regression", init_rng=rng)
+        X = rng.normal(size=(5, 3))
+        y = rng.normal(size=5)
+        _, analytic = net.loss_and_gradients(X, y)
+        numeric = _numeric_gradients(net, X, y)
+        for a, n in zip(analytic, numeric):
+            np.testing.assert_allclose(a, n, atol=1e-5)
+
+
+class TestConstruction:
+    def test_invalid_task_type(self, rng):
+        with pytest.raises(ValueError):
+            MLPNetwork([2, 2], task_type="ranking", init_rng=rng)
+
+    def test_invalid_activation(self, rng):
+        with pytest.raises(ValueError):
+            MLPNetwork([2, 2], activation="swish", init_rng=rng)
+
+    def test_invalid_dropout(self, rng):
+        with pytest.raises(ValueError):
+            MLPNetwork([2, 2], dropout_rate=1.0, init_rng=rng)
+
+    def test_init_rng_controls_weights(self):
+        a = MLPNetwork([3, 4, 2], init_rng=np.random.default_rng(0))
+        b = MLPNetwork([3, 4, 2], init_rng=np.random.default_rng(0))
+        c = MLPNetwork([3, 4, 2], init_rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(a.weights[0], b.weights[0])
+        assert not np.allclose(a.weights[0], c.weights[0])
+
+
+class TestPerturbParameters:
+    def test_zero_scale_noop(self, rng):
+        net = MLPNetwork([3, 3, 2], init_rng=rng)
+        before = [p.copy() for p in net.parameters()]
+        net.perturb_parameters(0.0, rng)
+        for b, p in zip(before, net.parameters()):
+            np.testing.assert_array_equal(b, p)
+
+    def test_small_scale_changes_parameters(self, rng):
+        net = MLPNetwork([3, 3, 2], init_rng=rng)
+        before = [p.copy() for p in net.parameters()]
+        net.perturb_parameters(1e-3, rng)
+        assert any(not np.allclose(b, p) for b, p in zip(before, net.parameters()))
+
+    def test_negative_scale_rejected(self, rng):
+        net = MLPNetwork([3, 3, 2], init_rng=rng)
+        with pytest.raises(ValueError):
+            net.perturb_parameters(-1.0, rng)

@@ -1,0 +1,71 @@
+"""Tests for the linear baselines and the ensemble regressor."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_gaussian_blobs
+from repro.pipelines.ensemble import EnsembleMLPRegressorPipeline
+from repro.pipelines.linear import LogisticRegressionPipeline, RidgeRegressionPipeline
+from repro.pipelines.mlp import MLPClassifierPipeline
+from repro.utils.rng import SeedBundle
+
+
+class TestLogisticRegressionPipeline:
+    def test_learns_separable_task(self, blobs_dataset, seed_bundle):
+        pipeline = LogisticRegressionPipeline(n_epochs=15)
+        outcome = pipeline.fit(blobs_dataset, None, seed_bundle)
+        assert outcome.train_score > 0.8
+
+    def test_weaker_than_mlp_on_nonlinear_task(self, hard_dataset, seed_bundle):
+        linear = LogisticRegressionPipeline(n_epochs=15)
+        mlp = MLPClassifierPipeline(hidden_sizes=(32,), n_epochs=15)
+        linear_score = linear.fit(hard_dataset, None, seed_bundle).train_score
+        mlp_score = mlp.fit(hard_dataset, None, seed_bundle).train_score
+        assert mlp_score >= linear_score
+
+    def test_search_space(self):
+        names = LogisticRegressionPipeline().search_space().names
+        assert "learning_rate" in names and "weight_decay" in names
+
+    def test_reproducibility(self, blobs_dataset, seed_bundle):
+        pipeline = LogisticRegressionPipeline(n_epochs=3)
+        assert (
+            pipeline.fit(blobs_dataset, None, seed_bundle).train_score
+            == pipeline.fit(blobs_dataset, None, seed_bundle).train_score
+        )
+
+
+class TestRidgeRegressionPipeline:
+    def test_fits_regression(self, regression_dataset, seed_bundle):
+        pipeline = RidgeRegressionPipeline(n_epochs=15)
+        outcome = pipeline.fit(regression_dataset, None, seed_bundle)
+        assert outcome.train_score > -0.5
+
+    def test_metric_default(self):
+        assert RidgeRegressionPipeline().metric_name == "r2"
+
+
+class TestEnsembleMLPRegressorPipeline:
+    def test_fit_produces_members(self, regression_dataset, seed_bundle):
+        pipeline = EnsembleMLPRegressorPipeline(n_members=3, n_epochs=3)
+        outcome = pipeline.fit(regression_dataset, None, seed_bundle)
+        assert len(outcome.model) == 3
+
+    def test_prediction_is_member_average(self, regression_dataset, seed_bundle):
+        pipeline = EnsembleMLPRegressorPipeline(n_members=2, n_epochs=2)
+        outcome = pipeline.fit(regression_dataset, None, seed_bundle)
+        members = outcome.model
+        manual = np.mean([m.predict(regression_dataset.X) for m in members], axis=0)
+        np.testing.assert_allclose(pipeline._predict(members, regression_dataset.X), manual)
+
+    def test_members_differ(self, regression_dataset, seed_bundle):
+        pipeline = EnsembleMLPRegressorPipeline(n_members=2, n_epochs=2)
+        members = pipeline.fit(regression_dataset, None, seed_bundle).model
+        assert not np.allclose(members[0].weights[0], members[1].weights[0])
+
+    def test_invalid_member_count(self):
+        with pytest.raises(ValueError):
+            EnsembleMLPRegressorPipeline(n_members=0)
+
+    def test_default_metric_is_pearson(self):
+        assert EnsembleMLPRegressorPipeline().metric_name == "pearson"

@@ -1,0 +1,93 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.pipelines.metrics import (
+    accuracy,
+    binary_auc,
+    error_rate,
+    mean_iou,
+    pearson_correlation,
+    regression_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+
+    def test_partial(self):
+        assert accuracy(np.array([0, 1, 1, 0]), np.array([0, 1, 0, 1])) == 0.5
+
+    def test_error_rate_complement(self):
+        y = np.array([0, 1, 1])
+        p = np.array([0, 0, 1])
+        assert error_rate(y, p) == pytest.approx(1 - accuracy(y, p))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0]), np.array([0, 1]))
+
+
+class TestBinaryAUC:
+    def test_perfect_separation(self):
+        assert binary_auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_random_scores_near_half(self, rng):
+        labels = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert abs(binary_auc(labels, scores) - 0.5) < 0.05
+
+    def test_ties_half_credit(self):
+        assert binary_auc(np.array([0, 1]), np.array([0.5, 0.5])) == 0.5
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            binary_auc(np.array([1, 1]), np.array([0.2, 0.4]))
+
+
+class TestMeanIoU:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 2])
+        assert mean_iou(y, y) == 1.0
+
+    def test_partial_overlap(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        # class 0: inter 1, union 2 -> 0.5 ; class 1: inter 2, union 3 -> 2/3
+        assert mean_iou(y_true, y_pred) == pytest.approx((0.5 + 2 / 3) / 2)
+
+    def test_absent_class_skipped(self):
+        y_true = np.array([0, 0])
+        y_pred = np.array([0, 0])
+        assert mean_iou(y_true, y_pred, n_classes=5) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_iou(np.array([0]), np.array([0, 1]))
+
+
+class TestRegressionMetrics:
+    def test_pearson_perfect(self):
+        x = np.linspace(0, 1, 20)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_pearson_constant_prediction_zero(self):
+        assert pearson_correlation(np.arange(5.0), np.ones(5)) == 0.0
+
+    def test_r2_perfect(self):
+        x = np.linspace(0, 1, 10)
+        assert regression_score(x, x) == 1.0
+
+    def test_r2_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert regression_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_clipped_below(self):
+        y = np.array([0.0, 1.0])
+        assert regression_score(y, np.array([100.0, -100.0])) == -1.0

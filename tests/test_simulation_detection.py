@@ -1,0 +1,121 @@
+"""Tests for the detection-rate experiments (Figures 6 and I.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import AverageComparison, ProbabilityOfOutperforming, SinglePointComparison
+from repro.simulation.detection import (
+    detection_rate,
+    detection_rate_curve,
+    robustness_to_sample_size,
+    robustness_to_threshold,
+)
+from repro.simulation.oracle import OracleComparison
+from repro.simulation.performance_model import SimulatedTask
+
+
+@pytest.fixture
+def task():
+    return SimulatedTask(
+        name="toy", mean=0.7, sigma=0.02, biased_bias_std=0.01, biased_measurement_std=0.018
+    )
+
+
+class TestOracle:
+    def test_step_at_gamma(self):
+        oracle = OracleComparison(gamma=0.75)
+        assert not oracle.decide(0.74)
+        assert oracle.decide(0.76)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            OracleComparison().decide(1.3)
+
+
+class TestDetectionRate:
+    def test_probability_criterion_low_false_positive_rate(self, task):
+        method = ProbabilityOfOutperforming(n_bootstraps=100)
+        rate = detection_rate(method, task, 0.5, k=30, n_simulations=40, random_state=0)
+        assert rate <= 0.15
+
+    def test_probability_criterion_high_power_for_large_effect(self, task):
+        method = ProbabilityOfOutperforming(n_bootstraps=100)
+        rate = detection_rate(method, task, 0.99, k=30, n_simulations=30, random_state=0)
+        assert rate >= 0.8
+
+    def test_average_criterion_conservative(self, task):
+        # With delta calibrated to published improvements (~2 sigma), an
+        # improvement at P(A>B)=0.8 is mostly missed — Figure 6's orange line.
+        method = AverageComparison.from_sigma(task.sigma)
+        rate = detection_rate(method, task, 0.8, k=50, n_simulations=40, random_state=0)
+        assert rate <= 0.5
+
+    def test_single_point_unreliable(self, task):
+        method = SinglePointComparison(delta=1.9952 * task.sigma)
+        fp = detection_rate(method, task, 0.5, k=1, n_simulations=200, random_state=0)
+        power = detection_rate(method, task, 0.95, k=1, n_simulations=200, random_state=0)
+        # Non-zero false positives and far-from-perfect power, unlike the
+        # probability-of-outperforming criterion.
+        assert fp > 0.0
+        assert power < 0.9
+
+    def test_invalid_estimator_name(self, task):
+        with pytest.raises(ValueError):
+            detection_rate(
+                AverageComparison(), task, 0.6, estimator="exact", n_simulations=2
+            )
+
+
+class TestDetectionRateCurve:
+    def test_monotone_trend(self, task):
+        method = ProbabilityOfOutperforming(n_bootstraps=100)
+        curve = detection_rate_curve(
+            method, task, (0.5, 0.9, 0.99), k=30, n_simulations=30, random_state=0
+        )
+        assert curve.rates[0] < curve.rates[-1]
+        assert curve.method == "probability_of_outperforming"
+
+    def test_rows_structure(self, task):
+        curve = detection_rate_curve(
+            AverageComparison(), task, (0.5, 0.8), k=10, n_simulations=5, random_state=0
+        )
+        rows = curve.as_rows()
+        assert len(rows) == 2
+        assert {"method", "estimator", "p_a_gt_b", "detection_rate"} <= set(rows[0])
+
+    def test_biased_estimator_also_works(self, task):
+        curve = detection_rate_curve(
+            ProbabilityOfOutperforming(n_bootstraps=50),
+            task,
+            (0.5, 0.95),
+            k=20,
+            estimator="biased",
+            n_simulations=20,
+            random_state=0,
+        )
+        assert 0.0 <= curve.rates[0] <= 1.0
+
+
+class TestRobustness:
+    def test_power_increases_with_sample_size(self, task):
+        rates = robustness_to_sample_size(
+            {"prob": ProbabilityOfOutperforming(n_bootstraps=100)},
+            task,
+            sample_sizes=(5, 60),
+            p_a_gt_b=0.9,
+            n_simulations=30,
+            random_state=0,
+        )
+        assert rates["prob"][1] >= rates["prob"][0]
+
+    def test_detection_decreases_with_stricter_threshold(self, task):
+        rates = robustness_to_threshold(
+            lambda gamma: ProbabilityOfOutperforming(gamma=gamma, n_bootstraps=100),
+            task,
+            thresholds=(0.6, 0.95),
+            p_a_gt_b=0.75,
+            k=30,
+            n_simulations=30,
+            random_state=0,
+        )
+        assert rates[0.95] <= rates[0.6]

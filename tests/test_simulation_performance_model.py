@@ -1,0 +1,81 @@
+"""Tests for the normal simulation models (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.performance_model import (
+    DEFAULT_SIMULATED_TASKS,
+    SimulatedTask,
+    mean_shift_for_probability,
+    simulate_biased_measurements,
+    simulate_ideal_measurements,
+    true_probability_of_outperforming,
+)
+
+
+@pytest.fixture
+def task():
+    return SimulatedTask(
+        name="toy", mean=0.7, sigma=0.02, biased_bias_std=0.01, biased_measurement_std=0.018
+    )
+
+
+class TestSimulatedTask:
+    def test_default_tasks_cover_five_case_studies(self):
+        assert len(DEFAULT_SIMULATED_TASKS) == 5
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedTask("x", 0.5, -0.1, 0.0, 0.1)
+
+
+class TestIdealSimulation:
+    def test_sample_statistics(self, task):
+        samples = simulate_ideal_measurements(task, 20_000, random_state=0)
+        assert abs(samples.mean() - task.mean) < 0.001
+        assert abs(samples.std() - task.sigma) < 0.001
+
+    def test_mean_shift_applied(self, task):
+        samples = simulate_ideal_measurements(task, 5000, mean_shift=0.05, random_state=0)
+        assert abs(samples.mean() - 0.75) < 0.002
+
+
+class TestBiasedSimulation:
+    def test_within_run_std_is_conditional(self, task):
+        samples = simulate_biased_measurements(task, 20_000, random_state=0)
+        assert abs(samples.std() - task.biased_measurement_std) < 0.001
+
+    def test_bias_varies_across_realizations(self, task):
+        means = [
+            simulate_biased_measurements(task, 2000, random_state=seed).mean()
+            for seed in range(30)
+        ]
+        # The spread of the means reflects the bias term, which is much
+        # larger than the within-run standard error.
+        assert np.std(means) > 0.5 * task.biased_bias_std
+
+
+class TestTrueProbability:
+    def test_no_shift_gives_half(self):
+        assert true_probability_of_outperforming(0.0, 0.02) == pytest.approx(0.5)
+
+    def test_large_shift_near_one(self):
+        assert true_probability_of_outperforming(1.0, 0.02) > 0.999
+
+    def test_roundtrip_with_mean_shift(self):
+        sigma = 0.03
+        for p in (0.55, 0.75, 0.9):
+            shift = mean_shift_for_probability(p, sigma)
+            assert true_probability_of_outperforming(shift, sigma) == pytest.approx(p)
+
+    def test_empirical_agreement(self, task, rng):
+        shift = mean_shift_for_probability(0.8, task.sigma)
+        a = simulate_ideal_measurements(task, 20_000, mean_shift=shift, random_state=rng)
+        b = simulate_ideal_measurements(task, 20_000, random_state=rng)
+        assert np.mean(a > b) == pytest.approx(0.8, abs=0.01)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            mean_shift_for_probability(1.0, 0.1)
+        with pytest.raises(ValueError):
+            mean_shift_for_probability(0.7, 0.0)

@@ -1,0 +1,81 @@
+"""Tests for the SOTA-timeline generation and significance bands (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.sota import (
+    load_sota_timeline,
+    significance_timeline,
+    synthetic_sota_timeline,
+)
+
+
+class TestLoadSotaTimeline:
+    def test_known_benchmarks(self):
+        for name in ("cifar10", "sst2"):
+            timeline = load_sota_timeline(name)
+            assert len(timeline) >= 5
+            accuracies = [r.accuracy for r in timeline]
+            assert accuracies == sorted(accuracies)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            load_sota_timeline("imagenet")
+
+
+class TestSyntheticTimeline:
+    def test_monotone_non_decreasing(self):
+        timeline = synthetic_sota_timeline(n_results=20, random_state=0)
+        accuracies = [r.accuracy for r in timeline]
+        assert all(b >= a for a, b in zip(accuracies, accuracies[1:]))
+
+    def test_years_ordered_and_bounded(self):
+        timeline = synthetic_sota_timeline(start_year=2015, end_year=2020, random_state=1)
+        years = [r.year for r in timeline]
+        assert years == sorted(years)
+        assert min(years) >= 2015 and max(years) <= 2020
+
+    def test_accuracy_capped(self):
+        timeline = synthetic_sota_timeline(
+            n_results=50, start_accuracy=0.99, mean_increment=0.05, random_state=0
+        )
+        assert max(r.accuracy for r in timeline) <= 0.999
+
+    def test_reproducible(self):
+        a = synthetic_sota_timeline(random_state=3)
+        b = synthetic_sota_timeline(random_state=3)
+        assert [r.accuracy for r in a] == [r.accuracy for r in b]
+
+
+class TestSignificanceTimeline:
+    def test_small_sigma_makes_most_improvements_significant(self):
+        timeline = load_sota_timeline("cifar10")
+        entries = significance_timeline(timeline, sigma=1e-4)
+        assert all(e.significant for e in entries[1:])
+
+    def test_large_sigma_makes_improvements_insignificant(self):
+        timeline = load_sota_timeline("cifar10")
+        entries = significance_timeline(timeline, sigma=0.05)
+        assert not any(e.significant for e in entries[1:])
+
+    def test_first_entry_never_significant(self):
+        entries = significance_timeline(load_sota_timeline("sst2"), sigma=0.001)
+        assert not entries[0].significant
+
+    def test_improvements_relative_to_best_so_far(self):
+        # A result below the current best has a negative improvement and is
+        # never significant.
+        from repro.simulation.sota import PublishedResult
+
+        results = [
+            PublishedResult(2015, 0.9),
+            PublishedResult(2016, 0.85),
+            PublishedResult(2017, 0.95),
+        ]
+        entries = significance_timeline(results, sigma=0.001)
+        assert entries[1].improvement < 0 and not entries[1].significant
+        assert entries[2].significant
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            significance_timeline(load_sota_timeline("cifar10"), sigma=-0.1)

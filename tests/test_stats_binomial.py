@@ -1,0 +1,64 @@
+"""Tests for the binomial model of test-set noise (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.binomial import binomial_accuracy_std, binomial_std_curve, effective_test_size
+
+
+class TestBinomialAccuracyStd:
+    def test_matches_closed_form(self):
+        assert binomial_accuracy_std(0.9, 100) == pytest.approx(np.sqrt(0.9 * 0.1 / 100))
+
+    def test_decreases_with_test_size(self):
+        assert binomial_accuracy_std(0.8, 10000) < binomial_accuracy_std(0.8, 100)
+
+    def test_maximal_at_half(self):
+        assert binomial_accuracy_std(0.5, 100) > binomial_accuracy_std(0.95, 100)
+
+    def test_zero_at_perfect_accuracy(self):
+        assert binomial_accuracy_std(1.0, 100) == 0.0
+
+    def test_paper_scale_rte(self):
+        # Glue-RTE: accuracy ~0.66 with n'=277 -> std ~2.8% (Figure 2).
+        std = binomial_accuracy_std(0.66, 277)
+        assert 0.02 < std < 0.04
+
+    def test_paper_scale_cifar10(self):
+        # CIFAR10: accuracy ~0.91 with n'=10000 -> std ~0.3%.
+        std = binomial_accuracy_std(0.91, 10000)
+        assert 0.002 < std < 0.004
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            binomial_accuracy_std(1.5, 100)
+        with pytest.raises(ValueError):
+            binomial_accuracy_std(0.5, 0)
+
+
+class TestBinomialStdCurve:
+    def test_monotone_decreasing(self):
+        curve = binomial_std_curve(0.8, np.array([10, 100, 1000]))
+        assert np.all(np.diff(curve) < 0)
+
+    def test_matches_pointwise(self):
+        curve = binomial_std_curve(0.7, np.array([50]))
+        assert curve[0] == pytest.approx(binomial_accuracy_std(0.7, 50))
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            binomial_std_curve(0.7, np.array([0, 10]))
+
+
+class TestEffectiveTestSize:
+    def test_inverts_binomial_model(self):
+        std = binomial_accuracy_std(0.85, 400)
+        assert effective_test_size(0.85, std) == pytest.approx(400)
+
+    def test_correlated_errors_shrink_effective_size(self):
+        nominal_std = binomial_accuracy_std(0.85, 400)
+        assert effective_test_size(0.85, 2 * nominal_std) == pytest.approx(100)
+
+    def test_rejects_zero_std(self):
+        with pytest.raises(ValueError):
+            effective_test_size(0.8, 0.0)

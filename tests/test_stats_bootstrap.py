@@ -1,0 +1,75 @@
+"""Tests for percentile-bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats.bootstrap import BootstrapCI, bootstrap_distribution, percentile_bootstrap_ci
+
+
+class TestBootstrapDistribution:
+    def test_length_matches_n_bootstraps(self, rng):
+        values = rng.normal(size=30)
+        dist = bootstrap_distribution(values, np.mean, n_bootstraps=200, random_state=0)
+        assert dist.shape == (200,)
+
+    def test_reproducible_with_seed(self, rng):
+        values = rng.normal(size=30)
+        a = bootstrap_distribution(values, np.mean, n_bootstraps=50, random_state=3)
+        b = bootstrap_distribution(values, np.mean, n_bootstraps=50, random_state=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_centered_near_sample_mean(self, rng):
+        values = rng.normal(loc=5.0, size=200)
+        dist = bootstrap_distribution(values, np.mean, n_bootstraps=500, random_state=0)
+        assert abs(np.mean(dist) - np.mean(values)) < 0.1
+
+    def test_paired_requires_same_length(self):
+        with pytest.raises(ValueError, match="same length"):
+            bootstrap_distribution(np.ones(5), np.mean, paired=np.ones(4))
+
+    def test_paired_statistic_receives_pairs(self, rng):
+        a = rng.normal(size=20)
+        b = a + 1.0
+        dist = bootstrap_distribution(
+            a, lambda pairs: np.mean(pairs[:, 1] - pairs[:, 0]), paired=b,
+            n_bootstraps=50, random_state=0,
+        )
+        np.testing.assert_allclose(dist, 1.0)
+
+
+class TestPercentileBootstrapCI:
+    def test_interval_contains_point_estimate_for_mean(self, rng):
+        values = rng.normal(size=100)
+        ci = percentile_bootstrap_ci(values, np.mean, random_state=0)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        small = percentile_bootstrap_ci(rng.normal(size=20), np.mean, random_state=0)
+        large = percentile_bootstrap_ci(rng.normal(size=2000), np.mean, random_state=0)
+        assert large.width < small.width
+
+    def test_alpha_widens_interval(self, rng):
+        values = rng.normal(size=50)
+        narrow = percentile_bootstrap_ci(values, np.mean, alpha=0.5, random_state=0)
+        wide = percentile_bootstrap_ci(values, np.mean, alpha=0.01, random_state=0)
+        assert wide.width >= narrow.width
+
+    def test_contains(self):
+        ci = BootstrapCI(estimate=0.5, low=0.4, high=0.6, alpha=0.05, n_bootstraps=10)
+        assert ci.contains(0.5)
+        assert not ci.contains(0.7)
+
+    def test_invalid_alpha(self, rng):
+        with pytest.raises(ValueError):
+            percentile_bootstrap_ci(rng.normal(size=10), np.mean, alpha=1.5)
+
+    def test_coverage_of_true_mean(self):
+        # Frequentist sanity check: ~95% CIs should cover the true mean most
+        # of the time (allowing wide slack for a small number of repetitions).
+        covered = 0
+        master = np.random.default_rng(0)
+        for _ in range(40):
+            sample = master.normal(loc=2.0, size=60)
+            ci = percentile_bootstrap_ci(sample, np.mean, random_state=master, n_bootstraps=300)
+            covered += ci.low <= 2.0 <= ci.high
+        assert covered >= 30

@@ -1,0 +1,92 @@
+"""Tests for Equation 7 and the MSE decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.stats.correlated import (
+    average_pairwise_correlation,
+    correlated_mean_variance,
+    mse_decomposition,
+    standard_error_of_std,
+)
+
+
+class TestCorrelatedMeanVariance:
+    def test_independent_measurements(self):
+        # rho = 0 recovers sigma^2 / k.
+        assert correlated_mean_variance(4.0, 4, 0.0) == pytest.approx(1.0)
+
+    def test_fully_correlated_measurements(self):
+        # rho = 1 means averaging does not help at all.
+        assert correlated_mean_variance(4.0, 10, 1.0) == pytest.approx(4.0)
+
+    def test_k_one_is_variance(self):
+        assert correlated_mean_variance(2.5, 1, 0.7) == pytest.approx(2.5)
+
+    def test_monotone_in_rho(self):
+        low = correlated_mean_variance(1.0, 20, 0.1)
+        high = correlated_mean_variance(1.0, 20, 0.9)
+        assert high > low
+
+    def test_large_k_limit_is_rho_variance(self):
+        assert correlated_mean_variance(3.0, 10_000, 0.4) == pytest.approx(1.2, rel=1e-3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            correlated_mean_variance(-1.0, 5, 0.0)
+        with pytest.raises(ValueError):
+            correlated_mean_variance(1.0, 5, 2.0)
+
+
+class TestAveragePairwiseCorrelation:
+    def test_uncorrelated_columns_near_zero(self, rng):
+        samples = rng.normal(size=(500, 4))
+        assert abs(average_pairwise_correlation(samples)) < 0.1
+
+    def test_shared_component_high_correlation(self, rng):
+        shared = rng.normal(size=(300, 1))
+        samples = shared + 0.1 * rng.normal(size=(300, 5))
+        assert average_pairwise_correlation(samples) > 0.8
+
+    def test_degenerate_inputs_return_zero(self):
+        assert average_pairwise_correlation(np.ones((5, 3))) == 0.0
+        assert average_pairwise_correlation(np.zeros((1, 3))) == 0.0
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            average_pairwise_correlation(np.ones(5))
+
+
+class TestStandardErrorOfStd:
+    def test_formula(self):
+        assert standard_error_of_std(2.0, 9) == pytest.approx(2.0 / np.sqrt(16))
+
+    def test_decreases_with_k(self):
+        assert standard_error_of_std(1.0, 100) < standard_error_of_std(1.0, 10)
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            standard_error_of_std(1.0, 1)
+
+
+class TestMSEDecomposition:
+    def test_unbiased_estimator(self, rng):
+        realizations = rng.normal(loc=0.0, scale=0.1, size=500)
+        decomposition = mse_decomposition(realizations, true_value=0.0)
+        assert abs(decomposition.bias) < 0.02
+        assert decomposition.variance == pytest.approx(0.01, rel=0.3)
+
+    def test_biased_estimator(self):
+        realizations = np.full(10, 1.5)
+        decomposition = mse_decomposition(realizations, true_value=1.0)
+        assert decomposition.bias == pytest.approx(0.5)
+        assert decomposition.variance == 0.0
+        assert decomposition.mse == pytest.approx(0.25)
+
+    def test_correlation_passthrough(self, rng):
+        shared = rng.normal(size=(100, 1))
+        measurements = shared + 0.01 * rng.normal(size=(100, 5))
+        decomposition = mse_decomposition(
+            measurements.mean(axis=1), true_value=0.0, measurements=measurements
+        )
+        assert decomposition.correlation > 0.9

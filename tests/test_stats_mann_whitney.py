@@ -1,0 +1,76 @@
+"""Tests for the probability-of-outperforming estimates."""
+
+import numpy as np
+import pytest
+
+from repro.stats.mann_whitney import (
+    mann_whitney_u,
+    paired_probability_of_outperforming,
+    probability_of_outperforming,
+)
+
+
+class TestMannWhitneyU:
+    def test_all_wins(self):
+        assert mann_whitney_u(np.array([2.0, 3.0]), np.array([0.0, 1.0])) == 4.0
+
+    def test_no_wins(self):
+        assert mann_whitney_u(np.array([0.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_ties_half(self):
+        assert mann_whitney_u(np.array([1.0]), np.array([1.0])) == 0.5
+
+
+class TestProbabilityOfOutperforming:
+    def test_identical_distributions_half(self, rng):
+        a = rng.normal(size=200)
+        assert probability_of_outperforming(a, a.copy()) == pytest.approx(0.5, abs=1e-12)
+
+    def test_dominant_sample_near_one(self, rng):
+        a = rng.normal(loc=10, size=50)
+        b = rng.normal(loc=0, size=50)
+        assert probability_of_outperforming(a, b) > 0.99
+
+    def test_symmetry(self, rng):
+        a = rng.normal(size=30)
+        b = rng.normal(size=40)
+        assert probability_of_outperforming(a, b) == pytest.approx(
+            1.0 - probability_of_outperforming(b, a)
+        )
+
+    def test_matches_normal_theory(self, rng):
+        # P(A>B) = Phi(delta / (sqrt(2) sigma)) for normal samples.
+        from scipy.stats import norm
+
+        sigma, delta = 1.0, 1.0
+        a = rng.normal(loc=delta, scale=sigma, size=4000)
+        b = rng.normal(loc=0.0, scale=sigma, size=4000)
+        expected = norm.cdf(delta / (np.sqrt(2) * sigma))
+        assert probability_of_outperforming(a, b) == pytest.approx(expected, abs=0.02)
+
+
+class TestPairedProbabilityOfOutperforming:
+    def test_requires_same_length(self):
+        with pytest.raises(ValueError):
+            paired_probability_of_outperforming(np.ones(3), np.ones(2))
+
+    def test_counts_wins_and_ties(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        b = np.array([1.0, 1.0, 5.0, 2.0])
+        # one tie (0.5), two wins, one loss -> 2.5 / 4
+        assert paired_probability_of_outperforming(a, b) == pytest.approx(0.625)
+
+    def test_bounds(self, rng):
+        a = rng.normal(size=20)
+        b = rng.normal(size=20)
+        p = paired_probability_of_outperforming(a, b)
+        assert 0.0 <= p <= 1.0
+
+    def test_pairing_removes_shared_noise(self, rng):
+        # With a huge shared component, pairing detects the small improvement
+        # perfectly, while unpaired comparison stays close to chance.
+        shared = rng.normal(scale=10.0, size=200)
+        a = shared + 0.1 + rng.normal(scale=0.01, size=200)
+        b = shared + rng.normal(scale=0.01, size=200)
+        assert paired_probability_of_outperforming(a, b) > 0.95
+        assert abs(probability_of_outperforming(a, b) - 0.5) < 0.2

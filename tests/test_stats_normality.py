@@ -1,0 +1,33 @@
+"""Tests for normality diagnostics."""
+
+import numpy as np
+
+from repro.stats.normality import normality_by_group, normality_report, shapiro_wilk_pvalue
+
+
+class TestShapiroWilkPvalue:
+    def test_normal_sample_passes(self, rng):
+        assert shapiro_wilk_pvalue(rng.normal(size=200)) > 0.01
+
+    def test_heavily_skewed_sample_fails(self, rng):
+        assert shapiro_wilk_pvalue(rng.exponential(size=500) ** 3) < 0.01
+
+    def test_degenerate_sample_returns_zero(self):
+        assert shapiro_wilk_pvalue(np.ones(10)) == 0.0
+        assert shapiro_wilk_pvalue(np.array([1.0, 2.0])) == 0.0
+
+
+class TestNormalityReport:
+    def test_fields(self, rng):
+        report = normality_report(rng.normal(loc=3.0, scale=2.0, size=300))
+        assert report.n == 300
+        assert abs(report.mean - 3.0) < 0.5
+        assert abs(report.std - 2.0) < 0.5
+
+    def test_is_consistent_with_normal(self, rng):
+        assert normality_report(rng.normal(size=200)).is_consistent_with_normal()
+
+    def test_by_group(self, rng):
+        groups = {"a": rng.normal(size=50), "b": rng.exponential(size=50)}
+        reports = normality_by_group(groups)
+        assert set(reports) == {"a", "b"}

@@ -1,0 +1,56 @@
+"""Tests for z/t/paired-t location tests."""
+
+import numpy as np
+import pytest
+
+from repro.stats.tests import paired_t_test, t_test, z_test
+
+
+class TestZTest:
+    def test_detects_large_difference(self, rng):
+        a = rng.normal(loc=1.0, size=100)
+        b = rng.normal(loc=0.0, size=100)
+        assert z_test(a, b).significant()
+
+    def test_no_difference_not_significant(self, rng):
+        a = rng.normal(size=100)
+        b = rng.normal(size=100)
+        assert z_test(a, b).pvalue > 0.01
+
+    def test_one_sided_direction(self, rng):
+        worse = rng.normal(loc=-1.0, size=100)
+        better = rng.normal(loc=0.0, size=100)
+        assert not z_test(worse, better).significant()
+
+    def test_effect_sign(self, rng):
+        a = rng.normal(loc=2.0, size=50)
+        b = rng.normal(loc=0.0, size=50)
+        assert z_test(a, b).effect > 0
+
+
+class TestTTest:
+    def test_matches_z_for_large_samples(self, rng):
+        a = rng.normal(loc=0.3, size=500)
+        b = rng.normal(loc=0.0, size=500)
+        assert t_test(a, b).pvalue == pytest.approx(z_test(a, b).pvalue, abs=0.01)
+
+    def test_df_reported(self, rng):
+        res = t_test(rng.normal(size=20), rng.normal(size=20))
+        assert res.df > 0
+
+
+class TestPairedTTest:
+    def test_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            paired_t_test(np.ones(3), np.ones(4))
+
+    def test_more_powerful_than_unpaired_with_shared_noise(self, rng):
+        shared = rng.normal(scale=5.0, size=30)
+        a = shared + 0.2 + rng.normal(scale=0.05, size=30)
+        b = shared + rng.normal(scale=0.05, size=30)
+        assert paired_t_test(a, b).pvalue < t_test(a, b).pvalue
+        assert paired_t_test(a, b).significant()
+
+    def test_identical_samples_not_significant(self):
+        values = np.linspace(0, 1, 10)
+        assert not paired_t_test(values, values.copy()).significant()

@@ -1,0 +1,108 @@
+"""Tests for seed derivation and SeedBundle behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    KNOWN_SOURCES,
+    SeedBundle,
+    SeedSequencePool,
+    derive_seed,
+    rng_from_seed,
+    spawn_generators,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, "data") == derive_seed(0, "data")
+
+    def test_different_keys_differ(self):
+        assert derive_seed(0, "data") != derive_seed(0, "init")
+
+    def test_different_base_differ(self):
+        assert derive_seed(0, "data") != derive_seed(1, "data")
+
+    def test_in_range(self):
+        seed = derive_seed(42, "x", 3)
+        assert 0 <= seed < 2**32
+
+
+class TestRngFromSeed:
+    def test_reproducible(self):
+        a = rng_from_seed(7).random(5)
+        b = rng_from_seed(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from_seed(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 4)
+        assert len(gens) == 4
+
+    def test_streams_independent(self):
+        gens = spawn_generators(0, 2)
+        assert not np.allclose(gens[0].random(10), gens[1].random(10))
+
+    def test_reproducible(self):
+        a = spawn_generators(3, 2)[1].random(4)
+        b = spawn_generators(3, 2)[1].random(4)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSeedBundle:
+    def test_seed_for_default_derivation(self):
+        bundle = SeedBundle(base_seed=5)
+        assert bundle.seed_for("data") == derive_seed(5, "data")
+
+    def test_explicit_seed_wins(self):
+        bundle = SeedBundle(base_seed=5, seeds={"data": 99})
+        assert bundle.seed_for("data") == 99
+
+    def test_with_seeds_does_not_mutate(self):
+        bundle = SeedBundle(base_seed=0)
+        updated = bundle.with_seeds(init=3)
+        assert updated.seed_for("init") == 3
+        assert bundle.seed_for("init") != 3 or bundle.seed_for("init") == derive_seed(0, "init")
+
+    def test_randomized_changes_only_requested(self, rng):
+        bundle = SeedBundle(base_seed=0)
+        updated = bundle.randomized(["init"], rng)
+        assert updated.seed_for("data") == bundle.seed_for("data")
+        assert updated.seed_for("init") != bundle.seed_for("init")
+
+    def test_rng_for_reproducible(self):
+        bundle = SeedBundle(base_seed=1)
+        np.testing.assert_array_equal(
+            bundle.rng_for("order").random(3), bundle.rng_for("order").random(3)
+        )
+
+    def test_as_dict_covers_known_sources(self):
+        bundle = SeedBundle(base_seed=2)
+        assert set(bundle.as_dict()) == set(KNOWN_SOURCES)
+
+    def test_random_bundle_sets_all_sources(self, rng):
+        bundle = SeedBundle.random(rng)
+        assert set(bundle.seeds) == set(KNOWN_SOURCES)
+
+
+class TestSeedSequencePool:
+    def test_seeds_unique(self):
+        pool = SeedSequencePool(0)
+        seeds = [pool.next_seed() for _ in range(20)]
+        assert len(set(seeds)) == 20
+
+    def test_reproducible_across_pools(self):
+        assert [SeedSequencePool(1).next_seed() for _ in range(1)] == [
+            SeedSequencePool(1).next_seed() for _ in range(1)
+        ]
+
+    def test_issued_counter(self):
+        pool = SeedSequencePool(0)
+        pool.next_seed()
+        pool.next_bundle()
+        pool.next_rng()
+        assert pool.issued == 3

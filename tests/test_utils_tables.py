@@ -1,0 +1,37 @@
+"""Tests for the plain-text table formatting."""
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}])
+        assert "a" in text and "b" in text
+        assert "2.5" in text and "3" in text
+
+    def test_title_included(self):
+        text = format_table([{"x": 1}], title="My title")
+        assert text.splitlines()[0] == "My title"
+
+    def test_empty_rows(self):
+        assert "(empty)" in format_table([])
+
+    def test_column_order_respected(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_column_value_blank(self):
+        text = format_table([{"a": 1}], columns=["a", "missing"])
+        assert "missing" in text
+
+    def test_precision_applied(self):
+        text = format_table([{"v": 0.123456789}], precision=3)
+        assert "0.123" in text and "0.1235" not in text
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        text = format_series([1, 2], [10.0, 20.0], x_name="k", y_name="std")
+        assert "k" in text and "std" in text
+        assert "10" in text and "20" in text

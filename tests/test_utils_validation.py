@@ -1,0 +1,86 @@
+"""Tests for the validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array,
+    check_fraction,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+)
+
+
+class TestCheckArray:
+    def test_converts_to_float(self):
+        out = check_array([1, 2, 3])
+        assert out.dtype == float
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_array([[1.0, 2.0]], ndim=1)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError, match="at least"):
+            check_array([1.0], min_length=2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array([np.inf])
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3) == 3
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0)
+
+    def test_respects_minimum(self):
+        assert check_positive_int(2, minimum=2) == 2
+        with pytest.raises(ValueError):
+            check_positive_int(1, minimum=2)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            check_positive_int(2.5)
+
+
+class TestCheckProbabilityAndFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_probability_accepts_bounds(self, value):
+        assert check_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_probability_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value)
+
+    def test_fraction_rejects_bounds(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0)
+        with pytest.raises(ValueError):
+            check_fraction(1.0)
+
+    def test_fraction_accepts_interior(self):
+        assert check_fraction(0.3) == 0.3
+
+
+class TestCheckRandomState:
+    def test_passes_generator_through(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_seed_gives_reproducible_generator(self):
+        a = check_random_state(5).random(3)
+        b = check_random_state(5).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
