@@ -1,0 +1,152 @@
+"""Engine micro-benchmark — serial vs parallel vs cached measurements.
+
+Tracks the speedup the measurement engine delivers on the paper's core
+workload (a per-source variance study, i.e. a batch of independent
+``BenchmarkProcess.measure`` calls):
+
+* **serial** — the historical inline-loop behaviour (``n_jobs=1``);
+* **parallel** — the same pre-drawn batch fanned out over a 4-worker
+  process pool;
+* **cached** — a warm :class:`~repro.engine.cache.MeasurementCache`
+  replaying the identical batch without a single refit.
+
+All three variants must produce bitwise-identical scores; on a multi-core
+host the parallel run is expected to be ≥2x faster than serial, and the
+cached replay orders of magnitude faster still.  The timings land in the
+``BENCH_*.json`` perf trajectory via ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import run_once
+from repro.core.benchmark import BenchmarkProcess
+from repro.core.sources import VarianceSource
+from repro.core.variance import variance_decomposition_study
+from repro.data.tasks import get_task
+from repro.engine import MeasurementCache, StudyRunner
+from repro.utils.tables import format_table
+
+N_WORKERS = 4
+
+SOURCES = (
+    VarianceSource.DATA,
+    VarianceSource.ORDER,
+    VarianceSource.INIT,
+)
+
+
+def _timed_study(process, runner, *, n_seeds, random_state):
+    start = time.perf_counter()
+    decomposition = variance_decomposition_study(
+        process,
+        sources=SOURCES,
+        n_seeds=n_seeds,
+        random_state=random_state,
+        runner=runner,
+    )
+    elapsed = time.perf_counter() - start
+    scores = np.concatenate([decomposition.scores[name] for name in sorted(decomposition.scores)])
+    return elapsed, scores
+
+
+def _run_engine_comparison(*, n_seeds, dataset_size, random_state=0):
+    task = get_task("entailment")
+    dataset = task.make_dataset(random_state=random_state, n_samples=dataset_size)
+    process = BenchmarkProcess(dataset, task.make_pipeline())
+
+    serial_time, serial_scores = _timed_study(
+        process, StudyRunner(process), n_seeds=n_seeds, random_state=random_state
+    )
+    parallel_time, parallel_scores = _timed_study(
+        process,
+        StudyRunner(process, n_jobs=N_WORKERS, backend="process"),
+        n_seeds=n_seeds,
+        random_state=random_state,
+    )
+    cache = MeasurementCache()
+    cached_runner = StudyRunner(process, cache=cache)
+    warm_time, warm_scores = _timed_study(
+        process, cached_runner, n_seeds=n_seeds, random_state=random_state
+    )
+    cached_time, cached_scores = _timed_study(
+        process, cached_runner, n_seeds=n_seeds, random_state=random_state
+    )
+    return {
+        "serial_time": serial_time,
+        "parallel_time": parallel_time,
+        "warm_time": warm_time,
+        "cached_time": cached_time,
+        "parallel_speedup": serial_time / parallel_time,
+        "cached_speedup": serial_time / cached_time,
+        "cache_stats": cache.stats(),
+        "scores": {
+            "serial": serial_scores,
+            "parallel": parallel_scores,
+            "warm": warm_scores,
+            "cached": cached_scores,
+        },
+        "n_measurements": int(serial_scores.size),
+    }
+
+
+def test_engine_speedup(benchmark, scale):
+    result = run_once(
+        benchmark,
+        _run_engine_comparison,
+        n_seeds=scale["n_seeds"],
+        dataset_size=scale["dataset_size"],
+    )
+    rows = [
+        {"variant": "serial (n_jobs=1)", "seconds": result["serial_time"], "speedup": 1.0},
+        {
+            "variant": f"parallel (n_jobs={N_WORKERS}, process)",
+            "seconds": result["parallel_time"],
+            "speedup": result["parallel_speedup"],
+        },
+        {
+            "variant": "cached replay",
+            "seconds": result["cached_time"],
+            "speedup": result["cached_speedup"],
+        },
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["variant", "seconds", "speedup"],
+            title=(
+                f"Engine — {result['n_measurements']} measurements, "
+                f"{os.cpu_count()} cores"
+            ),
+        )
+    )
+    benchmark.extra_info["n_measurements"] = result["n_measurements"]
+    benchmark.extra_info["serial_time"] = result["serial_time"]
+    benchmark.extra_info["parallel_time"] = result["parallel_time"]
+    benchmark.extra_info["cached_time"] = result["cached_time"]
+    benchmark.extra_info["parallel_speedup"] = result["parallel_speedup"]
+    benchmark.extra_info["cached_speedup"] = result["cached_speedup"]
+    benchmark.extra_info["cache_stats"] = result["cache_stats"]
+
+    # Correctness invariants hold everywhere: every execution mode produces
+    # bitwise-identical scores, and the replay never refits.
+    scores = result["scores"]
+    np.testing.assert_array_equal(scores["serial"], scores["parallel"])
+    np.testing.assert_array_equal(scores["serial"], scores["warm"])
+    np.testing.assert_array_equal(scores["serial"], scores["cached"])
+    stats = result["cache_stats"]
+    assert stats["hits"] == result["n_measurements"]
+    assert stats["misses"] == result["n_measurements"]
+
+    # The cached replay skips every fit and must be dramatically faster.
+    assert result["cached_speedup"] > 10
+
+    # The parallel claim needs real cores to test; a 4-worker study on a
+    # multi-core host must cut wall-clock by at least 2x.
+    if (os.cpu_count() or 1) >= 4:
+        assert result["parallel_speedup"] >= 2.0

@@ -11,6 +11,23 @@ The recommended workflow of the paper in ~40 lines:
    both statistically significant (CI_min > 0.5) and meaningful
    (CI_max > gamma = 0.75).
 
+Heavy studies go through the measurement engine (:mod:`repro.engine`):
+pass ``n_jobs`` to any study driver to fan the independent measurements
+out over workers, and attach a ``MeasurementCache`` to replay repeated
+(seeds, hyperparameters) configurations without refitting.  Seeds are
+pre-drawn before execution, so results are bitwise identical for any
+``n_jobs`` at a fixed ``random_state``::
+
+    from repro import MeasurementCache, StudyRunner
+    from repro.core.variance import variance_decomposition_study
+
+    cache = MeasurementCache("measurements.pkl")     # optional persistence
+    runner = StudyRunner(process_a, n_jobs=4, cache=cache)
+    decomposition = variance_decomposition_study(
+        process_a, n_seeds=50, runner=runner, random_state=0
+    )
+    print(cache.stats())                             # hits / misses / entries
+
 Run with:  python examples/quickstart.py
 """
 

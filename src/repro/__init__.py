@@ -14,6 +14,10 @@ The library reproduces Bouthillier et al. (MLSys 2021) end to end:
   search, Gaussian-process Bayesian optimization);
 * :mod:`repro.stats` — the statistical machinery (bootstrap confidence
   intervals, binomial test-set noise model, Mann-Whitney P(A>B), Eq. 7);
+* :mod:`repro.engine` — the measurement engine: a parallel executor
+  (``n_jobs``), a content-addressed measurement cache, and the
+  :class:`StudyRunner` facade every study fans its pre-drawn seed batches
+  through (bitwise-identical results at any worker count);
 * :mod:`repro.simulation` and :mod:`repro.experiments` — the simulation
   framework and one experiment module per figure/table of the paper.
 
@@ -50,6 +54,7 @@ from repro.core import (
     variance_decomposition_study,
 )
 from repro.data import Dataset, get_task, list_tasks
+from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner, WorkItem
 from repro.utils import SeedBundle
 
 __version__ = "1.0.0"
@@ -76,6 +81,10 @@ __all__ = [
     "Dataset",
     "get_task",
     "list_tasks",
+    "MeasurementCache",
+    "ParallelExecutor",
+    "StudyRunner",
+    "WorkItem",
     "SeedBundle",
     "__version__",
 ]

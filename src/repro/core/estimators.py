@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.benchmark import BenchmarkProcess, Measurement
 from repro.core.sources import VarianceSource, sources_for_subset
+from repro.engine.runner import StudyRunner, WorkItem, ensure_runner
 from repro.utils.rng import SeedBundle
 from repro.utils.validation import check_positive_int, check_random_state
 
@@ -115,19 +116,22 @@ class IdealEstimator:
         k: int,
         *,
         random_state=None,
+        runner: Optional[StudyRunner] = None,
     ) -> EstimatorResult:
         """Collect ``k`` fully independent measurements of ``process``.
 
         Every measurement draws a fresh :class:`~repro.utils.rng.SeedBundle`
         (all :math:`\\xi_O` and :math:`\\xi_H` sources randomized) and runs a
-        full HOpt before the final fit.
+        full HOpt before the final fit.  The bundles are pre-drawn, then
+        the batch executes through ``runner`` (a serial
+        :class:`~repro.engine.runner.StudyRunner` by default), so results
+        are identical for any ``n_jobs``.
         """
         k = check_positive_int(k, "k")
         rng = check_random_state(random_state)
-        measurements: List[Measurement] = []
-        for _ in range(k):
-            seeds = SeedBundle.random(rng)
-            measurements.append(process.measure_with_hpo(seeds))
+        runner = ensure_runner(runner, process)
+        items = [WorkItem(seeds=SeedBundle.random(rng), with_hpo=True) for _ in range(k)]
+        measurements = runner.run(items)
         scores = np.array([m.test_score for m in measurements], dtype=float)
         return EstimatorResult(
             scores=scores,
@@ -164,6 +168,7 @@ class FixHOptEstimator:
         random_state=None,
         hparams: Optional[Dict[str, Any]] = None,
         base_seeds: Optional[SeedBundle] = None,
+        runner: Optional[StudyRunner] = None,
     ) -> EstimatorResult:
         """Collect ``k`` correlated measurements sharing one HOpt outcome.
 
@@ -184,23 +189,28 @@ class FixHOptEstimator:
         base_seeds:
             Seed bundle defining the *fixed* values of the sources that are
             not randomized; a random bundle is drawn when omitted.
+        runner:
+            Measurement engine the ``k`` pre-drawn measurements are
+            submitted through; a serial runner is built when omitted.
         """
         k = check_positive_int(k, "k")
         rng = check_random_state(random_state)
+        runner = ensure_runner(runner, process)
         seeds = base_seeds if base_seeds is not None else SeedBundle.random(rng)
         n_fits = 0
         if hparams is None:
             hpo_result = process.run_hpo(seeds)
             hparams = hpo_result.best_config
             n_fits += process.hpo_budget
-        measurements: List[Measurement] = []
         # Sorted so the per-source seed assignment is stable across processes
         # (set iteration order depends on the interpreter's hash seed).
         source_names = sorted(s.value for s in self.sources)
+        items: List[WorkItem] = []
         for _ in range(k):
             seeds = seeds.randomized(source_names, rng)
-            measurements.append(process.measure(seeds, hparams))
-            n_fits += 1
+            items.append(WorkItem(seeds=seeds, hparams=hparams))
+        measurements = runner.run(items)
+        n_fits += k
         scores = np.array([m.test_score for m in measurements], dtype=float)
         return EstimatorResult(
             scores=scores,

@@ -23,7 +23,7 @@ from enum import Enum
 import numpy as np
 
 from repro.stats.bootstrap import percentile_bootstrap_ci
-from repro.stats.mann_whitney import paired_probability_of_outperforming
+from repro.stats.mann_whitney import paired_win_rate
 from repro.utils.validation import check_array, check_fraction
 
 __all__ = [
@@ -115,8 +115,11 @@ def probability_of_outperforming_test(
     if scores_a.shape != scores_b.shape:
         raise ValueError("scores_a and scores_b must be paired (same length)")
 
-    def statistic(pairs: np.ndarray) -> float:
-        return paired_probability_of_outperforming(pairs[:, 0], pairs[:, 1])
+    def statistic(pairs: np.ndarray):
+        # axis=-1 reductions let the percentile bootstrap evaluate all
+        # resamples in one batched call (its fast path) while staying
+        # exact on a single (n, 2) resample.
+        return paired_win_rate(pairs[..., 0], pairs[..., 1])
 
     ci = percentile_bootstrap_ci(
         scores_a,

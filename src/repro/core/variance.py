@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.benchmark import BenchmarkProcess
 from repro.core.estimators import FixHOptEstimator, IdealEstimator
 from repro.core.sources import VarianceSource
+from repro.engine.runner import StudyRunner, WorkItem, ensure_runner
 from repro.stats.correlated import MSEDecomposition, mse_decomposition
 from repro.utils.rng import SeedBundle
 from repro.utils.validation import check_positive_int, check_random_state
@@ -92,6 +93,8 @@ def variance_decomposition_study(
     hparams: Optional[Mapping[str, float]] = None,
     include_numerical_noise: bool = True,
     random_state=None,
+    runner: Optional[StudyRunner] = None,
+    n_jobs: int = 1,
 ) -> VarianceDecomposition:
     """Measure the variance contributed by each source in isolation.
 
@@ -101,6 +104,11 @@ def variance_decomposition_study(
     contribution.  Hyperparameters are fixed (the paper uses pre-selected
     reasonable defaults for this study) so :math:`\\xi_H` is excluded — HOpt
     variance is studied separately by :func:`hpo_variance_study`.
+
+    All seed bundles are pre-drawn before any fit runs, and the batch is
+    executed through a :class:`~repro.engine.runner.StudyRunner`, so the
+    scores are bitwise identical for any ``n_jobs`` at a fixed
+    ``random_state``.
 
     Parameters
     ----------
@@ -119,9 +127,16 @@ def variance_decomposition_study(
         Also measure the all-seeds-fixed noise floor.
     random_state:
         Seed or generator for the study.
+    runner:
+        Measurement engine to execute (and possibly cache) the batch;
+        built on demand from ``n_jobs`` when omitted.
+    n_jobs:
+        Worker count for the on-demand runner (ignored when ``runner`` is
+        given).
     """
     n_seeds = check_positive_int(n_seeds, "n_seeds", minimum=2)
     rng = check_random_state(random_state)
+    runner = ensure_runner(runner, process, n_jobs=n_jobs)
     if sources is None:
         sources = (
             VarianceSource.DATA,
@@ -132,23 +147,21 @@ def variance_decomposition_study(
         )
     base_seeds = SeedBundle.random(rng)
     decomposition = VarianceDecomposition(task_name=process.pipeline.name)
-    for source in sources:
-        name = VarianceSource(source).value
-        scores = np.empty(n_seeds)
-        for i in range(n_seeds):
-            seeds = base_seeds.randomized([name], rng)
-            scores[i] = process.measure(seeds, hparams).test_score
+    names = [VarianceSource(source).value for source in sources]
+    if include_numerical_noise:
+        # All seeds fixed: only the injected numerical-noise stream differs
+        # between runs, mirroring the paper's fixed-seed runs.
+        names.append("numerical")
+    items = [
+        WorkItem(seeds=base_seeds.randomized([name], rng), hparams=hparams)
+        for name in names
+        for _ in range(n_seeds)
+    ]
+    all_scores = runner.run_scores(items)
+    for position, name in enumerate(names):
+        scores = all_scores[position * n_seeds : (position + 1) * n_seeds]
         decomposition.scores[name] = scores
         decomposition.stds[name] = float(np.std(scores, ddof=1))
-    if include_numerical_noise:
-        scores = np.empty(n_seeds)
-        for i in range(n_seeds):
-            # All seeds fixed: only the injected numerical-noise stream
-            # differs between runs, mirroring the paper's fixed-seed runs.
-            seeds = base_seeds.randomized(["numerical"], rng)
-            scores[i] = process.measure(seeds, hparams).test_score
-        decomposition.scores["numerical"] = scores
-        decomposition.stds["numerical"] = float(np.std(scores, ddof=1))
     return decomposition
 
 
@@ -158,13 +171,17 @@ def hpo_variance_study(
     *,
     n_repetitions: int = 10,
     random_state=None,
+    runner: Optional[StudyRunner] = None,
+    n_jobs: int = 1,
 ) -> Dict[str, np.ndarray]:
     """Variance induced by the hyperparameter-optimization procedure.
 
     All :math:`\\xi_O` seeds are held fixed; only the HOpt seed is varied
     across ``n_repetitions`` independent HOpt runs per algorithm (Section
     2.2).  The returned scores are the test performances obtained with each
-    run's selected hyperparameters.
+    run's selected hyperparameters.  Per algorithm, the repetitions are
+    independent: their seed bundles are pre-drawn and the batch runs
+    through the measurement engine (``n_jobs`` workers).
 
     Parameters
     ----------
@@ -178,21 +195,28 @@ def hpo_variance_study(
         Number of independent HOpt runs per algorithm.
     random_state:
         Seed or generator.
+    runner:
+        Measurement engine used to execute each algorithm's batch; built
+        on demand from ``n_jobs`` when omitted.
+    n_jobs:
+        Worker count for the on-demand runner.
     """
     n_repetitions = check_positive_int(n_repetitions, "n_repetitions", minimum=2)
     rng = check_random_state(random_state)
+    runner = ensure_runner(runner, process, n_jobs=n_jobs)
     base_seeds = SeedBundle.random(rng)
     results: Dict[str, np.ndarray] = {}
     original_algorithm = process.hpo_algorithm
     try:
         for name, algorithm in hpo_algorithms.items():
             process.hpo_algorithm = algorithm
-            scores = np.empty(n_repetitions)
-            for i in range(n_repetitions):
-                seeds = base_seeds.randomized(["hopt"], rng)
-                hpo_result = process.run_hpo(seeds)
-                scores[i] = process.measure(seeds, hpo_result.best_config).test_score
-            results[name] = scores
+            # Batches must stay per-algorithm: the process is mutated above,
+            # so each batch is submitted (and finishes) before switching.
+            items = [
+                WorkItem(seeds=base_seeds.randomized(["hopt"], rng), with_hpo=True)
+                for _ in range(n_repetitions)
+            ]
+            results[name] = runner.run_scores(items)
     finally:
         process.hpo_algorithm = original_algorithm
     return results
@@ -226,14 +250,20 @@ def estimator_standard_error_curve(
     n_rep, k_max = matrix.shape
     if n_rep < 2:
         raise ValueError("at least two repetitions are needed")
-    curve = []
+    checked = []
     for k in ks:
         k = check_positive_int(k, "k")
         if k > k_max:
             raise ValueError(f"k={k} exceeds the number of measurements {k_max}")
-        means = matrix[:, :k].mean(axis=1)
-        curve.append(float(np.std(means, ddof=1)))
-    return np.array(curve)
+        checked.append(k)
+    if not checked:
+        return np.array([])
+    # One cumulative-sum pass gives every prefix mean at once — O(n·k_max)
+    # instead of the O(n·k_max²) of re-averaging matrix[:, :k] per k.
+    prefix_sums = np.cumsum(matrix, axis=1)
+    ks_arr = np.asarray(checked, dtype=int)
+    means = prefix_sums[:, ks_arr - 1] / ks_arr
+    return np.std(means, axis=0, ddof=1)
 
 
 @dataclass
@@ -288,11 +318,24 @@ class EstimatorQualityStudy:
         self.k_max = check_positive_int(k_max, "k_max", minimum=2)
 
     def run(
-        self, process: BenchmarkProcess, *, random_state=None
+        self,
+        process: BenchmarkProcess,
+        *,
+        random_state=None,
+        runner: Optional[StudyRunner] = None,
+        n_jobs: int = 1,
     ) -> Dict[str, EstimatorQualityResult]:
-        """Run the study and return one result per estimator variant."""
+        """Run the study and return one result per estimator variant.
+
+        ``runner`` (or the ``n_jobs`` shortcut) is forwarded to every
+        estimator so each realization's ``k_max`` measurements fan out
+        through the measurement engine.
+        """
         rng = check_random_state(random_state)
-        ideal = IdealEstimator().estimate(process, self.k_max, random_state=rng)
+        runner = ensure_runner(runner, process, n_jobs=n_jobs)
+        ideal = IdealEstimator().estimate(
+            process, self.k_max, random_state=rng, runner=runner
+        )
         reference_mean = ideal.mean
         results: Dict[str, EstimatorQualityResult] = {}
         # The ideal estimator's measurements are i.i.d.; independent "rows"
@@ -300,7 +343,9 @@ class EstimatorQualityStudy:
         ideal_matrix = [ideal.scores]
         for _ in range(self.n_repetitions - 1):
             ideal_matrix.append(
-                IdealEstimator().estimate(process, self.k_max, random_state=rng).scores
+                IdealEstimator()
+                .estimate(process, self.k_max, random_state=rng, runner=runner)
+                .scores
             )
         results["IdealEst"] = EstimatorQualityResult(
             name="IdealEst",
@@ -312,7 +357,9 @@ class EstimatorQualityStudy:
             for _ in range(self.n_repetitions):
                 estimator = FixHOptEstimator(randomize=subset)
                 rows.append(
-                    estimator.estimate(process, self.k_max, random_state=rng).scores
+                    estimator.estimate(
+                        process, self.k_max, random_state=rng, runner=runner
+                    ).scores
                 )
             results[f"FixHOptEst({subset})"] = EstimatorQualityResult(
                 name=f"FixHOptEst({subset})",

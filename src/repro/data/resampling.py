@@ -105,10 +105,16 @@ def bootstrap_split(
     else:
         in_bag, out_of_bag = out_of_bootstrap_indices(n, rng)
     if out_of_bag.size == 0:
-        # Degenerate but possible for tiny datasets: fall back to holding
-        # out one in-bag sample so the test set is never empty.
+        # Degenerate but possible for tiny datasets: hold out one drawn
+        # index so the test set is never empty.  Every in-bag occurrence of
+        # that index must go with it, not just the last position: with the
+        # standard n-draws bootstrap an empty out-of-bag forces in_bag to
+        # be a permutation, but any draw count above one per index (e.g. a
+        # future n_draws > n_samples) would leave duplicates of the
+        # held-out example in the training set — a train/test leak.
+        held_out = in_bag[-1]
         out_of_bag = in_bag[-1:]
-        in_bag = in_bag[:-1]
+        in_bag = in_bag[in_bag != held_out]
     # Split the in-bag samples into train and validation subsets.
     if stratify and dataset.task_type == "classification":
         train_pos, valid_pos = stratified_indices(

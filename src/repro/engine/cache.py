@@ -1,0 +1,246 @@
+"""Content-addressed memoization of benchmark measurements.
+
+The studies of the paper re-run the *same* benchmark process under
+thousands of seed configurations; many protocols (estimator repetitions,
+detection sweeps, re-plots at a different ``k``) revisit identical
+(pipeline, seeds, hyperparameters) triples.  :class:`MeasurementCache`
+memoizes :meth:`repro.core.benchmark.BenchmarkProcess.measure` results
+behind a content hash of everything that determines the outcome:
+
+* the dataset (name, shape and raw bytes of ``X``/``y``);
+* the pipeline name and resolved hyperparameters;
+* the full explicit seed assignment of the :class:`SeedBundle`;
+* whether HOpt runs inside the measurement (and, if so, which HOpt
+  algorithm and budget).
+
+Because a measurement is a pure function of that key, cached replay is
+bitwise identical to recomputation.  The cache is thread-safe and can be
+persisted to disk (:meth:`save` / :meth:`load`) so expensive studies
+survive process restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import threading
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.benchmark import BenchmarkProcess, Measurement
+    from repro.utils.rng import SeedBundle
+
+__all__ = ["MeasurementCache", "measurement_key"]
+
+
+def _dataset_token(dataset) -> str:
+    """Content hash of a dataset, memoized on the instance.
+
+    The memo lives on the (frozen, immutable) dataset object itself so it
+    shares the dataset's lifetime — no module-level registry pinning large
+    feature matrices in memory.  Recomputing the same token twice under a
+    thread race is harmless, so no lock is needed.
+    """
+    token = getattr(dataset, "_repro_content_token", None)
+    if token is not None:
+        return token
+    digest = hashlib.sha256()
+    digest.update(dataset.name.encode("utf-8"))
+    digest.update(dataset.task_type.encode("utf-8"))
+    digest.update(str(dataset.X.shape).encode("utf-8"))
+    digest.update(np.ascontiguousarray(dataset.X).tobytes())
+    digest.update(np.ascontiguousarray(dataset.y).tobytes())
+    token = digest.hexdigest()
+    object.__setattr__(dataset, "_repro_content_token", token)
+    return token
+
+
+def _canonical_value(value: Any) -> str:
+    """Lossless, deterministic serialization of one hparam/config value.
+
+    ``repr`` alone is unsafe for array-likes (numpy elides long arrays
+    with ``...``, so distinct configurations could share a key and replay
+    the wrong measurement); arrays are serialized from their raw bytes.
+    """
+    if isinstance(value, np.ndarray):
+        return (
+            f"ndarray:{value.dtype.str}:{value.shape}:"
+            f"{hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()}"
+        )
+    if isinstance(value, (list, tuple)):
+        parts = ",".join(_canonical_value(v) for v in value)
+        return f"{type(value).__name__}:[{parts}]"
+    if isinstance(value, (bool, int, float, str, bytes, type(None))):
+        return repr(value)
+    return f"{type(value).__name__}:{value!r}"
+
+
+def measurement_key(
+    process: "BenchmarkProcess",
+    seeds: "SeedBundle",
+    hparams: Optional[Mapping[str, Any]],
+    *,
+    with_hpo: bool = False,
+) -> str:
+    """Content hash identifying one measurement of ``process``.
+
+    Two calls with equal keys are guaranteed to produce identical
+    :class:`~repro.core.benchmark.Measurement` values (the benchmark
+    process is deterministic given its seeds).
+    """
+    payload = {
+        "dataset": _dataset_token(process.dataset),
+        "pipeline": process.pipeline.name,
+        "metric": process.pipeline.metric_name,
+        "resampler": repr(process.resampler),
+        "seeds": seeds.as_dict(),
+        "hparams": None if hparams is None else {
+            str(k): _canonical_value(v) for k, v in sorted(hparams.items())
+        },
+        "with_hpo": bool(with_hpo),
+    }
+    if with_hpo:
+        algorithm = process.hpo_algorithm
+        payload["hpo_algorithm"] = {
+            "class": type(algorithm).__name__,
+            # Scalar config attributes distinguish differently-tuned
+            # instances of the same optimizer class.
+            "config": {
+                k: _canonical_value(v)
+                for k, v in sorted(vars(algorithm).items())
+                if isinstance(v, (bool, int, float, str, tuple, type(None)))
+            },
+        }
+        payload["hpo_budget"] = process.hpo_budget
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class MeasurementCache:
+    """Thread-safe, optionally disk-backed store of measurements by key.
+
+    Parameters
+    ----------
+    path:
+        Optional file path for persistence.  When given, :meth:`load` is
+        attempted eagerly (a missing file is fine) and :meth:`save` writes
+        the full store with :mod:`pickle`.
+    max_entries:
+        Optional capacity bound; insertion beyond it evicts the oldest
+        entries (insertion order).  ``None`` means unbounded.
+
+    Examples
+    --------
+    >>> cache = MeasurementCache()
+    >>> runner = StudyRunner(process, cache=cache)          # doctest: +SKIP
+    >>> runner.run(items); runner.run(items)                # doctest: +SKIP
+    >>> cache.hit_rate                                      # doctest: +SKIP
+    0.5
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be a positive integer or None")
+        self._store: Dict[str, "Measurement"] = {}
+        self._lock = threading.Lock()
+        self.path = path
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        if path is not None:
+            self.load(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def get(self, key: str) -> Optional["Measurement"]:
+        """Return the cached measurement for ``key``, counting hit/miss."""
+        with self._lock:
+            measurement = self._store.get(key)
+            if measurement is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return measurement
+
+    def record_hit(self) -> None:
+        """Count a hit served without a :meth:`get` lookup (e.g. a batch
+        duplicate the runner resolved from its own working set)."""
+        with self._lock:
+            self.hits += 1
+
+    def put(self, key: str, measurement: "Measurement") -> None:
+        """Store ``measurement`` under ``key`` (evicting oldest if full)."""
+        with self._lock:
+            self._store[key] = measurement
+            if self.max_entries is not None:
+                while len(self._store) > self.max_entries:
+                    self._store.pop(next(iter(self._store)))
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss counters and current size, for reports and benchmarks."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+                "entries": len(self._store),
+            }
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Optional[str] = None) -> str:
+        """Pickle the store to ``path`` (defaults to the bound path)."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no path bound to the cache and none given")
+        with self._lock:
+            snapshot = dict(self._store)
+        with open(target, "wb") as handle:
+            pickle.dump(snapshot, handle)
+        return target
+
+    def load(self, path: Optional[str] = None, *, missing_ok: bool = False) -> int:
+        """Merge entries pickled at ``path`` into the store.
+
+        Returns the number of entries loaded.
+        """
+        target = path or self.path
+        if target is None:
+            raise ValueError("no path bound to the cache and none given")
+        try:
+            with open(target, "rb") as handle:
+                snapshot = pickle.load(handle)
+        except FileNotFoundError:
+            if missing_ok:
+                return 0
+            raise
+        with self._lock:
+            self._store.update(snapshot)
+        return len(snapshot)

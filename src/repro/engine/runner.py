@@ -1,0 +1,195 @@
+"""The measurement engine facade used by every study driver.
+
+:class:`StudyRunner` binds a :class:`~repro.core.benchmark.BenchmarkProcess`
+to a :class:`~repro.engine.executor.ParallelExecutor` and an optional
+:class:`~repro.engine.cache.MeasurementCache`, and executes batches of
+:class:`WorkItem` (a ``(seeds, hparams[, with_hpo])`` triple) with
+
+* **deterministic ordering** — results come back in submission order, so a
+  parallel run is bitwise identical to a serial one provided callers
+  pre-draw their seeds before submitting (which every study in
+  :mod:`repro.core.variance`, :mod:`repro.core.estimators` and
+  :mod:`repro.experiments` now does);
+* **within-batch deduplication** — identical work items are executed once;
+* **cross-batch memoization** — when a cache is attached, previously seen
+  keys are replayed without refitting.
+
+Usage::
+
+    runner = StudyRunner(process, n_jobs=4, cache=MeasurementCache())
+    items = [WorkItem(seeds=bundle) for bundle in bundles]   # pre-drawn!
+    scores = runner.run_scores(items)
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.cache import MeasurementCache, measurement_key
+from repro.engine.executor import ParallelExecutor
+from repro.utils.rng import SeedBundle
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import would cycle through
+    # repro.core.__init__ -> estimators -> this module; annotations only.
+    from repro.core.benchmark import BenchmarkProcess, Measurement
+
+__all__ = ["WorkItem", "StudyRunner", "ensure_runner"]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One unit of measurement work: a seed assignment plus hyperparameters.
+
+    Attributes
+    ----------
+    seeds:
+        Seed bundle fixing every stochastic element of the measurement.
+    hparams:
+        Hyperparameters for the final fit; ``None`` uses the pipeline
+        defaults.  Ignored when ``with_hpo`` is true (HOpt selects them).
+    with_hpo:
+        When true the measurement includes its own HOpt run
+        (:meth:`~repro.core.benchmark.BenchmarkProcess.measure_with_hpo`).
+    """
+
+    seeds: SeedBundle
+    hparams: Optional[Mapping[str, Any]] = None
+    with_hpo: bool = False
+
+
+def _execute_item(process: BenchmarkProcess, item: WorkItem) -> Measurement:
+    """Run one work item against the process (top level: process-picklable)."""
+    if item.with_hpo:
+        # HPO algorithms may keep per-run state (e.g. NoisyGridSearch builds
+        # its grid in prepare()); concurrent with_hpo items on the thread
+        # backend would race on the shared instance.  A shallow process copy
+        # with its own deep-copied optimizer keeps every item independent —
+        # pipelines, datasets and resamplers are fit-pure and stay shared.
+        process = copy.copy(process)
+        process.hpo_algorithm = copy.deepcopy(process.hpo_algorithm)
+        return process.measure_with_hpo(item.seeds)
+    return process.measure(item.seeds, item.hparams)
+
+
+class _BoundExecute:
+    """Picklable ``item -> Measurement`` closure over the process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: BenchmarkProcess) -> None:
+        self.process = process
+
+    def __call__(self, item: WorkItem) -> Measurement:
+        return _execute_item(self.process, item)
+
+
+class StudyRunner:
+    """Execute batches of measurements, optionally cached and in parallel.
+
+    Parameters
+    ----------
+    process:
+        The benchmark process every work item runs against.
+    executor:
+        Pre-built :class:`ParallelExecutor`; overrides ``n_jobs``/``backend``.
+    n_jobs:
+        Worker count when no executor is given (``1`` = serial, ``-1`` =
+        all cores).
+    backend:
+        ``"thread"`` (default, no pickling constraints) or ``"process"``
+        (true parallelism for pure-Python fits) when no executor is given.
+    cache:
+        Optional :class:`MeasurementCache` for cross-batch memoization.
+    """
+
+    def __init__(
+        self,
+        process: BenchmarkProcess,
+        *,
+        executor: Optional[ParallelExecutor] = None,
+        n_jobs: int = 1,
+        backend: str = "thread",
+        cache: Optional[MeasurementCache] = None,
+    ) -> None:
+        self.process = process
+        self.executor = (
+            executor if executor is not None else ParallelExecutor(n_jobs, backend=backend)
+        )
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # Measurement batches
+    # ------------------------------------------------------------------
+    def run(self, items: Sequence[WorkItem]) -> List[Measurement]:
+        """Execute every item; results are returned in submission order.
+
+        With a cache attached, keys already stored are replayed and each
+        distinct missing key is computed exactly once per batch.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self.cache is None:
+            return self.executor.map(_BoundExecute(self.process), items)
+
+        keys = [
+            measurement_key(
+                self.process, item.seeds, item.hparams, with_hpo=item.with_hpo
+            )
+            for item in items
+        ]
+        results: Dict[str, Measurement] = {}
+        pending: Dict[str, WorkItem] = {}
+        for key, item in zip(keys, items):
+            if key in results or key in pending:
+                self.cache.record_hit()
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending[key] = item
+        if pending:
+            computed = self.executor.map(_BoundExecute(self.process), list(pending.values()))
+            for key, measurement in zip(pending, computed):
+                self.cache.put(key, measurement)
+                results[key] = measurement
+        return [results[key] for key in keys]
+
+    def run_scores(self, items: Sequence[WorkItem]) -> np.ndarray:
+        """Execute every item and return the test scores as a float array."""
+        return np.array([m.test_score for m in self.run(items)], dtype=float)
+
+    # ------------------------------------------------------------------
+    # Generic fan-out (simulation drivers, custom studies)
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable, items: Sequence) -> List:
+        """Run an arbitrary pure function over items on this runner's executor."""
+        return self.executor.map(fn, items)
+
+
+def ensure_runner(
+    runner: Optional[StudyRunner],
+    process: "BenchmarkProcess",
+    *,
+    n_jobs: int = 1,
+) -> StudyRunner:
+    """Return a runner bound to ``process``, building a default on demand.
+
+    A runner bound to a *different* process would silently measure that
+    other process (its cache keys and fits both come from ``runner.process``),
+    so a mismatch is an error rather than a footgun.
+    """
+    if runner is None:
+        return StudyRunner(process, n_jobs=n_jobs)
+    if runner.process is not process:
+        raise ValueError(
+            "runner is bound to a different BenchmarkProcess than the one "
+            "under study; build a StudyRunner for this process (caches can "
+            "be shared between runners instead)"
+        )
+    return runner

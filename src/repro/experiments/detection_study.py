@@ -22,6 +22,7 @@ from repro.core.comparison import (
     ProbabilityOfOutperforming,
     SinglePointComparison,
 )
+from repro.engine.executor import ParallelExecutor
 from repro.simulation.detection import (
     DetectionRateResult,
     detection_rate_curve,
@@ -123,6 +124,8 @@ def run_detection_study(
     gamma: float = 0.75,
     estimators: Sequence[str] = ("ideal", "biased"),
     random_state=None,
+    n_jobs: int = 1,
+    backend: str = "thread",
 ) -> DetectionStudyResult:
     """Run the Figure 6 detection-rate experiment.
 
@@ -144,8 +147,16 @@ def run_detection_study(
         Which simulation models to use (``"ideal"``, ``"biased"``).
     random_state:
         Seed or generator.
+    n_jobs:
+        Workers for the simulation fan-out; per-simulation seeds are
+        pre-drawn, so the rates are identical for any value.
+    backend:
+        ``"thread"`` (default) or ``"process"`` — the simulations are
+        pure-Python and GIL-bound, so real speedup needs the process
+        backend (everything submitted is picklable).
     """
     rng = check_random_state(random_state)
+    executor = ParallelExecutor(n_jobs, backend=backend)
     if task is None:
         task = DEFAULT_SIMULATED_TASKS[2]
     methods = default_comparison_methods(task.sigma, gamma=gamma)
@@ -170,6 +181,7 @@ def run_detection_study(
                     estimator=estimator,
                     n_simulations=n_simulations,
                     random_state=rng,
+                    executor=executor,
                 )
             )
     return result
@@ -227,13 +239,18 @@ def run_robustness_study(
     k: int = 50,
     n_simulations: int = 50,
     random_state=None,
+    n_jobs: int = 1,
+    backend: str = "thread",
 ) -> RobustnessStudyResult:
     """Run the Figure I.6 robustness experiment.
 
     The threshold sweep converts each γ into the equivalent average-
     comparison threshold δ = Φ⁻¹(γ)·σ, as described in Appendix I.
+    ``n_jobs`` fans the independent simulations out over the measurement
+    engine's executor without changing the rates.
     """
     rng = check_random_state(random_state)
+    executor = ParallelExecutor(n_jobs, backend=backend)
     if task is None:
         task = DEFAULT_SIMULATED_TASKS[2]
     methods = {
@@ -249,6 +266,7 @@ def run_robustness_study(
         p_a_gt_b=p_a_gt_b,
         n_simulations=n_simulations,
         random_state=rng,
+        executor=executor,
     )
     result.by_threshold["probability_of_outperforming"] = robustness_to_threshold(
         lambda gamma: ProbabilityOfOutperforming(gamma=gamma, n_bootstraps=200),
@@ -258,6 +276,7 @@ def run_robustness_study(
         k=k,
         n_simulations=n_simulations,
         random_state=rng,
+        executor=executor,
     )
     result.by_threshold["average"] = robustness_to_threshold(
         lambda gamma: AverageComparison(
@@ -269,5 +288,6 @@ def run_robustness_study(
         k=k,
         n_simulations=n_simulations,
         random_state=rng,
+        executor=executor,
     )
     return result

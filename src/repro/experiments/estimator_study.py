@@ -17,6 +17,7 @@ from repro.core.benchmark import BenchmarkProcess
 from repro.core.estimators import estimator_cost
 from repro.core.variance import EstimatorQualityResult, EstimatorQualityStudy
 from repro.data.tasks import get_task
+from repro.engine import MeasurementCache, StudyRunner
 from repro.utils.tables import format_table
 from repro.utils.validation import check_random_state
 
@@ -102,6 +103,8 @@ def run_estimator_study(
     ks: Optional[Sequence[int]] = None,
     dataset_size: Optional[int] = None,
     random_state=None,
+    n_jobs: int = 1,
+    cache: Optional[MeasurementCache] = None,
 ) -> EstimatorStudyResult:
     """Run the estimator quality study on the requested tasks.
 
@@ -121,6 +124,11 @@ def run_estimator_study(
         Optional dataset-size override for faster runs.
     random_state:
         Seed or generator.
+    n_jobs:
+        Workers for the measurement engine; seeds are pre-drawn, so the
+        scores are identical for any value at a fixed ``random_state``.
+    cache:
+        Optional measurement cache shared by every per-task runner.
     """
     rng = check_random_state(random_state)
     if ks is None:
@@ -132,6 +140,7 @@ def run_estimator_study(
         dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
         pipeline = task.make_pipeline()
         process = BenchmarkProcess(dataset, pipeline, hpo_budget=hpo_budget)
+        runner = StudyRunner(process, n_jobs=n_jobs, cache=cache)
         study = EstimatorQualityStudy(n_repetitions=n_repetitions, k_max=k_max)
-        result.quality[task_name] = study.run(process, random_state=rng)
+        result.quality[task_name] = study.run(process, random_state=rng, runner=runner)
     return result

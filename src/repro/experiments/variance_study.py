@@ -22,6 +22,7 @@ from repro.core.variance import (
     variance_decomposition_study,
 )
 from repro.data.tasks import get_task
+from repro.engine import MeasurementCache, StudyRunner
 from repro.hpo.bayesopt import BayesianOptimization
 from repro.hpo.grid import NoisyGridSearch
 from repro.hpo.random_search import RandomSearch
@@ -82,6 +83,8 @@ def run_variance_study(
     include_hpo: bool = True,
     dataset_size: Optional[int] = None,
     random_state=None,
+    n_jobs: int = 1,
+    cache: Optional[MeasurementCache] = None,
 ) -> VarianceStudyResult:
     """Run the per-source variance study on the requested tasks.
 
@@ -101,6 +104,13 @@ def run_variance_study(
         Optional override of the dataset size for faster runs.
     random_state:
         Seed or generator.
+    n_jobs:
+        Workers for the measurement engine; results are identical for any
+        value at a fixed ``random_state`` (seeds are pre-drawn).
+    cache:
+        Optional :class:`~repro.engine.cache.MeasurementCache` shared by
+        every per-task runner, so repeated studies replay known
+        measurements.
     """
     rng = check_random_state(random_state)
     result = VarianceStudyResult()
@@ -110,8 +120,9 @@ def run_variance_study(
         dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
         pipeline = task.make_pipeline()
         process = BenchmarkProcess(dataset, pipeline, hpo_budget=hpo_budget)
+        runner = StudyRunner(process, n_jobs=n_jobs, cache=cache)
         result.decompositions[task_name] = variance_decomposition_study(
-            process, n_seeds=n_seeds, random_state=rng
+            process, n_seeds=n_seeds, random_state=rng, runner=runner
         )
         if include_hpo:
             algorithms = {
@@ -124,6 +135,7 @@ def run_variance_study(
                 algorithms,
                 n_repetitions=n_hpo_repetitions,
                 random_state=rng,
+                runner=runner,
             )
             result.hpo_scores[task_name] = scores
             result.hpo_stds[task_name] = {

@@ -7,22 +7,29 @@ the fraction of simulations where the criterion declares A better.  In the
 region where :math:`H_0` is true (left of the sweep) that rate is the
 false-positive rate; where :math:`H_1` is true it is the statistical power
 (1 - false-negative rate).
+
+Simulations are independent, so they run through the measurement engine's
+:class:`~repro.engine.executor.ParallelExecutor`: a per-simulation seed is
+pre-drawn from the study generator, which makes the detection rate at a
+fixed ``random_state`` bitwise identical for any ``n_jobs``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.comparison import ComparisonMethod
+from repro.engine.executor import ParallelExecutor
 from repro.simulation.performance_model import (
     SimulatedTask,
     mean_shift_for_probability,
     simulate_biased_measurements,
     simulate_ideal_measurements,
 )
+from repro.utils.rng import MAX_SEED
 from repro.utils.validation import check_positive_int, check_random_state
 
 __all__ = [
@@ -88,6 +95,14 @@ def _simulate_pair(
     return scores_a, scores_b
 
 
+def _run_one_simulation(args) -> bool:
+    """One simulated benchmark and decision (top level: picklable)."""
+    method, task, k, mean_shift, estimator, seed = args
+    rng = np.random.default_rng(seed)
+    scores_a, scores_b = _simulate_pair(task, k, mean_shift, estimator, rng)
+    return bool(method.decide(scores_a, scores_b).a_is_better)
+
+
 def detection_rate(
     method: ComparisonMethod,
     task: SimulatedTask,
@@ -97,16 +112,28 @@ def detection_rate(
     estimator: str = "ideal",
     n_simulations: int = 100,
     random_state=None,
+    executor: Optional[ParallelExecutor] = None,
+    n_jobs: int = 1,
 ) -> float:
-    """Rate at which ``method`` declares A better, at one true P(A>B)."""
+    """Rate at which ``method`` declares A better, at one true P(A>B).
+
+    One seed per simulation is pre-drawn from ``random_state``; the
+    simulations then fan out over ``executor`` (or a fresh
+    :class:`ParallelExecutor` with ``n_jobs`` workers), so the rate does
+    not depend on the worker count.
+    """
     n_simulations = check_positive_int(n_simulations, "n_simulations")
     rng = check_random_state(random_state)
+    if estimator not in ("ideal", "biased"):
+        raise ValueError("estimator must be 'ideal' or 'biased'")
+    if executor is None:
+        executor = ParallelExecutor(n_jobs)
     mean_shift = mean_shift_for_probability(p_a_gt_b, task.sigma)
-    detections = 0
-    for _ in range(n_simulations):
-        scores_a, scores_b = _simulate_pair(task, k, mean_shift, estimator, rng)
-        if method.decide(scores_a, scores_b).a_is_better:
-            detections += 1
+    seeds = rng.integers(0, MAX_SEED, size=n_simulations)
+    args = [
+        (method, task, k, mean_shift, estimator, int(seed)) for seed in seeds
+    ]
+    detections = sum(executor.map(_run_one_simulation, args))
     return detections / n_simulations
 
 
@@ -119,9 +146,13 @@ def detection_rate_curve(
     estimator: str = "ideal",
     n_simulations: int = 100,
     random_state=None,
+    executor: Optional[ParallelExecutor] = None,
+    n_jobs: int = 1,
 ) -> DetectionRateResult:
     """Sweep the true P(A>B) and record the detection rate (Figure 6)."""
     rng = check_random_state(random_state)
+    if executor is None:
+        executor = ParallelExecutor(n_jobs)
     probabilities = np.asarray(list(probabilities), dtype=float)
     rates = np.array(
         [
@@ -133,6 +164,7 @@ def detection_rate_curve(
                 estimator=estimator,
                 n_simulations=n_simulations,
                 random_state=rng,
+                executor=executor,
             )
             for p in probabilities
         ]
@@ -154,6 +186,8 @@ def robustness_to_sample_size(
     estimator: str = "ideal",
     n_simulations: int = 100,
     random_state=None,
+    executor: Optional[ParallelExecutor] = None,
+    n_jobs: int = 1,
 ) -> Dict[str, np.ndarray]:
     """Detection rate versus sample size at a fixed true P(A>B) (Figure I.6, top).
 
@@ -161,6 +195,8 @@ def robustness_to_sample_size(
     sample size.
     """
     rng = check_random_state(random_state)
+    if executor is None:
+        executor = ParallelExecutor(n_jobs)
     results: Dict[str, np.ndarray] = {}
     for name, method in methods.items():
         rates = []
@@ -174,6 +210,7 @@ def robustness_to_sample_size(
                     estimator=estimator,
                     n_simulations=n_simulations,
                     random_state=rng,
+                    executor=executor,
                 )
             )
         results[name] = np.array(rates)
@@ -190,6 +227,8 @@ def robustness_to_threshold(
     estimator: str = "ideal",
     n_simulations: int = 100,
     random_state=None,
+    executor: Optional[ParallelExecutor] = None,
+    n_jobs: int = 1,
 ) -> Dict[float, float]:
     """Detection rate versus decision threshold γ (Figure I.6, bottom).
 
@@ -201,6 +240,8 @@ def robustness_to_threshold(
         converted to an equivalent δ by the caller).
     """
     rng = check_random_state(random_state)
+    if executor is None:
+        executor = ParallelExecutor(n_jobs)
     results: Dict[float, float] = {}
     for gamma in thresholds:
         method = method_factory(float(gamma))
@@ -212,5 +253,6 @@ def robustness_to_threshold(
             estimator=estimator,
             n_simulations=n_simulations,
             random_state=rng,
+            executor=executor,
         )
     return results

@@ -3,6 +3,14 @@
 The paper recommends quantifying the reliability of the estimated
 probability of outperforming :math:`P(A>B)` with a non-parametric
 percentile bootstrap over the paired performance measurements.
+
+The bootstrap distribution has a vectorized fast path: when the statistic
+evaluates a whole ``(n_bootstraps, n[, 2])`` batch of resamples to a
+``(n_bootstraps,)`` vector — verified against per-row evaluation on a
+probe — the Python loop over resamples is skipped entirely.  Statistics
+written with ``axis=-1`` reductions (as in
+:func:`repro.core.significance.probability_of_outperforming_test`) get
+this for free; any other statistic silently falls back to the loop.
 """
 
 from __future__ import annotations
@@ -49,6 +57,77 @@ class BootstrapCI:
         return self.low <= value <= self.high
 
 
+def _paired_data(values: np.ndarray, paired: Optional[np.ndarray]) -> np.ndarray:
+    """Validate the sample(s) once and stack paired data to ``(n, 2)``."""
+    values = check_array(values, ndim=1, min_length=1, name="values")
+    if paired is None:
+        return values
+    paired = check_array(paired, ndim=1, min_length=1, name="paired")
+    if paired.shape != values.shape:
+        raise ValueError("paired sample must have the same length as values")
+    return np.column_stack([values, paired])
+
+
+def _batched_statistic(
+    statistic: Callable[[np.ndarray], float],
+    resamples: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Evaluate ``statistic`` over a batch of resamples at once, if it can.
+
+    A two-row probe validates the batched semantics (result shape and
+    agreement with per-row evaluation) *before* the full batch is
+    evaluated, so non-vectorizable statistics pay only the probe — not a
+    discarded full-batch pass — on the way to the loop fallback.
+    """
+    n_bootstraps = resamples.shape[0]
+    probe = min(2, n_bootstraps)
+    try:
+        probed = np.asarray(statistic(resamples[:probe]), dtype=float)
+    except Exception:
+        return None
+    if probed.shape != (probe,):
+        return None
+    rowwise = np.array([float(statistic(resamples[b])) for b in range(probe)])
+    if not np.allclose(probed, rowwise, rtol=1e-9, atol=1e-12, equal_nan=True):
+        return None
+    try:
+        batched = np.asarray(statistic(resamples), dtype=float)
+    except Exception:
+        return None
+    if batched.shape != (n_bootstraps,):
+        return None
+    return batched
+
+
+def _bootstrap_distribution(
+    data: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    n_bootstraps: int,
+    rng: np.random.Generator,
+    vectorized: Optional[bool],
+) -> np.ndarray:
+    """Bootstrap distribution over pre-validated ``data``."""
+    n = data.shape[0]
+    indices = rng.integers(0, n, size=(n_bootstraps, n))
+    if vectorized is not False:
+        resamples = data[indices]
+        batched = _batched_statistic(statistic, resamples)
+        if batched is not None:
+            return batched
+        if vectorized:
+            raise ValueError(
+                "statistic does not evaluate batched resamples to a "
+                "(n_bootstraps,) vector; pass vectorized=None or False"
+            )
+    else:
+        resamples = None
+    stats = np.empty(n_bootstraps, dtype=float)
+    for b in range(n_bootstraps):
+        row = data[indices[b]] if resamples is None else resamples[b]
+        stats[b] = float(statistic(row))
+    return stats
+
+
 def bootstrap_distribution(
     values: np.ndarray,
     statistic: Callable[[np.ndarray], float],
@@ -56,6 +135,7 @@ def bootstrap_distribution(
     n_bootstraps: int = 1000,
     random_state: Union[None, int, np.random.Generator] = None,
     paired: Optional[np.ndarray] = None,
+    vectorized: Optional[bool] = None,
 ) -> np.ndarray:
     """Return the bootstrap distribution of ``statistic``.
 
@@ -73,23 +153,21 @@ def bootstrap_distribution(
     paired:
         Optional second sample of the same length; resampling then keeps
         pairs together (as required for paired comparisons, Appendix C.2).
+    vectorized:
+        ``None`` (default) probes whether ``statistic`` can evaluate the
+        whole ``(n_bootstraps, n[, 2])`` batch at once and uses the fast
+        path when the probe validates; ``True`` requires the fast path
+        (raising otherwise); ``False`` forces the per-resample loop.
+
+    Notes
+    -----
+    The resample indices are drawn in one call, so the returned
+    distribution is bitwise identical whichever path executes.
     """
     rng = check_random_state(random_state)
     n_bootstraps = check_positive_int(n_bootstraps, "n_bootstraps")
-    values = check_array(values, ndim=1, min_length=1, name="values")
-    if paired is not None:
-        paired = check_array(paired, ndim=1, min_length=1, name="paired")
-        if paired.shape != values.shape:
-            raise ValueError("paired sample must have the same length as values")
-        data = np.column_stack([values, paired])
-    else:
-        data = values
-    n = values.shape[0]
-    indices = rng.integers(0, n, size=(n_bootstraps, n))
-    stats = np.empty(n_bootstraps, dtype=float)
-    for b in range(n_bootstraps):
-        stats[b] = float(statistic(data[indices[b]]))
-    return stats
+    data = _paired_data(values, paired)
+    return _bootstrap_distribution(data, statistic, n_bootstraps, rng, vectorized)
 
 
 def percentile_bootstrap_ci(
@@ -100,12 +178,13 @@ def percentile_bootstrap_ci(
     n_bootstraps: int = 1000,
     random_state: Union[None, int, np.random.Generator] = None,
     paired: Optional[np.ndarray] = None,
+    vectorized: Optional[bool] = None,
 ) -> BootstrapCI:
     """Percentile bootstrap confidence interval for an arbitrary statistic.
 
     Parameters
     ----------
-    values, statistic, n_bootstraps, random_state, paired:
+    values, statistic, n_bootstraps, random_state, paired, vectorized:
         See :func:`bootstrap_distribution`.
     alpha:
         Total tail probability; the interval spans the
@@ -117,19 +196,13 @@ def percentile_bootstrap_ci(
     BootstrapCI
     """
     alpha = check_fraction(alpha, "alpha")
-    dist = bootstrap_distribution(
-        values,
-        statistic,
-        n_bootstraps=n_bootstraps,
-        random_state=random_state,
-        paired=paired,
-    )
-    values_arr = check_array(values, ndim=1, name="values")
-    if paired is not None:
-        paired_arr = check_array(paired, ndim=1, name="paired")
-        point = float(statistic(np.column_stack([values_arr, paired_arr])))
-    else:
-        point = float(statistic(values_arr))
+    rng = check_random_state(random_state)
+    n_bootstraps = check_positive_int(n_bootstraps, "n_bootstraps")
+    # Validate and stack the sample(s) exactly once; the distribution and
+    # the point estimate share the prepared array.
+    data = _paired_data(values, paired)
+    dist = _bootstrap_distribution(data, statistic, n_bootstraps, rng, vectorized)
+    point = float(statistic(data))
     low, high = np.percentile(dist, [100 * alpha / 2, 100 * (1 - alpha / 2)])
     return BootstrapCI(
         estimate=point,

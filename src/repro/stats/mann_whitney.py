@@ -18,7 +18,23 @@ __all__ = [
     "mann_whitney_u",
     "probability_of_outperforming",
     "paired_probability_of_outperforming",
+    "paired_win_rate",
 ]
+
+
+def paired_win_rate(a: np.ndarray, b: np.ndarray, *, axis: int = -1) -> np.ndarray:
+    """Equation 9's win/tie kernel: wins plus half-ties over ``axis``.
+
+    The unvalidated, broadcasting core shared by
+    :func:`paired_probability_of_outperforming` (1-D samples) and the
+    batched bootstrap statistic in
+    :func:`repro.core.significance.probability_of_outperforming_test`
+    (``(n_bootstraps, n)`` resamples), so the tie convention is defined
+    exactly once.
+    """
+    wins = np.count_nonzero(a > b, axis=axis)
+    ties = np.count_nonzero(a == b, axis=axis)
+    return (wins + 0.5 * ties) / a.shape[axis]
 
 
 def mann_whitney_u(a: np.ndarray, b: np.ndarray) -> float:
@@ -72,6 +88,4 @@ def paired_probability_of_outperforming(a: np.ndarray, b: np.ndarray) -> float:
     b = check_array(b, ndim=1, min_length=1, name="b")
     if a.shape != b.shape:
         raise ValueError("paired samples must have the same length")
-    wins = np.count_nonzero(a > b)
-    ties = np.count_nonzero(a == b)
-    return float((wins + 0.5 * ties) / a.shape[0])
+    return float(paired_win_rate(a, b))

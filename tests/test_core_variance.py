@@ -95,6 +95,28 @@ class TestEstimatorStandardErrorCurve:
         with pytest.raises(ValueError):
             estimator_standard_error_curve(rng.normal(size=(1, 5)), [2])
 
+    def test_cumsum_fast_path_matches_naive_recomputation(self, rng):
+        # Regression guard for the O(n·k_max²) -> O(n·k_max) rewrite: the
+        # single cumulative-sum pass must agree with re-averaging each
+        # prefix from scratch.
+        matrix = rng.normal(0.3, 0.05, size=(37, 23))
+        ks = [1, 2, 3, 7, 11, 23]
+        naive = np.array(
+            [float(np.std(matrix[:, :k].mean(axis=1), ddof=1)) for k in ks]
+        )
+        np.testing.assert_allclose(
+            estimator_standard_error_curve(matrix, ks), naive, rtol=1e-12
+        )
+
+    def test_empty_ks_gives_empty_curve(self, rng):
+        assert estimator_standard_error_curve(rng.normal(size=(3, 5)), []).size == 0
+
+    def test_unsorted_and_repeated_ks_preserved(self, rng):
+        matrix = rng.normal(size=(10, 8))
+        curve = estimator_standard_error_curve(matrix, [5, 2, 5])
+        assert curve.shape == (3,)
+        assert curve[0] == curve[2]
+
 
 class TestEstimatorQualityStudy:
     def test_produces_all_variants(self, hard_process):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.data.dataset import Dataset
 from repro.data.resampling import (
     BootstrapResampler,
     CrossValidationResampler,
@@ -56,6 +57,54 @@ class TestBootstrapSplit:
         train, valid, test = bootstrap_split(regression_dataset, rng)
         assert train.n_samples + valid.n_samples == regression_dataset.n_samples
         assert test.n_samples > 0
+
+
+class TestDegenerateFallbackContamination:
+    """Property: train/valid and test are disjoint even on tiny datasets.
+
+    Small datasets frequently draw every index in the bootstrap, which
+    triggers the hold-one-out fallback; duplicate draws of the held-out
+    index must not remain in the in-bag set (a train/test leak).
+    """
+
+    @staticmethod
+    def _unique_row_dataset(n, task_type):
+        # Rows are their own identifiers, so row-level membership checks
+        # are exact even after bootstrap duplication.
+        X = np.arange(n, dtype=float).reshape(n, 1)
+        if task_type == "classification":
+            y = (np.arange(n) % 2).astype(int)
+        else:
+            y = np.linspace(0.0, 1.0, n)
+        return Dataset(X=X, y=y, task_type=task_type)
+
+    @pytest.mark.parametrize("task_type", ["classification", "regression"])
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8])
+    def test_train_test_disjoint_across_many_draws(self, n, task_type):
+        dataset = self._unique_row_dataset(n, task_type)
+        rng = np.random.default_rng(20260727 + n)
+        for _ in range(300):
+            train, valid, test = bootstrap_split(dataset, rng, valid_fraction=0.25)
+            assert test.n_samples > 0
+            test_rows = set(test.X[:, 0].tolist())
+            in_bag_rows = set(train.X[:, 0].tolist()) | set(valid.X[:, 0].tolist())
+            assert test_rows.isdisjoint(in_bag_rows)
+
+    def test_fallback_removes_all_duplicates_of_held_out_index(self):
+        # Force the degenerate branch: a two-sample regression dataset draws
+        # both indices often; whenever the fallback fires, every copy of the
+        # held-out row must have left the in-bag set.
+        dataset = self._unique_row_dataset(2, "regression")
+        rng = np.random.default_rng(7)
+        saw_fallback = False
+        for _ in range(500):
+            train, valid, test = bootstrap_split(dataset, rng, stratify=False)
+            if train.n_samples + valid.n_samples < dataset.n_samples:
+                saw_fallback = True
+            held_out = set(test.X[:, 0].tolist())
+            kept = list(train.X[:, 0].tolist()) + list(valid.X[:, 0].tolist())
+            assert not held_out.intersection(kept)
+        assert saw_fallback
 
 
 class TestBootstrapResampler:

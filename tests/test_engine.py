@@ -1,0 +1,235 @@
+"""Tests for the parallel cached measurement engine (repro.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import FixHOptEstimator, IdealEstimator
+from repro.core.sources import VarianceSource
+from repro.core.variance import hpo_variance_study, variance_decomposition_study
+from repro.engine import (
+    MeasurementCache,
+    ParallelExecutor,
+    StudyRunner,
+    WorkItem,
+    measurement_key,
+    resolve_n_jobs,
+)
+from repro.hpo.grid import NoisyGridSearch
+from repro.hpo.random_search import RandomSearch
+from repro.utils.rng import SeedBundle
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelExecutor:
+    def test_serial_map_preserves_order(self):
+        executor = ParallelExecutor(1)
+        assert executor.map(_square, range(7)) == [x * x for x in range(7)]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_map_preserves_order(self, backend):
+        executor = ParallelExecutor(3, backend=backend)
+        assert executor.map(_square, range(20)) == [x * x for x in range(20)]
+
+    def test_empty_items(self):
+        assert ParallelExecutor(4).map(_square, []) == []
+
+    def test_single_worker_is_serial(self):
+        assert ParallelExecutor(1, backend="process").effective_backend == "serial"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(2, backend="mpi")
+
+    def test_resolve_n_jobs(self):
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(0) == 1
+        assert resolve_n_jobs(-1) >= 1
+        assert resolve_n_jobs(None) == 1
+
+
+class TestMeasurementKey:
+    def test_same_inputs_same_key(self, classification_process, seed_bundle):
+        key_a = measurement_key(classification_process, seed_bundle, None)
+        key_b = measurement_key(classification_process, seed_bundle, None)
+        assert key_a == key_b
+
+    def test_seeds_change_key(self, classification_process, seed_bundle, rng):
+        other = seed_bundle.randomized(["init"], rng)
+        assert measurement_key(classification_process, seed_bundle, None) != (
+            measurement_key(classification_process, other, None)
+        )
+
+    def test_hparams_change_key(self, classification_process, seed_bundle):
+        base = measurement_key(classification_process, seed_bundle, None)
+        assert base != measurement_key(
+            classification_process, seed_bundle, {"learning_rate": 0.5}
+        )
+
+    def test_hpo_flag_changes_key(self, classification_process, seed_bundle):
+        assert measurement_key(
+            classification_process, seed_bundle, None, with_hpo=False
+        ) != measurement_key(classification_process, seed_bundle, None, with_hpo=True)
+
+
+class TestMeasurementCache:
+    def test_hit_miss_accounting(self, classification_process, seed_bundle):
+        cache = MeasurementCache()
+        runner = StudyRunner(classification_process, cache=cache)
+        items = [WorkItem(seeds=seed_bundle)]
+        first = runner.run(items)
+        second = runner.run(items)
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+        assert first[0].test_score == second[0].test_score
+        assert len(cache) == 1
+
+    def test_within_batch_deduplication(self, classification_process, seed_bundle):
+        cache = MeasurementCache()
+        runner = StudyRunner(classification_process, cache=cache)
+        measurements = runner.run([WorkItem(seeds=seed_bundle)] * 4)
+        # One fit, three replays; all four results identical and ordered.
+        assert cache.misses == 1
+        assert cache.hits == 3
+        scores = {m.test_score for m in measurements}
+        assert len(scores) == 1
+
+    def test_cached_replay_is_bitwise_identical(self, classification_process, rng):
+        cache = MeasurementCache()
+        runner = StudyRunner(classification_process, cache=cache)
+        items = [WorkItem(seeds=SeedBundle.random(rng)) for _ in range(3)]
+        uncached = StudyRunner(classification_process).run_scores(items)
+        warm = runner.run_scores(items)
+        replayed = runner.run_scores(items)
+        np.testing.assert_array_equal(uncached, warm)
+        np.testing.assert_array_equal(warm, replayed)
+
+    def test_persistence_roundtrip(self, tmp_path, classification_process, seed_bundle):
+        path = str(tmp_path / "cache.pkl")
+        cache = MeasurementCache(path)
+        runner = StudyRunner(classification_process, cache=cache)
+        score = runner.run_scores([WorkItem(seeds=seed_bundle)])[0]
+        cache.save()
+
+        reloaded = MeasurementCache(path)
+        assert len(reloaded) == 1
+        rerun = StudyRunner(classification_process, cache=reloaded)
+        assert rerun.run_scores([WorkItem(seeds=seed_bundle)])[0] == score
+        assert reloaded.hits == 1 and reloaded.misses == 0
+
+    def test_missing_file_is_fine(self, tmp_path):
+        cache = MeasurementCache(str(tmp_path / "absent.pkl"))
+        assert len(cache) == 0
+        with pytest.raises(FileNotFoundError):
+            cache.load(str(tmp_path / "absent.pkl"))
+
+    def test_max_entries_evicts_oldest(self):
+        cache = MeasurementCache(max_entries=2)
+        cache.put("a", "ma")
+        cache.put("b", "mb")
+        cache.put("c", "mc")
+        assert len(cache) == 2
+        assert "a" not in cache and "c" in cache
+
+    def test_clear_resets_counters(self):
+        cache = MeasurementCache()
+        cache.put("a", "ma")
+        cache.get("a")
+        cache.get("zzz")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_stats_keys(self):
+        stats = MeasurementCache().stats()
+        assert {"hits", "misses", "hit_rate", "entries"} <= set(stats)
+
+
+class TestStudyRunnerEquivalence:
+    """Parallel execution must be bitwise identical to the serial path."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_variance_study_parallel_equals_serial(self, hard_process, backend):
+        kwargs = dict(
+            sources=(VarianceSource.DATA, VarianceSource.INIT),
+            n_seeds=4,
+        )
+        serial = variance_decomposition_study(hard_process, random_state=3, **kwargs)
+        runner = StudyRunner(hard_process, n_jobs=3, backend=backend)
+        parallel = variance_decomposition_study(
+            hard_process, random_state=3, runner=runner, **kwargs
+        )
+        assert set(serial.scores) == set(parallel.scores)
+        for source in serial.scores:
+            np.testing.assert_array_equal(serial.scores[source], parallel.scores[source])
+
+    def test_variance_study_cached_rerun_hits(self, hard_process):
+        cache = MeasurementCache()
+        runner = StudyRunner(hard_process, cache=cache)
+        kwargs = dict(sources=(VarianceSource.DATA,), n_seeds=3, random_state=9)
+        first = variance_decomposition_study(hard_process, runner=runner, **kwargs)
+        second = variance_decomposition_study(hard_process, runner=runner, **kwargs)
+        # Same random_state -> same pre-drawn seeds -> full cache replay.
+        assert cache.misses == 6 and cache.hits == 6
+        for source in first.scores:
+            np.testing.assert_array_equal(first.scores[source], second.scores[source])
+
+    def test_hpo_study_parallel_equals_serial(self, hard_process):
+        algorithms = {"random_search": RandomSearch()}
+        serial = hpo_variance_study(
+            hard_process, algorithms, n_repetitions=3, random_state=11
+        )
+        parallel = hpo_variance_study(
+            hard_process, algorithms, n_repetitions=3, random_state=11, n_jobs=2
+        )
+        np.testing.assert_array_equal(
+            serial["random_search"], parallel["random_search"]
+        )
+
+    def test_stateful_hpo_algorithm_safe_under_thread_parallelism(self, hard_process):
+        # NoisyGridSearch keeps per-run state (its grid is rebuilt in
+        # prepare()); concurrent with_hpo items must each get their own
+        # optimizer copy, or repetitions would race on the shared grid.
+        algorithms = {"noisy_grid": NoisyGridSearch()}
+        serial = hpo_variance_study(
+            hard_process, algorithms, n_repetitions=4, random_state=13
+        )
+        parallel = hpo_variance_study(
+            hard_process, algorithms, n_repetitions=4, random_state=13, n_jobs=4
+        )
+        np.testing.assert_array_equal(serial["noisy_grid"], parallel["noisy_grid"])
+
+    def test_runner_bound_to_other_process_rejected(
+        self, hard_process, classification_process
+    ):
+        runner = StudyRunner(classification_process)
+        with pytest.raises(ValueError, match="different BenchmarkProcess"):
+            variance_decomposition_study(hard_process, n_seeds=2, runner=runner)
+        with pytest.raises(ValueError, match="different BenchmarkProcess"):
+            IdealEstimator().estimate(hard_process, 2, runner=runner)
+
+    def test_fix_hpo_estimator_parallel_equals_serial(self, hard_process):
+        serial = FixHOptEstimator(randomize="all").estimate(
+            hard_process, 5, random_state=2
+        )
+        runner = StudyRunner(hard_process, n_jobs=2)
+        parallel = FixHOptEstimator(randomize="all").estimate(
+            hard_process, 5, random_state=2, runner=runner
+        )
+        np.testing.assert_array_equal(serial.scores, parallel.scores)
+        assert serial.n_fits == parallel.n_fits
+
+    def test_ideal_estimator_parallel_equals_serial(self, hard_process):
+        serial = IdealEstimator().estimate(hard_process, 3, random_state=5)
+        runner = StudyRunner(hard_process, n_jobs=2)
+        parallel = IdealEstimator().estimate(
+            hard_process, 3, random_state=5, runner=runner
+        )
+        np.testing.assert_array_equal(serial.scores, parallel.scores)
+        assert serial.n_fits == parallel.n_fits
+
+    def test_generic_map_passthrough(self, hard_process):
+        runner = StudyRunner(hard_process, n_jobs=2)
+        assert runner.map(_square, [1, 2, 3]) == [1, 4, 9]

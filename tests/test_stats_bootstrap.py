@@ -37,6 +37,67 @@ class TestBootstrapDistribution:
         np.testing.assert_allclose(dist, 1.0)
 
 
+class TestVectorizedFastPath:
+    def test_vectorized_matches_loop_bitwise(self, rng):
+        # The resample indices are drawn in one call, so both paths must
+        # produce exactly the same distribution.
+        values = rng.normal(size=40)
+        vectorized_mean = lambda x: np.mean(x, axis=-1)  # noqa: E731
+        loop = bootstrap_distribution(
+            values, vectorized_mean, n_bootstraps=100, random_state=5, vectorized=False
+        )
+        fast = bootstrap_distribution(
+            values, vectorized_mean, n_bootstraps=100, random_state=5, vectorized=True
+        )
+        auto = bootstrap_distribution(
+            values, vectorized_mean, n_bootstraps=100, random_state=5
+        )
+        np.testing.assert_array_equal(loop, fast)
+        np.testing.assert_array_equal(loop, auto)
+
+    def test_scalar_statistic_falls_back_to_loop(self, rng):
+        # np.mean collapses the whole batch to a scalar; auto-detection must
+        # reject the batched result and fall back without changing values.
+        values = rng.normal(size=25)
+        auto = bootstrap_distribution(values, np.mean, n_bootstraps=60, random_state=1)
+        loop = bootstrap_distribution(
+            values, np.mean, n_bootstraps=60, random_state=1, vectorized=False
+        )
+        np.testing.assert_array_equal(auto, loop)
+
+    def test_vectorized_true_rejects_scalar_statistic(self, rng):
+        with pytest.raises(ValueError, match="vectorized"):
+            bootstrap_distribution(
+                rng.normal(size=10), np.mean, n_bootstraps=20, vectorized=True
+            )
+
+    def test_paired_vectorized_statistic(self, rng):
+        a = rng.normal(size=30)
+        b = a + rng.normal(0.5, 0.1, size=30)
+
+        def gap(pairs):
+            return np.mean(pairs[..., 1] - pairs[..., 0], axis=-1)
+
+        fast = bootstrap_distribution(
+            a, gap, paired=b, n_bootstraps=80, random_state=2, vectorized=True
+        )
+        loop = bootstrap_distribution(
+            a, gap, paired=b, n_bootstraps=80, random_state=2, vectorized=False
+        )
+        np.testing.assert_array_equal(fast, loop)
+
+    def test_raising_statistic_on_batch_falls_back(self, rng):
+        def strict(resample):
+            if resample.ndim != 1:
+                raise ValueError("rows only")
+            return float(np.median(resample))
+
+        dist = bootstrap_distribution(
+            rng.normal(size=15), strict, n_bootstraps=30, random_state=4
+        )
+        assert dist.shape == (30,)
+
+
 class TestPercentileBootstrapCI:
     def test_interval_contains_point_estimate_for_mean(self, rng):
         values = rng.normal(size=100)
