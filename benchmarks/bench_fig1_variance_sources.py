@@ -4,6 +4,9 @@ Paper claim: bootstrapping the data is the largest source of variance;
 weight initialization contributes roughly half of it or less (on par with
 data ordering); the three HOpt algorithms induce variance on the same order
 as weight initialization.
+
+Runs through the unified Study API (``Session.run(StudySpec(...))``), like
+every figure benchmark in this harness.
 """
 
 from __future__ import annotations
@@ -11,24 +14,30 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import run_once
-from repro.experiments import run_variance_study
+from repro.api import Session, StudySpec
 from repro.utils.tables import format_table
 
 
 def test_fig1_variance_sources(benchmark, scale):
-    result = run_once(
-        benchmark,
-        run_variance_study,
-        ("entailment", "sentiment"),
-        n_seeds=scale["n_seeds"],
-        n_hpo_repetitions=scale["n_hpo_repetitions"],
-        hpo_budget=scale["hpo_budget"],
-        dataset_size=scale["dataset_size"],
-        random_state=0,
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="variance",
+                params={
+                    "task_names": ["entailment", "sentiment"],
+                    "n_seeds": scale["n_seeds"],
+                    "n_hpo_repetitions": scale["n_hpo_repetitions"],
+                    "hpo_budget": scale["hpo_budget"],
+                    "dataset_size": scale["dataset_size"],
+                },
+                random_state=0,
+            ),
+        )
     print()
-    print(result.report())
-    benchmark.extra_info["rows"] = result.rows()
+    print(result.summary())
+    benchmark.extra_info["rows"] = result.to_rows()
 
     for task_name, decomposition in result.decompositions.items():
         stds = decomposition.stds
@@ -50,15 +59,21 @@ def test_fig1_variance_sources(benchmark, scale):
 
 def test_fig1_relative_scale_printout(benchmark, scale):
     """Smaller companion run printing the per-source fractions of data std."""
-    result = run_once(
-        benchmark,
-        run_variance_study,
-        ("entailment",),
-        n_seeds=max(8, scale["n_seeds"] // 2),
-        include_hpo=False,
-        dataset_size=scale["dataset_size"],
-        random_state=1,
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="variance",
+                params={
+                    "task_names": ["entailment"],
+                    "n_seeds": max(8, scale["n_seeds"] // 2),
+                    "include_hpo": False,
+                    "dataset_size": scale["dataset_size"],
+                },
+                random_state=1,
+            ),
+        )
     decomposition = result.decompositions["entailment"]
     relative = decomposition.relative_to("data")
     print()

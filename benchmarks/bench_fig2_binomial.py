@@ -11,29 +11,35 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import run_once
-from repro.experiments import run_binomial_study
+from repro.api import Session, StudySpec
 from repro.stats.binomial import binomial_std_curve
 
 
 def test_fig2_binomial_model_vs_bootstrap(benchmark, scale):
-    result = run_once(
-        benchmark,
-        run_binomial_study,
-        ("entailment", "sentiment", "image-classification"),
-        n_splits=scale["n_splits"],
-        random_state=0,
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="binomial",
+                params={
+                    "task_names": ["entailment", "sentiment", "image-classification"],
+                    "n_splits": scale["n_splits"],
+                },
+                random_state=0,
+            ),
+        )
     print()
-    print(result.report())
-    benchmark.extra_info["rows"] = result.rows()
+    print(result.summary())
+    benchmark.extra_info["rows"] = result.to_rows()
 
-    for row in result.rows():
+    for row in result.to_rows():
         # The observed bootstrap std should be on the same order as the
         # binomial prediction (the paper finds a close match; correlated
         # errors can make the observed value larger).
         assert 0.3 < row["ratio_observed_over_binomial"] < 5.0
     # Harder tasks (lower accuracy, smaller test sets) have larger stds.
-    by_task = {row["task"]: row for row in result.rows()}
+    by_task = {row["task"]: row for row in result.to_rows()}
     assert by_task["entailment"]["binomial_std"] > by_task["sentiment"]["binomial_std"]
 
 

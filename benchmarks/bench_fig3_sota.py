@@ -10,19 +10,24 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import run_once
+from repro.api import Session, StudySpec
 from repro.experiments import run_sota_study
 from repro.simulation.sota import load_sota_timeline
 
 
 def test_fig3_sota_significance_bands(benchmark):
-    result = run_once(
-        benchmark,
-        run_sota_study,
-        sigmas={"cifar10": 0.002, "sst2": 0.005},
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="sota",
+                params={"sigmas": {"cifar10": 0.002, "sst2": 0.005}},
+            ),
+        )
     print()
-    print(result.report())
-    benchmark.extra_info["rows"] = result.rows()
+    print(result.summary())
+    benchmark.extra_info["rows"] = result.to_rows()
 
     for name in ("cifar10", "sst2"):
         fraction = result.fraction_significant(name)

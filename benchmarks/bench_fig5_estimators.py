@@ -12,22 +12,28 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import run_once
-from repro.experiments import run_estimator_study
+from repro.api import Session, StudySpec
 
 
 def test_fig5_estimator_standard_errors(benchmark, scale):
-    result = run_once(
-        benchmark,
-        run_estimator_study,
-        ("entailment",),
-        k_max=scale["k_max"],
-        n_repetitions=scale["n_repetitions"],
-        hpo_budget=scale["hpo_budget"],
-        dataset_size=scale["dataset_size"],
-        random_state=0,
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="estimator",
+                params={
+                    "task_names": ["entailment"],
+                    "k_max": scale["k_max"],
+                    "n_repetitions": scale["n_repetitions"],
+                    "hpo_budget": scale["hpo_budget"],
+                    "dataset_size": scale["dataset_size"],
+                },
+                random_state=0,
+            ),
+        )
     print()
-    print(result.report())
+    print(result.summary())
     benchmark.extra_info["rows"] = result.standard_error_rows()
 
     quality = result.quality["entailment"]

@@ -13,21 +13,27 @@ Paper claims:
 from __future__ import annotations
 
 from conftest import run_once
-from repro.experiments import run_detection_study
+from repro.api import Session, StudySpec
 
 
 def test_fig6_detection_rates(benchmark, scale):
-    result = run_once(
-        benchmark,
-        run_detection_study,
-        probabilities=(0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.99),
-        k=scale["k_detection"],
-        n_simulations=scale["n_simulations"],
-        random_state=0,
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="detection",
+                params={
+                    "probabilities": [0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.99],
+                    "k": scale["k_detection"],
+                    "n_simulations": scale["n_simulations"],
+                },
+                random_state=0,
+            ),
+        )
     print()
-    print(result.report())
-    benchmark.extra_info["rows"] = result.rows()
+    print(result.summary())
+    benchmark.extra_info["rows"] = result.to_rows()
 
     fp = {
         (m, e): result.false_positive_rate(m, e)

@@ -7,18 +7,24 @@ trainings, while the recommended γ=0.75 needs only 29.
 from __future__ import annotations
 
 from conftest import run_once
-from repro.experiments import run_sample_size_study
+from repro.api import Session, StudySpec
 
 
 def test_figC1_sample_size_curve(benchmark):
-    result = run_once(
-        benchmark,
-        run_sample_size_study,
-        (0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 0.99),
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="sample_size",
+                params={
+                    "gammas": [0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 0.99],
+                },
+            ),
+        )
     print()
-    print(result.report())
-    benchmark.extra_info["rows"] = result.rows()
+    print(result.summary())
+    benchmark.extra_info["rows"] = result.to_rows()
 
     sizes = {round(float(g), 2): int(n) for g, n in zip(result.gammas, result.sample_sizes)}
     # Paper's recommended threshold needs 29 paired trainings.

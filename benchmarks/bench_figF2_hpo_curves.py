@@ -11,22 +11,28 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import run_once
-from repro.experiments import run_hpo_curves_study
+from repro.api import Session, StudySpec
 
 
 def test_figF2_hpo_optimization_curves(benchmark, scale):
-    result = run_once(
-        benchmark,
-        run_hpo_curves_study,
-        ("entailment",),
-        budget=scale["hpo_budget"],
-        n_repetitions=scale["n_hpo_repetitions"],
-        dataset_size=scale["dataset_size"],
-        random_state=0,
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="hpo_curves",
+                params={
+                    "task_names": ["entailment"],
+                    "budget": scale["hpo_budget"],
+                    "n_repetitions": scale["n_hpo_repetitions"],
+                    "dataset_size": scale["dataset_size"],
+                },
+                random_state=0,
+            ),
+        )
     print()
-    print(result.report())
-    benchmark.extra_info["rows"] = result.rows()
+    print(result.summary())
+    benchmark.extra_info["rows"] = result.to_rows()
 
     for algorithm, matrix in result.curves["entailment"].items():
         # Best-so-far curves never increase and end at least as good as the

@@ -9,21 +9,27 @@ models used in the simulations of Section 4.
 from __future__ import annotations
 
 from conftest import run_once
-from repro.experiments import run_normality_study
+from repro.api import Session, StudySpec
 
 
 def test_figG3_normality_of_performance_distributions(benchmark, scale):
-    result = run_once(
-        benchmark,
-        run_normality_study,
-        ("entailment", "sentiment"),
-        n_seeds=scale["n_seeds"],
-        dataset_size=scale["dataset_size"],
-        random_state=0,
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="normality",
+                params={
+                    "task_names": ["entailment", "sentiment"],
+                    "n_seeds": scale["n_seeds"],
+                    "dataset_size": scale["dataset_size"],
+                },
+                random_state=0,
+            ),
+        )
     print()
-    print(result.report())
-    benchmark.extra_info["rows"] = result.rows()
+    print(result.summary())
+    benchmark.extra_info["rows"] = result.to_rows()
     fraction = result.fraction_consistent_with_normal(alpha=0.05)
     print(f"\nfraction of cells consistent with normality: {100 * fraction:.0f}%")
 

@@ -11,21 +11,27 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import run_once
-from repro.experiments import run_estimator_study
+from repro.api import Session, StudySpec
 from repro.utils.tables import format_table
 
 
 def test_figH5_mse_decomposition(benchmark, scale):
-    result = run_once(
-        benchmark,
-        run_estimator_study,
-        ("entailment",),
-        k_max=scale["k_max"],
-        n_repetitions=scale["n_repetitions"],
-        hpo_budget=scale["hpo_budget"],
-        dataset_size=scale["dataset_size"],
-        random_state=3,
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="estimator",
+                params={
+                    "task_names": ["entailment"],
+                    "k_max": scale["k_max"],
+                    "n_repetitions": scale["n_repetitions"],
+                    "hpo_budget": scale["hpo_budget"],
+                    "dataset_size": scale["dataset_size"],
+                },
+                random_state=3,
+            ),
+        )
     rows = result.mse_rows()
     print()
     print(format_table(rows, title="Figure H.5 — bias / variance / correlation / MSE per estimator"))

@@ -9,23 +9,29 @@ the sweep.
 from __future__ import annotations
 
 from conftest import run_once
-from repro.experiments import run_robustness_study
+from repro.api import Session, StudySpec
 
 
 def test_figI6_robustness(benchmark, scale):
-    result = run_once(
-        benchmark,
-        run_robustness_study,
-        p_a_gt_b=0.9,
-        sample_sizes=(10, 20, 50, 100),
-        thresholds=(0.6, 0.7, 0.75, 0.8, 0.9),
-        k=scale["k_detection"],
-        n_simulations=scale["n_simulations"],
-        random_state=0,
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="robustness",
+                params={
+                    "p_a_gt_b": 0.9,
+                    "sample_sizes": [10, 20, 50, 100],
+                    "thresholds": [0.6, 0.7, 0.75, 0.8, 0.9],
+                    "k": scale["k_detection"],
+                    "n_simulations": scale["n_simulations"],
+                },
+                random_state=0,
+            ),
+        )
     print()
-    print(result.report())
-    benchmark.extra_info["rows"] = result.rows()
+    print(result.summary())
+    benchmark.extra_info["rows"] = result.to_rows()
 
     prob_rates = result.by_sample_size["probability_of_outperforming"]
     # Power grows with the sample size for the recommended criterion.

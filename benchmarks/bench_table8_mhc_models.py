@@ -12,23 +12,29 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import run_once
-from repro.experiments import run_mhc_model_comparison
+from repro.api import Session, StudySpec
 
 
 def test_table8_mhc_model_comparison(benchmark, scale):
-    result = run_once(
-        benchmark,
-        run_mhc_model_comparison,
-        n_samples=scale["dataset_size"],
-        n_ensemble_members=4,
-        k_pairs=max(10, scale["n_repetitions"] * 3),
-        random_state=0,
-    )
+    with Session() as session:
+        result = run_once(
+            benchmark,
+            session.run,
+            StudySpec(
+                study="mhc_comparison",
+                params={
+                    "n_samples": scale["dataset_size"],
+                    "n_ensemble_members": 4,
+                    "k_pairs": max(10, scale["n_repetitions"] * 3),
+                },
+                random_state=0,
+            ),
+        )
     print()
-    print(result.report())
-    benchmark.extra_info["rows"] = result.rows()
+    print(result.summary())
+    benchmark.extra_info["rows"] = result.to_rows()
 
-    rows = {row["model"]: row for row in result.rows()}
+    rows = {row["model"]: row for row in result.to_rows()}
     assert set(rows) == {"MLP-MHC (single)", "MHCflurry-like (ensemble)"}
     # Both models produce sane metrics: AUC above chance, finite PCC.
     for row in rows.values():

@@ -23,9 +23,21 @@ import os
 import pytest
 
 #: Scale profiles: number of seeds / repetitions / budgets used by the
-#: experiment layer.  "quick" reproduces shapes in minutes; "full" gets
-#: closer to the paper's protocol (hours).
+#: experiment layer.  "smoke" is the CI profile (seconds, plumbing only);
+#: "quick" reproduces shapes in minutes; "full" gets closer to the
+#: paper's protocol (hours).
 SCALES = {
+    "smoke": {
+        "n_seeds": 6,
+        "n_hpo_repetitions": 2,
+        "hpo_budget": 3,
+        "k_max": 8,
+        "n_repetitions": 4,
+        "n_simulations": 15,
+        "n_splits": 6,
+        "dataset_size": 250,
+        "k_detection": 20,
+    },
     "quick": {
         "n_seeds": 15,
         "n_hpo_repetitions": 4,

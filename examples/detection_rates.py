@@ -13,19 +13,25 @@ Run with:  python examples/detection_rates.py
 
 from __future__ import annotations
 
-from repro.experiments import run_detection_study
+from repro import Session, StudySpec
 from repro.utils.tables import format_table
 
 
 def main() -> None:
     print("Simulating benchmark comparisons (a few thousand simulated benchmarks)...\n")
-    result = run_detection_study(
-        probabilities=(0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.99),
-        k=50,
-        n_simulations=100,
-        random_state=0,
-    )
-    print(result.report())
+    with Session(n_jobs=2) as session:
+        result = session.run(
+            StudySpec(
+                study="detection",
+                params={
+                    "probabilities": [0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 0.99],
+                    "k": 50,
+                    "n_simulations": 100,
+                },
+                random_state=0,
+            )
+        )
+    print(result.summary())
 
     rows = []
     for method in ("single_point", "average", "probability_of_outperforming"):

@@ -12,18 +12,24 @@ Run with:  python examples/mhc_binding.py
 
 from __future__ import annotations
 
-from repro.experiments import run_mhc_model_comparison
+from repro import Session, StudySpec
 
 
 def main() -> None:
     print("Training the single-MLP and ensemble models on the peptide-binding analogue...\n")
-    result = run_mhc_model_comparison(
-        n_samples=900,
-        n_ensemble_members=5,
-        k_pairs=15,
-        random_state=0,
-    )
-    print(result.report())
+    with Session(n_jobs=2) as session:
+        result = session.run(
+            StudySpec(
+                study="mhc_comparison",
+                params={
+                    "n_samples": 900,
+                    "n_ensemble_members": 5,
+                    "k_pairs": 15,
+                },
+                random_state=0,
+            )
+        )
+    print(result.summary())
     comparison = result.comparison
     print(
         "\nRather than reading the table alone, the recommended test accounts for\n"

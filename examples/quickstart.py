@@ -28,12 +28,57 @@ pre-drawn before execution, so results are bitwise identical for any
     )
     print(cache.stats())                             # hits / misses / entries
 
+Full paper experiments go through the unified Study API (:mod:`repro.api`):
+describe a registered study with a declarative, JSON-round-trippable
+``StudySpec`` and execute it through a ``Session``, which shares one
+measurement cache and executor across every study it runs (see
+``EXPERIMENTS.md`` for the catalogue of registered studies).
+
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import BenchmarkProcess, compare_pipelines, get_task, minimum_sample_size
+from repro import (
+    BenchmarkProcess,
+    Session,
+    StudySpec,
+    compare_pipelines,
+    get_task,
+    list_studies,
+    minimum_sample_size,
+)
+
+
+def study_api_demo() -> None:
+    """The declarative route: one Session, many studies, one shared cache."""
+    print(f"registered studies: {', '.join(list_studies())}\n")
+    spec = StudySpec(
+        study="variance",
+        params={
+            "task_names": ["entailment"],
+            "n_seeds": 10,
+            "include_hpo": False,
+            "dataset_size": 400,
+        },
+        n_jobs=2,
+        random_state=0,
+    )
+    with Session() as session:
+        result = session.run(spec)
+        print(result.summary())
+        # Re-running the same spec replays every measurement from the
+        # session's shared cache — zero refits.
+        replay = session.run(spec)
+        print(
+            f"\nreplay cache hits/misses: {replay.cache_stats['hits']}"
+            f"/{replay.cache_stats['misses']} "
+            f"(warm replay {replay.elapsed_seconds:.3f}s vs cold run "
+            f"{result.elapsed_seconds:.3f}s)"
+        )
+    # Specs round-trip through JSON, so studies are launchable from config
+    # files or queues.
+    assert StudySpec.from_json(spec.to_json()) == spec
 
 
 def main() -> None:
@@ -65,6 +110,9 @@ def main() -> None:
         print("-> A is better than B, but not by a meaningful margin.")
     else:
         print("-> the observed difference could be explained by noise alone.")
+
+    print()
+    study_api_demo()
 
 
 if __name__ == "__main__":

@@ -8,6 +8,10 @@ are re-run with only their seed varied.  The output is the per-source
 standard deviation of the test metric, as a fraction of the data-bootstrap
 standard deviation.
 
+The study is launched through the unified Study API: a declarative
+``StudySpec`` executed by a ``Session`` (which shares one measurement
+cache and parallel executor across every study it runs).
+
 Run with:  python examples/variance_study.py [task-name]
 """
 
@@ -15,22 +19,28 @@ from __future__ import annotations
 
 import sys
 
-from repro.experiments import run_variance_study
+from repro import Session, StudySpec
 from repro.utils.tables import format_table
 
 
 def main() -> None:
     task_name = sys.argv[1] if len(sys.argv) > 1 else "entailment"
     print(f"Running the per-source variance study on {task_name!r} ...\n")
-    result = run_variance_study(
-        (task_name,),
-        n_seeds=20,
-        n_hpo_repetitions=5,
-        hpo_budget=15,
-        dataset_size=600,
-        random_state=0,
-    )
-    print(result.report())
+    with Session(n_jobs=2) as session:
+        result = session.run(
+            StudySpec(
+                study="variance",
+                params={
+                    "task_names": [task_name],
+                    "n_seeds": 20,
+                    "n_hpo_repetitions": 5,
+                    "hpo_budget": 15,
+                    "dataset_size": 600,
+                },
+                random_state=0,
+            )
+        )
+    print(result.summary())
 
     decomposition = result.decompositions[task_name]
     relative = decomposition.relative_to("data")

@@ -19,7 +19,11 @@ The library reproduces Bouthillier et al. (MLSys 2021) end to end:
   :class:`StudyRunner` facade every study fans its pre-drawn seed batches
   through (bitwise-identical results at any worker count);
 * :mod:`repro.simulation` and :mod:`repro.experiments` — the simulation
-  framework and one experiment module per figure/table of the paper.
+  framework and one experiment module per figure/table of the paper;
+* :mod:`repro.api` — the unified Study API: declarative
+  :class:`StudySpec` descriptions of registered studies, executed through
+  a :class:`Session` that shares one measurement cache and executor
+  across every study (see ``EXPERIMENTS.md`` for the full catalogue).
 
 Quickstart::
 
@@ -31,8 +35,29 @@ Quickstart::
     b = BenchmarkProcess(dataset, task.make_pipeline(hidden_sizes=(4,)))
     report, scores = compare_pipelines(a, b, k=20, random_state=0)
     print(report.conclusion)
+
+Or declaratively, through the unified Study API::
+
+    from repro import Session, StudySpec
+
+    with Session(n_jobs=4) as session:
+        result = session.run(StudySpec(
+            study="variance",
+            params={"task_names": ["entailment"], "n_seeds": 20},
+            random_state=0,
+        ))
+        print(result.summary())
 """
 
+from repro.api import (
+    Session,
+    StudyHandle,
+    StudyResult,
+    StudySpec,
+    get_study,
+    list_studies,
+    register_study,
+)
 from repro.core import (
     AverageComparison,
     BenchmarkProcess,
@@ -86,5 +111,12 @@ __all__ = [
     "StudyRunner",
     "WorkItem",
     "SeedBundle",
+    "Session",
+    "StudyHandle",
+    "StudyResult",
+    "StudySpec",
+    "get_study",
+    "list_studies",
+    "register_study",
     "__version__",
 ]

@@ -1,0 +1,178 @@
+"""Registry of every experiment driver behind one declarative name.
+
+Each ``run_*_study`` driver registers itself with :func:`register_study`,
+attaching the metadata a front door needs: which paper figure/table the
+study reproduces, which parameters control its size, a tiny smoke-scale
+parameter set (used by CI and the API tests), which parameter can be
+sharded for streaming execution, and the benchmark script that regenerates
+the artefact at paper-like scale.
+
+The registry is the single source of truth consumed by
+:class:`~repro.api.session.Session`, ``EXPERIMENTS.md`` and the test
+suite's completeness checks::
+
+    from repro.api import list_studies, get_study
+
+    for name in list_studies():
+        info = get_study(name)
+        print(f"{name:15s} {info.artefact:12s} {info.benchmark}")
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["StudyInfo", "register_study", "get_study", "list_studies", "iter_studies"]
+
+#: Execution knobs injected by the Session rather than carried in
+#: ``StudySpec.params``; every registered driver accepts all of them.
+ENGINE_PARAMS = ("n_jobs", "backend", "cache", "executor", "random_state")
+
+
+@dataclass(frozen=True)
+class StudyInfo:
+    """Metadata describing one registered study driver.
+
+    Attributes
+    ----------
+    name:
+        Registry name used in :class:`~repro.api.spec.StudySpec`.
+    func:
+        The underlying ``run_*_study`` callable.
+    artefact:
+        Paper figure/table the study reproduces (e.g. ``"Figure 1"``).
+    description:
+        One-line summary (defaults to the driver docstring's first line).
+    size_params:
+        Parameter names that scale the study up or down.
+    smoke_params:
+        Tiny-scale parameters that finish in seconds — what CI smoke runs
+        and the API equivalence tests use.
+    shard_param:
+        Name of a list-valued parameter the session may split into
+        per-element shards for streaming partial results (``None`` when
+        the study has no natural shard axis).
+    benchmark:
+        Benchmark script regenerating the artefact at larger scale.
+    """
+
+    name: str
+    func: Callable[..., Any]
+    artefact: str
+    description: str = ""
+    size_params: Tuple[str, ...] = ()
+    smoke_params: Mapping[str, Any] = field(default_factory=dict)
+    shard_param: Optional[str] = None
+    benchmark: str = ""
+
+    def valid_params(self) -> Tuple[str, ...]:
+        """Names of all keyword parameters the driver accepts."""
+        signature = inspect.signature(self.func)
+        return tuple(
+            name
+            for name, parameter in signature.parameters.items()
+            if parameter.kind
+            in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+        )
+
+    def validate_params(self, params: Mapping[str, Any]) -> None:
+        """Reject parameter names the driver does not accept.
+
+        Engine knobs (``n_jobs``, ``cache``, ...) are also rejected here:
+        they belong on the :class:`~repro.api.spec.StudySpec` itself, not
+        in ``params``, so a spec cannot silently override the session's
+        execution policy.
+        """
+        valid = set(self.valid_params()) - set(ENGINE_PARAMS)
+        misplaced = [name for name in params if name in ENGINE_PARAMS]
+        if misplaced:
+            raise ValueError(
+                f"engine knobs {sorted(misplaced)} must be set as StudySpec "
+                f"fields, not inside params"
+            )
+        unknown = [name for name in params if name not in valid]
+        if unknown:
+            raise ValueError(
+                f"study {self.name!r} does not accept parameters "
+                f"{sorted(unknown)}; valid parameters: {sorted(valid)}"
+            )
+
+
+_REGISTRY: Dict[str, StudyInfo] = {}
+
+
+def register_study(
+    name: str,
+    *,
+    artefact: str,
+    description: Optional[str] = None,
+    size_params: Tuple[str, ...] = (),
+    smoke_params: Optional[Mapping[str, Any]] = None,
+    shard_param: Optional[str] = None,
+    benchmark: str = "",
+) -> Callable[[Callable], Callable]:
+    """Class decorator registering a study driver under ``name``.
+
+    The driver itself is returned unchanged — registration is metadata
+    only, so direct calls to ``run_*_study`` keep working exactly as
+    before the registry existed.
+    """
+
+    def decorator(func: Callable) -> Callable:
+        if name in _REGISTRY and _REGISTRY[name].func is not func:
+            raise ValueError(f"study name {name!r} is already registered")
+        doc = (inspect.getdoc(func) or "").strip().splitlines()
+        info = StudyInfo(
+            name=name,
+            func=func,
+            artefact=artefact,
+            description=description or (doc[0] if doc else ""),
+            size_params=tuple(size_params),
+            smoke_params=dict(smoke_params or {}),
+            shard_param=shard_param,
+            benchmark=benchmark,
+        )
+        missing = [k for k in ENGINE_PARAMS if k not in info.valid_params()]
+        if missing:
+            raise TypeError(
+                f"driver {func.__name__} cannot be registered: it does not "
+                f"accept the uniform engine parameters {missing}"
+            )
+        if shard_param is not None and shard_param not in info.valid_params():
+            raise TypeError(
+                f"driver {func.__name__} has no parameter {shard_param!r} to shard on"
+            )
+        _REGISTRY[name] = info
+        return func
+
+    return decorator
+
+
+def _ensure_registered() -> None:
+    """Import the experiment layer so its decorators have run."""
+    import repro.experiments  # noqa: F401  (import triggers registration)
+
+
+def get_study(name: str) -> StudyInfo:
+    """Look up a registered study, with a helpful error for typos."""
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown study {name!r}; registered studies: {list_studies()}"
+        ) from None
+
+
+def list_studies() -> List[str]:
+    """Sorted names of every registered study."""
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def iter_studies() -> List[StudyInfo]:
+    """Every registered :class:`StudyInfo`, sorted by name."""
+    _ensure_registered()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

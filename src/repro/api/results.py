@@ -1,0 +1,196 @@
+"""Uniform result envelope for every study: :class:`StudyResult`.
+
+Each experiment driver returns its own result dataclass
+(``VarianceStudyResult``, ``DetectionStudyResult``, ...) with
+study-specific attributes plus the two shared methods ``rows()`` and
+``report()``.  :class:`StudyResult` adapts any of them behind one
+interface so benchmarks, examples and downstream tooling consume a single
+shape:
+
+* :meth:`to_rows` — the flat row dicts of the paper artefact;
+* :meth:`summary` — human-readable report with provenance header;
+* :meth:`to_json` — rows + spec + engine statistics, JSON-encoded.
+
+The underlying result object stays reachable as ``.raw`` (and attribute
+access transparently falls through to it), so study-specific analysis
+never has to leave the unified API.  Merged shard results (from a sharded
+:meth:`~repro.api.session.Session.submit`) expose only the uniform
+interface; their study-specific attributes live on the per-shard results
+under ``.raw.parts``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import StudySpec
+
+__all__ = ["StudyResult", "merge_results"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays so ``json`` can encode them."""
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class StudyResult:
+    """Adapter giving every study result one uniform interface.
+
+    Parameters
+    ----------
+    raw:
+        The driver's native result object (must expose ``rows()`` and
+        ``report()``).
+    spec:
+        The :class:`~repro.api.spec.StudySpec` that produced it (optional
+        for ad-hoc adaptation of a bare result object).
+    artefact:
+        Paper figure/table label, from the registry.
+    elapsed_seconds:
+        Wall-clock time of the run.
+    cache_stats:
+        Snapshot delta of the session cache counters over this run.
+    """
+
+    def __init__(
+        self,
+        raw: Any,
+        *,
+        spec: Optional["StudySpec"] = None,
+        artefact: str = "",
+        elapsed_seconds: float = float("nan"),
+        cache_stats: Optional[Dict[str, float]] = None,
+    ) -> None:
+        for required in ("rows", "report"):
+            if not callable(getattr(raw, required, None)):
+                raise TypeError(
+                    f"raw result {type(raw).__name__} does not implement "
+                    f"{required}(); cannot adapt it into a StudyResult"
+                )
+        self.raw = raw
+        self.spec = spec
+        self.artefact = artefact
+        self.elapsed_seconds = elapsed_seconds
+        self.cache_stats = dict(cache_stats or {})
+
+    def __getattr__(self, name: str) -> Any:
+        # Fall through to the native result so study-specific attributes
+        # (e.g. ``.decompositions``, ``.curves``) remain one hop away.
+        # __getattr__ only fires for names not found on StudyResult itself.
+        return getattr(self.raw, name)
+
+    def __repr__(self) -> str:
+        study = self.spec.study if self.spec is not None else type(self.raw).__name__
+        return f"StudyResult(study={study!r}, rows={len(self.to_rows())})"
+
+    # ------------------------------------------------------------------
+    # The uniform protocol
+    # ------------------------------------------------------------------
+    def to_rows(self) -> List[dict]:
+        """Flat row dicts of the paper artefact (one per figure point)."""
+        return list(self.raw.rows())
+
+    def summary(self) -> str:
+        """Human-readable report prefixed with a provenance header."""
+        header_parts = []
+        if self.spec is not None:
+            header_parts.append(f"study={self.spec.study}")
+        if self.artefact:
+            header_parts.append(f"artefact={self.artefact}")
+        if np.isfinite(self.elapsed_seconds):
+            header_parts.append(f"elapsed={self.elapsed_seconds:.2f}s")
+        if self.cache_stats:
+            header_parts.append(
+                f"cache hits/misses={self.cache_stats.get('hits', 0)}"
+                f"/{self.cache_stats.get('misses', 0)}"
+            )
+        header = f"[{', '.join(header_parts)}]\n" if header_parts else ""
+        return header + self.raw.report()
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Rows plus provenance (spec, timing, cache stats) as JSON."""
+        payload = {
+            "study": self.spec.study if self.spec is not None else None,
+            "artefact": self.artefact or None,
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "elapsed_seconds": (
+                self.elapsed_seconds if np.isfinite(self.elapsed_seconds) else None
+            ),
+            "cache_stats": _jsonable(self.cache_stats) or None,
+            "rows": _jsonable(self.to_rows()),
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+class _MergedRaw:
+    """Native-result stand-in concatenating several shard results.
+
+    Study-specific attributes cannot be merged generically, so they stay
+    on the per-shard results, reachable through ``.parts``.
+    """
+
+    def __init__(self, parts: Sequence[Any]) -> None:
+        self.parts = list(parts)
+
+    def rows(self) -> List[dict]:
+        rows: List[dict] = []
+        for part in self.parts:
+            rows.extend(part.rows())
+        return rows
+
+    def report(self) -> str:
+        return "\n\n".join(part.report() for part in self.parts)
+
+    def __getattr__(self, name: str) -> Any:
+        raise AttributeError(
+            f"merged result of {len(self.parts)} shards has no attribute "
+            f"{name!r}; study-specific attributes live on the per-shard "
+            f"results — access them via .parts (e.g. result.parts[0].{name})"
+        )
+
+
+def merge_results(
+    results: Sequence[StudyResult],
+    *,
+    spec: Optional["StudySpec"] = None,
+) -> StudyResult:
+    """Merge per-shard results into one, preserving submission order.
+
+    Rows concatenate in shard order (deterministic regardless of which
+    shard finished first); timings sum; cache-stat counters sum.
+    """
+    if not results:
+        raise ValueError("no shard results to merge")
+    if len(results) == 1:
+        return results[0]
+    cache_stats: Dict[str, float] = {}
+    for result in results:
+        for key, value in result.cache_stats.items():
+            if key == "entries":  # a snapshot, not a counter: don't sum
+                cache_stats[key] = max(cache_stats.get(key, 0), value)
+            else:
+                cache_stats[key] = cache_stats.get(key, 0) + value
+    elapsed = float(sum(r.elapsed_seconds for r in results))
+    return StudyResult(
+        _MergedRaw([r.raw for r in results]),
+        spec=spec if spec is not None else results[0].spec,
+        artefact=results[0].artefact,
+        elapsed_seconds=elapsed,
+        cache_stats=cache_stats,
+    )

@@ -1,0 +1,343 @@
+"""The :class:`Session` facade: one front door for every study.
+
+A session owns the engine resources that should be *shared* across study
+runs — one :class:`~repro.engine.cache.MeasurementCache` (so a variance
+study warms the cache for the normality study that re-measures the same
+seeds, and a repeated spec replays without a single refit) and one
+:class:`~repro.engine.executor.ParallelExecutor` per ``(n_jobs, backend)``
+configuration — and executes declarative
+:class:`~repro.api.spec.StudySpec` descriptions through the registry::
+
+    from repro.api import Session, StudySpec
+
+    with Session(n_jobs=4) as session:
+        spec = StudySpec(study="variance",
+                         params={"task_names": ["entailment"], "n_seeds": 20},
+                         random_state=0)
+        result = session.run(spec)            # blocking
+        print(result.summary())
+
+        handle = session.submit(spec.replace(study="hpo_curves", params={
+            "task_names": ["entailment", "sentiment"], "budget": 10,
+        }))                                   # streaming, futures-based
+        for partial in handle:                # shards as they complete
+            print(partial.summary())
+        merged = handle.result()              # deterministic shard order
+
+``run`` is synchronous and deterministic: for a fixed ``random_state`` the
+result is bitwise-identical at any ``n_jobs``.  ``submit`` returns a
+:class:`StudyHandle` immediately; when the study's registry entry declares
+a shardable parameter (e.g. ``task_names``), each element runs as its own
+future so long studies stream partial results and interleave with other
+work — the merged result still orders rows by submission, never by
+completion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.api.registry import StudyInfo, get_study
+from repro.api.results import StudyResult, merge_results
+from repro.api.spec import StudySpec
+from repro.engine.cache import MeasurementCache
+from repro.engine.executor import ParallelExecutor
+
+__all__ = ["Session", "StudyHandle"]
+
+class _RunCacheView:
+    """Per-run counting proxy over a shared :class:`MeasurementCache`.
+
+    Storage (and therefore replay) is fully delegated to the shared cache;
+    only the hit/miss counters are kept locally, so a run's
+    ``cache_stats`` attributes exactly its own lookups even when other
+    studies (e.g. concurrent ``submit`` shards) use the same cache.
+    """
+
+    __slots__ = ("inner", "hits", "misses")
+
+    def __init__(self, inner: MeasurementCache) -> None:
+        self.inner = inner
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        measurement = self.inner.get(key)
+        if measurement is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return measurement
+
+    def record_hit(self) -> None:
+        self.inner.record_hit()
+        self.hits += 1
+
+    def put(self, key: str, measurement) -> None:
+        self.inner.put(key, measurement)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.inner
+
+    def stats(self):
+        return self.inner.stats()
+
+
+class StudyHandle:
+    """Future-like handle on a submitted study.
+
+    Iterating the handle yields per-shard :class:`StudyResult` objects in
+    *completion* order (streaming); :meth:`result` blocks and returns the
+    merged result in *submission* order (deterministic).
+    """
+
+    def __init__(
+        self,
+        spec: StudySpec,
+        shards: Sequence[StudySpec],
+        futures: Sequence["Future[StudyResult]"],
+    ) -> None:
+        self.spec = spec
+        self.shards = list(shards)
+        self._futures = list(futures)
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def done(self) -> bool:
+        """True when every shard has finished (or was cancelled)."""
+        return all(future.done() for future in self._futures)
+
+    def cancel(self) -> bool:
+        """Cancel shards that have not started; True if all were cancelled."""
+        return all([future.cancel() for future in self._futures])
+
+    def result(self, timeout: Optional[float] = None) -> StudyResult:
+        """Block for every shard and return the merged study result.
+
+        Shard rows are merged in submission order, so the merged result is
+        independent of completion order.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        parts: List[StudyResult] = []
+        for future in self._futures:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            parts.append(future.result(timeout=remaining))
+        return merge_results(parts, spec=self.spec)
+
+    def partial_results(self) -> Iterator[StudyResult]:
+        """Yield shard results as they complete (streaming order)."""
+        pending = set(self._futures)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                yield future.result()
+
+    __iter__ = partial_results
+
+
+class Session:
+    """Shared-engine execution context for registered studies.
+
+    Parameters
+    ----------
+    n_jobs:
+        Default worker count for specs that do not set their own.
+    backend:
+        Default executor backend (``"serial"``, ``"thread"``, ``"process"``).
+    cache:
+        The shared measurement cache: an existing
+        :class:`~repro.engine.cache.MeasurementCache`, a path string for a
+        disk-backed cache, or ``None`` for a fresh in-memory cache.
+    max_cache_entries, max_cache_bytes:
+        LRU budgets applied when the session builds its own cache, keeping
+        long sessions bounded in memory.
+    max_concurrent_studies:
+        Worker threads backing :meth:`submit` (each study still fans its
+        own measurements out over the parallel executor).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_jobs: int = 1,
+        backend: str = "thread",
+        cache: Union[MeasurementCache, str, None] = None,
+        max_cache_entries: Optional[int] = None,
+        max_cache_bytes: Optional[int] = None,
+        max_concurrent_studies: int = 2,
+    ) -> None:
+        if isinstance(cache, MeasurementCache):
+            self.cache = cache
+        else:
+            self.cache = MeasurementCache(
+                cache, max_entries=max_cache_entries, max_bytes=max_cache_bytes
+            )
+        self.n_jobs = n_jobs
+        self.backend = backend
+        self.max_concurrent_studies = max(1, int(max_concurrent_studies))
+        self._executors: Dict[Tuple[int, str], ParallelExecutor] = {}
+        self._file_caches: Dict[str, MeasurementCache] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._studies_run = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Resource management
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the submit pool and persist disk-backed caches.
+
+        Every cache bound to a file path — a ``Session(cache="...")``
+        shared cache or per-spec ``StudySpec(cache="file.pkl")`` caches —
+        is saved here (each run that added entries also saved eagerly, so
+        this is a final belt-and-braces snapshot).  Blocking :meth:`run`
+        stays usable after close.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
+            file_caches = list(self._file_caches.values())
+        if pool is not None:
+            pool.shutdown(wait=True)
+        for cache in (self.cache, *file_caches):
+            if cache.path is not None and len(cache):
+                cache.save()
+
+    def _executor_for(self, n_jobs: int, backend: str) -> ParallelExecutor:
+        with self._lock:
+            key = (n_jobs, backend)
+            if key not in self._executors:
+                self._executors[key] = ParallelExecutor(n_jobs, backend=backend)
+            return self._executors[key]
+
+    def _cache_for(self, spec: StudySpec) -> Optional[MeasurementCache]:
+        if spec.cache is True:
+            return self.cache
+        if spec.cache is False:
+            return None
+        with self._lock:
+            if spec.cache not in self._file_caches:
+                self._file_caches[spec.cache] = MeasurementCache(spec.cache)
+            return self._file_caches[spec.cache]
+
+    def _submit_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed Session")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_concurrent_studies,
+                    thread_name_prefix="repro-session",
+                )
+            return self._pool
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _resolve(self, spec: Union[StudySpec, str]) -> Tuple[StudySpec, StudyInfo]:
+        if isinstance(spec, str):
+            spec = StudySpec(study=spec)
+        info = get_study(spec.study)
+        info.validate_params(spec.params)
+        return spec, info
+
+    def run(self, spec: Union[StudySpec, str]) -> StudyResult:
+        """Execute ``spec`` synchronously and return its uniform result.
+
+        The study runs through the measurement engine with this session's
+        shared cache and executor; for a fixed ``spec.random_state`` the
+        result is bitwise-identical at any ``n_jobs``/``backend``.
+        """
+        spec, info = self._resolve(spec)
+        n_jobs = self.n_jobs if spec.n_jobs is None else spec.n_jobs
+        backend = self.backend if spec.backend is None else spec.backend
+        cache = self._cache_for(spec)
+        # The view counts this run's own lookups, so cache_stats stays
+        # exact even when concurrent submit() shards share the cache.
+        view = None if cache is None else _RunCacheView(cache)
+        kwargs: Dict[str, Any] = dict(spec.params)
+        kwargs.update(
+            n_jobs=n_jobs,
+            backend=backend,
+            cache=view,
+            executor=self._executor_for(n_jobs, backend),
+            random_state=spec.random_state,
+        )
+        start = time.perf_counter()
+        raw = info.func(**kwargs)
+        elapsed = time.perf_counter() - start
+        cache_stats: Dict[str, float] = {}
+        if view is not None:
+            cache_stats = {
+                "hits": view.hits,
+                "misses": view.misses,
+                "entries": cache.stats()["entries"],
+            }
+            if cache.path is not None and view.misses:
+                # Persist disk-backed caches as soon as they gain entries,
+                # so warm measurements survive even without close() (e.g.
+                # a run() issued after the session was closed).
+                cache.save()
+        with self._lock:
+            self._studies_run += 1
+        return StudyResult(
+            raw,
+            spec=spec,
+            artefact=info.artefact,
+            elapsed_seconds=elapsed,
+            cache_stats=cache_stats,
+        )
+
+    def submit(self, spec: Union[StudySpec, str]) -> StudyHandle:
+        """Launch ``spec`` asynchronously and return a :class:`StudyHandle`.
+
+        When the registry declares a shardable parameter for the study and
+        the spec supplies more than one value for it, each value becomes
+        its own future: partial results stream as shards complete, while
+        :meth:`StudyHandle.result` still merges them in submission order.
+        """
+        spec, info = self._resolve(spec)
+        shards = self._shard(spec, info)
+        pool = self._submit_pool()
+        futures = [pool.submit(self.run, shard) for shard in shards]
+        return StudyHandle(spec, shards, futures)
+
+    @staticmethod
+    def _shard(spec: StudySpec, info: StudyInfo) -> List[StudySpec]:
+        axis = info.shard_param
+        if axis is None or axis not in spec.params:
+            return [spec]
+        values = spec.params[axis]
+        if not isinstance(values, list) or len(values) <= 1:
+            return [spec]
+        return [spec.with_params(**{axis: [value]}) for value in values]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def studies_run(self) -> int:
+        """Number of study runs completed through this session."""
+        return self._studies_run
+
+    def stats(self) -> Dict[str, Any]:
+        """Session-level counters plus the shared cache statistics."""
+        return {
+            "studies_run": self._studies_run,
+            "cache": self.cache.stats(),
+            "executors": sorted(self._executors),
+        }

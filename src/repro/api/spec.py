@@ -1,0 +1,193 @@
+"""Declarative description of one study run: :class:`StudySpec`.
+
+A spec captures *everything* needed to launch a registered study — the
+study name, its study-specific parameters, the execution knobs of the
+measurement engine (``n_jobs``, ``backend``, cache participation) and the
+``random_state`` — as a frozen value object with a lossless JSON
+round-trip.  Studies therefore become launchable from config files,
+queueable across processes, and hashable into experiment manifests::
+
+    spec = StudySpec(
+        study="variance",
+        params={"task_names": ["entailment"], "n_seeds": 50},
+        n_jobs=4,
+        random_state=0,
+    )
+    assert StudySpec.from_json(spec.to_json()) == spec
+
+For a fixed ``random_state`` every registered study is bitwise-identical
+at any ``n_jobs``/``backend`` (seeds are pre-drawn before execution), so a
+spec fully determines its results, not just its configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Dict, Mapping, Optional, Union
+
+__all__ = ["StudySpec"]
+
+#: Backends understood by the measurement engine (mirrors
+#: :data:`repro.engine.executor._BACKENDS`).
+VALID_BACKENDS = ("serial", "thread", "process")
+
+
+def _freeze(value: Any) -> Any:
+    """Convert a params value to a JSON-stable, comparison-stable form.
+
+    Tuples become lists (what JSON would produce anyway) so that a spec
+    built in Python compares equal to the same spec after a round-trip.
+    """
+    if isinstance(value, tuple):
+        value = list(value)
+    if isinstance(value, list):
+        return [_freeze(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _freeze(v) for k, v in value.items()}
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    raise TypeError(
+        f"study parameter values must be JSON-representable "
+        f"(None/bool/int/float/str/list/dict), got {type(value).__name__}: {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """Immutable, validated, JSON-serializable description of a study run.
+
+    Parameters
+    ----------
+    study:
+        Registered study name (see :func:`repro.api.registry.list_studies`).
+    params:
+        Study-specific keyword arguments for the underlying
+        ``run_*_study`` driver (e.g. ``task_names``, ``n_seeds``,
+        ``hpo_budget``).  Values must be JSON-representable; tuples are
+        normalized to lists.
+    n_jobs:
+        Worker count for the measurement engine.  ``None`` inherits the
+        :class:`~repro.api.session.Session` default; ``-1`` uses all
+        cores.  Results are identical for any value at a fixed
+        ``random_state``.
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"``.  ``None`` inherits
+        the session default.
+    cache:
+        Cache configuration: ``True`` joins the session's shared
+        :class:`~repro.engine.cache.MeasurementCache`, ``False`` runs
+        uncached, and a string names a dedicated disk-backed cache file
+        for this study (loaded eagerly, saved when the session closes).
+    random_state:
+        Integer seed, or ``None`` for fresh entropy.  Kept as a plain int
+        (never a generator) so the spec stays serializable.
+    """
+
+    study: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    n_jobs: Optional[int] = None
+    backend: Optional[str] = None
+    cache: Union[bool, str] = True
+    random_state: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.study, str) or not self.study:
+            raise ValueError("study must be a non-empty string")
+        if not isinstance(self.params, Mapping):
+            raise TypeError(
+                f"params must be a mapping of driver kwargs, got "
+                f"{type(self.params).__name__}"
+            )
+        object.__setattr__(
+            self,
+            "params",
+            MappingProxyType({str(k): _freeze(v) for k, v in self.params.items()}),
+        )
+        if self.n_jobs is not None:
+            if isinstance(self.n_jobs, bool) or not isinstance(self.n_jobs, int):
+                raise TypeError("n_jobs must be an int or None")
+        if self.backend is not None and self.backend not in VALID_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {VALID_BACKENDS} or None, got {self.backend!r}"
+            )
+        if not isinstance(self.cache, (bool, str)):
+            raise TypeError("cache must be a bool or a cache-file path string")
+        if self.random_state is not None:
+            if isinstance(self.random_state, bool) or not isinstance(
+                self.random_state, (int,)
+            ):
+                raise TypeError(
+                    "random_state must be an int or None (generators are not "
+                    "serializable; seed them outside the spec)"
+                )
+
+    def __hash__(self) -> int:
+        # The generated dataclass __hash__ would choke on the params
+        # mapping; the canonical JSON form is hash-stable and consistent
+        # with __eq__ (params are normalized at construction), so specs
+        # work in sets and as manifest keys.
+        return hash(
+            (
+                self.study,
+                self.n_jobs,
+                self.backend,
+                self.cache,
+                self.random_state,
+                json.dumps(dict(self.params), sort_keys=True),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "StudySpec":
+        """Return a copy with some fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_params(self, **updates: Any) -> "StudySpec":
+        """Return a copy with some study parameters merged in."""
+        merged = dict(self.params)
+        merged.update(updates)
+        return self.replace(params=merged)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, suitable for ``json``/``yaml`` dumping."""
+        return {
+            "study": self.study,
+            "params": {k: _freeze(v) for k, v in self.params.items()},
+            "n_jobs": self.n_jobs,
+            "backend": self.backend,
+            "cache": self.cache,
+            "random_state": self.random_state,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
+        """Rebuild a spec from :meth:`to_dict` output (extra keys rejected)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown StudySpec fields {sorted(unknown)}; valid fields are "
+                f"{sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """JSON form; ``StudySpec.from_json`` inverts it losslessly."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "StudySpec":
+        """Parse a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(payload))

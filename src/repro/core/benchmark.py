@@ -51,6 +51,11 @@ class Measurement:
     n_fits:
         Number of model fits consumed to produce the measurement (1 when
         hyperparameters were supplied, ``T + 1`` when HOpt ran first).
+    hpo_result:
+        The full :class:`~repro.hpo.base.HPOResult` when HOpt ran inside
+        the measurement (``None`` otherwise).  Carrying it on the
+        measurement lets the engine replay optimization *curves* — not
+        just final scores — from the cache.
     """
 
     test_score: float
@@ -59,6 +64,7 @@ class Measurement:
     hparams: Dict[str, Any] = field(default_factory=dict)
     seeds: Optional[SeedBundle] = None
     n_fits: int = 1
+    hpo_result: Optional[HPOResult] = None
 
 
 class BenchmarkProcess:
@@ -172,4 +178,5 @@ class BenchmarkProcess:
             hparams=measurement.hparams,
             seeds=seeds,
             n_fits=self.hpo_budget + 1,
+            hpo_result=hpo_result,
         )

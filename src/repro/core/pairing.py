@@ -23,6 +23,7 @@ from repro.core.benchmark import BenchmarkProcess
 from repro.core.sample_size import minimum_sample_size
 from repro.core.significance import SignificanceReport, probability_of_outperforming_test
 from repro.core.sources import sources_for_subset
+from repro.engine.runner import StudyRunner, WorkItem, ensure_runner
 from repro.utils.rng import SeedBundle
 from repro.utils.validation import check_positive_int, check_random_state
 
@@ -78,6 +79,9 @@ def paired_measurements(
     hparams_b=None,
     run_hpo: bool = True,
     random_state=None,
+    runner_a: Optional[StudyRunner] = None,
+    runner_b: Optional[StudyRunner] = None,
+    n_jobs: int = 1,
 ) -> PairedScores:
     """Measure both processes ``k`` times on shared seed bundles.
 
@@ -85,18 +89,26 @@ def paired_measurements(
     one HOpt run per process is performed first (the affordable
     ``FixHOptEst``-style protocol); its selected configuration is reused for
     all ``k`` paired measurements.
+
+    The ``2k`` measurements execute through the measurement engine:
+    supply ``runner_a``/``runner_b`` (bound to the respective processes)
+    to share executors and caches across comparisons, or just ``n_jobs``
+    for default runners.  The seed bundles are pre-drawn, so the paired
+    scores are identical for any worker count.
     """
     rng = check_random_state(random_state)
+    runner_a = ensure_runner(runner_a, process_a, n_jobs=n_jobs)
+    runner_b = ensure_runner(runner_b, process_b, n_jobs=n_jobs)
     bundles = paired_seed_bundles(k, randomize=randomize, random_state=rng)
     if hparams_a is None and run_hpo:
         hparams_a = process_a.run_hpo(bundles[0]).best_config
     if hparams_b is None and run_hpo:
         hparams_b = process_b.run_hpo(bundles[0]).best_config
-    scores_a = np.array(
-        [process_a.measure(seeds, hparams_a).test_score for seeds in bundles]
+    scores_a = runner_a.run_scores(
+        [WorkItem(seeds=seeds, hparams=hparams_a) for seeds in bundles]
     )
-    scores_b = np.array(
-        [process_b.measure(seeds, hparams_b).test_score for seeds in bundles]
+    scores_b = runner_b.run_scores(
+        [WorkItem(seeds=seeds, hparams=hparams_b) for seeds in bundles]
     )
     return PairedScores(scores_a=scores_a, scores_b=scores_b)
 
@@ -111,6 +123,7 @@ def compare_pipelines(
     beta: float = 0.05,
     randomize: str = "all",
     random_state=None,
+    n_jobs: int = 1,
 ) -> Tuple[SignificanceReport, PairedScores]:
     """End-to-end recommended comparison of two learning pipelines.
 
@@ -129,6 +142,9 @@ def compare_pipelines(
         Sources randomized between paired runs.
     random_state:
         Seed or generator.
+    n_jobs:
+        Workers for the paired measurements (identical scores for any
+        value; the shared seed bundles are pre-drawn).
 
     Returns
     -------
@@ -140,7 +156,7 @@ def compare_pipelines(
         k = minimum_sample_size(gamma, alpha=alpha, beta=beta)
     rng = check_random_state(random_state)
     scores = paired_measurements(
-        process_a, process_b, k, randomize=randomize, random_state=rng
+        process_a, process_b, k, randomize=randomize, random_state=rng, n_jobs=n_jobs
     )
     report = probability_of_outperforming_test(
         scores.scores_a,

@@ -25,6 +25,7 @@ import hashlib
 import json
 import pickle
 import threading
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
 
 import numpy as np
@@ -120,7 +121,7 @@ def measurement_key(
 
 
 class MeasurementCache:
-    """Thread-safe, optionally disk-backed store of measurements by key.
+    """Thread-safe, optionally disk-backed LRU store of measurements by key.
 
     Parameters
     ----------
@@ -129,8 +130,14 @@ class MeasurementCache:
         attempted eagerly (a missing file is fine) and :meth:`save` writes
         the full store with :mod:`pickle`.
     max_entries:
-        Optional capacity bound; insertion beyond it evicts the oldest
-        entries (insertion order).  ``None`` means unbounded.
+        Optional capacity bound; exceeding it evicts the least recently
+        *used* entries (a :meth:`get` hit refreshes an entry's recency, so
+        hot keys survive long sessions).  ``None`` means unbounded.
+    max_bytes:
+        Optional memory budget.  Entry sizes are taken from their pickled
+        representation; exceeding the budget evicts by the same LRU order.
+        The most recent entry is never evicted, so a single oversized
+        measurement still caches.  ``None`` disables size tracking.
 
     Examples
     --------
@@ -146,15 +153,22 @@ class MeasurementCache:
         path: Optional[str] = None,
         *,
         max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be a positive integer or None")
-        self._store: Dict[str, "Measurement"] = {}
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be a positive integer or None")
+        self._store: "OrderedDict[str, Measurement]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+        self._total_bytes = 0
         self._lock = threading.Lock()
         self.path = path
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         if path is not None:
             self.load(missing_ok=True)
 
@@ -166,13 +180,17 @@ class MeasurementCache:
             return key in self._store
 
     def get(self, key: str) -> Optional["Measurement"]:
-        """Return the cached measurement for ``key``, counting hit/miss."""
+        """Return the cached measurement for ``key``, counting hit/miss.
+
+        A hit marks the entry as most recently used.
+        """
         with self._lock:
             measurement = self._store.get(key)
             if measurement is None:
                 self.misses += 1
             else:
                 self.hits += 1
+                self._store.move_to_end(key)
             return measurement
 
     def record_hit(self) -> None:
@@ -182,12 +200,32 @@ class MeasurementCache:
             self.hits += 1
 
     def put(self, key: str, measurement: "Measurement") -> None:
-        """Store ``measurement`` under ``key`` (evicting oldest if full)."""
+        """Store ``measurement`` under ``key`` (evicting LRU entries if full)."""
         with self._lock:
-            self._store[key] = measurement
-            if self.max_entries is not None:
-                while len(self._store) > self.max_entries:
-                    self._store.pop(next(iter(self._store)))
+            self._insert(key, measurement)
+            self._evict()
+
+    def _insert(self, key: str, measurement: "Measurement") -> None:
+        """Insert one entry as most-recent (caller holds the lock)."""
+        if key in self._store:
+            self._total_bytes -= self._sizes.pop(key, 0)
+        self._store[key] = measurement
+        self._store.move_to_end(key)
+        if self.max_bytes is not None:
+            size = len(pickle.dumps(measurement, protocol=pickle.HIGHEST_PROTOCOL))
+            self._sizes[key] = size
+            self._total_bytes += size
+
+    def _evict(self) -> None:
+        """Pop least-recently-used entries until within every budget
+        (caller holds the lock).  Always keeps the most recent entry."""
+        while len(self._store) > 1 and (
+            (self.max_entries is not None and len(self._store) > self.max_entries)
+            or (self.max_bytes is not None and self._total_bytes > self.max_bytes)
+        ):
+            evicted, _ = self._store.popitem(last=False)
+            self._total_bytes -= self._sizes.pop(evicted, 0)
+            self.evictions += 1
 
     @property
     def hit_rate(self) -> float:
@@ -195,22 +233,32 @@ class MeasurementCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def total_bytes(self) -> int:
+        """Pickled size of the stored entries (0 unless ``max_bytes`` set)."""
+        return self._total_bytes
+
     def stats(self) -> Dict[str, float]:
-        """Hit/miss counters and current size, for reports and benchmarks."""
+        """Hit/miss/eviction counters and current size, for reports."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "hit_rate": self.hit_rate,
                 "entries": len(self._store),
+                "evictions": self.evictions,
+                "bytes": self._total_bytes,
             }
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
         with self._lock:
             self._store.clear()
+            self._sizes.clear()
+            self._total_bytes = 0
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     # ------------------------------------------------------------------
     # Persistence
@@ -242,5 +290,7 @@ class MeasurementCache:
                 return 0
             raise
         with self._lock:
-            self._store.update(snapshot)
+            for key, measurement in snapshot.items():
+                self._insert(key, measurement)
+            self._evict()
         return len(snapshot)

@@ -11,12 +11,14 @@ the test set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_study
 from repro.core.benchmark import BenchmarkProcess
 from repro.data.tasks import get_task
+from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner, WorkItem
 from repro.stats.binomial import binomial_accuracy_std, binomial_std_curve
 from repro.utils.rng import SeedBundle
 from repro.utils.tables import format_table
@@ -52,11 +54,24 @@ class BinomialStudyResult:
         )
 
 
+@register_study(
+    "binomial",
+    artefact="Figure 2",
+    size_params=("n_splits", "dataset_size"),
+    smoke_params={"task_names": ["entailment"], "n_splits": 4, "dataset_size": 250},
+    shard_param="task_names",
+    benchmark="benchmarks/bench_fig2_binomial.py",
+)
 def run_binomial_study(
     task_names: Sequence[str] = ("entailment", "sentiment", "image-classification"),
     *,
     n_splits: int = 15,
     test_sizes: Sequence[int] = (100, 300, 1000, 3000, 10000),
+    dataset_size: Optional[int] = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
+    cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
     random_state=None,
 ) -> BinomialStudyResult:
     """Compare binomial-model and observed accuracy standard deviations.
@@ -70,6 +85,18 @@ def run_binomial_study(
         Number of out-of-bootstrap resamples used to observe the std.
     test_sizes:
         Test-set sizes at which the theoretical curve is tabulated.
+    dataset_size:
+        Optional dataset-size override for faster runs.
+    n_jobs:
+        Workers for the measurement engine; the per-split seeds are
+        pre-drawn, so the observed std is identical for any value.
+    backend:
+        Executor backend when no ``executor`` is supplied.
+    cache:
+        Optional measurement cache shared across studies.
+    executor:
+        Pre-built executor shared across studies (overrides
+        ``n_jobs``/``backend``).
     random_state:
         Seed or generator.
     """
@@ -80,19 +107,19 @@ def run_binomial_study(
         task = get_task(task_name)
         if task.task_type != "classification":
             continue
-        dataset = task.make_dataset(random_state=rng)
+        dataset_kwargs = {"n_samples": dataset_size} if dataset_size else {}
+        dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
         pipeline = task.make_pipeline()
         process = BenchmarkProcess(dataset, pipeline)
-        scores = []
-        test_set_sizes = []
+        runner = StudyRunner(
+            process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
+        )
         base = SeedBundle.random(rng)
-        for _ in range(n_splits):
-            seeds = base.randomized(["data"], rng)
-            _, _, test = process.split(seeds)
-            measurement = process.measure(seeds)
-            scores.append(measurement.test_score)
-            test_set_sizes.append(test.n_samples)
-        scores_arr = np.array(scores)
+        bundles = [base.randomized(["data"], rng) for _ in range(n_splits)]
+        # Splitting is cheap index bookkeeping; the model fits behind the
+        # measurements are the hot loop and fan out through the engine.
+        test_set_sizes = [process.split(seeds)[2].n_samples for seeds in bundles]
+        scores_arr = runner.run_scores([WorkItem(seeds=seeds) for seeds in bundles])
         mean_accuracy = float(np.mean(scores_arr))
         observed_std = float(np.std(scores_arr, ddof=1))
         typical_test_size = int(np.median(test_set_sizes))

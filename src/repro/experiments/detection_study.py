@@ -11,17 +11,19 @@ threshold γ (Figure I.6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 from scipy import stats as sps
 
+from repro.api.registry import register_study
 from repro.core.comparison import (
     AverageComparison,
     ComparisonMethod,
     ProbabilityOfOutperforming,
     SinglePointComparison,
 )
+from repro.engine.cache import MeasurementCache
 from repro.engine.executor import ParallelExecutor
 from repro.simulation.detection import (
     DetectionRateResult,
@@ -115,6 +117,13 @@ class DetectionStudyResult:
         )
 
 
+@register_study(
+    "detection",
+    artefact="Figure 6",
+    size_params=("probabilities", "k", "n_simulations"),
+    smoke_params={"probabilities": [0.4, 0.9], "k": 5, "n_simulations": 5},
+    benchmark="benchmarks/bench_fig6_detection_rates.py",
+)
 def run_detection_study(
     task: SimulatedTask | None = None,
     *,
@@ -123,9 +132,11 @@ def run_detection_study(
     n_simulations: int = 50,
     gamma: float = 0.75,
     estimators: Sequence[str] = ("ideal", "biased"),
-    random_state=None,
     n_jobs: int = 1,
     backend: str = "thread",
+    cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
+    random_state=None,
 ) -> DetectionStudyResult:
     """Run the Figure 6 detection-rate experiment.
 
@@ -145,8 +156,6 @@ def run_detection_study(
         Meaningfulness threshold of the P(A>B) criterion and the oracle.
     estimators:
         Which simulation models to use (``"ideal"``, ``"biased"``).
-    random_state:
-        Seed or generator.
     n_jobs:
         Workers for the simulation fan-out; per-simulation seeds are
         pre-drawn, so the rates are identical for any value.
@@ -154,9 +163,18 @@ def run_detection_study(
         ``"thread"`` (default) or ``"process"`` — the simulations are
         pure-Python and GIL-bound, so real speedup needs the process
         backend (everything submitted is picklable).
+    cache:
+        Accepted for API uniformity; the simulations draw from parametric
+        models, so there are no benchmark measurements to memoize.
+    executor:
+        Pre-built executor shared across studies (overrides
+        ``n_jobs``/``backend``).
+    random_state:
+        Seed or generator.
     """
     rng = check_random_state(random_state)
-    executor = ParallelExecutor(n_jobs, backend=backend)
+    if executor is None:
+        executor = ParallelExecutor(n_jobs, backend=backend)
     if task is None:
         task = DEFAULT_SIMULATED_TASKS[2]
     methods = default_comparison_methods(task.sigma, gamma=gamma)
@@ -230,6 +248,18 @@ class RobustnessStudyResult:
         )
 
 
+@register_study(
+    "robustness",
+    artefact="Figure I.6",
+    size_params=("sample_sizes", "thresholds", "k", "n_simulations"),
+    smoke_params={
+        "sample_sizes": [5, 10],
+        "thresholds": [0.7, 0.9],
+        "k": 5,
+        "n_simulations": 5,
+    },
+    benchmark="benchmarks/bench_figI6_robustness.py",
+)
 def run_robustness_study(
     task: SimulatedTask | None = None,
     *,
@@ -238,19 +268,23 @@ def run_robustness_study(
     thresholds: Sequence[float] = (0.6, 0.7, 0.75, 0.8, 0.9),
     k: int = 50,
     n_simulations: int = 50,
-    random_state=None,
     n_jobs: int = 1,
     backend: str = "thread",
+    cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
+    random_state=None,
 ) -> RobustnessStudyResult:
     """Run the Figure I.6 robustness experiment.
 
     The threshold sweep converts each γ into the equivalent average-
     comparison threshold δ = Φ⁻¹(γ)·σ, as described in Appendix I.
     ``n_jobs`` fans the independent simulations out over the measurement
-    engine's executor without changing the rates.
+    engine's executor without changing the rates (``cache`` is accepted
+    for API uniformity; parametric simulations have nothing to memoize).
     """
     rng = check_random_state(random_state)
-    executor = ParallelExecutor(n_jobs, backend=backend)
+    if executor is None:
+        executor = ParallelExecutor(n_jobs, backend=backend)
     if task is None:
         task = DEFAULT_SIMULATED_TASKS[2]
     methods = {

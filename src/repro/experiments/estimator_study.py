@@ -13,11 +13,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_study
 from repro.core.benchmark import BenchmarkProcess
 from repro.core.estimators import estimator_cost
 from repro.core.variance import EstimatorQualityResult, EstimatorQualityStudy
 from repro.data.tasks import get_task
-from repro.engine import MeasurementCache, StudyRunner
+from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner
 from repro.utils.tables import format_table
 from repro.utils.validation import check_random_state
 
@@ -31,6 +32,12 @@ class EstimatorStudyResult:
     quality: Dict[str, Dict[str, EstimatorQualityResult]] = field(default_factory=dict)
     ks: Sequence[int] = ()
     hpo_budget: int = 0
+
+    def rows(self) -> List[dict]:
+        """Uniform-API rows: the Figure 5/H.4 curves plus the H.5 decomposition."""
+        rows = [{"table": "standard_error", **row} for row in self.standard_error_rows()]
+        rows += [{"table": "mse", **row} for row in self.mse_rows()]
+        return rows
 
     def standard_error_rows(self) -> List[dict]:
         """Rows of the Figure 5 / H.4 curves."""
@@ -94,6 +101,20 @@ class EstimatorStudyResult:
         return "\n\n".join(parts)
 
 
+@register_study(
+    "estimator",
+    artefact="Figures 5, H.4, H.5",
+    size_params=("k_max", "n_repetitions", "hpo_budget", "dataset_size"),
+    smoke_params={
+        "task_names": ["entailment"],
+        "k_max": 3,
+        "n_repetitions": 2,
+        "hpo_budget": 3,
+        "dataset_size": 200,
+    },
+    shard_param="task_names",
+    benchmark="benchmarks/bench_fig5_estimators.py",
+)
 def run_estimator_study(
     task_names: Sequence[str] = ("entailment",),
     *,
@@ -102,9 +123,11 @@ def run_estimator_study(
     hpo_budget: int = 8,
     ks: Optional[Sequence[int]] = None,
     dataset_size: Optional[int] = None,
-    random_state=None,
     n_jobs: int = 1,
+    backend: str = "thread",
     cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
+    random_state=None,
 ) -> EstimatorStudyResult:
     """Run the estimator quality study on the requested tasks.
 
@@ -122,13 +145,18 @@ def run_estimator_study(
         Values of k at which the standard-error curve is tabulated.
     dataset_size:
         Optional dataset-size override for faster runs.
-    random_state:
-        Seed or generator.
     n_jobs:
         Workers for the measurement engine; seeds are pre-drawn, so the
         scores are identical for any value at a fixed ``random_state``.
+    backend:
+        Executor backend when no ``executor`` is supplied.
     cache:
         Optional measurement cache shared by every per-task runner.
+    executor:
+        Pre-built executor shared across studies (overrides
+        ``n_jobs``/``backend``).
+    random_state:
+        Seed or generator.
     """
     rng = check_random_state(random_state)
     if ks is None:
@@ -140,7 +168,9 @@ def run_estimator_study(
         dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
         pipeline = task.make_pipeline()
         process = BenchmarkProcess(dataset, pipeline, hpo_budget=hpo_budget)
-        runner = StudyRunner(process, n_jobs=n_jobs, cache=cache)
+        runner = StudyRunner(
+            process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
+        )
         study = EstimatorQualityStudy(n_repetitions=n_repetitions, k_max=k_max)
         result.quality[task_name] = study.run(process, random_state=rng, runner=runner)
     return result

@@ -7,6 +7,12 @@ validation regret and the corresponding test regret are recorded per
 iteration.  Figure F.2's two findings are checked: the search spaces are
 well optimized by every algorithm, and the across-seed standard deviation
 stabilizes early.
+
+The independent HOpt runs execute through the measurement engine as
+``WorkItem(with_hpo=True)`` batches: each measurement carries the full
+:class:`~repro.hpo.base.HPOResult` back on ``Measurement.hpo_result``, so
+the optimization *curves* parallelize over ``n_jobs`` and replay from a
+warm :class:`~repro.engine.cache.MeasurementCache` without refitting.
 """
 
 from __future__ import annotations
@@ -16,8 +22,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_study
 from repro.core.benchmark import BenchmarkProcess
 from repro.data.tasks import get_task
+from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner, WorkItem
 from repro.hpo.bayesopt import BayesianOptimization
 from repro.hpo.grid import NoisyGridSearch
 from repro.hpo.random_search import RandomSearch
@@ -81,12 +89,29 @@ class HPOCurvesResult:
         )
 
 
+@register_study(
+    "hpo_curves",
+    artefact="Figure F.2",
+    size_params=("budget", "n_repetitions", "dataset_size"),
+    smoke_params={
+        "task_names": ["entailment"],
+        "budget": 3,
+        "n_repetitions": 2,
+        "dataset_size": 200,
+    },
+    shard_param="task_names",
+    benchmark="benchmarks/bench_figF2_hpo_curves.py",
+)
 def run_hpo_curves_study(
     task_names: Sequence[str] = ("entailment",),
     *,
     budget: int = 10,
     n_repetitions: int = 3,
     dataset_size: Optional[int] = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
+    cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
     random_state=None,
 ) -> HPOCurvesResult:
     """Run independent HOpt executions and collect their optimization curves.
@@ -101,6 +126,18 @@ def run_hpo_curves_study(
         Independent HOpt runs per algorithm (paper: 20).
     dataset_size:
         Optional dataset-size override for faster runs.
+    n_jobs:
+        Workers for the measurement engine; the per-repetition HOpt seeds
+        are pre-drawn, so curves are identical for any value at a fixed
+        ``random_state``.
+    backend:
+        Executor backend when no ``executor`` is supplied.
+    cache:
+        Optional measurement cache; a warm cache replays full optimization
+        curves (carried on ``Measurement.hpo_result``) without refitting.
+    executor:
+        Pre-built executor shared across studies (overrides
+        ``n_jobs``/``backend``).
     random_state:
         Seed or generator.
     """
@@ -122,18 +159,24 @@ def run_hpo_curves_study(
         result.test_scores[task_name] = {}
         base_seeds = SeedBundle.random(rng)
         for algorithm_name, factory in algorithms.items():
-            curves = np.empty((n_repetitions, budget))
-            finals = np.empty(n_repetitions)
-            for repetition in range(n_repetitions):
-                process = BenchmarkProcess(
-                    dataset, pipeline, hpo_algorithm=factory(), hpo_budget=budget
-                )
-                seeds = base_seeds.randomized(["hopt"], rng)
-                hpo_result = process.run_hpo(seeds)
-                curves[repetition] = hpo_result.optimization_curve()
-                finals[repetition] = process.measure(
-                    seeds, hpo_result.best_config
-                ).test_score
-            result.curves[task_name][algorithm_name] = curves
-            result.test_scores[task_name][algorithm_name] = finals
+            process = BenchmarkProcess(
+                dataset, pipeline, hpo_algorithm=factory(), hpo_budget=budget
+            )
+            runner = StudyRunner(
+                process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
+            )
+            # Pre-draw the per-repetition HOpt seeds, then fan the full HOpt
+            # runs out as with_hpo work items (the engine hands each item its
+            # own optimizer copy, so repetitions never share search state).
+            items = [
+                WorkItem(seeds=base_seeds.randomized(["hopt"], rng), with_hpo=True)
+                for _ in range(n_repetitions)
+            ]
+            measurements = runner.run(items)
+            result.curves[task_name][algorithm_name] = np.stack(
+                [m.hpo_result.optimization_curve() for m in measurements]
+            )
+            result.test_scores[task_name][algorithm_name] = np.array(
+                [m.test_score for m in measurements], dtype=float
+            )
     return result

@@ -15,10 +15,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.api.registry import register_study
 from repro.core.benchmark import BenchmarkProcess
 from repro.core.pairing import paired_measurements
 from repro.core.significance import SignificanceReport, probability_of_outperforming_test
 from repro.data.tasks import get_task
+from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner
 from repro.pipelines.ensemble import EnsembleMLPRegressorPipeline
 from repro.pipelines.metrics import binary_auc, pearson_correlation
 from repro.pipelines.mlp import MLPRegressorPipeline
@@ -76,11 +78,22 @@ def _scores_on_test(model_predict, dataset) -> Dict[str, float]:
     return {"auc": auc, "pcc": pcc, "r2": r2}
 
 
+@register_study(
+    "mhc_comparison",
+    artefact="Tables 8, 9",
+    size_params=("n_samples", "n_ensemble_members", "k_pairs"),
+    smoke_params={"n_samples": 200, "k_pairs": 3},
+    benchmark="benchmarks/bench_table8_mhc_models.py",
+)
 def run_mhc_model_comparison(
     *,
     n_samples: int = 800,
     n_ensemble_members: int = 3,
     k_pairs: int = 10,
+    n_jobs: int = 1,
+    backend: str = "thread",
+    cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
     random_state=None,
 ) -> MHCComparisonResult:
     """Compare the single-MLP and ensemble-MLP models on peptide binding.
@@ -93,6 +106,17 @@ def run_mhc_model_comparison(
         Number of members in the MHCflurry-style ensemble.
     k_pairs:
         Number of paired runs used for the recommended P(A>B) comparison.
+    n_jobs:
+        Workers for the paired measurements — the study's hot loop; the
+        shared seed bundles are pre-drawn, so the comparison is identical
+        for any value.
+    backend:
+        Executor backend when no ``executor`` is supplied.
+    cache:
+        Optional measurement cache shared across studies.
+    executor:
+        Pre-built executor shared across studies (overrides
+        ``n_jobs``/``backend``).
     random_state:
         Seed or generator.
     """
@@ -119,7 +143,8 @@ def run_mhc_model_comparison(
             )
         scores = _scores_on_test(predict, test)
         result.model_rows.append({"model": name, **scores})
-    # Recommended comparison: paired runs + probability of outperforming.
+    # Recommended comparison: paired runs + probability of outperforming,
+    # fanned out through the measurement engine (the study's hot loop).
     paired = paired_measurements(
         process_ensemble,
         process_single,
@@ -129,6 +154,12 @@ def run_mhc_model_comparison(
         hparams_b=single.default_hparams(),
         run_hpo=False,
         random_state=rng,
+        runner_a=StudyRunner(
+            process_ensemble, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
+        ),
+        runner_b=StudyRunner(
+            process_single, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
+        ),
     )
     result.comparison = probability_of_outperforming_test(
         paired.scores_a, paired.scores_b, random_state=rng

@@ -14,9 +14,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_study
 from repro.core.benchmark import BenchmarkProcess
 from repro.core.estimators import FixHOptEstimator
 from repro.data.tasks import get_task
+from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner
 from repro.experiments.variance_study import run_variance_study
 from repro.stats.normality import NormalityResult, normality_report
 from repro.utils.tables import format_table
@@ -75,12 +77,24 @@ class NormalityStudyResult:
         )
 
 
+@register_study(
+    "normality",
+    artefact="Figure G.3",
+    size_params=("n_seeds", "dataset_size"),
+    smoke_params={"task_names": ["entailment"], "n_seeds": 5, "dataset_size": 200},
+    shard_param="task_names",
+    benchmark="benchmarks/bench_figG3_normality.py",
+)
 def run_normality_study(
     task_names: Sequence[str] = ("entailment",),
     *,
     n_seeds: int = 15,
     include_altogether: bool = True,
     dataset_size: Optional[int] = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
+    cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
     random_state=None,
 ) -> NormalityStudyResult:
     """Collect per-source score samples and test them for normality.
@@ -98,6 +112,17 @@ def run_normality_study(
         ``FixHOptEst(k, All)``.
     dataset_size:
         Optional dataset-size override for faster runs.
+    n_jobs:
+        Workers for the measurement engine, threaded through the inner
+        variance study and the "altogether" estimator; seeds are
+        pre-drawn, so results are identical for any value.
+    backend:
+        Executor backend when no ``executor`` is supplied.
+    cache:
+        Optional measurement cache shared across studies.
+    executor:
+        Pre-built executor shared across studies (overrides
+        ``n_jobs``/``backend``).
     random_state:
         Seed or generator.
     """
@@ -107,6 +132,10 @@ def run_normality_study(
         n_seeds=n_seeds,
         include_hpo=False,
         dataset_size=dataset_size,
+        n_jobs=n_jobs,
+        backend=backend,
+        cache=cache,
+        executor=executor,
         random_state=rng,
     )
     result = NormalityStudyResult()
@@ -120,12 +149,16 @@ def run_normality_study(
             dataset_kwargs = {"n_samples": dataset_size} if dataset_size else {}
             dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
             process = BenchmarkProcess(dataset, task.make_pipeline(), hpo_budget=5)
+            runner = StudyRunner(
+                process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
+            )
             estimator = FixHOptEstimator(randomize="all")
             estimate = estimator.estimate(
                 process,
                 n_seeds,
                 random_state=rng,
                 hparams=process.pipeline.default_hparams(),
+                runner=runner,
             )
             result.reports[task_name]["altogether"] = normality_report(estimate.scores)
     return result

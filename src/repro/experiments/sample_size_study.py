@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from functools import partial
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_study
 from repro.core.sample_size import minimum_sample_size
+from repro.engine import MeasurementCache, ParallelExecutor
 from repro.utils.tables import format_table
 
 __all__ = ["SampleSizeStudyResult", "run_sample_size_study"]
@@ -48,16 +51,37 @@ class SampleSizeStudyResult:
         )
 
 
+@register_study(
+    "sample_size",
+    artefact="Figure C.1",
+    size_params=("gammas",),
+    smoke_params={"gammas": [0.7, 0.75]},
+    shard_param="gammas",
+    benchmark="benchmarks/bench_figC1_sample_size.py",
+)
 def run_sample_size_study(
     gammas: Sequence[float] = (0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 0.99),
     *,
     alpha: float = 0.05,
     beta: float = 0.05,
+    n_jobs: int = 1,
+    backend: str = "thread",
+    cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
+    random_state=None,
 ) -> SampleSizeStudyResult:
-    """Tabulate Noether's minimum sample size over thresholds γ."""
+    """Tabulate Noether's minimum sample size over thresholds γ.
+
+    The study is analytical: ``cache`` and ``random_state`` are accepted
+    for API uniformity (there are no measurements to memoize and no
+    randomness), while the per-γ searches fan out over the executor.
+    """
+    if executor is None:
+        executor = ParallelExecutor(n_jobs, backend=backend)
     gammas_arr = np.asarray(list(gammas), dtype=float)
     sizes = np.array(
-        [minimum_sample_size(g, alpha=alpha, beta=beta) for g in gammas_arr], dtype=int
+        executor.map(partial(minimum_sample_size, alpha=alpha, beta=beta), gammas_arr),
+        dtype=int,
     )
     return SampleSizeStudyResult(
         gammas=gammas_arr, sample_sizes=sizes, alpha=alpha, beta=beta

@@ -10,8 +10,11 @@ Figure 3 is that σ is of the same order as typical published increments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from functools import partial
+from typing import Dict, List, Optional
 
+from repro.api.registry import register_study
+from repro.engine import MeasurementCache, ParallelExecutor
 from repro.simulation.sota import (
     PublishedResult,
     load_sota_timeline,
@@ -62,11 +65,29 @@ class SotaStudyResult:
         )
 
 
+def _annotate_timeline(job: tuple, *, alpha: float) -> tuple:
+    """Annotate one (benchmark, timeline, sigma) job (picklable helper)."""
+    benchmark, timeline, sigma = job
+    return benchmark, significance_timeline(timeline, sigma, alpha=alpha)
+
+
+@register_study(
+    "sota",
+    artefact="Figure 3",
+    size_params=(),
+    smoke_params={},
+    benchmark="benchmarks/bench_fig3_sota.py",
+)
 def run_sota_study(
     sigmas: Dict[str, float] | None = None,
     *,
     timelines: Dict[str, List[PublishedResult]] | None = None,
     alpha: float = 0.05,
+    n_jobs: int = 1,
+    backend: str = "thread",
+    cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
+    random_state=None,
 ) -> SotaStudyResult:
     """Annotate SOTA timelines with significance w.r.t. benchmark variance.
 
@@ -80,16 +101,27 @@ def run_sota_study(
         Published-result timelines; defaults to the frozen snapshots.
     alpha:
         Significance level of the z-test band.
+    n_jobs, backend, executor:
+        Per-benchmark annotation fans out over the executor (the study is
+        deterministic, so worker count never changes the timelines).
+    cache, random_state:
+        Accepted for API uniformity; the study involves no measurements
+        and no randomness.
     """
+    if executor is None:
+        executor = ParallelExecutor(n_jobs, backend=backend)
     if sigmas is None:
         sigmas = {"cifar10": 0.002, "sst2": 0.005}
     if timelines is None:
         timelines = {name: load_sota_timeline(name) for name in sigmas}
     result = SotaStudyResult(sigmas=dict(sigmas))
+    jobs = []
     for benchmark, timeline in timelines.items():
         if benchmark not in sigmas:
             raise KeyError(f"no sigma provided for benchmark {benchmark!r}")
-        result.timelines[benchmark] = significance_timeline(
-            timeline, sigmas[benchmark], alpha=alpha
-        )
+        jobs.append((benchmark, timeline, sigmas[benchmark]))
+    for benchmark, annotated in executor.map(
+        partial(_annotate_timeline, alpha=alpha), jobs
+    ):
+        result.timelines[benchmark] = annotated
     return result

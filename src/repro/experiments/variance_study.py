@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.registry import register_study
 from repro.core.benchmark import BenchmarkProcess
 from repro.core.variance import (
     VarianceDecomposition,
@@ -22,7 +23,7 @@ from repro.core.variance import (
     variance_decomposition_study,
 )
 from repro.data.tasks import get_task
-from repro.engine import MeasurementCache, StudyRunner
+from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner
 from repro.hpo.bayesopt import BayesianOptimization
 from repro.hpo.grid import NoisyGridSearch
 from repro.hpo.random_search import RandomSearch
@@ -74,6 +75,20 @@ class VarianceStudyResult:
         )
 
 
+@register_study(
+    "variance",
+    artefact="Figure 1",
+    size_params=("n_seeds", "n_hpo_repetitions", "hpo_budget", "dataset_size"),
+    smoke_params={
+        "task_names": ["entailment"],
+        "n_seeds": 4,
+        "n_hpo_repetitions": 2,
+        "hpo_budget": 3,
+        "dataset_size": 200,
+    },
+    shard_param="task_names",
+    benchmark="benchmarks/bench_fig1_variance_sources.py",
+)
 def run_variance_study(
     task_names: Sequence[str] = ("entailment", "sentiment"),
     *,
@@ -82,9 +97,11 @@ def run_variance_study(
     hpo_budget: int = 10,
     include_hpo: bool = True,
     dataset_size: Optional[int] = None,
-    random_state=None,
     n_jobs: int = 1,
+    backend: str = "thread",
     cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
+    random_state=None,
 ) -> VarianceStudyResult:
     """Run the per-source variance study on the requested tasks.
 
@@ -102,15 +119,21 @@ def run_variance_study(
         Skip the (more expensive) HOpt part when false.
     dataset_size:
         Optional override of the dataset size for faster runs.
-    random_state:
-        Seed or generator.
     n_jobs:
         Workers for the measurement engine; results are identical for any
         value at a fixed ``random_state`` (seeds are pre-drawn).
+    backend:
+        Executor backend (``"serial"``, ``"thread"``, ``"process"``) when
+        no ``executor`` is supplied.
     cache:
         Optional :class:`~repro.engine.cache.MeasurementCache` shared by
         every per-task runner, so repeated studies replay known
         measurements.
+    executor:
+        Pre-built :class:`~repro.engine.executor.ParallelExecutor` shared
+        across studies (overrides ``n_jobs``/``backend``).
+    random_state:
+        Seed or generator.
     """
     rng = check_random_state(random_state)
     result = VarianceStudyResult()
@@ -120,7 +143,9 @@ def run_variance_study(
         dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
         pipeline = task.make_pipeline()
         process = BenchmarkProcess(dataset, pipeline, hpo_budget=hpo_budget)
-        runner = StudyRunner(process, n_jobs=n_jobs, cache=cache)
+        runner = StudyRunner(
+            process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
+        )
         result.decompositions[task_name] = variance_decomposition_study(
             process, n_seeds=n_seeds, random_state=rng, runner=runner
         )

@@ -1,0 +1,352 @@
+"""Tests for the unified Study API (repro.api).
+
+Covers the three layers of the front door:
+
+* ``StudySpec`` — validation and the JSON round-trip (property-tested);
+* the registry — completeness over the experiment layer and metadata
+  integrity (smoke params must be valid driver kwargs);
+* ``Session`` — every registered study runs at tiny scale, is
+  bitwise-identical at ``n_jobs=1`` vs ``n_jobs=2``, shares one warm
+  cache across runs, and streams shard results through ``submit``.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.experiments as experiments
+from repro.api import Session, StudySpec, get_study, iter_studies, list_studies
+from repro.api.registry import ENGINE_PARAMS
+from repro.api.results import StudyResult
+from repro.engine import MeasurementCache
+
+#: Studies whose smoke-scale run is fast enough for the equivalence matrix.
+ALL_STUDIES = list_studies()
+
+
+# ----------------------------------------------------------------------
+# StudySpec
+# ----------------------------------------------------------------------
+_param_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=12),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=8), children, max_size=3),
+    max_leaves=8,
+)
+
+_specs = st.builds(
+    StudySpec,
+    study=st.sampled_from(ALL_STUDIES),
+    params=st.dictionaries(
+        st.text(min_size=1, max_size=16), _param_values, max_size=4
+    ),
+    n_jobs=st.none() | st.integers(min_value=-1, max_value=8),
+    backend=st.none() | st.sampled_from(["serial", "thread", "process"]),
+    cache=st.booleans() | st.text(min_size=1, max_size=20),
+    random_state=st.none() | st.integers(min_value=0, max_value=2**31),
+)
+
+
+class TestStudySpec:
+    @settings(max_examples=200, deadline=None)
+    @given(spec=_specs)
+    def test_json_round_trip_property(self, spec):
+        assert StudySpec.from_json(spec.to_json()) == spec
+        assert StudySpec.from_dict(spec.to_dict()) == spec
+        # to_json output is valid, self-contained JSON.
+        assert json.loads(spec.to_json())["study"] == spec.study
+
+    def test_tuples_normalize_to_lists(self):
+        spec = StudySpec(study="variance", params={"task_names": ("entailment",)})
+        assert spec.params["task_names"] == ["entailment"]
+        assert StudySpec.from_json(spec.to_json()) == spec
+
+    def test_invalid_study_rejected(self):
+        with pytest.raises(ValueError):
+            StudySpec(study="")
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            StudySpec(study="variance", backend="mpi")
+
+    def test_non_serializable_param_rejected(self):
+        with pytest.raises(TypeError):
+            StudySpec(study="variance", params={"rng": object()})
+
+    def test_generator_random_state_rejected(self):
+        import numpy as np
+
+        with pytest.raises(TypeError):
+            StudySpec(study="variance", random_state=np.random.default_rng(0))
+
+    def test_unknown_field_rejected_in_from_dict(self):
+        with pytest.raises(ValueError, match="unknown StudySpec fields"):
+            StudySpec.from_dict({"study": "variance", "jobs": 2})
+
+    def test_replace_and_with_params(self):
+        spec = StudySpec(study="variance", params={"n_seeds": 5})
+        assert spec.replace(n_jobs=4).n_jobs == 4
+        assert spec.with_params(n_seeds=9).params["n_seeds"] == 9
+        assert spec.params["n_seeds"] == 5  # original untouched
+
+    def test_specs_are_hashable_and_immutable(self):
+        a = StudySpec(study="variance", params={"task_names": ["entailment"]})
+        b = StudySpec(study="variance", params={"task_names": ("entailment",)})
+        c = a.replace(n_jobs=4)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b, c}) == 2  # equal specs dedupe in a set
+        with pytest.raises(TypeError):
+            a.params["task_names"] = ["sentiment"]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_every_experiment_driver_is_registered(self):
+        registered = {info.func for info in iter_studies()}
+        drivers = {
+            getattr(experiments, name)
+            for name in experiments.__all__
+            if name.startswith("run_")
+        }
+        missing = {fn.__name__ for fn in drivers - registered}
+        assert not missing, f"unregistered experiment drivers: {sorted(missing)}"
+
+    def test_ten_studies_registered(self):
+        assert len(ALL_STUDIES) >= 10
+
+    def test_unknown_study_lists_alternatives(self):
+        with pytest.raises(KeyError, match="registered studies"):
+            get_study("not-a-study")
+
+    def test_metadata_complete(self):
+        for info in iter_studies():
+            assert info.artefact, info.name
+            assert info.description, info.name
+            # Smoke params must be real driver kwargs.
+            info.validate_params(info.smoke_params)
+
+    def test_every_driver_accepts_engine_params(self):
+        for info in iter_studies():
+            valid = info.valid_params()
+            for knob in ENGINE_PARAMS:
+                assert knob in valid, (info.name, knob)
+
+    def test_engine_knobs_rejected_inside_params(self):
+        info = get_study("variance")
+        with pytest.raises(ValueError, match="StudySpec fields"):
+            info.validate_params({"n_jobs": 4})
+
+    def test_unknown_param_rejected_with_valid_list(self):
+        info = get_study("variance")
+        with pytest.raises(ValueError, match="valid parameters"):
+            info.validate_params({"n_seedz": 4})
+
+
+# ----------------------------------------------------------------------
+# Session.run: every registered study, parallel == serial
+# ----------------------------------------------------------------------
+def _smoke_spec(name: str, *, n_jobs: int) -> StudySpec:
+    info = get_study(name)
+    return StudySpec(
+        study=name, params=dict(info.smoke_params), n_jobs=n_jobs, random_state=7
+    )
+
+
+class TestSessionRun:
+    @pytest.mark.parametrize("name", ALL_STUDIES)
+    def test_every_study_runs_and_parallel_equals_serial(self, name):
+        with Session() as session:
+            serial = session.run(_smoke_spec(name, n_jobs=1))
+        with Session() as session:
+            parallel = session.run(_smoke_spec(name, n_jobs=2))
+        rows_serial = serial.to_rows()
+        rows_parallel = parallel.to_rows()
+        assert rows_serial, f"study {name} produced no rows"
+        # Bitwise equality of every reported value, row by row.
+        assert json.dumps(rows_serial, sort_keys=True, default=str) == json.dumps(
+            rows_parallel, sort_keys=True, default=str
+        )
+        # The uniform interface is complete.
+        assert name in parallel.to_json()
+        assert parallel.summary()
+
+    def test_spec_params_validated(self):
+        with Session() as session:
+            with pytest.raises(ValueError, match="valid parameters"):
+                session.run(StudySpec(study="variance", params={"bogus": 1}))
+
+    def test_run_accepts_bare_study_name(self):
+        with Session() as session:
+            result = session.run("sample_size")
+        assert result.to_rows()
+
+    def test_shared_cache_replays_across_runs(self):
+        spec = _smoke_spec("hpo_curves", n_jobs=1)
+        with Session() as session:
+            first = session.run(spec)
+            second = session.run(spec)
+            assert first.cache_stats["misses"] > 0
+            assert second.cache_stats["misses"] == 0
+            assert second.cache_stats["hits"] == (
+                first.cache_stats["misses"] + first.cache_stats["hits"]
+            )
+            assert session.studies_run == 2
+            assert session.stats()["cache"]["entries"] > 0
+        # Warm replay is bitwise identical.
+        assert json.dumps(first.to_rows(), sort_keys=True) == json.dumps(
+            second.to_rows(), sort_keys=True
+        )
+
+    def test_cache_false_disables_memoization(self):
+        spec = _smoke_spec("hpo_curves", n_jobs=1).replace(cache=False)
+        with Session() as session:
+            result = session.run(spec)
+            assert result.cache_stats == {}
+            assert len(session.cache) == 0
+
+    def test_cache_path_uses_dedicated_file_cache(self, tmp_path):
+        path = str(tmp_path / "warm.pkl")
+        spec = _smoke_spec("hpo_curves", n_jobs=1).replace(cache=path)
+        with Session() as session:
+            session.run(spec)
+            assert len(session.cache) == 0  # shared cache untouched
+            replay = session.run(spec)
+            assert replay.cache_stats["misses"] == 0
+        # Closing the session persisted the file cache: a fresh session
+        # (fresh process, in real use) replays without a single refit.
+        with Session() as fresh:
+            rewarmed = fresh.run(spec)
+        assert rewarmed.cache_stats["misses"] == 0
+        assert rewarmed.cache_stats["hits"] > 0
+
+    def test_session_shared_path_cache_saved_on_close(self, tmp_path):
+        path = str(tmp_path / "shared.pkl")
+        spec = _smoke_spec("hpo_curves", n_jobs=1)
+        with Session(cache=path) as session:
+            session.run(spec)
+        with Session(cache=path) as fresh:
+            replay = fresh.run(spec)
+        assert replay.cache_stats["misses"] == 0
+
+    def test_concurrent_shards_report_exact_per_run_stats(self):
+        spec = StudySpec(
+            study="binomial",
+            params={
+                "task_names": ["entailment", "sentiment"],
+                "n_splits": 3,
+                "dataset_size": 200,
+            },
+            random_state=2,
+        )
+        with Session() as session:
+            merged = session.submit(spec).result()
+            totals = session.cache.stats()
+        # Per-shard deltas are counted through per-run views, so the merged
+        # counters equal the shared cache's totals even though the shards
+        # ran concurrently against the same cache.
+        assert merged.cache_stats["hits"] == totals["hits"]
+        assert merged.cache_stats["misses"] == totals["misses"]
+
+    def test_external_cache_object_is_shared(self):
+        cache = MeasurementCache(max_entries=100)
+        with Session(cache=cache) as session:
+            session.run(_smoke_spec("hpo_curves", n_jobs=1))
+        assert cache.stats()["entries"] > 0
+
+
+# ----------------------------------------------------------------------
+# Session.submit: streaming handles
+# ----------------------------------------------------------------------
+class TestSessionSubmit:
+    def test_sharded_submit_streams_and_merges_deterministically(self):
+        spec = StudySpec(
+            study="variance",
+            params={
+                "task_names": ["entailment", "sentiment"],
+                "n_seeds": 3,
+                "include_hpo": False,
+                "dataset_size": 200,
+            },
+            random_state=0,
+        )
+        with Session() as session:
+            handle = session.submit(spec)
+            assert len(handle) == 2
+            partials = list(handle)
+            merged = handle.result()
+            assert handle.done()
+        assert len(partials) == 2
+        tasks = [row["task"] for row in merged.to_rows()]
+        # Submission order, not completion order: entailment rows first.
+        assert tasks == sorted(tasks, key=["entailment", "sentiment"].index)
+        # Resubmission is deterministic: same spec, same merged rows,
+        # regardless of which shard finished first.
+        with Session() as session:
+            again = session.submit(spec).result()
+        assert json.dumps(merged.to_rows(), sort_keys=True) == json.dumps(
+            again.to_rows(), sort_keys=True
+        )
+
+    def test_merged_result_points_to_parts_for_native_attributes(self):
+        spec = StudySpec(
+            study="sample_size", params={"gammas": [0.7, 0.75]}, random_state=0
+        )
+        with Session() as session:
+            merged = session.submit(spec).result()
+        with pytest.raises(AttributeError, match=r"\.parts"):
+            merged.gammas
+        assert len(merged.raw.parts) == 2
+        assert float(merged.raw.parts[0].gammas[0]) == 0.7
+
+    def test_file_cache_persisted_even_after_close(self, tmp_path):
+        path = str(tmp_path / "late.pkl")
+        session = Session()
+        session.close()
+        session.run(_smoke_spec("hpo_curves", n_jobs=1).replace(cache=path))
+        with Session() as fresh:
+            replay = fresh.run(_smoke_spec("hpo_curves", n_jobs=1).replace(cache=path))
+        assert replay.cache_stats["misses"] == 0
+
+    def test_unsharded_study_submits_single_future(self):
+        with Session() as session:
+            handle = session.submit(_smoke_spec("sota", n_jobs=1))
+            assert len(handle) == 1
+            assert handle.result(timeout=60).to_rows()
+
+    def test_submit_after_close_raises(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed Session"):
+            session.submit(_smoke_spec("sota", n_jobs=1))
+
+
+# ----------------------------------------------------------------------
+# StudyResult adapter
+# ----------------------------------------------------------------------
+class TestStudyResult:
+    def test_requires_rows_and_report(self):
+        with pytest.raises(TypeError, match="does not implement"):
+            StudyResult(object())
+
+    def test_delegates_to_raw(self):
+        class Raw:
+            def rows(self):
+                return [{"x": 1}]
+
+            def report(self):
+                return "table"
+
+            extra = "native-attribute"
+
+        result = StudyResult(Raw())
+        assert result.extra == "native-attribute"
+        assert result.to_rows() == [{"x": 1}]
+        assert "table" in result.summary()

@@ -134,6 +134,63 @@ class TestMeasurementCache:
         assert len(cache) == 2
         assert "a" not in cache and "c" in cache
 
+    def test_eviction_is_lru_not_fifo(self):
+        cache = MeasurementCache(max_entries=2)
+        cache.put("a", "ma")
+        cache.put("b", "mb")
+        cache.get("a")  # refresh: "a" is now the most recently used
+        cache.put("c", "mc")
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = MeasurementCache(max_entries=2)
+        cache.put("a", "ma")
+        cache.put("b", "mb")
+        cache.put("a", "ma2")  # rewrite refreshes "a"
+        cache.put("c", "mc")
+        assert "a" in cache and "b" not in cache
+        assert cache.get("a") == "ma2"
+
+    def test_max_bytes_budget_evicts_lru(self):
+        one_entry = len(__import__("pickle").dumps("m" * 64))
+        cache = MeasurementCache(max_bytes=2 * one_entry)
+        cache.put("a", "a" * 64)
+        cache.put("b", "b" * 64)
+        assert len(cache) == 2 and cache.total_bytes <= 2 * one_entry
+        cache.put("c", "c" * 64)
+        assert "a" not in cache and len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["bytes"] == cache.total_bytes > 0
+
+    def test_oversized_entry_still_cached(self):
+        cache = MeasurementCache(max_bytes=8)  # smaller than any entry
+        cache.put("big", "x" * 1024)
+        assert "big" in cache and len(cache) == 1
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementCache(max_entries=0)
+        with pytest.raises(ValueError):
+            MeasurementCache(max_bytes=0)
+
+    def test_load_respects_budgets(self, tmp_path):
+        path = str(tmp_path / "cache.pkl")
+        full = MeasurementCache(path)
+        for key in "abcd":
+            full.put(key, f"m{key}")
+        full.save()
+        bounded = MeasurementCache(path, max_entries=2)
+        assert len(bounded) == 2
+        assert "d" in bounded  # most recently merged entries survive
+
+    def test_stats_include_eviction_counters(self):
+        stats = MeasurementCache().stats()
+        assert {"hits", "misses", "hit_rate", "entries", "evictions", "bytes"} <= set(
+            stats
+        )
+
     def test_clear_resets_counters(self):
         cache = MeasurementCache()
         cache.put("a", "ma")
