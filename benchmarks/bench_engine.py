@@ -8,17 +8,23 @@ workload (a per-source variance study, i.e. a batch of independent
 * **parallel** — the same pre-drawn batch fanned out over a 4-worker
   process pool;
 * **cached** — a warm :class:`~repro.engine.cache.MeasurementCache`
-  replaying the identical batch without a single refit.
+  replaying the identical batch without a single refit;
+* **store replay** — a *fresh* cache bound to a per-key ``cache_dir``
+  file store (one atomic file per measurement hash) replaying the batch
+  purely from disk, as a concurrent shard worker or a restarted process
+  would.
 
-All three variants must produce bitwise-identical scores; on a multi-core
-host the parallel run is expected to be ≥2x faster than serial, and the
-cached replay orders of magnitude faster still.  The timings land in the
+All variants must produce bitwise-identical scores; on a multi-core host
+the parallel run is expected to be ≥2x faster than serial, the cached
+replay orders of magnitude faster still, and the store replay must serve
+every measurement from disk (zero misses).  The timings land in the
 ``BENCH_*.json`` perf trajectory via ``extra_info``.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 
 import numpy as np
@@ -76,19 +82,42 @@ def _run_engine_comparison(*, n_seeds, dataset_size, random_state=0):
     cached_time, cached_scores = _timed_study(
         process, cached_runner, n_seeds=n_seeds, random_state=random_state
     )
+    # Per-key file store: one worker warms the directory (write-through),
+    # then a fresh cache — a different worker/process in real use —
+    # replays the identical study purely from disk.
+    with tempfile.TemporaryDirectory() as directory:
+        _, store_warm_scores = _timed_study(
+            process,
+            StudyRunner(process, cache=MeasurementCache(cache_dir=directory)),
+            n_seeds=n_seeds,
+            random_state=random_state,
+        )
+        store_cache = MeasurementCache(cache_dir=directory)
+        store_time, store_scores = _timed_study(
+            process,
+            StudyRunner(process, cache=store_cache),
+            n_seeds=n_seeds,
+            random_state=random_state,
+        )
+        store_stats = store_cache.stats()
     return {
         "serial_time": serial_time,
         "parallel_time": parallel_time,
         "warm_time": warm_time,
         "cached_time": cached_time,
+        "store_time": store_time,
         "parallel_speedup": serial_time / parallel_time,
         "cached_speedup": serial_time / cached_time,
+        "store_speedup": serial_time / store_time,
         "cache_stats": cache.stats(),
+        "store_stats": store_stats,
         "scores": {
             "serial": serial_scores,
             "parallel": parallel_scores,
             "warm": warm_scores,
             "cached": cached_scores,
+            "store_warm": store_warm_scores,
+            "store": store_scores,
         },
         "n_measurements": int(serial_scores.size),
     }
@@ -113,6 +142,11 @@ def test_engine_speedup(benchmark, scale):
             "seconds": result["cached_time"],
             "speedup": result["cached_speedup"],
         },
+        {
+            "variant": "per-key store replay (fresh cache)",
+            "seconds": result["store_time"],
+            "speedup": result["store_speedup"],
+        },
     ]
     print()
     print(
@@ -131,7 +165,10 @@ def test_engine_speedup(benchmark, scale):
     benchmark.extra_info["cached_time"] = result["cached_time"]
     benchmark.extra_info["parallel_speedup"] = result["parallel_speedup"]
     benchmark.extra_info["cached_speedup"] = result["cached_speedup"]
+    benchmark.extra_info["store_time"] = result["store_time"]
+    benchmark.extra_info["store_speedup"] = result["store_speedup"]
     benchmark.extra_info["cache_stats"] = result["cache_stats"]
+    benchmark.extra_info["store_stats"] = result["store_stats"]
 
     # Correctness invariants hold everywhere: every execution mode produces
     # bitwise-identical scores, and the replay never refits.
@@ -139,9 +176,18 @@ def test_engine_speedup(benchmark, scale):
     np.testing.assert_array_equal(scores["serial"], scores["parallel"])
     np.testing.assert_array_equal(scores["serial"], scores["warm"])
     np.testing.assert_array_equal(scores["serial"], scores["cached"])
+    np.testing.assert_array_equal(scores["serial"], scores["store_warm"])
+    np.testing.assert_array_equal(scores["serial"], scores["store"])
     stats = result["cache_stats"]
     assert stats["hits"] == result["n_measurements"]
     assert stats["misses"] == result["n_measurements"]
+
+    # The fresh cache served the whole study from the per-key file store:
+    # every lookup a hit, every hit from disk, not a single refit.
+    store_stats = result["store_stats"]
+    assert store_stats["misses"] == 0
+    assert store_stats["hits"] == result["n_measurements"]
+    assert store_stats["store_hits"] > 0
 
     # The cached replay skips every fit and must be dramatically faster.
     assert result["cached_speedup"] > 10

@@ -32,7 +32,14 @@ Full paper experiments go through the unified Study API (:mod:`repro.api`):
 describe a registered study with a declarative, JSON-round-trippable
 ``StudySpec`` and execute it through a ``Session``, which shares one
 measurement cache and executor across every study it runs (see
-``EXPERIMENTS.md`` for the catalogue of registered studies).
+``EXPERIMENTS.md`` for the catalogue of registered studies).  Seeds are
+derived from scope paths (task / repetition), so a sharded, streaming
+``session.submit(spec)`` is bitwise-identical to ``session.run(spec)``,
+and ``Session(cache_dir=...)`` persists measurements one file per content
+hash so concurrent workers share a store without locks.  The same specs
+run from the shell::
+
+    python -m repro run spec.json --n-jobs 4 --cache-dir .repro-cache
 
 Run with:  python examples/quickstart.py
 """
@@ -76,8 +83,17 @@ def study_api_demo() -> None:
             f"(warm replay {replay.elapsed_seconds:.3f}s vs cold run "
             f"{result.elapsed_seconds:.3f}s)"
         )
+        # Sharded streaming execution derives the same scope-addressed
+        # seeds, so the merged result is bitwise-identical to run() —
+        # and, in this session, replays straight from the shared cache.
+        two_tasks = spec.with_params(task_names=["entailment", "sentiment"])
+        handle = session.submit(two_tasks)
+        merged = handle.result()
+        full = session.run(two_tasks)
+        assert merged.to_rows() == full.to_rows()
+        print(f"\nsubmit == run over shards {handle.keys}")
     # Specs round-trip through JSON, so studies are launchable from config
-    # files or queues.
+    # files, queues, or `python -m repro run spec.json`.
     assert StudySpec.from_json(spec.to_json()) == spec
 
 

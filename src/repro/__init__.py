@@ -80,7 +80,7 @@ from repro.core import (
 )
 from repro.data import Dataset, get_task, list_tasks
 from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner, WorkItem
-from repro.utils import SeedBundle
+from repro.utils import SeedBundle, SeedScope
 
 __version__ = "1.0.0"
 
@@ -111,6 +111,7 @@ __all__ = [
     "StudyRunner",
     "WorkItem",
     "SeedBundle",
+    "SeedScope",
     "Session",
     "StudyHandle",
     "StudyResult",

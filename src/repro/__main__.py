@@ -1,0 +1,111 @@
+"""Command-line front door: ``python -m repro``.
+
+A thin shell over :class:`~repro.api.spec.StudySpec` and
+:class:`~repro.api.session.Session`, so any registered study is launchable
+from a JSON spec file without writing Python::
+
+    python -m repro list
+    python -m repro run spec.json
+    python -m repro run spec.json --n-jobs 4 --cache-dir .repro-cache
+    echo '{"study": "sample_size", "params": {}}' | python -m repro run -
+
+``run`` prints :meth:`~repro.api.results.StudyResult.summary` (or, with
+``--json``, the full rows/provenance payload of
+:meth:`~repro.api.results.StudyResult.to_json`).  Because specs fully
+determine their results (seeds are scope-derived, see EXPERIMENTS.md),
+re-running a spec against the same ``--cache-dir`` replays measurements
+without refitting — including measurements persisted by other workers
+sharing the directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api import Session, StudySpec, iter_studies
+from repro.api.spec import VALID_BACKENDS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run registered studies from declarative JSON specs.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="execute a StudySpec JSON file and print its result"
+    )
+    run.add_argument("spec", help="path to the spec JSON ('-' reads stdin)")
+    run.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="override the spec's worker count (-1 = all cores)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=VALID_BACKENDS,
+        default=None,
+        help="override the spec's executor backend",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "per-key measurement store shared by concurrent workers; "
+            "re-runs replay from it without refitting"
+        ),
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the rows + provenance JSON instead of the summary table",
+    )
+
+    commands.add_parser("list", help="list registered studies")
+    return parser
+
+
+def _read_spec(source: str) -> StudySpec:
+    if source == "-":
+        payload = sys.stdin.read()
+    else:
+        with open(source, encoding="utf-8") as handle:
+            payload = handle.read()
+    return StudySpec.from_json(payload)
+
+
+def _run(args: argparse.Namespace) -> int:
+    spec = _read_spec(args.spec)
+    if args.n_jobs is not None:
+        spec = spec.replace(n_jobs=args.n_jobs)
+    if args.backend is not None:
+        spec = spec.replace(backend=args.backend)
+    with Session(cache_dir=args.cache_dir) as session:
+        result = session.run(spec)
+        print(result.to_json(indent=2) if args.json else result.summary())
+    return 0
+
+
+def _list() -> int:
+    for info in iter_studies():
+        print(f"{info.name:16s} {info.artefact:24s} {info.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _list()
+        return _run(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -120,6 +120,10 @@ class StudyResult:
                 f"cache hits/misses={self.cache_stats.get('hits', 0)}"
                 f"/{self.cache_stats.get('misses', 0)}"
             )
+            if "evictions" in self.cache_stats:
+                header_parts.append(
+                    f"evictions={self.cache_stats.get('evictions', 0)}"
+                )
         header = f"[{', '.join(header_parts)}]\n" if header_parts else ""
         return header + self.raw.report()
 

@@ -28,23 +28,38 @@ configuration — and executes declarative
 result is bitwise-identical at any ``n_jobs``.  ``submit`` returns a
 :class:`StudyHandle` immediately; when the study's registry entry declares
 a shardable parameter (e.g. ``task_names``), each element runs as its own
-future so long studies stream partial results and interleave with other
-work — the merged result still orders rows by submission, never by
-completion.
+future, *keyed by its scope path* (``task_names=sentiment``).  Because
+every driver derives its seeds from scope paths rather than a shared rng
+stream, ``submit(spec).result()`` is bitwise-identical to ``run(spec)``:
+each shard computes exactly the measurements the monolithic run would
+have assigned to its key, and the handle merges shard results in the
+spec's canonical key order, never in submission or completion order.
+
+For concurrent persistence, pass ``cache_dir=...``: the shared cache then
+writes one file per measurement hash (atomic rename), so any number of
+sessions — or shard workers inside one session — can share the directory
+without lock contention.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from collections import OrderedDict
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    Future,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.api.registry import StudyInfo, get_study
 from repro.api.results import StudyResult, merge_results
 from repro.api.spec import StudySpec
 from repro.engine.cache import MeasurementCache
-from repro.engine.executor import ParallelExecutor
+from repro.engine.executor import CancellableExecutor, ParallelExecutor, StudyCancelled
 
 __all__ = ["Session", "StudyHandle"]
 
@@ -52,17 +67,19 @@ class _RunCacheView:
     """Per-run counting proxy over a shared :class:`MeasurementCache`.
 
     Storage (and therefore replay) is fully delegated to the shared cache;
-    only the hit/miss counters are kept locally, so a run's
-    ``cache_stats`` attributes exactly its own lookups even when other
-    studies (e.g. concurrent ``submit`` shards) use the same cache.
+    only the hit/miss/eviction counters are kept locally, so a run's
+    ``cache_stats`` attributes exactly its own lookups — and the evictions
+    its own puts caused — even when other studies (e.g. concurrent
+    ``submit`` shards) use the same cache.
     """
 
-    __slots__ = ("inner", "hits", "misses")
+    __slots__ = ("inner", "hits", "misses", "evictions")
 
     def __init__(self, inner: MeasurementCache) -> None:
         self.inner = inner
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: str):
         measurement = self.inner.get(key)
@@ -77,7 +94,7 @@ class _RunCacheView:
         self.hits += 1
 
     def put(self, key: str, measurement) -> None:
-        self.inner.put(key, measurement)
+        self.evictions += self.inner.put(key, measurement)
 
     def __len__(self) -> int:
         return len(self.inner)
@@ -92,52 +109,85 @@ class _RunCacheView:
 class StudyHandle:
     """Future-like handle on a submitted study.
 
-    Iterating the handle yields per-shard :class:`StudyResult` objects in
-    *completion* order (streaming); :meth:`result` blocks and returns the
-    merged result in *submission* order (deterministic).
+    Shards are keyed by their scope path (``<shard_param>=<value>``, e.g.
+    ``task_names=sentiment``).  Iterating the handle yields per-shard
+    :class:`StudyResult` objects in *completion* order (streaming);
+    :meth:`result` blocks and merges by *key*, in the spec's canonical
+    order — so the merged result is a pure function of the spec, not of
+    scheduling.
     """
 
     def __init__(
         self,
         spec: StudySpec,
-        shards: Sequence[StudySpec],
-        futures: Sequence["Future[StudyResult]"],
+        shards: "Mapping[str, StudySpec]",
+        futures: "Mapping[str, Future[StudyResult]]",
+        cancel_event: Optional[threading.Event] = None,
     ) -> None:
         self.spec = spec
-        self.shards = list(shards)
-        self._futures = list(futures)
+        self.shards = OrderedDict(shards)
+        self._futures: "OrderedDict[str, Future[StudyResult]]" = OrderedDict(futures)
+        self._cancel_event = cancel_event
 
     def __len__(self) -> int:
         return len(self._futures)
 
+    @property
+    def keys(self) -> List[str]:
+        """Shard keys in canonical (spec) order."""
+        return list(self._futures)
+
     def done(self) -> bool:
         """True when every shard has finished (or was cancelled)."""
-        return all(future.done() for future in self._futures)
+        return all(future.done() for future in self._futures.values())
+
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancel_event is not None and self._cancel_event.is_set()
 
     def cancel(self) -> bool:
-        """Cancel shards that have not started; True if all were cancelled."""
-        return all([future.cancel() for future in self._futures])
+        """Stop the study: unstarted shards never run, in-flight shards
+        abort at their next batch boundary (:class:`StudyCancelled`).
+
+        Returns ``True`` when every shard was cancelled before starting;
+        ``False`` when at least one shard was already running (it will
+        stop between batches, not instantly) or already finished.
+        """
+        if self._cancel_event is not None:
+            self._cancel_event.set()
+        return all([future.cancel() for future in self._futures.values()])
 
     def result(self, timeout: Optional[float] = None) -> StudyResult:
         """Block for every shard and return the merged study result.
 
-        Shard rows are merged in submission order, so the merged result is
-        independent of completion order.
+        Shard results merge in canonical key order (the order of the
+        shard values in the spec), so the merged result is independent of
+        submission interleaving and completion order.  Raises
+        :class:`~repro.engine.executor.StudyCancelled` (or
+        :class:`concurrent.futures.CancelledError`) if the handle was
+        cancelled.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        parts: List[StudyResult] = []
-        for future in self._futures:
+        parts: "Dict[str, StudyResult]" = {}
+        for key, future in self._futures.items():
             remaining = None if deadline is None else deadline - time.monotonic()
-            parts.append(future.result(timeout=remaining))
-        return merge_results(parts, spec=self.spec)
+            parts[key] = future.result(timeout=remaining)
+        return merge_results([parts[key] for key in self.keys], spec=self.spec)
 
     def partial_results(self) -> Iterator[StudyResult]:
-        """Yield shard results as they complete (streaming order)."""
-        pending = set(self._futures)
+        """Yield shard results as they complete (streaming order).
+
+        Cancelled shards are skipped rather than raised, so a consumer
+        can drain whatever completed before a :meth:`cancel`.
+        """
+        pending = set(self._futures.values())
         while pending:
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in finished:
-                yield future.result()
+                try:
+                    yield future.result()
+                except (CancelledError, StudyCancelled):
+                    continue
 
     __iter__ = partial_results
 
@@ -155,9 +205,16 @@ class Session:
         The shared measurement cache: an existing
         :class:`~repro.engine.cache.MeasurementCache`, a path string for a
         disk-backed cache, or ``None`` for a fresh in-memory cache.
+    cache_dir:
+        Directory for per-key persistence of the shared cache: one file
+        per measurement hash, written atomically, so concurrent shard
+        workers — and other sessions sharing the directory — persist
+        without lock contention and warm each other transparently.
+        Mutually exclusive with a ``cache`` path/instance.
     max_cache_entries, max_cache_bytes:
         LRU budgets applied when the session builds its own cache, keeping
-        long sessions bounded in memory.
+        long sessions bounded in memory (entries evicted from memory stay
+        on disk when ``cache_dir`` is used).
     max_concurrent_studies:
         Worker threads backing :meth:`submit` (each study still fans its
         own measurements out over the parallel executor).
@@ -169,15 +226,24 @@ class Session:
         n_jobs: int = 1,
         backend: str = "thread",
         cache: Union[MeasurementCache, str, None] = None,
+        cache_dir: Optional[str] = None,
         max_cache_entries: Optional[int] = None,
         max_cache_bytes: Optional[int] = None,
         max_concurrent_studies: int = 2,
     ) -> None:
+        if cache_dir is not None and cache is not None:
+            raise ValueError(
+                "cache and cache_dir are mutually exclusive; pass one shared "
+                "cache configuration"
+            )
         if isinstance(cache, MeasurementCache):
             self.cache = cache
         else:
             self.cache = MeasurementCache(
-                cache, max_entries=max_cache_entries, max_bytes=max_cache_bytes
+                cache,
+                cache_dir=cache_dir,
+                max_entries=max_cache_entries,
+                max_bytes=max_cache_bytes,
             )
         self.n_jobs = n_jobs
         self.backend = backend
@@ -214,7 +280,9 @@ class Session:
         if pool is not None:
             pool.shutdown(wait=True)
         for cache in (self.cache, *file_caches):
-            if cache.path is not None and len(cache):
+            if cache.cache_dir is not None:
+                cache.save()  # entries were written through; refresh the index
+            elif cache.path is not None and len(cache):
                 cache.save()
 
     def _executor_for(self, n_jobs: int, backend: str) -> ParallelExecutor:
@@ -260,21 +328,36 @@ class Session:
 
         The study runs through the measurement engine with this session's
         shared cache and executor; for a fixed ``spec.random_state`` the
-        result is bitwise-identical at any ``n_jobs``/``backend``.
+        result is bitwise-identical at any ``n_jobs``/``backend``, and
+        (for shardable studies) to the merged result of :meth:`submit`.
         """
+        return self._execute(spec)
+
+    def _execute(
+        self,
+        spec: Union[StudySpec, str],
+        cancel_event: Optional[threading.Event] = None,
+    ) -> StudyResult:
         spec, info = self._resolve(spec)
         n_jobs = self.n_jobs if spec.n_jobs is None else spec.n_jobs
         backend = self.backend if spec.backend is None else spec.backend
         cache = self._cache_for(spec)
-        # The view counts this run's own lookups, so cache_stats stays
-        # exact even when concurrent submit() shards share the cache.
+        # The view counts this run's own lookups and evictions, so
+        # cache_stats stays exact even when concurrent submit() shards
+        # share the cache.
         view = None if cache is None else _RunCacheView(cache)
+        executor: Any = self._executor_for(n_jobs, backend)
+        if cancel_event is not None:
+            # Bind this submission's cancellation event to every batch the
+            # study fans out, so cancel() stops in-flight work between
+            # batches, not just shards that have not started.
+            executor = CancellableExecutor(executor, cancel_event)
         kwargs: Dict[str, Any] = dict(spec.params)
         kwargs.update(
             n_jobs=n_jobs,
             backend=backend,
             cache=view,
-            executor=self._executor_for(n_jobs, backend),
+            executor=executor,
             random_state=spec.random_state,
         )
         start = time.perf_counter()
@@ -286,11 +369,16 @@ class Session:
                 "hits": view.hits,
                 "misses": view.misses,
                 "entries": cache.stats()["entries"],
+                "evictions": view.evictions,
             }
             if cache.path is not None and view.misses:
-                # Persist disk-backed caches as soon as they gain entries,
-                # so warm measurements survive even without close() (e.g.
-                # a run() issued after the session was closed).
+                # Persist pickle-backed caches as soon as they gain
+                # entries, so warm measurements survive even without
+                # close() (e.g. a run() issued after the session was
+                # closed).  Per-key cache_dir stores need nothing here:
+                # every entry was written through at put() time, and their
+                # advisory index is refreshed once at close() rather than
+                # rescanned after every run.
                 cache.save()
         with self._lock:
             self._studies_run += 1
@@ -307,24 +395,44 @@ class Session:
 
         When the registry declares a shardable parameter for the study and
         the spec supplies more than one value for it, each value becomes
-        its own future: partial results stream as shards complete, while
-        :meth:`StudyHandle.result` still merges them in submission order.
+        its own future keyed by its scope path (``<axis>=<value>``).
+        Partial results stream as shards complete; because every driver
+        derives seeds from scope paths, :meth:`StudyHandle.result` — which
+        merges by key in canonical spec order — is bitwise-identical to
+        :meth:`run` of the same spec.
         """
         spec, info = self._resolve(spec)
         shards = self._shard(spec, info)
         pool = self._submit_pool()
-        futures = [pool.submit(self.run, shard) for shard in shards]
-        return StudyHandle(spec, shards, futures)
+        cancel_event = threading.Event()
+        futures = OrderedDict(
+            (key, pool.submit(self._execute, shard, cancel_event))
+            for key, shard in shards.items()
+        )
+        return StudyHandle(spec, shards, futures, cancel_event=cancel_event)
 
     @staticmethod
-    def _shard(spec: StudySpec, info: StudyInfo) -> List[StudySpec]:
+    def _shard(spec: StudySpec, info: StudyInfo) -> "OrderedDict[str, StudySpec]":
+        """Split ``spec`` along its shard axis, keyed by scope path.
+
+        The key (``task_names=sentiment``) is the shard's identity: the
+        handle merges by key in the order the values appear in the spec
+        (the canonical order), so scheduling never influences the merged
+        result.
+        """
         axis = info.shard_param
-        if axis is None or axis not in spec.params:
-            return [spec]
-        values = spec.params[axis]
-        if not isinstance(values, list) or len(values) <= 1:
-            return [spec]
-        return [spec.with_params(**{axis: [value]}) for value in values]
+        if axis is not None and axis in spec.params:
+            values = spec.params[axis]
+            if isinstance(values, list) and len(values) > 1:
+                keys = [f"{axis}={value}" for value in values]
+                # Duplicate shard values would collapse onto one key; run
+                # the spec whole instead so rows appear once per occurrence.
+                if len(set(keys)) == len(keys):
+                    return OrderedDict(
+                        (key, spec.with_params(**{axis: [value]}))
+                        for key, value in zip(keys, values)
+                    )
+        return OrderedDict({"": spec})
 
     # ------------------------------------------------------------------
     # Introspection

@@ -24,7 +24,7 @@ from repro.core.sample_size import minimum_sample_size
 from repro.core.significance import SignificanceReport, probability_of_outperforming_test
 from repro.core.sources import sources_for_subset
 from repro.engine.runner import StudyRunner, WorkItem, ensure_runner
-from repro.utils.rng import SeedBundle
+from repro.utils.rng import SeedBundle, SeedScope
 from repro.utils.validation import check_positive_int, check_random_state
 
 __all__ = ["PairedScores", "paired_seed_bundles", "paired_measurements", "compare_pipelines"]
@@ -47,6 +47,7 @@ def paired_seed_bundles(
     *,
     randomize: str = "all",
     random_state=None,
+    scope: Optional[SeedScope] = None,
 ) -> list[SeedBundle]:
     """Draw ``k`` seed bundles to be shared by both algorithms.
 
@@ -59,13 +60,23 @@ def paired_seed_bundles(
         ``"all"``); the remaining sources keep a common fixed seed across
         all pairs.
     random_state:
-        Seed or generator.
+        Seed or generator (ignored when ``scope`` is given).
+    scope:
+        Optional :class:`~repro.utils.rng.SeedScope`; when given, pair
+        ``i``'s fresh seeds are derived from the scope path ``pair=<i>``
+        instead of the ``random_state`` stream.
     """
     k = check_positive_int(k, "k")
-    rng = check_random_state(random_state)
-    base = SeedBundle.random(rng)
     # Sorted so the per-source seed assignment is stable across processes.
     names = sorted(s.value for s in sources_for_subset(randomize))
+    if scope is not None:
+        base = scope.bundle()
+        return [
+            base.with_seeds(**scope.child("pair", i).seeds_for(names))
+            for i in range(k)
+        ]
+    rng = check_random_state(random_state)
+    base = SeedBundle.random(rng)
     return [base.randomized(names, rng) for _ in range(k)]
 
 
@@ -82,6 +93,7 @@ def paired_measurements(
     runner_a: Optional[StudyRunner] = None,
     runner_b: Optional[StudyRunner] = None,
     n_jobs: int = 1,
+    scope: Optional[SeedScope] = None,
 ) -> PairedScores:
     """Measure both processes ``k`` times on shared seed bundles.
 
@@ -94,12 +106,13 @@ def paired_measurements(
     supply ``runner_a``/``runner_b`` (bound to the respective processes)
     to share executors and caches across comparisons, or just ``n_jobs``
     for default runners.  The seed bundles are pre-drawn, so the paired
-    scores are identical for any worker count.
+    scores are identical for any worker count.  With ``scope`` given they
+    are derived from scope paths instead of the ``random_state`` stream.
     """
-    rng = check_random_state(random_state)
+    rng = None if scope is not None else check_random_state(random_state)
     runner_a = ensure_runner(runner_a, process_a, n_jobs=n_jobs)
     runner_b = ensure_runner(runner_b, process_b, n_jobs=n_jobs)
-    bundles = paired_seed_bundles(k, randomize=randomize, random_state=rng)
+    bundles = paired_seed_bundles(k, randomize=randomize, random_state=rng, scope=scope)
     if hparams_a is None and run_hpo:
         hparams_a = process_a.run_hpo(bundles[0]).best_config
     if hparams_b is None and run_hpo:

@@ -24,7 +24,7 @@ from repro.core.estimators import FixHOptEstimator, IdealEstimator
 from repro.core.sources import VarianceSource
 from repro.engine.runner import StudyRunner, WorkItem, ensure_runner
 from repro.stats.correlated import MSEDecomposition, mse_decomposition
-from repro.utils.rng import SeedBundle
+from repro.utils.rng import SeedBundle, SeedScope
 from repro.utils.validation import check_positive_int, check_random_state
 
 __all__ = [
@@ -95,6 +95,7 @@ def variance_decomposition_study(
     random_state=None,
     runner: Optional[StudyRunner] = None,
     n_jobs: int = 1,
+    scope: Optional[SeedScope] = None,
 ) -> VarianceDecomposition:
     """Measure the variance contributed by each source in isolation.
 
@@ -126,16 +127,22 @@ def variance_decomposition_study(
     include_numerical_noise:
         Also measure the all-seeds-fixed noise floor.
     random_state:
-        Seed or generator for the study.
+        Seed or generator for the study (stream-drawn seeds; ignored when
+        ``scope`` is given).
     runner:
         Measurement engine to execute (and possibly cache) the batch;
         built on demand from ``n_jobs`` when omitted.
     n_jobs:
         Worker count for the on-demand runner (ignored when ``runner`` is
         given).
+    scope:
+        Optional :class:`~repro.utils.rng.SeedScope`; when given, every
+        seed is derived from its scope path (``source=<name>/rep=<i>``)
+        instead of consuming the ``random_state`` stream, making the study
+        independent of what ran before it — the property sharded execution
+        relies on.
     """
     n_seeds = check_positive_int(n_seeds, "n_seeds", minimum=2)
-    rng = check_random_state(random_state)
     runner = ensure_runner(runner, process, n_jobs=n_jobs)
     if sources is None:
         sources = (
@@ -145,18 +152,33 @@ def variance_decomposition_study(
             VarianceSource.INIT,
             VarianceSource.DROPOUT,
         )
-    base_seeds = SeedBundle.random(rng)
     decomposition = VarianceDecomposition(task_name=process.pipeline.name)
     names = [VarianceSource(source).value for source in sources]
     if include_numerical_noise:
         # All seeds fixed: only the injected numerical-noise stream differs
         # between runs, mirroring the paper's fixed-seed runs.
         names.append("numerical")
-    items = [
-        WorkItem(seeds=base_seeds.randomized([name], rng), hparams=hparams)
-        for name in names
-        for _ in range(n_seeds)
-    ]
+    if scope is not None:
+        base_seeds = scope.bundle()
+        items = [
+            WorkItem(
+                seeds=base_seeds.with_seeds(
+                    **{name: scope.child("source", name).child("rep", i).seed()}
+                ),
+                hparams=hparams,
+                scope_path=scope.child("source", name).child("rep", i).path_str(),
+            )
+            for name in names
+            for i in range(n_seeds)
+        ]
+    else:
+        rng = check_random_state(random_state)
+        base_seeds = SeedBundle.random(rng)
+        items = [
+            WorkItem(seeds=base_seeds.randomized([name], rng), hparams=hparams)
+            for name in names
+            for _ in range(n_seeds)
+        ]
     all_scores = runner.run_scores(items)
     for position, name in enumerate(names):
         scores = all_scores[position * n_seeds : (position + 1) * n_seeds]
@@ -173,6 +195,7 @@ def hpo_variance_study(
     random_state=None,
     runner: Optional[StudyRunner] = None,
     n_jobs: int = 1,
+    scope: Optional[SeedScope] = None,
 ) -> Dict[str, np.ndarray]:
     """Variance induced by the hyperparameter-optimization procedure.
 
@@ -194,17 +217,27 @@ def hpo_variance_study(
     n_repetitions:
         Number of independent HOpt runs per algorithm.
     random_state:
-        Seed or generator.
+        Seed or generator (stream-drawn seeds; ignored when ``scope`` is
+        given).
     runner:
         Measurement engine used to execute each algorithm's batch; built
         on demand from ``n_jobs`` when omitted.
     n_jobs:
         Worker count for the on-demand runner.
+    scope:
+        Optional :class:`~repro.utils.rng.SeedScope`; when given, the HOpt
+        seed of each repetition is derived from the scope path
+        ``algorithm=<name>/rep=<i>`` instead of the ``random_state``
+        stream, so the study's seeds are independent of iteration order.
     """
     n_repetitions = check_positive_int(n_repetitions, "n_repetitions", minimum=2)
-    rng = check_random_state(random_state)
     runner = ensure_runner(runner, process, n_jobs=n_jobs)
-    base_seeds = SeedBundle.random(rng)
+    if scope is not None:
+        base_seeds = scope.bundle()
+        rng = None
+    else:
+        rng = check_random_state(random_state)
+        base_seeds = SeedBundle.random(rng)
     results: Dict[str, np.ndarray] = {}
     original_algorithm = process.hpo_algorithm
     try:
@@ -212,10 +245,26 @@ def hpo_variance_study(
             process.hpo_algorithm = algorithm
             # Batches must stay per-algorithm: the process is mutated above,
             # so each batch is submitted (and finishes) before switching.
-            items = [
-                WorkItem(seeds=base_seeds.randomized(["hopt"], rng), with_hpo=True)
-                for _ in range(n_repetitions)
-            ]
+            if scope is not None:
+                items = [
+                    WorkItem(
+                        seeds=base_seeds.with_seeds(
+                            hopt=scope.child("algorithm", name)
+                            .child("rep", i)
+                            .seed()
+                        ),
+                        with_hpo=True,
+                        scope_path=scope.child("algorithm", name)
+                        .child("rep", i)
+                        .path_str(),
+                    )
+                    for i in range(n_repetitions)
+                ]
+            else:
+                items = [
+                    WorkItem(seeds=base_seeds.randomized(["hopt"], rng), with_hpo=True)
+                    for _ in range(n_repetitions)
+                ]
             results[name] = runner.run_scores(items)
     finally:
         process.hpo_algorithm = original_algorithm
@@ -324,27 +373,48 @@ class EstimatorQualityStudy:
         random_state=None,
         runner: Optional[StudyRunner] = None,
         n_jobs: int = 1,
+        scope: Optional[SeedScope] = None,
     ) -> Dict[str, EstimatorQualityResult]:
         """Run the study and return one result per estimator variant.
 
         ``runner`` (or the ``n_jobs`` shortcut) is forwarded to every
         estimator so each realization's ``k_max`` measurements fan out
-        through the measurement engine.
+        through the measurement engine.  With ``scope`` given, every
+        realization derives its seeds from the scope path
+        (``ideal|fixhopt=<subset>/rep=<r>``) instead of the shared
+        ``random_state`` stream.
         """
-        rng = check_random_state(random_state)
         runner = ensure_runner(runner, process, n_jobs=n_jobs)
-        ideal = IdealEstimator().estimate(
-            process, self.k_max, random_state=rng, runner=runner
-        )
+        if scope is not None:
+            rng = None
+            ideal_scopes = [
+                scope.child("ideal").child("rep", r)
+                for r in range(self.n_repetitions)
+            ]
+            ideal = IdealEstimator().estimate(
+                process, self.k_max, scope=ideal_scopes[0], runner=runner
+            )
+        else:
+            rng = check_random_state(random_state)
+            ideal_scopes = None
+            ideal = IdealEstimator().estimate(
+                process, self.k_max, random_state=rng, runner=runner
+            )
         reference_mean = ideal.mean
         results: Dict[str, EstimatorQualityResult] = {}
         # The ideal estimator's measurements are i.i.d.; independent "rows"
         # are obtained by collecting separate batches.
         ideal_matrix = [ideal.scores]
-        for _ in range(self.n_repetitions - 1):
+        for r in range(1, self.n_repetitions):
             ideal_matrix.append(
                 IdealEstimator()
-                .estimate(process, self.k_max, random_state=rng, runner=runner)
+                .estimate(
+                    process,
+                    self.k_max,
+                    random_state=rng,
+                    scope=None if ideal_scopes is None else ideal_scopes[r],
+                    runner=runner,
+                )
                 .scores
             )
         results["IdealEst"] = EstimatorQualityResult(
@@ -354,11 +424,19 @@ class EstimatorQualityStudy:
         )
         for subset in self.subsets:
             rows = []
-            for _ in range(self.n_repetitions):
+            for r in range(self.n_repetitions):
                 estimator = FixHOptEstimator(randomize=subset)
                 rows.append(
                     estimator.estimate(
-                        process, self.k_max, random_state=rng, runner=runner
+                        process,
+                        self.k_max,
+                        random_state=rng,
+                        scope=(
+                            None
+                            if scope is None
+                            else scope.child("fixhopt", subset).child("rep", r)
+                        ),
+                        runner=runner,
                     ).scores
                 )
             results[f"FixHOptEst({subset})"] = EstimatorQualityResult(

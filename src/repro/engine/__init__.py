@@ -19,14 +19,22 @@ Every study pre-draws its seeds before submitting work, so for a fixed
 ``n_jobs`` and with or without the cache.
 """
 
-from repro.engine.cache import MeasurementCache, measurement_key
-from repro.engine.executor import ParallelExecutor, resolve_n_jobs
+from repro.engine.cache import FileStore, MeasurementCache, measurement_key
+from repro.engine.executor import (
+    CancellableExecutor,
+    ParallelExecutor,
+    StudyCancelled,
+    resolve_n_jobs,
+)
 from repro.engine.runner import StudyRunner, WorkItem
 
 __all__ = [
+    "FileStore",
     "MeasurementCache",
     "measurement_key",
+    "CancellableExecutor",
     "ParallelExecutor",
+    "StudyCancelled",
     "resolve_n_jobs",
     "StudyRunner",
     "WorkItem",

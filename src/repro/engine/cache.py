@@ -15,18 +15,28 @@ behind a content hash of everything that determines the outcome:
 
 Because a measurement is a pure function of that key, cached replay is
 bitwise identical to recomputation.  The cache is thread-safe and can be
-persisted to disk (:meth:`save` / :meth:`load`) so expensive studies
-survive process restarts.
+persisted to disk so expensive studies survive process restarts — either
+as one monolithic pickle (``path=...``, :meth:`save` / :meth:`load`) or,
+for concurrent writers, as a content-addressed per-key file store
+(``cache_dir=...``, backed by :class:`FileStore`): one file per
+measurement hash, written atomically via temp-file + rename, plus a small
+JSON index.  Because every write lands under its own content hash and a
+key's value is a pure function of the key, any number of shard workers —
+or whole sessions, or eventually hosts — can share one ``cache_dir``
+without locks: the worst race is two writers racing to persist the same
+bytes.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
+import tempfile
 import threading
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -34,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.benchmark import BenchmarkProcess, Measurement
     from repro.utils.rng import SeedBundle
 
-__all__ = ["MeasurementCache", "measurement_key"]
+__all__ = ["FileStore", "MeasurementCache", "measurement_key"]
 
 
 def _dataset_token(dataset) -> str:
@@ -120,6 +130,112 @@ def measurement_key(
     return hashlib.sha256(blob).hexdigest()
 
 
+class FileStore:
+    """Content-addressed per-key persistence under one directory.
+
+    Layout::
+
+        <directory>/objects/<key[:2]>/<key>.pkl   # one pickle per key
+        <directory>/index.json                    # advisory key -> size map
+
+    Writes go to a temp file in the destination directory followed by
+    :func:`os.replace`, so a reader never observes a torn entry and
+    concurrent writers of the same key are both atomic (identical bytes,
+    last rename wins).  The index is purely advisory — :meth:`keys` scans
+    the object tree, so a stale or missing index never loses entries.
+    """
+
+    INDEX_NAME = "index.json"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self._objects = os.path.join(self.directory, "objects")
+        os.makedirs(self._objects, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        if not key or any(c in key for c in "/\\."):
+            raise ValueError(f"invalid cache key {key!r}")
+        return os.path.join(self._objects, key[:2], key + ".pkl")
+
+    def read(self, key: str) -> Optional["Measurement"]:
+        """Load one entry, or ``None`` when absent (or unreadable)."""
+        try:
+            with open(self._path(key), "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (EOFError, pickle.UnpicklingError):  # pragma: no cover - a
+            # corrupted entry (e.g. disk full during a pre-atomic-write
+            # crash) degrades to a recomputed miss, never an error.
+            return None
+
+    @staticmethod
+    def _atomic_write(target: str, blob: bytes) -> None:
+        """Write ``blob`` to ``target`` via temp file + rename, so a reader
+        never observes a torn file and concurrent writers both land whole."""
+        directory = os.path.dirname(target)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+
+    def write(self, key: str, measurement: "Measurement") -> int:
+        """Atomically persist one entry; returns its pickled size."""
+        blob = pickle.dumps(measurement, protocol=pickle.HIGHEST_PROTOCOL)
+        self._atomic_write(self._path(key), blob)
+        return len(blob)
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def keys(self) -> List[str]:
+        """Every key persisted in the store (scans the object tree)."""
+        found: List[str] = []
+        for shard in sorted(os.listdir(self._objects)):
+            shard_dir = os.path.join(self._objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".pkl"):
+                    found.append(name[: -len(".pkl")])
+        return found
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def write_index(self) -> str:
+        """Write the advisory ``index.json`` (key -> byte size), atomically.
+
+        Scans the object tree (O(entries)); intended for occasional calls
+        — e.g. once at session close — not per run.
+        """
+        index = {
+            key: os.path.getsize(self._path(key)) for key in self.keys()
+        }
+        target = os.path.join(self.directory, self.INDEX_NAME)
+        payload = json.dumps({"entries": len(index), "sizes": index})
+        self._atomic_write(target, payload.encode("utf-8"))
+        return target
+
+    def read_index(self) -> Dict[str, Any]:
+        """Load ``index.json`` (empty mapping when absent or unreadable)."""
+        try:
+            with open(
+                os.path.join(self.directory, self.INDEX_NAME), encoding="utf-8"
+            ) as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {}
+
+
 class MeasurementCache:
     """Thread-safe, optionally disk-backed LRU store of measurements by key.
 
@@ -129,6 +245,14 @@ class MeasurementCache:
         Optional file path for persistence.  When given, :meth:`load` is
         attempted eagerly (a missing file is fine) and :meth:`save` writes
         the full store with :mod:`pickle`.
+    cache_dir:
+        Optional directory for per-key persistence through a
+        :class:`FileStore`.  Every :meth:`put` writes through to its own
+        file immediately (atomic rename), and a :meth:`get` miss falls
+        back to the store before reporting a miss — so concurrent shard
+        workers, sessions or hosts sharing the directory persist without
+        lock contention and warm each other transparently.  Mutually
+        exclusive with ``path``.
     max_entries:
         Optional capacity bound; exceeding it evicts the least recently
         *used* entries (a :meth:`get` hit refreshes an entry's recency, so
@@ -152,6 +276,7 @@ class MeasurementCache:
         self,
         path: Optional[str] = None,
         *,
+        cache_dir: Optional[str] = None,
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = None,
     ) -> None:
@@ -159,39 +284,75 @@ class MeasurementCache:
             raise ValueError("max_entries must be a positive integer or None")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be a positive integer or None")
+        if path is not None and cache_dir is not None:
+            raise ValueError(
+                "path (monolithic pickle) and cache_dir (per-key file store) "
+                "are mutually exclusive"
+            )
         self._store: "OrderedDict[str, Measurement]" = OrderedDict()
         self._sizes: Dict[str, int] = {}
         self._total_bytes = 0
         self._lock = threading.Lock()
         self.path = path
+        self.cache_dir = cache_dir
+        self._file_store = FileStore(cache_dir) if cache_dir is not None else None
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.store_hits = 0
         if path is not None:
             self.load(missing_ok=True)
+
+    @property
+    def persistent(self) -> bool:
+        """True when the cache is bound to any on-disk backend."""
+        return self.path is not None or self.cache_dir is not None
+
+    @property
+    def store(self) -> Optional[FileStore]:
+        """The per-key :class:`FileStore` backend, when ``cache_dir`` is set."""
+        return self._file_store
 
     def __len__(self) -> int:
         return len(self._store)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._store
+            if key in self._store:
+                return True
+        return self._file_store is not None and key in self._file_store
 
     def get(self, key: str) -> Optional["Measurement"]:
         """Return the cached measurement for ``key``, counting hit/miss.
 
-        A hit marks the entry as most recently used.
+        A hit marks the entry as most recently used.  With a ``cache_dir``
+        bound, a memory miss falls back to the per-key file store (counted
+        as a hit, tallied separately in ``store_hits``) before reporting a
+        miss, so entries persisted by other workers replay transparently.
         """
         with self._lock:
             measurement = self._store.get(key)
+            if measurement is not None:
+                self.hits += 1
+                self._store.move_to_end(key)
+                return measurement
+            if self._file_store is None:
+                self.misses += 1
+                return None
+        # File I/O happens outside the lock; racing a concurrent writer of
+        # the same key is harmless (both persist identical bytes).
+        measurement = self._file_store.read(key)
+        with self._lock:
             if measurement is None:
                 self.misses += 1
             else:
                 self.hits += 1
-                self._store.move_to_end(key)
-            return measurement
+                self.store_hits += 1
+                self._insert(key, measurement)
+                self._evict()
+        return measurement
 
     def record_hit(self) -> None:
         """Count a hit served without a :meth:`get` lookup (e.g. a batch
@@ -199,11 +360,21 @@ class MeasurementCache:
         with self._lock:
             self.hits += 1
 
-    def put(self, key: str, measurement: "Measurement") -> None:
-        """Store ``measurement`` under ``key`` (evicting LRU entries if full)."""
+    def put(self, key: str, measurement: "Measurement") -> int:
+        """Store ``measurement`` under ``key`` (evicting LRU entries if full).
+
+        Returns the number of entries this put evicted, so callers can
+        attribute evictions to their own activity (per-run cache stats).
+        With a ``cache_dir`` bound the entry is also written through to its
+        own file immediately, so memory eviction never loses persisted work
+        and a crash loses at most the in-flight entry.
+        """
         with self._lock:
             self._insert(key, measurement)
-            self._evict()
+            evicted = self._evict()
+        if self._file_store is not None:
+            self._file_store.write(key, measurement)
+        return evicted
 
     def _insert(self, key: str, measurement: "Measurement") -> None:
         """Insert one entry as most-recent (caller holds the lock)."""
@@ -216,9 +387,11 @@ class MeasurementCache:
             self._sizes[key] = size
             self._total_bytes += size
 
-    def _evict(self) -> None:
+    def _evict(self) -> int:
         """Pop least-recently-used entries until within every budget
-        (caller holds the lock).  Always keeps the most recent entry."""
+        (caller holds the lock).  Always keeps the most recent entry.
+        Returns the number of entries evicted."""
+        count = 0
         while len(self._store) > 1 and (
             (self.max_entries is not None and len(self._store) > self.max_entries)
             or (self.max_bytes is not None and self._total_bytes > self.max_bytes)
@@ -226,6 +399,8 @@ class MeasurementCache:
             evicted, _ = self._store.popitem(last=False)
             self._total_bytes -= self._sizes.pop(evicted, 0)
             self.evictions += 1
+            count += 1
+        return count
 
     @property
     def hit_rate(self) -> float:
@@ -248,10 +423,15 @@ class MeasurementCache:
                 "entries": len(self._store),
                 "evictions": self.evictions,
                 "bytes": self._total_bytes,
+                "store_hits": self.store_hits,
             }
 
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all in-memory entries and reset the counters.
+
+        Files already persisted by a ``cache_dir`` store stay on disk (they
+        may belong to concurrent workers); delete the directory to purge.
+        """
         with self._lock:
             self._store.clear()
             self._sizes.clear()
@@ -259,13 +439,23 @@ class MeasurementCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            self.store_hits = 0
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: Optional[str] = None) -> str:
-        """Pickle the store to ``path`` (defaults to the bound path)."""
+        """Persist the cache (monolithic pickle, or store index).
+
+        With ``path`` bound (or given), the full in-memory store is
+        pickled there.  With ``cache_dir`` bound, every entry was already
+        written through at :meth:`put` time, so saving only refreshes the
+        advisory ``index.json``.
+        """
         target = path or self.path
+        if target is None and self._file_store is not None:
+            self._file_store.write_index()
+            return self.cache_dir
         if target is None:
             raise ValueError("no path bound to the cache and none given")
         with self._lock:
@@ -275,11 +465,16 @@ class MeasurementCache:
         return target
 
     def load(self, path: Optional[str] = None, *, missing_ok: bool = False) -> int:
-        """Merge entries pickled at ``path`` into the store.
+        """Merge persisted entries into the store.
 
-        Returns the number of entries loaded.
+        With ``cache_dir`` bound, nothing is read eagerly — entries stream
+        in lazily on :meth:`get` misses — and the returned count is the
+        number of keys currently persisted.  Otherwise the pickle at
+        ``path`` is merged in full; returns the number of entries loaded.
         """
         target = path or self.path
+        if target is None and self._file_store is not None:
+            return len(self._file_store)
         if target is None:
             raise ValueError("no path bound to the cache and none given")
         try:

@@ -22,10 +22,20 @@ completion order.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-__all__ = ["ParallelExecutor", "resolve_n_jobs"]
+__all__ = [
+    "CancellableExecutor",
+    "ParallelExecutor",
+    "StudyCancelled",
+    "resolve_n_jobs",
+]
+
+
+class StudyCancelled(RuntimeError):
+    """Raised inside a work fan-out once its cancellation event is set."""
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -86,20 +96,84 @@ class ParallelExecutor:
             return "serial"
         return self.backend
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> List[R]:
-        """Apply ``fn`` to every item; results keep the submission order."""
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T] | Iterable[T],
+        *,
+        cancel: Optional[threading.Event] = None,
+    ) -> List[R]:
+        """Apply ``fn`` to every item; results keep the submission order.
+
+        When ``cancel`` is given, the fan-out stops as soon as the event is
+        observed set: always before the batch starts, per item on the
+        serial and thread backends, and at batch boundaries on the process
+        backend (the event cannot cross process pickling).  Cancellation
+        raises :class:`StudyCancelled` rather than returning partial
+        results, so a caller can never mistake a truncated batch for a
+        complete one.
+        """
         items = list(items)
+        if cancel is not None and cancel.is_set():
+            raise StudyCancelled("batch cancelled before it started")
         if not items:
             return []
         backend = self.effective_backend
         if backend == "serial" or len(items) == 1:
-            return [fn(item) for item in items]
+            results = []
+            for item in items:
+                if cancel is not None and cancel.is_set():
+                    raise StudyCancelled("batch cancelled mid-run")
+                results.append(fn(item))
+            return results
         workers = min(self.n_jobs, len(items))
         if backend == "thread":
+            guarded = fn
+            if cancel is not None:
+                def guarded(item, _fn=fn, _cancel=cancel):
+                    if _cancel.is_set():
+                        raise StudyCancelled("batch cancelled mid-run")
+                    return _fn(item)
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(fn, items))
+                return list(pool.map(guarded, items))
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, -(-len(items) // workers))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, items, chunksize=chunksize))
+
+
+class CancellableExecutor:
+    """Executor view binding a cancellation event to every ``map`` call.
+
+    Wraps any :class:`ParallelExecutor` behind the same one-method
+    interface, so studies (and the :class:`~repro.engine.runner.StudyRunner`
+    batches they submit) become cancellable without threading an event
+    through every driver signature:
+    :meth:`repro.api.session.Session.submit` hands each study a wrapped
+    view of the shared executor, and
+    :meth:`~repro.api.session.StudyHandle.cancel` sets the event — the
+    next batch (or, on serial/thread backends, the next item) raises
+    :class:`StudyCancelled` instead of running on.
+    """
+
+    __slots__ = ("inner", "cancel_event")
+
+    def __init__(self, inner: ParallelExecutor, cancel_event: threading.Event) -> None:
+        self.inner = inner
+        self.cancel_event = cancel_event
+
+    @property
+    def n_jobs(self) -> int:
+        return self.inner.n_jobs
+
+    @property
+    def backend(self) -> str:
+        return self.inner.backend
+
+    @property
+    def effective_backend(self) -> str:
+        return self.inner.effective_backend
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> List[R]:
+        return self.inner.map(fn, items, cancel=self.cancel_event)

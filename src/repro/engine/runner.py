@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.engine.cache import MeasurementCache, measurement_key
 from repro.engine.executor import ParallelExecutor
-from repro.utils.rng import SeedBundle
+from repro.utils.rng import SeedBundle, SeedScope
 
 if TYPE_CHECKING:  # pragma: no cover - runtime import would cycle through
     # repro.core.__init__ -> estimators -> this module; annotations only.
@@ -54,11 +54,39 @@ class WorkItem:
     with_hpo:
         When true the measurement includes its own HOpt run
         (:meth:`~repro.core.benchmark.BenchmarkProcess.measure_with_hpo`).
+    scope_path:
+        Provenance label: the :class:`~repro.utils.rng.SeedScope` path the
+        seeds were derived from (e.g. ``task=entailment/rep=3``), when the
+        item came from scope-addressed derivation.  Purely descriptive —
+        it never enters the measurement key (identical seeds are the same
+        measurement regardless of which scope addressed them).
     """
 
     seeds: SeedBundle
     hparams: Optional[Mapping[str, Any]] = None
     with_hpo: bool = False
+    scope_path: Optional[str] = None
+
+    @classmethod
+    def from_scope(
+        cls,
+        scope: SeedScope,
+        *,
+        hparams: Optional[Mapping[str, Any]] = None,
+        with_hpo: bool = False,
+    ) -> "WorkItem":
+        """Build an item whose full seed bundle is derived from ``scope``.
+
+        The bundle is a pure function of the scope path, so the same item
+        is produced no matter which shard (or host) constructs it — the
+        property behind ``submit(spec) == run(spec)``.
+        """
+        return cls(
+            seeds=scope.bundle(),
+            hparams=hparams,
+            with_hpo=with_hpo,
+            scope_path=scope.path_str(),
+        )
 
 
 def _execute_item(process: BenchmarkProcess, item: WorkItem) -> Measurement:

@@ -20,9 +20,9 @@ from repro.core.benchmark import BenchmarkProcess
 from repro.data.tasks import get_task
 from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner, WorkItem
 from repro.stats.binomial import binomial_accuracy_std, binomial_std_curve
-from repro.utils.rng import SeedBundle
+from repro.utils.rng import SeedScope
 from repro.utils.tables import format_table
-from repro.utils.validation import check_positive_int, check_random_state
+from repro.utils.validation import check_positive_int
 
 __all__ = ["BinomialStudyResult", "run_binomial_study"]
 
@@ -98,24 +98,32 @@ def run_binomial_study(
         Pre-built executor shared across studies (overrides
         ``n_jobs``/``backend``).
     random_state:
-        Seed or generator.
+        Seed, generator or :class:`~repro.utils.rng.SeedScope`; per-split
+        seeds are derived from the task/split scope path, so per-task
+        shards reproduce the full run bitwise.
     """
     check_positive_int(n_splits, "n_splits", minimum=2)
-    rng = check_random_state(random_state)
+    scope = SeedScope.from_state(random_state)
     result = BinomialStudyResult()
     for task_name in task_names:
         task = get_task(task_name)
         if task.task_type != "classification":
             continue
+        task_scope = scope.child("task", task_name)
         dataset_kwargs = {"n_samples": dataset_size} if dataset_size else {}
-        dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
+        dataset = task.make_dataset(
+            random_state=task_scope.child("dataset").rng(), **dataset_kwargs
+        )
         pipeline = task.make_pipeline()
         process = BenchmarkProcess(dataset, pipeline)
         runner = StudyRunner(
             process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
         )
-        base = SeedBundle.random(rng)
-        bundles = [base.randomized(["data"], rng) for _ in range(n_splits)]
+        base = task_scope.bundle()
+        bundles = [
+            base.with_seeds(**task_scope.child("split", i).seeds_for(["data"]))
+            for i in range(n_splits)
+        ]
         # Splitting is cheap index bookkeeping; the model fits behind the
         # measurements are the hot loop and fan out through the engine.
         test_set_sizes = [process.split(seeds)[2].n_samples for seeds in bundles]

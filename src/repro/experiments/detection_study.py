@@ -33,8 +33,8 @@ from repro.simulation.detection import (
 )
 from repro.simulation.oracle import OracleComparison
 from repro.simulation.performance_model import DEFAULT_SIMULATED_TASKS, SimulatedTask
+from repro.utils.rng import SeedScope
 from repro.utils.tables import format_table
-from repro.utils.validation import check_random_state
 
 __all__ = [
     "DetectionStudyResult",
@@ -170,9 +170,11 @@ def run_detection_study(
         Pre-built executor shared across studies (overrides
         ``n_jobs``/``backend``).
     random_state:
-        Seed or generator.
+        Seed, generator or :class:`~repro.utils.rng.SeedScope`; each
+        (estimator, criterion, probability, simulation) cell draws its
+        seed from its own scope path, independent of sweep order.
     """
-    rng = check_random_state(random_state)
+    scope = SeedScope.from_state(random_state)
     if executor is None:
         executor = ParallelExecutor(n_jobs, backend=backend)
     if task is None:
@@ -187,7 +189,7 @@ def run_detection_study(
         gamma=gamma,
     )
     for estimator in estimators:
-        for method in methods.values():
+        for name, method in methods.items():
             # The single-point comparison uses one run regardless of k.
             effective_k = 1 if isinstance(method, SinglePointComparison) else k
             result.curves.append(
@@ -198,7 +200,7 @@ def run_detection_study(
                     k=effective_k,
                     estimator=estimator,
                     n_simulations=n_simulations,
-                    random_state=rng,
+                    scope=scope.child("estimator", estimator).child("method", name),
                     executor=executor,
                 )
             )
@@ -281,8 +283,9 @@ def run_robustness_study(
     ``n_jobs`` fans the independent simulations out over the measurement
     engine's executor without changing the rates (``cache`` is accepted
     for API uniformity; parametric simulations have nothing to memoize).
+    Every sweep cell draws its seed from its own scope path.
     """
-    rng = check_random_state(random_state)
+    scope = SeedScope.from_state(random_state)
     if executor is None:
         executor = ParallelExecutor(n_jobs, backend=backend)
     if task is None:
@@ -299,7 +302,7 @@ def run_robustness_study(
         sample_sizes=sample_sizes,
         p_a_gt_b=p_a_gt_b,
         n_simulations=n_simulations,
-        random_state=rng,
+        scope=scope.child("sweep", "sample_size"),
         executor=executor,
     )
     result.by_threshold["probability_of_outperforming"] = robustness_to_threshold(
@@ -309,7 +312,7 @@ def run_robustness_study(
         p_a_gt_b=p_a_gt_b,
         k=k,
         n_simulations=n_simulations,
-        random_state=rng,
+        scope=scope.child("sweep", "threshold_prob"),
         executor=executor,
     )
     result.by_threshold["average"] = robustness_to_threshold(
@@ -321,7 +324,7 @@ def run_robustness_study(
         p_a_gt_b=p_a_gt_b,
         k=k,
         n_simulations=n_simulations,
-        random_state=rng,
+        scope=scope.child("sweep", "threshold_avg"),
         executor=executor,
     )
     return result

@@ -19,8 +19,8 @@ from repro.core.estimators import estimator_cost
 from repro.core.variance import EstimatorQualityResult, EstimatorQualityStudy
 from repro.data.tasks import get_task
 from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner
+from repro.utils.rng import SeedScope
 from repro.utils.tables import format_table
-from repro.utils.validation import check_random_state
 
 __all__ = ["EstimatorStudyResult", "run_estimator_study"]
 
@@ -34,15 +34,28 @@ class EstimatorStudyResult:
     hpo_budget: int = 0
 
     def rows(self) -> List[dict]:
-        """Uniform-API rows: the Figure 5/H.4 curves plus the H.5 decomposition."""
-        rows = [{"table": "standard_error", **row} for row in self.standard_error_rows()]
-        rows += [{"table": "mse", **row} for row in self.mse_rows()]
+        """Uniform-API rows: the Figure 5/H.4 curves plus the H.5 decomposition.
+
+        Rows are grouped task-major (each task's curves, then its MSE
+        decomposition) so the list concatenates over the shard axis: a
+        per-task shard's rows are exactly the full run's rows for that
+        task, which keeps sharded merges bitwise-equal to monolithic runs.
+        """
+        rows: List[dict] = []
+        for task_name in self.quality:
+            rows += [
+                {"table": "standard_error", **row}
+                for row in self.standard_error_rows(task_name)
+            ]
+            rows += [{"table": "mse", **row} for row in self.mse_rows(task_name)]
         return rows
 
-    def standard_error_rows(self) -> List[dict]:
-        """Rows of the Figure 5 / H.4 curves."""
+    def standard_error_rows(self, task: Optional[str] = None) -> List[dict]:
+        """Rows of the Figure 5 / H.4 curves (optionally one task's)."""
         rows: List[dict] = []
         for task_name, estimators in self.quality.items():
+            if task is not None and task_name != task:
+                continue
             for estimator_name, result in estimators.items():
                 curve = result.standard_error_curve(self.ks)
                 for k, std in zip(self.ks, curve):
@@ -56,10 +69,12 @@ class EstimatorStudyResult:
                     )
         return rows
 
-    def mse_rows(self) -> List[dict]:
-        """Rows of the Figure H.5 decomposition."""
+    def mse_rows(self, task: Optional[str] = None) -> List[dict]:
+        """Rows of the Figure H.5 decomposition (optionally one task's)."""
         rows: List[dict] = []
         for task_name, estimators in self.quality.items():
+            if task is not None and task_name != task:
+                continue
             for estimator_name, result in estimators.items():
                 decomposition = result.mse()
                 rows.append(
@@ -156,21 +171,28 @@ def run_estimator_study(
         Pre-built executor shared across studies (overrides
         ``n_jobs``/``backend``).
     random_state:
-        Seed or generator.
+        Seed, generator or :class:`~repro.utils.rng.SeedScope`; every
+        realization's seeds are derived from its task/estimator/repetition
+        scope path, so per-task shards reproduce the full run bitwise.
     """
-    rng = check_random_state(random_state)
+    scope = SeedScope.from_state(random_state)
     if ks is None:
         ks = sorted(set(np.unique(np.linspace(2, k_max, num=min(5, k_max - 1), dtype=int))))
     result = EstimatorStudyResult(ks=list(ks), hpo_budget=hpo_budget)
     for task_name in task_names:
+        task_scope = scope.child("task", task_name)
         task = get_task(task_name)
         dataset_kwargs = {"n_samples": dataset_size} if dataset_size else {}
-        dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
+        dataset = task.make_dataset(
+            random_state=task_scope.child("dataset").rng(), **dataset_kwargs
+        )
         pipeline = task.make_pipeline()
         process = BenchmarkProcess(dataset, pipeline, hpo_budget=hpo_budget)
         runner = StudyRunner(
             process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
         )
         study = EstimatorQualityStudy(n_repetitions=n_repetitions, k_max=k_max)
-        result.quality[task_name] = study.run(process, random_state=rng, runner=runner)
+        result.quality[task_name] = study.run(
+            process, scope=task_scope.child("quality"), runner=runner
+        )
     return result

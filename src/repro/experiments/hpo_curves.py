@@ -29,9 +29,9 @@ from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner, WorkIt
 from repro.hpo.bayesopt import BayesianOptimization
 from repro.hpo.grid import NoisyGridSearch
 from repro.hpo.random_search import RandomSearch
-from repro.utils.rng import SeedBundle
+from repro.utils.rng import SeedScope
 from repro.utils.tables import format_table
-from repro.utils.validation import check_positive_int, check_random_state
+from repro.utils.validation import check_positive_int
 
 __all__ = ["HPOCurvesResult", "run_hpo_curves_study"]
 
@@ -139,11 +139,14 @@ def run_hpo_curves_study(
         Pre-built executor shared across studies (overrides
         ``n_jobs``/``backend``).
     random_state:
-        Seed or generator.
+        Seed, generator or :class:`~repro.utils.rng.SeedScope`; each
+        repetition's HOpt seed is derived from its
+        task/algorithm/repetition scope path, so per-task shards reproduce
+        the full run bitwise.
     """
     check_positive_int(budget, "budget")
     check_positive_int(n_repetitions, "n_repetitions")
-    rng = check_random_state(random_state)
+    scope = SeedScope.from_state(random_state)
     algorithms = {
         "random_search": lambda: RandomSearch(),
         "noisy_grid_search": lambda: NoisyGridSearch(),
@@ -151,13 +154,16 @@ def run_hpo_curves_study(
     }
     result = HPOCurvesResult()
     for task_name in task_names:
+        task_scope = scope.child("task", task_name)
         task = get_task(task_name)
         dataset_kwargs = {"n_samples": dataset_size} if dataset_size else {}
-        dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
+        dataset = task.make_dataset(
+            random_state=task_scope.child("dataset").rng(), **dataset_kwargs
+        )
         pipeline = task.make_pipeline()
         result.curves[task_name] = {}
         result.test_scores[task_name] = {}
-        base_seeds = SeedBundle.random(rng)
+        base_seeds = task_scope.bundle()
         for algorithm_name, factory in algorithms.items():
             process = BenchmarkProcess(
                 dataset, pipeline, hpo_algorithm=factory(), hpo_budget=budget
@@ -165,12 +171,23 @@ def run_hpo_curves_study(
             runner = StudyRunner(
                 process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
             )
-            # Pre-draw the per-repetition HOpt seeds, then fan the full HOpt
-            # runs out as with_hpo work items (the engine hands each item its
-            # own optimizer copy, so repetitions never share search state).
+            # Derive the per-repetition HOpt seeds from their scope paths,
+            # then fan the full HOpt runs out as with_hpo work items (the
+            # engine hands each item its own optimizer copy, so repetitions
+            # never share search state).
             items = [
-                WorkItem(seeds=base_seeds.randomized(["hopt"], rng), with_hpo=True)
-                for _ in range(n_repetitions)
+                WorkItem(
+                    seeds=base_seeds.with_seeds(
+                        hopt=task_scope.child("algorithm", algorithm_name)
+                        .child("rep", i)
+                        .seed()
+                    ),
+                    with_hpo=True,
+                    scope_path=task_scope.child("algorithm", algorithm_name)
+                    .child("rep", i)
+                    .path_str(),
+                )
+                for i in range(n_repetitions)
             ]
             measurements = runner.run(items)
             result.curves[task_name][algorithm_name] = np.stack(

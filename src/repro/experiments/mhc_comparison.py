@@ -24,9 +24,8 @@ from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner
 from repro.pipelines.ensemble import EnsembleMLPRegressorPipeline
 from repro.pipelines.metrics import binary_auc, pearson_correlation
 from repro.pipelines.mlp import MLPRegressorPipeline
-from repro.utils.rng import SeedBundle
+from repro.utils.rng import SeedScope
 from repro.utils.tables import format_table
-from repro.utils.validation import check_random_state
 
 __all__ = ["MHCComparisonResult", "run_mhc_model_comparison"]
 
@@ -118,11 +117,15 @@ def run_mhc_model_comparison(
         Pre-built executor shared across studies (overrides
         ``n_jobs``/``backend``).
     random_state:
-        Seed or generator.
+        Seed, generator or :class:`~repro.utils.rng.SeedScope`; the table
+        fit, each paired run and the bootstrap test draw their seeds from
+        dedicated scope paths.
     """
-    rng = check_random_state(random_state)
+    scope = SeedScope.from_state(random_state)
     task = get_task("peptide-binding")
-    dataset = task.make_dataset(random_state=rng, n_samples=n_samples)
+    dataset = task.make_dataset(
+        random_state=scope.child("dataset").rng(), n_samples=n_samples
+    )
     single = MLPRegressorPipeline(n_epochs=10)
     ensemble = EnsembleMLPRegressorPipeline(
         n_members=n_ensemble_members, n_epochs=10
@@ -131,7 +134,7 @@ def run_mhc_model_comparison(
     process_ensemble = BenchmarkProcess(dataset, ensemble, hpo_budget=5)
     result = MHCComparisonResult()
     # Table rows: one representative fit per model on a common split.
-    seeds = SeedBundle.random(rng)
+    seeds = scope.child("table").bundle()
     for name, process in (("MLP-MHC (single)", process_single), ("MHCflurry-like (ensemble)", process_ensemble)):
         train, valid, test = process.split(seeds)
         outcome = process.pipeline.fit(train, process.pipeline.default_hparams(), seeds, valid=valid)
@@ -153,7 +156,7 @@ def run_mhc_model_comparison(
         hparams_a=ensemble.default_hparams(),
         hparams_b=single.default_hparams(),
         run_hpo=False,
-        random_state=rng,
+        scope=scope.child("pairs"),
         runner_a=StudyRunner(
             process_ensemble, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
         ),
@@ -162,6 +165,6 @@ def run_mhc_model_comparison(
         ),
     )
     result.comparison = probability_of_outperforming_test(
-        paired.scores_a, paired.scores_b, random_state=rng
+        paired.scores_a, paired.scores_b, random_state=scope.child("significance").rng()
     )
     return result

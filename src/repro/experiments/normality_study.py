@@ -21,8 +21,8 @@ from repro.data.tasks import get_task
 from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner
 from repro.experiments.variance_study import run_variance_study
 from repro.stats.normality import NormalityResult, normality_report
+from repro.utils.rng import SeedScope
 from repro.utils.tables import format_table
-from repro.utils.validation import check_random_state
 
 __all__ = ["NormalityStudyResult", "run_normality_study"]
 
@@ -124,9 +124,12 @@ def run_normality_study(
         Pre-built executor shared across studies (overrides
         ``n_jobs``/``backend``).
     random_state:
-        Seed or generator.
+        Seed, generator or :class:`~repro.utils.rng.SeedScope`.  The scope
+        is shared with the inner variance study, so per-task seeds (and the
+        cached measurements behind them) are identical whether the study
+        runs whole or as per-task shards.
     """
-    rng = check_random_state(random_state)
+    scope = SeedScope.from_state(random_state)
     variance_result = run_variance_study(
         task_names,
         n_seeds=n_seeds,
@@ -136,7 +139,7 @@ def run_normality_study(
         backend=backend,
         cache=cache,
         executor=executor,
-        random_state=rng,
+        random_state=scope,
     )
     result = NormalityStudyResult()
     for task_name, decomposition in variance_result.decompositions.items():
@@ -145,9 +148,14 @@ def run_normality_study(
             for source, scores in decomposition.scores.items()
         }
         if include_altogether:
+            # Same task scope as the inner variance study: the dataset is
+            # shared, so a warm cache serves both protocols.
+            task_scope = scope.child("task", task_name)
             task = get_task(task_name)
             dataset_kwargs = {"n_samples": dataset_size} if dataset_size else {}
-            dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
+            dataset = task.make_dataset(
+                random_state=task_scope.child("dataset").rng(), **dataset_kwargs
+            )
             process = BenchmarkProcess(dataset, task.make_pipeline(), hpo_budget=5)
             runner = StudyRunner(
                 process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
@@ -156,7 +164,7 @@ def run_normality_study(
             estimate = estimator.estimate(
                 process,
                 n_seeds,
-                random_state=rng,
+                scope=task_scope.child("altogether"),
                 hparams=process.pipeline.default_hparams(),
                 runner=runner,
             )

@@ -75,6 +75,9 @@ def run_sample_size_study(
     The study is analytical: ``cache`` and ``random_state`` are accepted
     for API uniformity (there are no measurements to memoize and no
     randomness), while the per-γ searches fan out over the executor.
+    Because each γ's row is a pure function of γ alone, the determinism
+    contract (per-γ shards bitwise-equal to the full run) holds trivially
+    — this is the degenerate case of scope-addressed derivation.
     """
     if executor is None:
         executor = ParallelExecutor(n_jobs, backend=backend)

@@ -106,7 +106,8 @@ def run_sota_study(
         deterministic, so worker count never changes the timelines).
     cache, random_state:
         Accepted for API uniformity; the study involves no measurements
-        and no randomness.
+        and no randomness, so the determinism contract holds trivially
+        (every annotation is a pure function of its timeline and sigma).
     """
     if executor is None:
         executor = ParallelExecutor(n_jobs, backend=backend)

@@ -27,8 +27,8 @@ from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner
 from repro.hpo.bayesopt import BayesianOptimization
 from repro.hpo.grid import NoisyGridSearch
 from repro.hpo.random_search import RandomSearch
+from repro.utils.rng import SeedScope
 from repro.utils.tables import format_table
-from repro.utils.validation import check_random_state
 
 __all__ = ["VarianceStudyResult", "run_variance_study"]
 
@@ -133,21 +133,28 @@ def run_variance_study(
         Pre-built :class:`~repro.engine.executor.ParallelExecutor` shared
         across studies (overrides ``n_jobs``/``backend``).
     random_state:
-        Seed or generator.
+        Seed, generator or :class:`~repro.utils.rng.SeedScope`.  Every
+        seed in the study is derived from the scope path of its task /
+        source / repetition, never from a shared rng stream, so a run
+        restricted to one task (e.g. a :meth:`Session.submit` shard)
+        produces bitwise-identical measurements to the full run.
     """
-    rng = check_random_state(random_state)
+    scope = SeedScope.from_state(random_state)
     result = VarianceStudyResult()
     for task_name in task_names:
+        task_scope = scope.child("task", task_name)
         task = get_task(task_name)
         dataset_kwargs = {"n_samples": dataset_size} if dataset_size else {}
-        dataset = task.make_dataset(random_state=rng, **dataset_kwargs)
+        dataset = task.make_dataset(
+            random_state=task_scope.child("dataset").rng(), **dataset_kwargs
+        )
         pipeline = task.make_pipeline()
         process = BenchmarkProcess(dataset, pipeline, hpo_budget=hpo_budget)
         runner = StudyRunner(
             process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
         )
         result.decompositions[task_name] = variance_decomposition_study(
-            process, n_seeds=n_seeds, random_state=rng, runner=runner
+            process, n_seeds=n_seeds, scope=task_scope.child("variance"), runner=runner
         )
         if include_hpo:
             algorithms = {
@@ -159,7 +166,7 @@ def run_variance_study(
                 process,
                 algorithms,
                 n_repetitions=n_hpo_repetitions,
-                random_state=rng,
+                scope=task_scope.child("hpo"),
                 runner=runner,
             )
             result.hpo_scores[task_name] = scores

@@ -29,7 +29,7 @@ from repro.simulation.performance_model import (
     simulate_biased_measurements,
     simulate_ideal_measurements,
 )
-from repro.utils.rng import MAX_SEED
+from repro.utils.rng import MAX_SEED, SeedScope
 from repro.utils.validation import check_positive_int, check_random_state
 
 __all__ = [
@@ -114,22 +114,27 @@ def detection_rate(
     random_state=None,
     executor: Optional[ParallelExecutor] = None,
     n_jobs: int = 1,
+    scope: Optional[SeedScope] = None,
 ) -> float:
     """Rate at which ``method`` declares A better, at one true P(A>B).
 
-    One seed per simulation is pre-drawn from ``random_state``; the
-    simulations then fan out over ``executor`` (or a fresh
-    :class:`ParallelExecutor` with ``n_jobs`` workers), so the rate does
-    not depend on the worker count.
+    One seed per simulation is pre-drawn from ``random_state`` (or, when
+    ``scope`` is given, derived from the scope path ``sim=<i>`` — making
+    the rate independent of what ran before); the simulations then fan
+    out over ``executor`` (or a fresh :class:`ParallelExecutor` with
+    ``n_jobs`` workers), so the rate does not depend on the worker count.
     """
     n_simulations = check_positive_int(n_simulations, "n_simulations")
-    rng = check_random_state(random_state)
     if estimator not in ("ideal", "biased"):
         raise ValueError("estimator must be 'ideal' or 'biased'")
     if executor is None:
         executor = ParallelExecutor(n_jobs)
     mean_shift = mean_shift_for_probability(p_a_gt_b, task.sigma)
-    seeds = rng.integers(0, MAX_SEED, size=n_simulations)
+    if scope is not None:
+        seeds = [scope.child("sim", i).seed() for i in range(n_simulations)]
+    else:
+        rng = check_random_state(random_state)
+        seeds = rng.integers(0, MAX_SEED, size=n_simulations)
     args = [
         (method, task, k, mean_shift, estimator, int(seed)) for seed in seeds
     ]
@@ -148,9 +153,15 @@ def detection_rate_curve(
     random_state=None,
     executor: Optional[ParallelExecutor] = None,
     n_jobs: int = 1,
+    scope: Optional[SeedScope] = None,
 ) -> DetectionRateResult:
-    """Sweep the true P(A>B) and record the detection rate (Figure 6)."""
-    rng = check_random_state(random_state)
+    """Sweep the true P(A>B) and record the detection rate (Figure 6).
+
+    With ``scope`` given, each swept probability gets the sub-scope
+    ``p=<value>`` so its simulations are addressed independently of the
+    sweep order.
+    """
+    rng = None if scope is not None else check_random_state(random_state)
     if executor is None:
         executor = ParallelExecutor(n_jobs)
     probabilities = np.asarray(list(probabilities), dtype=float)
@@ -165,6 +176,7 @@ def detection_rate_curve(
                 n_simulations=n_simulations,
                 random_state=rng,
                 executor=executor,
+                scope=None if scope is None else scope.child("p", repr(float(p))),
             )
             for p in probabilities
         ]
@@ -188,13 +200,15 @@ def robustness_to_sample_size(
     random_state=None,
     executor: Optional[ParallelExecutor] = None,
     n_jobs: int = 1,
+    scope: Optional[SeedScope] = None,
 ) -> Dict[str, np.ndarray]:
     """Detection rate versus sample size at a fixed true P(A>B) (Figure I.6, top).
 
     Returns a mapping from method name to the detection rates at each
-    sample size.
+    sample size.  With ``scope`` given, each cell is addressed by the
+    sub-scope ``method=<name>/k=<size>``.
     """
-    rng = check_random_state(random_state)
+    rng = None if scope is not None else check_random_state(random_state)
     if executor is None:
         executor = ParallelExecutor(n_jobs)
     results: Dict[str, np.ndarray] = {}
@@ -211,6 +225,11 @@ def robustness_to_sample_size(
                     n_simulations=n_simulations,
                     random_state=rng,
                     executor=executor,
+                    scope=(
+                        None
+                        if scope is None
+                        else scope.child("method", name).child("k", int(k))
+                    ),
                 )
             )
         results[name] = np.array(rates)
@@ -229,6 +248,7 @@ def robustness_to_threshold(
     random_state=None,
     executor: Optional[ParallelExecutor] = None,
     n_jobs: int = 1,
+    scope: Optional[SeedScope] = None,
 ) -> Dict[float, float]:
     """Detection rate versus decision threshold γ (Figure I.6, bottom).
 
@@ -238,8 +258,11 @@ def robustness_to_threshold(
         Callable ``gamma -> ComparisonMethod`` building the criterion for a
         given threshold (for the average comparison the threshold is
         converted to an equivalent δ by the caller).
+
+    With ``scope`` given, each threshold is addressed by the sub-scope
+    ``gamma=<value>``.
     """
-    rng = check_random_state(random_state)
+    rng = None if scope is not None else check_random_state(random_state)
     if executor is None:
         executor = ParallelExecutor(n_jobs)
     results: Dict[float, float] = {}
@@ -254,5 +277,8 @@ def robustness_to_threshold(
             n_simulations=n_simulations,
             random_state=rng,
             executor=executor,
+            scope=(
+                None if scope is None else scope.child("gamma", repr(float(gamma)))
+            ),
         )
     return results

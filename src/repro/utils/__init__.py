@@ -10,6 +10,7 @@ fixed independently of one another.
 
 from repro.utils.rng import (
     SeedBundle,
+    SeedScope,
     SeedSequencePool,
     derive_seed,
     rng_from_seed,
@@ -26,6 +27,7 @@ from repro.utils.validation import (
 
 __all__ = [
     "SeedBundle",
+    "SeedScope",
     "SeedSequencePool",
     "derive_seed",
     "rng_from_seed",

@@ -11,6 +11,8 @@ Covers the three layers of the front door:
 """
 
 import json
+import threading
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 
 import pytest
 from hypothesis import given, settings
@@ -20,7 +22,8 @@ import repro.experiments as experiments
 from repro.api import Session, StudySpec, get_study, iter_studies, list_studies
 from repro.api.registry import ENGINE_PARAMS
 from repro.api.results import StudyResult
-from repro.engine import MeasurementCache
+from repro.api.session import StudyHandle
+from repro.engine import MeasurementCache, StudyCancelled
 
 #: Studies whose smoke-scale run is fast enough for the equivalence matrix.
 ALL_STUDIES = list_studies()
@@ -326,6 +329,293 @@ class TestSessionSubmit:
         session.close()
         with pytest.raises(RuntimeError, match="closed Session"):
             session.submit(_smoke_spec("sota", n_jobs=1))
+
+
+# ----------------------------------------------------------------------
+# The determinism contract: submit(spec) == run(spec), bitwise
+# ----------------------------------------------------------------------
+#: Multi-shard parameters for every study with a shard axis, at a scale
+#: that keeps the full matrix in CI budget.
+SHARD_PARITY_PARAMS = {
+    "variance": {
+        "task_names": ["entailment", "sentiment"],
+        "n_seeds": 3,
+        "include_hpo": False,
+        "dataset_size": 200,
+    },
+    "normality": {
+        "task_names": ["entailment", "sentiment"],
+        "n_seeds": 3,
+        "dataset_size": 200,
+    },
+    "estimator": {
+        "task_names": ["entailment", "sentiment"],
+        "k_max": 3,
+        "n_repetitions": 2,
+        "hpo_budget": 2,
+        "dataset_size": 200,
+    },
+    "binomial": {
+        "task_names": ["entailment", "sentiment"],
+        "n_splits": 3,
+        "dataset_size": 200,
+    },
+    "hpo_curves": {
+        "task_names": ["entailment", "sentiment"],
+        "budget": 2,
+        "n_repetitions": 2,
+        "dataset_size": 200,
+    },
+    "sample_size": {"gammas": [0.7, 0.75, 0.9]},
+}
+
+
+def _canon(result) -> str:
+    return json.dumps(result.to_rows(), sort_keys=True, default=str)
+
+
+class TestShardParity:
+    """Sharded streaming execution is bitwise-equal to monolithic execution.
+
+    Seeds are derived from scope paths (task / gamma / repetition), never
+    from a shared rng stream, so a shard computes exactly the measurements
+    the full run assigns to its key — at any worker count.
+    """
+
+    def test_matrix_covers_every_shardable_study(self):
+        shardable = {info.name for info in iter_studies() if info.shard_param}
+        assert shardable == set(SHARD_PARITY_PARAMS)
+
+    @pytest.mark.parametrize("name", sorted(SHARD_PARITY_PARAMS))
+    def test_submit_equals_run_bitwise(self, name):
+        rows_by_n_jobs = {}
+        for n_jobs in (1, 4):
+            spec = StudySpec(
+                study=name,
+                params=SHARD_PARITY_PARAMS[name],
+                n_jobs=n_jobs,
+                random_state=11,
+            )
+            with Session() as session:
+                full = session.run(spec)
+                handle = session.submit(spec)
+                assert len(handle) > 1
+                merged = handle.result()
+            axis = get_study(name).shard_param
+            assert all(key.startswith(f"{axis}=") for key in handle.keys)
+            rows_by_n_jobs[n_jobs] = _canon(full)
+            assert _canon(full) == _canon(merged), (name, n_jobs)
+        # And the whole thing is independent of the worker count.
+        assert rows_by_n_jobs[1] == rows_by_n_jobs[4], name
+
+    def test_sharded_submit_replays_run_measurements(self):
+        """Same session: the sharded rerun hits the cache for every key —
+        direct evidence that shards derive the very same seeds."""
+        spec = StudySpec(
+            study="binomial",
+            params=SHARD_PARITY_PARAMS["binomial"],
+            random_state=3,
+        )
+        with Session() as session:
+            first = session.run(spec)
+            merged = session.submit(spec).result()
+        assert first.cache_stats["misses"] > 0
+        assert merged.cache_stats["misses"] == 0
+        assert merged.cache_stats["hits"] == first.cache_stats["misses"]
+
+    def test_duplicate_shard_values_fall_back_to_single_future(self):
+        spec = StudySpec(
+            study="sample_size",
+            params={"gammas": [0.75, 0.75]},
+            random_state=0,
+        )
+        with Session() as session:
+            handle = session.submit(spec)
+            assert len(handle) == 1
+            assert len(handle.result().to_rows()) == 2
+
+    def test_non_list_shard_param_never_crashes_submit_itself(self):
+        # A scalar where the driver expects a list is the driver's error to
+        # raise — inside the future, not synchronously in _shard.
+        spec = StudySpec(study="sample_size", params={"gammas": 0.75})
+        with Session() as session:
+            handle = session.submit(spec)
+            assert len(handle) == 1
+            with pytest.raises(TypeError):
+                handle.result()
+
+
+# ----------------------------------------------------------------------
+# Concurrent per-key persistence (Session cache_dir)
+# ----------------------------------------------------------------------
+class TestSessionCacheDir:
+    def test_cache_dir_persists_and_rewarns(self, tmp_path):
+        directory = str(tmp_path / "store")
+        spec = _smoke_spec("hpo_curves", n_jobs=1)
+        with Session(cache_dir=directory) as session:
+            cold = session.run(spec)
+        assert cold.cache_stats["misses"] > 0
+        with Session(cache_dir=directory) as fresh:
+            warm = fresh.run(spec)
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["hits"] > 0
+        assert fresh.cache.store_hits > 0
+        assert json.dumps(cold.to_rows(), sort_keys=True) == json.dumps(
+            warm.to_rows(), sort_keys=True
+        )
+
+    def test_cache_dir_and_cache_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            Session(cache="x.pkl", cache_dir=str(tmp_path))
+
+    def test_concurrent_sessions_share_cache_dir_without_corruption(self, tmp_path):
+        """Two sessions running concurrently against one cache_dir: both
+        persist, the store stays intact, and a fresh session replays every
+        measurement without a single refit."""
+        directory = str(tmp_path / "shared")
+        specs = [
+            StudySpec(
+                study="binomial",
+                params={
+                    "task_names": [task],
+                    "n_splits": 3,
+                    "dataset_size": 200,
+                },
+                random_state=3,
+            )
+            for task in ("entailment", "sentiment")
+        ]
+
+        def run_session(spec):
+            with Session(cache_dir=directory) as session:
+                return session.run(spec).cache_stats
+
+        with ThreadPoolExecutor(2) as pool:
+            stats = list(pool.map(run_session, specs))
+        assert all(s["misses"] > 0 for s in stats)
+        with Session(cache_dir=directory) as fresh:
+            for spec in specs:
+                replay = fresh.run(spec)
+                assert replay.cache_stats["misses"] == 0
+                assert replay.cache_stats["hits"] > 0
+
+    def test_eviction_counter_reported(self):
+        spec = _smoke_spec("hpo_curves", n_jobs=1)
+        with Session(max_cache_entries=2) as session:
+            result = session.run(spec)
+        assert result.cache_stats["evictions"] > 0
+        assert "evictions=" in result.summary()
+
+
+# ----------------------------------------------------------------------
+# Cancellation propagation
+# ----------------------------------------------------------------------
+class TestCancellation:
+    def _make_handle(self, pool, first_started, release):
+        spec = StudySpec(study="sample_size", params={"gammas": [0.7, 0.75]})
+        shards = Session._shard(spec, get_study("sample_size"))
+        event = threading.Event()
+
+        def blocked_shard(shard_spec):
+            first_started.set()
+            release.wait(timeout=10)
+            if event.is_set():
+                raise StudyCancelled("stopped at the batch boundary")
+            with Session() as session:
+                return session.run(shard_spec)
+
+        keys = list(shards)
+        futures = {
+            keys[0]: pool.submit(blocked_shard, shards[keys[0]]),
+            keys[1]: pool.submit(blocked_shard, shards[keys[1]]),
+        }
+        return StudyHandle(spec, shards, futures, cancel_event=event), event
+
+    def test_cancel_sets_event_and_cancels_pending_shards(self):
+        first_started, release = threading.Event(), threading.Event()
+        with ThreadPoolExecutor(1) as pool:  # one worker: shard 2 must queue
+            handle, event = self._make_handle(pool, first_started, release)
+            assert first_started.wait(timeout=10)
+            assert not handle.cancelled()
+            cancelled_all = handle.cancel()
+            release.set()
+            assert event.is_set() and handle.cancelled()
+            # The queued shard never started; the running one aborted at
+            # its next cancellation point.
+            assert not cancelled_all  # shard 1 was already running
+            with pytest.raises((CancelledError, StudyCancelled)):
+                handle.result()
+            # Streaming consumers drain without raising.
+            assert list(handle.partial_results()) == []
+            assert handle.done()
+
+    def test_submit_wires_cancel_event_into_executors(self):
+        spec = StudySpec(
+            study="variance",
+            params={
+                "task_names": ["entailment", "sentiment"],
+                "n_seeds": 3,
+                "include_hpo": False,
+                "dataset_size": 200,
+            },
+            random_state=0,
+        )
+        with Session(max_concurrent_studies=1) as session:
+            handle = session.submit(spec)
+            handle.cancel()
+            assert handle.cancelled()
+            # Whatever had not finished was stopped; draining never hangs.
+            list(handle.partial_results())
+            assert handle.done()
+
+    def test_cancel_after_completion_is_noop(self):
+        with Session() as session:
+            handle = session.submit(_smoke_spec("sample_size", n_jobs=1))
+            result = handle.result()
+        assert handle.cancel() is False
+        assert result.to_rows()
+
+
+# ----------------------------------------------------------------------
+# CLI front door (python -m repro)
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_run_prints_summary(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        spec = StudySpec(
+            study="sample_size", params={"gammas": [0.7, 0.75]}, random_state=0
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "study=sample_size" in out
+        assert "Figure C.1" in out
+
+    def test_run_with_overrides_and_cache_dir(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        spec = _smoke_spec("hpo_curves", n_jobs=1)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        store = tmp_path / "store"
+        assert main(["run", str(path), "--n-jobs", "2", "--cache-dir", str(store)]) == 0
+        first = capsys.readouterr().out
+        assert "cache hits/misses=" in first
+        # Second invocation (fresh process in real life) replays from the store.
+        assert main(["run", str(path), "--cache-dir", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache_stats"]["misses"] == 0
+        assert payload["rows"]
+
+    def test_list_names_every_study(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_STUDIES:
+            assert name in out
 
 
 # ----------------------------------------------------------------------

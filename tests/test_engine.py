@@ -1,5 +1,7 @@
 """Tests for the parallel cached measurement engine (repro.engine)."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -7,8 +9,11 @@ from repro.core.estimators import FixHOptEstimator, IdealEstimator
 from repro.core.sources import VarianceSource
 from repro.core.variance import hpo_variance_study, variance_decomposition_study
 from repro.engine import (
+    CancellableExecutor,
+    FileStore,
     MeasurementCache,
     ParallelExecutor,
+    StudyCancelled,
     StudyRunner,
     WorkItem,
     measurement_key,
@@ -16,7 +21,7 @@ from repro.engine import (
 )
 from repro.hpo.grid import NoisyGridSearch
 from repro.hpo.random_search import RandomSearch
-from repro.utils.rng import SeedBundle
+from repro.utils.rng import SeedBundle, SeedScope
 
 
 def _square(x):
@@ -202,6 +207,191 @@ class TestMeasurementCache:
     def test_stats_keys(self):
         stats = MeasurementCache().stats()
         assert {"hits", "misses", "hit_rate", "entries"} <= set(stats)
+
+
+class TestFileStore:
+    def test_roundtrip_and_scan(self, tmp_path):
+        store = FileStore(str(tmp_path / "store"))
+        assert store.read("deadbeef") is None
+        assert len(store) == 0
+        size = store.write("deadbeef", {"score": 1.0})
+        assert size > 0
+        assert store.read("deadbeef") == {"score": 1.0}
+        assert "deadbeef" in store
+        store.write("dd00aa", [1, 2, 3])
+        assert sorted(store.keys()) == ["dd00aa", "deadbeef"]
+
+    def test_rewrite_is_atomic_replace(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        store.write("aa11", "first")
+        store.write("aa11", "second")
+        assert store.read("aa11") == "second"
+        assert len(store) == 1
+
+    def test_invalid_keys_rejected(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        for bad in ("", "../escape", "a/b", "x.y"):
+            with pytest.raises(ValueError):
+                store.write(bad, 1)
+
+    def test_index_roundtrip(self, tmp_path):
+        store = FileStore(str(tmp_path))
+        store.write("aa11", "payload")
+        store.write_index()
+        index = store.read_index()
+        assert index["entries"] == 1
+        assert "aa11" in index["sizes"]
+        # A stale index never hides entries: keys() scans the tree.
+        store.write("bb22", "later")
+        assert len(store.keys()) == 2
+
+
+class TestCacheDirStore:
+    def test_put_writes_through_and_get_falls_back(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        writer = MeasurementCache(cache_dir=directory)
+        writer.put("aabb", {"m": 1})
+        # A different cache instance (another worker/session) sees the entry.
+        reader = MeasurementCache(cache_dir=directory)
+        assert reader.get("aabb") == {"m": 1}
+        assert reader.hits == 1 and reader.misses == 0 and reader.store_hits == 1
+        assert reader.stats()["store_hits"] == 1
+        # Second get is served from memory, not the store.
+        assert reader.get("aabb") == {"m": 1}
+        assert reader.store_hits == 1 and reader.hits == 2
+
+    def test_memory_eviction_keeps_disk_entries(self, tmp_path):
+        cache = MeasurementCache(cache_dir=str(tmp_path), max_entries=1)
+        cache.put("aa11", "one")
+        cache.put("bb22", "two")  # evicts aa11 from memory only
+        assert cache.evictions == 1
+        assert cache.get("aa11") == "one"  # replayed from disk
+        assert cache.store_hits == 1
+
+    def test_save_and_load_use_index_not_pickle(self, tmp_path):
+        cache = MeasurementCache(cache_dir=str(tmp_path))
+        cache.put("aa11", "one")
+        assert cache.save() == str(tmp_path)
+        assert cache.load() == 1
+        assert cache.store.read_index()["entries"] == 1
+
+    def test_path_and_cache_dir_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            MeasurementCache(str(tmp_path / "c.pkl"), cache_dir=str(tmp_path))
+
+    def test_persistent_flag(self, tmp_path):
+        assert not MeasurementCache().persistent
+        assert MeasurementCache(cache_dir=str(tmp_path)).persistent
+        assert MeasurementCache(str(tmp_path / "c.pkl")).persistent
+
+    def test_concurrent_writers_do_not_corrupt(self, tmp_path):
+        """Many caches hammering one directory: every entry survives intact."""
+        directory = str(tmp_path / "shared")
+
+        def worker(worker_id):
+            cache = MeasurementCache(cache_dir=directory)
+            for i in range(25):
+                cache.put(f"{worker_id}{i:02d}aa", (worker_id, i))
+                cache.get(f"{worker_id}{i:02d}aa")
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{n}",)) for n in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        fresh = MeasurementCache(cache_dir=directory)
+        assert fresh.load() == 6 * 25
+        for n in range(6):
+            for i in range(25):
+                assert fresh.get(f"w{n}{i:02d}aa") == (f"w{n}", i)
+        assert fresh.misses == 0
+
+    def test_runner_replays_from_store_across_instances(
+        self, tmp_path, classification_process, seed_bundle
+    ):
+        directory = str(tmp_path / "measurements")
+        warm = StudyRunner(
+            classification_process, cache=MeasurementCache(cache_dir=directory)
+        )
+        score = warm.run_scores([WorkItem(seeds=seed_bundle)])[0]
+        cold_cache = MeasurementCache(cache_dir=directory)
+        cold = StudyRunner(classification_process, cache=cold_cache)
+        assert cold.run_scores([WorkItem(seeds=seed_bundle)])[0] == score
+        assert cold_cache.misses == 0 and cold_cache.store_hits == 1
+
+
+class TestCancellation:
+    def test_map_raises_when_already_cancelled(self):
+        event = threading.Event()
+        event.set()
+        with pytest.raises(StudyCancelled):
+            ParallelExecutor(1).map(_square, [1, 2], cancel=event)
+
+    def test_serial_map_stops_between_items(self):
+        event = threading.Event()
+        seen = []
+
+        def fn(x):
+            seen.append(x)
+            event.set()  # cancel after the first item
+            return x
+
+        with pytest.raises(StudyCancelled):
+            ParallelExecutor(1).map(fn, [1, 2, 3], cancel=event)
+        assert seen == [1]
+
+    def test_thread_map_checks_per_item(self):
+        event = threading.Event()
+        event.set()
+        with pytest.raises(StudyCancelled):
+            ParallelExecutor(2, backend="thread").map(
+                _square, [1, 2, 3, 4], cancel=event
+            )
+
+    def test_map_without_event_unchanged(self):
+        assert ParallelExecutor(1).map(_square, [2, 3]) == [4, 9]
+
+    def test_cancellable_executor_delegates_and_binds_event(self):
+        event = threading.Event()
+        executor = CancellableExecutor(ParallelExecutor(2), event)
+        assert executor.n_jobs == 2
+        assert executor.backend == "thread"
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        event.set()
+        with pytest.raises(StudyCancelled):
+            executor.map(_square, [1])
+
+    def test_runner_batches_respect_cancel(
+        self, classification_process, seed_bundle
+    ):
+        event = threading.Event()
+        runner = StudyRunner(
+            classification_process,
+            executor=CancellableExecutor(ParallelExecutor(1), event),
+        )
+        assert len(runner.run([WorkItem(seeds=seed_bundle)])) == 1
+        event.set()
+        other = SeedBundle(base_seed=99)
+        with pytest.raises(StudyCancelled):
+            runner.run([WorkItem(seeds=other)])
+
+
+class TestWorkItemScope:
+    def test_from_scope_derives_bundle_and_path(self):
+        scope = SeedScope.from_state(0).child("task", "t").child("rep", 1)
+        item = WorkItem.from_scope(scope, with_hpo=True)
+        assert item.seeds == scope.bundle()
+        assert item.with_hpo
+        assert item.scope_path == "task=t/rep=1"
+
+    def test_scope_path_does_not_enter_measurement_key(
+        self, classification_process, seed_bundle
+    ):
+        plain = measurement_key(classification_process, seed_bundle, None)
+        # Same seeds under any provenance label must share the cache entry.
+        assert plain == measurement_key(classification_process, seed_bundle, None)
 
 
 class TestStudyRunnerEquivalence:

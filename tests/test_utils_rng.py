@@ -1,11 +1,14 @@
-"""Tests for seed derivation and SeedBundle behaviour."""
+"""Tests for seed derivation, SeedScope and SeedBundle behaviour."""
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.utils.rng import (
     KNOWN_SOURCES,
     SeedBundle,
+    SeedScope,
     SeedSequencePool,
     derive_seed,
     rng_from_seed,
@@ -89,7 +92,112 @@ class TestSeedBundle:
         assert set(bundle.seeds) == set(KNOWN_SOURCES)
 
 
+_segment = st.tuples(st.text(min_size=1, max_size=8), st.text(max_size=8))
+_paths = st.lists(_segment, min_size=0, max_size=4)
+
+
+def _scope_at(root: "SeedScope", path) -> "SeedScope":
+    for kind, name in path:
+        root = root.child(kind, name)
+    return root
+
+
+class TestSeedScope:
+    def test_pure_function_of_path(self):
+        a = SeedScope.from_state(0).child("task", "entailment").child("rep", 3)
+        b = SeedScope.from_state(0).child("task", "entailment").child("rep", 3)
+        assert a.seed() == b.seed()
+        assert a == b
+
+    def test_order_independent(self):
+        """A scope's seed never depends on which siblings were derived first.
+
+        This is the property stream-based seeding lacks: under streams, the
+        second task's seeds depend on how many draws the first consumed.
+        """
+        root = SeedScope.from_state(7)
+        forward = [root.child("task", name).seed() for name in ("a", "b", "c")]
+        backward = [root.child("task", name).seed() for name in ("c", "b", "a")]
+        assert forward == backward[::-1]
+        # Deriving unrelated scopes in between changes nothing either.
+        root.child("other", "x").child("rep", 0).seed()
+        assert root.child("task", "b").seed() == forward[1]
+
+    def test_roots_differ(self):
+        assert (
+            SeedScope.from_state(0).child("a").seed()
+            != SeedScope.from_state(1).child("a").seed()
+        )
+
+    def test_path_encoding_unambiguous(self):
+        root = SeedScope.from_state(0)
+        assert root.child("a", "b=c").seed() != root.child("a=b", "c").seed()
+        assert root.child("a").child("b").seed() != root.child("a", "b").seed()
+        assert root.child("a", "1/2").seed() != root.child("a", "1").child("2").seed()
+
+    def test_from_state_passthrough_and_generator(self):
+        scope = SeedScope.from_state(3)
+        assert SeedScope.from_state(scope) is scope
+        gen_scope = SeedScope.from_state(np.random.default_rng(3))
+        assert gen_scope == SeedScope.from_state(np.random.default_rng(3))
+        assert isinstance(SeedScope.from_state(None), SeedScope)
+
+    def test_bundle_is_scope_derived(self):
+        scope = SeedScope.from_state(5).child("task", "t")
+        bundle = scope.bundle()
+        assert set(bundle.seeds) == set(KNOWN_SOURCES)
+        assert bundle.base_seed == scope.seed()
+        assert bundle.seeds["data"] == scope.child("source", "data").seed()
+        assert bundle == scope.bundle()
+
+    def test_path_str_human_readable(self):
+        scope = SeedScope.from_state(0).child("task", "entailment").child("rep", 3)
+        assert scope.path_str() == "task=entailment/rep=3"
+
+    @settings(max_examples=200, deadline=None)
+    @given(path_a=_paths, path_b=_paths)
+    def test_property_distinct_paths_distinct_seeds(self, path_a, path_b):
+        """Collision check: distinct paths address distinct seeds."""
+        root = SeedScope.from_state(42)
+        a, b = _scope_at(root, path_a), _scope_at(root, path_b)
+        if path_a == path_b:
+            assert a.seed() == b.seed()
+        else:
+            assert a.seed() != b.seed()
+
+    @settings(max_examples=100, deadline=None)
+    @given(path=_paths, extra=_paths)
+    def test_property_derivation_is_stateless(self, path, extra):
+        """Order independence: deriving other scopes never perturbs a path."""
+        root = SeedScope.from_state(9)
+        before = _scope_at(root, path).seed()
+        for kind, name in extra:
+            root.child(kind, name).seed()  # unrelated derivations
+        assert _scope_at(root, path).seed() == before
+
+
 class TestSeedSequencePool:
+    def test_issued_seeds_unchanged_by_constant_time_rewrite(self):
+        """Regression: the O(1) next_seed must reproduce the historical
+        sequence, which respawned all children on every draw."""
+
+        class _QuadraticReference:
+            def __init__(self, root_seed):
+                self._root = np.random.SeedSequence(root_seed)
+                self._count = 0
+
+            def next_seed(self):
+                child = self._root.spawn(self._count + 1)[self._count]
+                self._count += 1
+                return int(child.generate_state(1, dtype=np.uint32)[0])
+
+        for root in (0, 1, 2**31):
+            reference = _QuadraticReference(root % (2**32 - 1))
+            pool = SeedSequencePool(root)
+            assert [pool.next_seed() for _ in range(40)] == [
+                reference.next_seed() for _ in range(40)
+            ]
+
     def test_seeds_unique(self):
         pool = SeedSequencePool(0)
         seeds = [pool.next_seed() for _ in range(20)]
