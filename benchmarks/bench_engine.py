@@ -19,6 +19,13 @@ the parallel run is expected to be ≥2x faster than serial, the cached
 replay orders of magnitude faster still, and the store replay must serve
 every measurement from disk (zero misses).  The timings land in the
 ``BENCH_*.json`` perf trajectory via ``extra_info``.
+
+``test_suite_cold_vs_resume`` covers the suite-manifest layer on top: a
+three-member suite runs cold against a byte-budgeted shared store, a
+fresh session then replays every measurement from the store (zero
+misses), and a ``resume`` pass replays completion records without a
+single cache lookup — with all three passes bitwise-identical and the
+store never exceeding its budget.
 """
 
 from __future__ import annotations
@@ -29,12 +36,15 @@ import time
 
 import numpy as np
 
+import json
+
 from conftest import run_once
+from repro.api import Session, StudySpec, SuiteSpec
 from repro.core.benchmark import BenchmarkProcess
 from repro.core.sources import VarianceSource
 from repro.core.variance import variance_decomposition_study
 from repro.data.tasks import get_task
-from repro.engine import MeasurementCache, StudyRunner
+from repro.engine import FileStore, MeasurementCache, StudyRunner
 from repro.utils.tables import format_table
 
 N_WORKERS = 4
@@ -196,3 +206,146 @@ def test_engine_speedup(benchmark, scale):
     # multi-core host must cut wall-clock by at least 2x.
     if (os.cpu_count() or 1) >= 4:
         assert result["parallel_speedup"] >= 2.0
+
+
+# ----------------------------------------------------------------------
+# Suite manifests: cold run vs store replay vs record resume
+# ----------------------------------------------------------------------
+SUITE_STORE_BUDGET = 64 << 20  # 64 MiB, the CI smoke budget
+
+
+def _suite_rows(result):
+    """Canonical per-member rows of a SuiteResult, for bitwise comparison."""
+    payload = json.loads(result.to_json())
+    return [
+        json.dumps(entry["rows"], sort_keys=True) for entry in payload["results"]
+    ]
+
+
+def _run_suite_comparison(*, n_seeds, n_splits, dataset_size, random_state=0):
+    with tempfile.TemporaryDirectory() as directory:
+        suite = SuiteSpec(
+            name="engine-suite",
+            cache_dir=directory,
+            max_store_bytes=SUITE_STORE_BUDGET,
+            specs=[
+                (
+                    "fig1-variance",
+                    StudySpec(
+                        study="variance",
+                        params={
+                            "task_names": ["entailment"],
+                            "n_seeds": n_seeds,
+                            "include_hpo": False,
+                            "dataset_size": dataset_size,
+                        },
+                        random_state=random_state,
+                    ),
+                ),
+                (
+                    "fig2-binomial",
+                    StudySpec(
+                        study="binomial",
+                        params={
+                            "task_names": ["entailment"],
+                            "n_splits": n_splits,
+                            "dataset_size": dataset_size,
+                        },
+                        random_state=random_state,
+                    ),
+                ),
+                (
+                    "figC1-sample-size",
+                    StudySpec(
+                        study="sample_size",
+                        params={"gammas": [0.7, 0.75, 0.9]},
+                        random_state=random_state,
+                    ),
+                ),
+            ],
+        )
+        start = time.perf_counter()
+        with Session.for_suite(suite) as session:
+            cold = session.run_suite(suite)
+        cold_time = time.perf_counter() - start
+        # A fresh session (a restarted process in real use) replays every
+        # measurement from the per-key store: zero misses, nonzero store
+        # hits, not a single refit.
+        start = time.perf_counter()
+        with Session.for_suite(suite) as session:
+            warm = session.run_suite(suite)
+            warm_store_stats = session.cache.stats()
+        warm_time = time.perf_counter() - start
+        # Resume replays completion records: zero cache lookups at all.
+        start = time.perf_counter()
+        with Session.for_suite(suite) as session:
+            resumed = session.run_suite(suite, resume=True)
+        resume_time = time.perf_counter() - start
+        store_bytes = FileStore(directory).total_bytes
+    return {
+        "cold_time": cold_time,
+        "warm_time": warm_time,
+        "resume_time": resume_time,
+        "cold_stats": cold.cache_stats,
+        "warm_stats": warm.cache_stats,
+        "warm_store_stats": warm_store_stats,
+        "resume_stats": resumed.cache_stats,
+        "replayed": resumed.replayed,
+        "names": suite.names,
+        "store_bytes": store_bytes,
+        "rows": {
+            "cold": _suite_rows(cold),
+            "warm": _suite_rows(warm),
+            "resumed": _suite_rows(resumed),
+        },
+    }
+
+
+def test_suite_cold_vs_resume(benchmark, scale):
+    result = run_once(
+        benchmark,
+        _run_suite_comparison,
+        n_seeds=scale["n_seeds"],
+        n_splits=scale["n_splits"],
+        dataset_size=scale["dataset_size"],
+    )
+    rows = [
+        {"phase": "cold (fits everything)", "seconds": result["cold_time"]},
+        {"phase": "store replay (fresh session)", "seconds": result["warm_time"]},
+        {"phase": "resume (completion records)", "seconds": result["resume_time"]},
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["phase", "seconds"],
+            title=(
+                f"Suite — 3 members, store {result['store_bytes']} bytes "
+                f"of {SUITE_STORE_BUDGET} budget"
+            ),
+        )
+    )
+    benchmark.extra_info["suite_cold_time"] = result["cold_time"]
+    benchmark.extra_info["suite_warm_time"] = result["warm_time"]
+    benchmark.extra_info["suite_resume_time"] = result["resume_time"]
+    benchmark.extra_info["suite_store_bytes"] = result["store_bytes"]
+    benchmark.extra_info["suite_warm_store_stats"] = result["warm_store_stats"]
+
+    # All three passes produce bitwise-identical rows for every member.
+    assert result["rows"]["warm"] == result["rows"]["cold"]
+    assert result["rows"]["resumed"] == result["rows"]["cold"]
+
+    # The cold pass fit measurements; the fresh-session replay served all
+    # of them from the per-key store: zero misses, store hits > 0.
+    assert result["cold_stats"]["misses"] > 0
+    assert result["warm_stats"]["misses"] == 0
+    assert result["warm_store_stats"]["store_hits"] > 0
+
+    # Resume replayed every member from its completion record without a
+    # single cache lookup.
+    assert result["replayed"] == result["names"]
+    assert result["resume_stats"].get("misses", 0) == 0
+    assert result["resume_stats"].get("hits", 0) == 0
+
+    # The shared store never exceeded its configured byte budget.
+    assert 0 < result["store_bytes"] <= SUITE_STORE_BUDGET

@@ -54,6 +54,9 @@ from repro.api import (
     StudyHandle,
     StudyResult,
     StudySpec,
+    SuiteHandle,
+    SuiteResult,
+    SuiteSpec,
     get_study,
     list_studies,
     register_study,
@@ -116,6 +119,9 @@ __all__ = [
     "StudyHandle",
     "StudyResult",
     "StudySpec",
+    "SuiteHandle",
+    "SuiteResult",
+    "SuiteSpec",
     "get_study",
     "list_studies",
     "register_study",

@@ -1,31 +1,51 @@
 """Command-line front door: ``python -m repro``.
 
-A thin shell over :class:`~repro.api.spec.StudySpec` and
-:class:`~repro.api.session.Session`, so any registered study is launchable
-from a JSON spec file without writing Python::
+A thin shell over :class:`~repro.api.spec.StudySpec` /
+:class:`~repro.api.spec.SuiteSpec` and
+:class:`~repro.api.session.Session`, so any registered study — or a whole
+figure suite — is launchable from a JSON manifest without writing Python::
 
     python -m repro list
     python -m repro run spec.json
     python -m repro run spec.json --n-jobs 4 --cache-dir .repro-cache
     echo '{"study": "sample_size", "params": {}}' | python -m repro run -
 
+    python -m repro suite manifest.json --n-jobs 4
+    python -m repro suite manifest.json --resume        # replay completions
+    python -m repro gc .repro-cache --max-bytes 67108864
+
 ``run`` prints :meth:`~repro.api.results.StudyResult.summary` (or, with
 ``--json``, the full rows/provenance payload of
-:meth:`~repro.api.results.StudyResult.to_json`).  Because specs fully
-determine their results (seeds are scope-derived, see EXPERIMENTS.md),
-re-running a spec against the same ``--cache-dir`` replays measurements
-without refitting — including measurements persisted by other workers
-sharing the directory.
+:meth:`~repro.api.results.StudyResult.to_json`).  ``suite`` executes every
+member of a :class:`~repro.api.spec.SuiteSpec` manifest through one shared
+session/cache with per-member progress on stderr; ``--resume`` replays
+members already completed against the same ``cache_dir`` (a changed spec
+invalidates its record).  ``gc`` prunes a per-key store back within byte /
+entry budgets, LRU-by-last-use.  Because specs fully determine their
+results (seeds are scope-derived, see EXPERIMENTS.md), re-running against
+the same ``--cache-dir`` replays measurements without refitting —
+including measurements persisted by other workers sharing the directory.
+
+Exit codes: 0 success, 2 for an unreadable or malformed spec/manifest
+(the offending field is named on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
-from repro.api import Session, StudySpec, iter_studies
+from repro.api import Session, StudySpec, SuiteSpec, get_study, iter_studies
 from repro.api.spec import VALID_BACKENDS
+from repro.engine.cache import FileStore
+
+
+class CLIError(Exception):
+    """A user-input problem (bad file, malformed manifest): message, no
+    traceback, exit code 2."""
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -65,17 +85,112 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the rows + provenance JSON instead of the summary table",
     )
 
+    suite = commands.add_parser(
+        "suite",
+        help=(
+            "execute every member of a SuiteSpec manifest through one "
+            "shared session and cache"
+        ),
+    )
+    suite.add_argument(
+        "manifest", help="path to the suite manifest JSON ('-' reads stdin)"
+    )
+    suite.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="override the manifest's worker count (-1 = all cores)",
+    )
+    suite.add_argument(
+        "--backend",
+        choices=VALID_BACKENDS,
+        default=None,
+        help="override the manifest's executor backend",
+    )
+    suite.add_argument(
+        "--cache-dir",
+        default=None,
+        help="override the manifest's shared per-key measurement store",
+    )
+    suite.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay members whose completion record (written under the "
+            "cache_dir on every finished run) matches their current spec, "
+            "re-running only the rest"
+        ),
+    )
+    suite.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full output manifest JSON instead of the summaries",
+    )
+
+    gc = commands.add_parser(
+        "gc",
+        help=(
+            "prune a per-key cache directory back within byte/entry "
+            "budgets (LRU-by-last-use) and sweep crash leftovers"
+        ),
+    )
+    gc.add_argument("cache_dir", help="per-key store directory to prune")
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="byte budget for the object tree",
+    )
+    gc.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="entry-count budget for the object tree",
+    )
+    gc.add_argument(
+        "--json", action="store_true", help="print the gc stats as JSON"
+    )
+
     commands.add_parser("list", help="list registered studies")
     return parser
 
 
-def _read_spec(source: str) -> StudySpec:
+def _read_payload(source: str, what: str) -> str:
     if source == "-":
-        payload = sys.stdin.read()
-    else:
+        return sys.stdin.read()
+    try:
         with open(source, encoding="utf-8") as handle:
-            payload = handle.read()
-    return StudySpec.from_json(payload)
+            return handle.read()
+    except OSError as error:
+        raise CLIError(f"cannot read {what} {source!r}: {error}") from error
+
+
+def _read_spec(source: str) -> StudySpec:
+    payload = _read_payload(source, "spec file")
+    try:
+        spec = StudySpec.from_json(payload)
+        get_study(spec.study).validate_params(spec.params)
+    except json.JSONDecodeError as error:
+        raise CLIError(f"spec {source!r} is not valid JSON: {error}") from error
+    except (KeyError, TypeError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        raise CLIError(f"malformed spec {source!r}: {message}") from error
+    return spec
+
+
+def _read_suite(source: str) -> SuiteSpec:
+    payload = _read_payload(source, "suite manifest")
+    try:
+        suite = SuiteSpec.from_json(payload)
+    except json.JSONDecodeError as error:
+        raise CLIError(
+            f"suite manifest {source!r} is not valid JSON: {error}"
+        ) from error
+    except (TypeError, ValueError) as error:
+        raise CLIError(
+            f"malformed suite manifest {source!r}: {error}"
+        ) from error
+    return suite
 
 
 def _run(args: argparse.Namespace) -> int:
@@ -90,6 +205,69 @@ def _run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _suite(args: argparse.Namespace) -> int:
+    suite = _read_suite(args.manifest)
+    overrides = {}
+    if args.n_jobs is not None:
+        overrides["n_jobs"] = args.n_jobs
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
+    if overrides:
+        suite = suite.replace(**overrides)
+    if args.resume and suite.cache_dir is None:
+        raise CLIError(
+            "--resume requires a cache_dir (in the manifest or --cache-dir)"
+        )
+    try:
+        suite.validate()
+    except ValueError as error:
+        raise CLIError(f"malformed suite manifest {args.manifest!r}: {error}") from error
+
+    total = len(suite)
+
+    def progress(event, name, index, total=total, result=None):
+        if event == "start":
+            print(f"[{index + 1}/{total}] {name} ...", file=sys.stderr)
+            return
+        tag = "replayed" if event == "replay" else "done"
+        stats = result.cache_stats
+        detail = ""
+        if stats:
+            detail = (
+                f" (hits={stats.get('hits', 0)}, misses={stats.get('misses', 0)})"
+            )
+        print(
+            f"[{index + 1}/{total}] {name} {tag} in "
+            f"{result.elapsed_seconds:.2f}s{detail}",
+            file=sys.stderr,
+        )
+
+    with Session.for_suite(suite) as session:
+        result = session.run_suite(suite, resume=args.resume, progress=progress)
+        print(result.to_json(indent=2) if args.json else result.summary())
+    return 0
+
+
+def _gc(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.cache_dir):
+        raise CLIError(f"no cache directory at {args.cache_dir!r}")
+    stats = FileStore(args.cache_dir).gc(
+        max_bytes=args.max_bytes, max_entries=args.max_entries
+    )
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(
+            f"removed {stats['removed_entries']} entries "
+            f"({stats['removed_bytes']} bytes) and {stats['removed_tmp']} "
+            f"leftover tmp files; {stats['entries']} entries "
+            f"({stats['bytes']} bytes) remain"
+        )
+    return 0
+
+
 def _list() -> int:
     for info in iter_studies():
         print(f"{info.name:16s} {info.artefact:24s} {info.description}")
@@ -101,7 +279,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list":
             return _list()
+        if args.command == "suite":
+            return _suite(args)
+        if args.command == "gc":
+            return _gc(args)
         return _run(args)
+    except CLIError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         return 0

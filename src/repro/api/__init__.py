@@ -6,15 +6,18 @@ same property: every experiment behind every figure/table of the paper is
 launched the same way —
 
 * :mod:`repro.api.spec` — :class:`StudySpec`, a frozen, validated,
-  JSON-round-trippable description of one study run;
+  JSON-round-trippable description of one study run, and
+  :class:`SuiteSpec`, the manifest form of a whole figure suite;
 * :mod:`repro.api.registry` — :func:`register_study` metadata registry
   over the ten ``run_*_study`` drivers (:func:`list_studies`,
-  :func:`get_study`);
+  :func:`get_study`, :func:`smoke_suite`);
 * :mod:`repro.api.session` — :class:`Session`, the facade owning one
   shared measurement cache and executor across studies, with blocking
-  :meth:`~Session.run` and streaming :meth:`~Session.submit`;
-* :mod:`repro.api.results` — :class:`StudyResult`, the uniform result
-  envelope (``to_rows`` / ``summary`` / ``to_json``).
+  :meth:`~Session.run` / :meth:`~Session.run_suite` and streaming
+  :meth:`~Session.submit` / :meth:`~Session.submit_suite`;
+* :mod:`repro.api.results` — :class:`StudyResult` and
+  :class:`SuiteResult`, the uniform result envelopes
+  (``to_rows`` / ``summary`` / ``to_json``).
 
 Quickstart::
 
@@ -36,10 +39,11 @@ from repro.api.registry import (
     iter_studies,
     list_studies,
     register_study,
+    smoke_suite,
 )
-from repro.api.results import StudyResult, merge_results
-from repro.api.session import Session, StudyHandle
-from repro.api.spec import StudySpec
+from repro.api.results import StudyResult, SuiteResult, merge_results
+from repro.api.session import Session, StudyHandle, SuiteHandle
+from repro.api.spec import StudySpec, SuiteSpec
 
 __all__ = [
     "StudyInfo",
@@ -47,9 +51,13 @@ __all__ = [
     "iter_studies",
     "list_studies",
     "register_study",
+    "smoke_suite",
     "StudyResult",
+    "SuiteResult",
     "merge_results",
     "Session",
     "StudyHandle",
+    "SuiteHandle",
     "StudySpec",
+    "SuiteSpec",
 ]

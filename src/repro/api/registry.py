@@ -22,9 +22,19 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Tuple
 
-__all__ = ["StudyInfo", "register_study", "get_study", "list_studies", "iter_studies"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import StudySpec, SuiteSpec
+
+__all__ = [
+    "StudyInfo",
+    "register_study",
+    "get_study",
+    "list_studies",
+    "iter_studies",
+    "smoke_suite",
+]
 
 #: Execution knobs injected by the Session rather than carried in
 #: ``StudySpec.params``; every registered driver accepts all of them.
@@ -75,6 +85,21 @@ class StudyInfo:
             for name, parameter in signature.parameters.items()
             if parameter.kind
             in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
+        )
+
+    def smoke_spec(self, *, random_state: Optional[int] = 7) -> "StudySpec":
+        """A tiny-scale :class:`~repro.api.spec.StudySpec` for this study.
+
+        Uses the registered ``smoke_params`` — the same configuration the
+        CI smoke benches and the API equivalence tests run — so the spec
+        finishes in seconds while still exercising the full driver path.
+        """
+        from repro.api.spec import StudySpec  # local: avoid cycle
+
+        return StudySpec(
+            study=self.name,
+            params=dict(self.smoke_params),
+            random_state=random_state,
         )
 
     def validate_params(self, params: Mapping[str, Any]) -> None:
@@ -176,3 +201,34 @@ def iter_studies() -> List[StudyInfo]:
     """Every registered :class:`StudyInfo`, sorted by name."""
     _ensure_registered()
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def smoke_suite(
+    name: str = "smoke",
+    *,
+    random_state: Optional[int] = 7,
+    **config: Any,
+) -> "SuiteSpec":
+    """A suite manifest running every registered study at smoke scale.
+
+    One member per registry entry, each at its ``smoke_params``
+    configuration — the whole-catalogue plumbing check CI runs against a
+    budgeted shared store::
+
+        python -c "from repro.api import smoke_suite; \\
+                   print(smoke_suite(cache_dir='.repro-cache',
+                                     max_store_bytes=64 << 20).to_json())"
+
+    ``config`` forwards to :class:`~repro.api.spec.SuiteSpec` (``n_jobs``,
+    ``backend``, ``cache_dir``, store budgets).
+    """
+    from repro.api.spec import SuiteSpec  # local: avoid cycle
+
+    return SuiteSpec(
+        name=name,
+        specs=[
+            (info.name, info.smoke_spec(random_state=random_state))
+            for info in iter_studies()
+        ],
+        **config,
+    )

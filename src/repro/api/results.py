@@ -22,14 +22,25 @@ under ``.raw.parts``.
 from __future__ import annotations
 
 import json
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+from collections import OrderedDict
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.api.spec import StudySpec
+    from repro.api.spec import StudySpec, SuiteSpec
 
-__all__ = ["StudyResult", "merge_results"]
+__all__ = ["StudyResult", "SuiteResult", "merge_results"]
 
 
 def _jsonable(value: Any) -> Any:
@@ -141,6 +152,77 @@ class StudyResult:
         }
         return json.dumps(payload, indent=indent, sort_keys=True)
 
+    # ------------------------------------------------------------------
+    # Resume records (suite manifests)
+    # ------------------------------------------------------------------
+    @property
+    def replayed(self) -> bool:
+        """True when this result was loaded from a suite resume record
+        rather than executed (see :meth:`from_record`)."""
+        return isinstance(self.raw, _ReplayedRaw)
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-safe completion record for suite resume.
+
+        Captures everything :meth:`from_record` needs to stand in for this
+        result without re-running the study: the spec (resume invalidates
+        on any change), the artefact rows and the rendered report.  JSON
+        float round-trips are lossless (shortest-repr), so replayed rows
+        compare bitwise-equal to freshly computed ones.
+        """
+        return {
+            "record": 1,
+            "study": self.spec.study if self.spec is not None else None,
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "artefact": self.artefact,
+            "elapsed_seconds": (
+                self.elapsed_seconds if np.isfinite(self.elapsed_seconds) else None
+            ),
+            "cache_stats": _jsonable(self.cache_stats),
+            "rows": _jsonable(self.to_rows()),
+            "report": self.raw.report(),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "StudyResult":
+        """Rebuild a result from :meth:`to_record` output.
+
+        The returned result replays the recorded rows and report without
+        touching the engine; ``replayed`` is true, ``elapsed_seconds`` is 0
+        (nothing ran) and ``cache_stats`` is empty (no lookups happened —
+        a resumed spec contributes zero hits *and* zero misses).
+        """
+        from repro.api.spec import StudySpec  # local: results <- spec only here
+
+        spec = None
+        if record.get("spec") is not None:
+            spec = StudySpec.from_dict(record["spec"])
+        return cls(
+            _ReplayedRaw(record.get("rows") or [], record.get("report") or ""),
+            spec=spec,
+            artefact=record.get("artefact") or "",
+            elapsed_seconds=0.0,
+            cache_stats={},
+        )
+
+
+class _ReplayedRaw:
+    """Native-result stand-in for a suite resume record: recorded rows and
+    report text, replayed verbatim (study-specific attributes are gone —
+    re-run the spec without ``--resume`` to recompute them)."""
+
+    __slots__ = ("_rows", "_report")
+
+    def __init__(self, rows: Sequence[Mapping[str, Any]], report: str) -> None:
+        self._rows = [dict(row) for row in rows]
+        self._report = report
+
+    def rows(self) -> List[dict]:
+        return [dict(row) for row in self._rows]
+
+    def report(self) -> str:
+        return self._report
+
 
 class _MergedRaw:
     """Native-result stand-in concatenating several shard results.
@@ -198,3 +280,111 @@ def merge_results(
         elapsed_seconds=elapsed,
         cache_stats=cache_stats,
     )
+
+
+class SuiteResult:
+    """Envelope over one suite run: per-spec results plus aggregates.
+
+    Results are keyed by their manifest names, in canonical (manifest)
+    order regardless of completion interleaving.  ``cache_stats``
+    aggregates the per-spec engine counters (a replayed spec contributes
+    zero lookups), ``cache`` snapshots the shared session cache at
+    completion, and :meth:`to_json` renders the full output manifest —
+    rows, provenance and timing for every member study.
+    """
+
+    def __init__(
+        self,
+        suite: "SuiteSpec",
+        results: "Mapping[str, StudyResult]",
+        *,
+        elapsed_seconds: float = float("nan"),
+        cache: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.suite = suite
+        self.results: "OrderedDict[str, StudyResult]" = OrderedDict(
+            (name, results[name]) for name in suite.names
+        )
+        self.elapsed_seconds = elapsed_seconds
+        self.cache = dict(cache or {})
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[Tuple[str, StudyResult]]:
+        return iter(self.results.items())
+
+    def __getitem__(self, name: str) -> StudyResult:
+        return self.results[name]
+
+    def __repr__(self) -> str:
+        return (
+            f"SuiteResult(suite={self.suite.name!r}, specs={len(self)}, "
+            f"replayed={len(self.replayed)})"
+        )
+
+    @property
+    def names(self) -> List[str]:
+        """Member names in canonical manifest order."""
+        return list(self.results)
+
+    @property
+    def replayed(self) -> List[str]:
+        """Names of the members replayed from resume records (not run)."""
+        return [name for name, result in self.results.items() if result.replayed]
+
+    @property
+    def cache_stats(self) -> Dict[str, float]:
+        """Per-spec engine counters summed across the suite."""
+        totals: Dict[str, float] = {}
+        for result in self.results.values():
+            for key, value in result.cache_stats.items():
+                if key == "entries":  # snapshot, not a counter
+                    totals[key] = max(totals.get(key, 0), value)
+                else:
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    # The uniform protocol
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Suite header plus every member's provenance-tagged report."""
+        totals = self.cache_stats
+        header = (
+            f"[suite={self.suite.name}, specs={len(self)}, "
+            f"replayed={len(self.replayed)}"
+        )
+        if np.isfinite(self.elapsed_seconds):
+            header += f", elapsed={self.elapsed_seconds:.2f}s"
+        if totals:
+            header += (
+                f", cache hits/misses={int(totals.get('hits', 0))}"
+                f"/{int(totals.get('misses', 0))}"
+            )
+        header += "]"
+        blocks = [header]
+        for name, result in self.results.items():
+            tag = " (replayed)" if result.replayed else ""
+            blocks.append(f"== {name}{tag} ==\n{result.summary()}")
+        return "\n\n".join(blocks)
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """The output manifest: suite provenance + every member's record."""
+        payload = {
+            "suite": self.suite.to_dict(),
+            "elapsed_seconds": (
+                self.elapsed_seconds if np.isfinite(self.elapsed_seconds) else None
+            ),
+            "cache": _jsonable(self.cache) or None,
+            "cache_stats": _jsonable(self.cache_stats) or None,
+            "replayed": self.replayed,
+            "results": [
+                dict(result.to_record(), name=name)
+                for name, result in self.results.items()
+            ],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)

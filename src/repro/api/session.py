@@ -43,6 +43,8 @@ without lock contention.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -53,15 +55,31 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.api.registry import StudyInfo, get_study
-from repro.api.results import StudyResult, merge_results
-from repro.api.spec import StudySpec
-from repro.engine.cache import MeasurementCache
+from repro.api.results import StudyResult, SuiteResult, merge_results
+from repro.api.spec import StudySpec, SuiteSpec
+from repro.engine.cache import MeasurementCache, atomic_write
 from repro.engine.executor import CancellableExecutor, ParallelExecutor, StudyCancelled
 
-__all__ = ["Session", "StudyHandle"]
+__all__ = ["Session", "StudyHandle", "SuiteHandle"]
+
+#: Signature of the optional per-spec progress callback of
+#: :meth:`Session.run_suite`: ``(event, name, index, total, result)`` with
+#: ``event`` one of ``"start"`` / ``"done"`` / ``"replay"`` (``result`` is
+#: ``None`` for ``"start"``).
+SuiteProgress = Callable[[str, str, int, int, Optional[StudyResult]], None]
 
 class _RunCacheView:
     """Per-run counting proxy over a shared :class:`MeasurementCache`.
@@ -192,6 +210,114 @@ class StudyHandle:
     __iter__ = partial_results
 
 
+class SuiteHandle:
+    """Future-like handle on a submitted suite (one future per member).
+
+    Iterating yields ``(name, StudyResult)`` pairs in *completion* order —
+    streaming per-spec progress — while :meth:`result` blocks and
+    assembles the :class:`~repro.api.results.SuiteResult` in canonical
+    manifest order, so the envelope is a pure function of the suite, not
+    of scheduling.  Members replayed from resume records are pre-resolved
+    futures and stream first.
+    """
+
+    def __init__(
+        self,
+        suite: SuiteSpec,
+        futures: "Mapping[str, Future[StudyResult]]",
+        *,
+        cancel_event: Optional[threading.Event] = None,
+        session: Optional["Session"] = None,
+    ) -> None:
+        self.suite = suite
+        self._futures: "OrderedDict[str, Future[StudyResult]]" = OrderedDict(futures)
+        self._cancel_event = cancel_event
+        self._session = session
+        # Wall-clock bracket, so SuiteResult.elapsed_seconds means the
+        # same thing here as in run_suite (members overlap on the pool, so
+        # summing per-member times would double-count).
+        self._started = time.perf_counter()
+        self._finished: Optional[float] = None
+        self._pending = len(self._futures)
+        self._clock_lock = threading.Lock()
+        for future in self._futures.values():
+            future.add_done_callback(self._note_done)
+
+    def _note_done(self, _future: "Future[StudyResult]") -> None:
+        with self._clock_lock:
+            self._pending -= 1
+            if self._pending == 0:
+                self._finished = time.perf_counter()
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    @property
+    def names(self) -> List[str]:
+        """Member names in canonical (manifest) order."""
+        return list(self._futures)
+
+    def done(self) -> bool:
+        """True when every member has finished (or was cancelled)."""
+        return all(future.done() for future in self._futures.values())
+
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancel_event is not None and self._cancel_event.is_set()
+
+    def cancel(self) -> bool:
+        """Stop the suite: unstarted members never run, in-flight members
+        abort at their next batch boundary.  Returns ``True`` only when
+        every member was cancelled before starting; ``False`` when any
+        member was already running or finished — including members
+        replayed from resume records, which resolve at submit time."""
+        if self._cancel_event is not None:
+            self._cancel_event.set()
+        return all([future.cancel() for future in self._futures.values()])
+
+    def result(self, timeout: Optional[float] = None) -> SuiteResult:
+        """Block for every member and return the assembled suite result.
+
+        ``elapsed_seconds`` is the wall-clock time from submission to the
+        completion of the last member (matching :meth:`Session.run_suite`
+        semantics), not the sum of per-member times — members overlap on
+        the submit pool.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        results: "Dict[str, StudyResult]" = {}
+        for name, future in self._futures.items():
+            remaining = None if deadline is None else deadline - time.monotonic()
+            results[name] = future.result(timeout=remaining)
+        with self._clock_lock:
+            finished = self._finished
+        if finished is None:  # pragma: no cover - all results resolved above
+            finished = time.perf_counter()
+        return SuiteResult(
+            self.suite,
+            results,
+            elapsed_seconds=finished - self._started,
+            cache=None if self._session is None else self._session.cache.stats(),
+        )
+
+    def partial_results(self) -> Iterator[Tuple[str, StudyResult]]:
+        """Yield ``(name, result)`` as members complete (streaming order).
+
+        Cancelled members are skipped rather than raised, so a consumer
+        can drain whatever completed before a :meth:`cancel`.
+        """
+        pending = {future: name for name, future in self._futures.items()}
+        while pending:
+            finished, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            for future in finished:
+                name = pending.pop(future)
+                try:
+                    yield name, future.result()
+                except (CancelledError, StudyCancelled):
+                    continue
+
+    __iter__ = partial_results
+
+
 class Session:
     """Shared-engine execution context for registered studies.
 
@@ -215,6 +341,12 @@ class Session:
         LRU budgets applied when the session builds its own cache, keeping
         long sessions bounded in memory (entries evicted from memory stay
         on disk when ``cache_dir`` is used).
+    max_store_entries, max_store_bytes:
+        Garbage-collection budgets for the ``cache_dir`` object tree
+        (require ``cache_dir``): every write-through is followed by an
+        LRU-by-last-use prune of the on-disk store, so a long-lived shared
+        directory stays bounded (see
+        :meth:`repro.engine.cache.FileStore.gc`).
     max_concurrent_studies:
         Worker threads backing :meth:`submit` (each study still fans its
         own measurements out over the parallel executor).
@@ -229,6 +361,8 @@ class Session:
         cache_dir: Optional[str] = None,
         max_cache_entries: Optional[int] = None,
         max_cache_bytes: Optional[int] = None,
+        max_store_entries: Optional[int] = None,
+        max_store_bytes: Optional[int] = None,
         max_concurrent_studies: int = 2,
     ) -> None:
         if cache_dir is not None and cache is not None:
@@ -237,6 +371,11 @@ class Session:
                 "cache configuration"
             )
         if isinstance(cache, MeasurementCache):
+            if max_store_entries is not None or max_store_bytes is not None:
+                raise ValueError(
+                    "store budgets cannot be applied to an externally built "
+                    "cache; construct the MeasurementCache with them instead"
+                )
             self.cache = cache
         else:
             self.cache = MeasurementCache(
@@ -244,6 +383,8 @@ class Session:
                 cache_dir=cache_dir,
                 max_entries=max_cache_entries,
                 max_bytes=max_cache_bytes,
+                max_store_entries=max_store_entries,
+                max_store_bytes=max_store_bytes,
             )
         self.n_jobs = n_jobs
         self.backend = backend
@@ -433,6 +574,174 @@ class Session:
                         for key, value in zip(keys, values)
                     )
         return OrderedDict({"": spec})
+
+    # ------------------------------------------------------------------
+    # Suites
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_suite(cls, suite: SuiteSpec, **overrides: Any) -> "Session":
+        """Build a session configured from a suite manifest.
+
+        The suite's shared session fields (``n_jobs``, ``backend``,
+        ``cache_dir``, store budgets) become the session configuration;
+        keyword ``overrides`` (any :class:`Session` parameter) win over
+        the manifest — how the CLI applies ``--n-jobs``/``--cache-dir``.
+        """
+        config: Dict[str, Any] = {
+            "cache_dir": suite.cache_dir,
+            "max_store_entries": suite.max_store_entries,
+            "max_store_bytes": suite.max_store_bytes,
+        }
+        if suite.n_jobs is not None:
+            config["n_jobs"] = suite.n_jobs
+        if suite.backend is not None:
+            config["backend"] = suite.backend
+        config.update(overrides)
+        return cls(**config)
+
+    def run_suite(
+        self,
+        suite: SuiteSpec,
+        *,
+        resume: bool = False,
+        progress: Optional[SuiteProgress] = None,
+    ) -> SuiteResult:
+        """Execute every member of ``suite`` through this session, in order.
+
+        All members share this session's measurement cache and executors,
+        so overlapping studies warm each other and a repeated spec replays
+        without refitting.  The whole manifest is validated against the
+        registry before anything runs, so a malformed suite fails fast.
+
+        With a ``cache_dir`` bound, each completed member writes a resume
+        record under ``<cache_dir>/suites/<suite.name>/``; ``resume=True``
+        replays members whose record matches their current spec *without
+        re-running them* (zero cache lookups — a changed spec invalidates
+        its record and runs again).  ``progress`` is called per member
+        (``"start"``/``"done"``/``"replay"``) for streaming feedback.
+        """
+        suite.validate()
+        records_dir = self._suite_records_dir(suite)
+        if resume and records_dir is None:
+            raise ValueError(
+                "resume replays completion records from the per-key store "
+                "and therefore requires a cache_dir"
+            )
+        results: "Dict[str, StudyResult]" = {}
+        total = len(suite)
+        start = time.perf_counter()
+        for index, (name, spec) in enumerate(suite):
+            if resume:
+                record = self._load_suite_record(records_dir, name, spec)
+                if record is not None:
+                    results[name] = StudyResult.from_record(record)
+                    if progress is not None:
+                        progress("replay", name, index, total, results[name])
+                    continue
+            if progress is not None:
+                progress("start", name, index, total, None)
+            result = self._execute(spec)
+            if records_dir is not None:
+                self._write_suite_record(records_dir, name, result)
+            results[name] = result
+            if progress is not None:
+                progress("done", name, index, total, result)
+        suite_result = SuiteResult(
+            suite,
+            results,
+            elapsed_seconds=time.perf_counter() - start,
+            cache=self.cache.stats(),
+        )
+        if records_dir is not None:
+            atomic_write(
+                os.path.join(records_dir, "manifest.json"),
+                suite_result.to_json(indent=2).encode("utf-8"),
+            )
+        return suite_result
+
+    def submit_suite(
+        self, suite: SuiteSpec, *, resume: bool = False
+    ) -> SuiteHandle:
+        """Launch ``suite`` asynchronously and return a :class:`SuiteHandle`.
+
+        Members fan out over the session's submit pool (bounded by
+        ``max_concurrent_studies``) against the one shared cache, stream
+        ``(name, result)`` pairs as they complete, and assemble in
+        canonical manifest order on :meth:`SuiteHandle.result`.  Resume
+        semantics match :meth:`run_suite`; replayed members resolve
+        immediately.
+        """
+        suite.validate()
+        records_dir = self._suite_records_dir(suite)
+        if resume and records_dir is None:
+            raise ValueError(
+                "resume replays completion records from the per-key store "
+                "and therefore requires a cache_dir"
+            )
+        pool = self._submit_pool()
+        cancel_event = threading.Event()
+        futures: "OrderedDict[str, Future[StudyResult]]" = OrderedDict()
+        for name, spec in suite:
+            if resume:
+                record = self._load_suite_record(records_dir, name, spec)
+                if record is not None:
+                    replayed: "Future[StudyResult]" = Future()
+                    replayed.set_result(StudyResult.from_record(record))
+                    futures[name] = replayed
+                    continue
+            futures[name] = pool.submit(
+                self._run_suite_member, spec, name, records_dir, cancel_event
+            )
+        return SuiteHandle(
+            suite, futures, cancel_event=cancel_event, session=self
+        )
+
+    def _run_suite_member(
+        self,
+        spec: StudySpec,
+        name: str,
+        records_dir: Optional[str],
+        cancel_event: threading.Event,
+    ) -> StudyResult:
+        result = self._execute(spec, cancel_event)
+        if records_dir is not None:
+            self._write_suite_record(records_dir, name, result)
+        return result
+
+    def _suite_records_dir(self, suite: SuiteSpec) -> Optional[str]:
+        """Completion records live inside the per-key store directory."""
+        if self.cache.cache_dir is None:
+            return None
+        return os.path.join(self.cache.cache_dir, "suites", suite.name)
+
+    @staticmethod
+    def _load_suite_record(
+        records_dir: str, name: str, spec: StudySpec
+    ) -> Optional[Dict[str, Any]]:
+        """Read one member's completion record, or ``None`` when the member
+        must (re-)run: no record, unreadable record, or a record written
+        for a different version of the spec."""
+        try:
+            with open(
+                os.path.join(records_dir, f"{name}.json"), encoding="utf-8"
+            ) as handle:
+                record = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("spec") != spec.to_dict():
+            return None
+        return record
+
+    @staticmethod
+    def _write_suite_record(
+        records_dir: str, name: str, result: StudyResult
+    ) -> None:
+        """Atomically persist one member's completion record, so a suite
+        killed mid-run resumes from whatever finished."""
+        atomic_write(
+            os.path.join(records_dir, f"{name}.json"),
+            json.dumps(result.to_record(), sort_keys=True).encode("utf-8"),
+        )
 
     # ------------------------------------------------------------------
     # Introspection

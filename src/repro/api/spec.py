@@ -1,9 +1,10 @@
-"""Declarative description of one study run: :class:`StudySpec`.
+"""Declarative descriptions of study runs: :class:`StudySpec` and
+:class:`SuiteSpec`.
 
-A spec captures *everything* needed to launch a registered study — the
-study name, its study-specific parameters, the execution knobs of the
-measurement engine (``n_jobs``, ``backend``, cache participation) and the
-``random_state`` — as a frozen value object with a lossless JSON
+A :class:`StudySpec` captures *everything* needed to launch a registered
+study — the study name, its study-specific parameters, the execution knobs
+of the measurement engine (``n_jobs``, ``backend``, cache participation)
+and the ``random_state`` — as a frozen value object with a lossless JSON
 round-trip.  Studies therefore become launchable from config files,
 queueable across processes, and hashable into experiment manifests::
 
@@ -18,17 +19,25 @@ queueable across processes, and hashable into experiment manifests::
 For a fixed ``random_state`` every registered study is bitwise-identical
 at any ``n_jobs``/``backend`` (seeds are pre-drawn before execution), so a
 spec fully determines its results, not just its configuration.
+
+A :class:`SuiteSpec` lifts that property to a whole *figure suite*: an
+ordered list of named specs plus the shared session configuration
+(``n_jobs``, ``backend``, ``cache_dir``, store byte budget), with the same
+lossless JSON round-trip.  One manifest file drives every study behind a
+set of paper artefacts through one shared cache — see
+:meth:`repro.api.session.Session.run_suite` and ``python -m repro suite``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import re
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
-__all__ = ["StudySpec"]
+__all__ = ["StudySpec", "SuiteSpec"]
 
 #: Backends understood by the measurement engine (mirrors
 #: :data:`repro.engine.executor._BACKENDS`).
@@ -190,4 +199,235 @@ class StudySpec:
     @classmethod
     def from_json(cls, payload: str) -> "StudySpec":
         """Parse a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(payload))
+
+
+#: Spec/suite names end up as file names of resume records, so they are
+#: restricted to a filesystem-safe alphabet.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def _normalize_suite_specs(specs: Any) -> Tuple[Tuple[str, StudySpec], ...]:
+    """Coerce the accepted ``specs`` shapes to an ordered name->spec tuple.
+
+    Accepted inputs: a mapping ``{name: StudySpec|dict}``, a sequence of
+    ``(name, StudySpec|dict)`` pairs, or a sequence of
+    ``{"name": ..., "spec": {...}}`` entries (the JSON manifest form).
+    """
+    if isinstance(specs, Mapping):
+        pairs = list(specs.items())
+    elif isinstance(specs, Sequence) and not isinstance(specs, (str, bytes)):
+        pairs = []
+        for position, entry in enumerate(specs):
+            if isinstance(entry, Mapping):
+                extra = set(entry) - {"name", "spec"}
+                if "name" not in entry or "spec" not in entry or extra:
+                    raise ValueError(
+                        f"suite spec entry #{position} must be an object with "
+                        f"exactly the keys 'name' and 'spec', got keys "
+                        f"{sorted(entry)}"
+                    )
+                pairs.append((entry["name"], entry["spec"]))
+            elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+                pairs.append((entry[0], entry[1]))
+            else:
+                raise ValueError(
+                    f"suite spec entry #{position} must be a (name, spec) "
+                    f"pair or a {{'name', 'spec'}} object, got {entry!r}"
+                )
+    else:
+        raise TypeError(
+            f"specs must be a mapping or sequence of named StudySpecs, got "
+            f"{type(specs).__name__}"
+        )
+    if not pairs:
+        raise ValueError("a suite must contain at least one spec")
+    normalized: List[Tuple[str, StudySpec]] = []
+    seen = set()
+    for name, spec in pairs:
+        if not isinstance(name, str) or not _NAME_PATTERN.match(name):
+            raise ValueError(
+                f"invalid suite spec name {name!r}: names must match "
+                f"{_NAME_PATTERN.pattern}"
+            )
+        if name in seen:
+            raise ValueError(f"duplicate suite spec name {name!r}")
+        seen.add(name)
+        if isinstance(spec, Mapping) and not isinstance(spec, StudySpec):
+            try:
+                spec = StudySpec.from_dict(spec)
+            except (TypeError, ValueError) as error:
+                raise ValueError(f"suite spec {name!r}: {error}") from error
+        if not isinstance(spec, StudySpec):
+            raise TypeError(
+                f"suite spec {name!r} must be a StudySpec or its dict form, "
+                f"got {type(spec).__name__}"
+            )
+        normalized.append((name, spec))
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """Immutable, JSON-round-trippable manifest of a whole figure suite.
+
+    One suite names an ordered list of :class:`StudySpec` runs plus the
+    session configuration they share — so a single JSON file drives, say,
+    every study behind Figures 1–5 through one cache and one executor
+    (``python -m repro suite manifest.json``).
+
+    Parameters
+    ----------
+    name:
+        Suite identity (filesystem-safe; resume records live under it).
+    specs:
+        The member studies, in canonical order: a mapping
+        ``{name: StudySpec}``, a sequence of ``(name, spec)`` pairs, or
+        the JSON manifest form (a list of ``{"name", "spec"}`` objects).
+        Names are unique and filesystem-safe.
+    n_jobs, backend:
+        Session defaults inherited by every member spec that does not set
+        its own (``None`` keeps the Session's built-in defaults).
+    cache_dir:
+        Shared per-key measurement store.  All member studies write
+        through to (and replay from) this directory, and suite resume
+        records are kept under ``<cache_dir>/suites/<name>/``.
+    max_store_bytes, max_store_entries:
+        Garbage-collection budgets for the ``cache_dir`` object tree,
+        enforced LRU-by-last-use after every write-through (see
+        :meth:`repro.engine.cache.FileStore.gc`).
+    """
+
+    name: str
+    specs: Tuple[Tuple[str, StudySpec], ...]
+    n_jobs: Optional[int] = None
+    backend: Optional[str] = None
+    cache_dir: Optional[str] = None
+    max_store_bytes: Optional[int] = None
+    max_store_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _NAME_PATTERN.match(self.name):
+            raise ValueError(
+                f"invalid suite name {self.name!r}: names must match "
+                f"{_NAME_PATTERN.pattern}"
+            )
+        object.__setattr__(self, "specs", _normalize_suite_specs(self.specs))
+        if self.n_jobs is not None:
+            if isinstance(self.n_jobs, bool) or not isinstance(self.n_jobs, int):
+                raise TypeError("n_jobs must be an int or None")
+        if self.backend is not None and self.backend not in VALID_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {VALID_BACKENDS} or None, got "
+                f"{self.backend!r}"
+            )
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            raise TypeError("cache_dir must be a path string or None")
+        for attribute in ("max_store_bytes", "max_store_entries"):
+            value = getattr(self, attribute)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    f"{attribute} must be a positive integer or None, got "
+                    f"{value!r}"
+                )
+            if self.cache_dir is None:
+                raise ValueError(
+                    f"{attribute} bounds the on-disk object tree and "
+                    f"therefore requires cache_dir"
+                )
+
+    def __hash__(self) -> int:
+        return hash((self.name, json.dumps(self.to_dict(), sort_keys=True)))
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[Tuple[str, StudySpec]]:
+        return iter(self.specs)
+
+    def __getitem__(self, name: str) -> StudySpec:
+        for spec_name, spec in self.specs:
+            if spec_name == name:
+                return spec
+        raise KeyError(
+            f"suite {self.name!r} has no spec {name!r}; members: {self.names}"
+        )
+
+    @property
+    def names(self) -> List[str]:
+        """Member spec names, in canonical (manifest) order."""
+        return [name for name, _ in self.specs]
+
+    # ------------------------------------------------------------------
+    # Derivation and validation
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "SuiteSpec":
+        """Return a copy with some fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def validate(self) -> None:
+        """Check every member against the study registry.
+
+        Raises :class:`ValueError` naming the offending member when a spec
+        references an unknown study or passes parameters its driver does
+        not accept — so a malformed manifest fails before any study runs.
+        """
+        from repro.api.registry import get_study  # local: avoid cycle
+
+        for name, spec in self.specs:
+            try:
+                get_study(spec.study).validate_params(spec.params)
+            except (KeyError, ValueError) as error:
+                message = error.args[0] if error.args else error
+                raise ValueError(f"suite spec {name!r}: {message}") from error
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict manifest form, suitable for ``json`` dumping."""
+        return {
+            "name": self.name,
+            "specs": [
+                {"name": name, "spec": spec.to_dict()} for name, spec in self.specs
+            ],
+            "n_jobs": self.n_jobs,
+            "backend": self.backend,
+            "cache_dir": self.cache_dir,
+            "max_store_bytes": self.max_store_bytes,
+            "max_store_entries": self.max_store_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SuiteSpec":
+        """Rebuild a suite from :meth:`to_dict` output (extra keys rejected)."""
+        if not isinstance(data, Mapping):
+            raise TypeError(
+                f"a suite manifest must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SuiteSpec fields {sorted(unknown)}; valid fields "
+                f"are {sorted(known)}"
+            )
+        missing = {"name", "specs"} - set(data)
+        if missing:
+            raise ValueError(f"suite manifest is missing {sorted(missing)}")
+        return cls(**dict(data))
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """JSON manifest; ``SuiteSpec.from_json`` inverts it losslessly."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SuiteSpec":
+        """Parse a suite from :meth:`to_json` (or hand-written) JSON."""
         return cls.from_dict(json.loads(payload))

@@ -35,8 +35,9 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -44,7 +45,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.benchmark import BenchmarkProcess, Measurement
     from repro.utils.rng import SeedBundle
 
-__all__ = ["FileStore", "MeasurementCache", "measurement_key"]
+__all__ = ["FileStore", "MeasurementCache", "atomic_write", "measurement_key"]
+
+
+def atomic_write(target: str, blob: bytes) -> None:
+    """Write ``blob`` to ``target`` via temp file + rename, so a reader
+    never observes a torn file and concurrent writers both land whole.
+    Parent directories are created on demand."""
+    directory = os.path.dirname(target)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
 
 
 def _dataset_token(dataset) -> str:
@@ -143,13 +163,50 @@ class FileStore:
     concurrent writers of the same key are both atomic (identical bytes,
     last rename wins).  The index is purely advisory — :meth:`keys` scans
     the object tree, so a stale or missing index never loses entries.
+
+    Parameters
+    ----------
+    directory:
+        Root of the store (created on demand).
+    max_bytes, max_entries:
+        Optional garbage-collection budgets over the on-disk object tree.
+        When set, every :meth:`write` is followed by a :meth:`gc` pass that
+        deletes least-recently-used entries (a :meth:`read` refreshes an
+        entry's file mtime, so recency survives process restarts) until the
+        tree is back within budget.  The most recently used entry is never
+        deleted, so a single oversized measurement still persists.  Budgets
+        are enforced against the *scanned* tree, which makes them safe
+        under concurrent writers sharing the directory: whichever writer
+        finishes last prunes whatever the others landed.
     """
 
     INDEX_NAME = "index.json"
 
-    def __init__(self, directory: str) -> None:
+    def __init__(
+        self,
+        directory: str,
+        *,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be a positive integer or None")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be a positive integer or None")
         self.directory = str(directory)
         self._objects = os.path.join(self.directory, "objects")
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        #: Lifetime GC counters for this store instance, for cache stats.
+        self.removed_entries = 0
+        self.removed_bytes = 0
+        self.removed_tmp = 0
+        # Running over-estimate of the tree (seeded by the first gc scan);
+        # lets budgeted writes skip the full scan while clearly under
+        # budget.  Guarded by a lock: one store may serve many threads.
+        self._approx_bytes: Optional[int] = None
+        self._approx_entries: Optional[int] = None
+        self._gc_lock = threading.Lock()
         os.makedirs(self._objects, exist_ok=True)
 
     def _path(self, key: str) -> str:
@@ -158,39 +215,64 @@ class FileStore:
         return os.path.join(self._objects, key[:2], key + ".pkl")
 
     def read(self, key: str) -> Optional["Measurement"]:
-        """Load one entry, or ``None`` when absent (or unreadable)."""
+        """Load one entry, or ``None`` when absent (or unreadable).
+
+        A successful read refreshes the entry's file mtime, so garbage
+        collection (which evicts oldest-mtime first) observes true
+        least-recently-*used* order, not write order.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as handle:
-                return pickle.load(handle)
+            with open(path, "rb") as handle:
+                measurement = pickle.load(handle)
         except FileNotFoundError:
             return None
         except (EOFError, pickle.UnpicklingError):  # pragma: no cover - a
             # corrupted entry (e.g. disk full during a pre-atomic-write
             # crash) degrades to a recomputed miss, never an error.
             return None
-
-    @staticmethod
-    def _atomic_write(target: str, blob: bytes) -> None:
-        """Write ``blob`` to ``target`` via temp file + rename, so a reader
-        never observes a torn file and concurrent writers both land whole."""
-        directory = os.path.dirname(target)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp, target)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except FileNotFoundError:
-                pass
-            raise
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced a concurrent gc
+            pass
+        return measurement
+
+    #: Kept as a static-method alias so store subclasses/tests can reuse it.
+    _atomic_write = staticmethod(atomic_write)
 
     def write(self, key: str, measurement: "Measurement") -> int:
-        """Atomically persist one entry; returns its pickled size."""
+        """Atomically persist one entry; returns its pickled size.
+
+        When GC budgets are configured the write also maintains a running
+        over-estimate of the tree's size and, whenever that estimate
+        crosses a budget, runs a :meth:`gc` pass (which rescans precisely
+        and prunes) protecting the entry just written — so the object tree
+        never stays over budget past the put that pushed it there, without
+        paying a full tree scan for puts into a store that is far under
+        budget.
+        """
         blob = pickle.dumps(measurement, protocol=pickle.HIGHEST_PROTOCOL)
-        self._atomic_write(self._path(key), blob)
+        atomic_write(self._path(key), blob)
+        if self.max_bytes is None and self.max_entries is None:
+            return len(blob)
+        with self._gc_lock:
+            if self._approx_bytes is None:
+                run_gc = True  # first budgeted write: seed from a real scan
+            else:
+                # Over-estimate: overwrites count at full size and other
+                # writers' deletions are ignored, so for this instance's
+                # own puts the estimate never undercounts the tree.
+                self._approx_bytes += len(blob)
+                self._approx_entries += 1
+                run_gc = (
+                    self.max_bytes is not None
+                    and self._approx_bytes > self.max_bytes
+                ) or (
+                    self.max_entries is not None
+                    and self._approx_entries > self.max_entries
+                )
+        if run_gc:
+            self.gc(protect=key)
         return len(blob)
 
     def __contains__(self, key: str) -> bool:
@@ -210,6 +292,139 @@ class FileStore:
 
     def __len__(self) -> int:
         return len(self.keys())
+
+    @property
+    def total_bytes(self) -> int:
+        """Summed size of every persisted entry (scans the object tree)."""
+        return sum(size for _, _, size, _ in self._scan()[0])
+
+    def _scan(
+        self,
+    ) -> Tuple[List[Tuple[str, str, int, int]], List[Tuple[str, int]]]:
+        """Walk the object tree once.
+
+        Returns ``(entries, leftovers)`` where each entry is
+        ``(key, path, size, mtime_ns)`` and each leftover is an orphaned
+        ``.tmp`` file (``(path, mtime_ns)``) abandoned by a crashed
+        writer.  Files deleted by a concurrent gc mid-scan are skipped.
+        """
+        entries: List[Tuple[str, str, int, int]] = []
+        leftovers: List[Tuple[str, int]] = []
+        try:
+            shards = sorted(os.scandir(self._objects), key=lambda e: e.name)
+        except FileNotFoundError:  # pragma: no cover - store root removed
+            return entries, leftovers
+        for shard in shards:
+            if not shard.is_dir():
+                continue
+            for item in sorted(os.scandir(shard.path), key=lambda e: e.name):
+                try:
+                    stat = item.stat()
+                except FileNotFoundError:
+                    continue
+                if item.name.endswith(".pkl"):
+                    entries.append(
+                        (item.name[: -len(".pkl")], item.path, stat.st_size,
+                         stat.st_mtime_ns)
+                    )
+                elif item.name.endswith(".tmp"):
+                    leftovers.append((item.path, stat.st_mtime_ns))
+        return entries, leftovers
+
+    def gc(
+        self,
+        *,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        tmp_grace_seconds: float = 3600.0,
+        protect: Optional[str] = None,
+    ) -> Dict[str, int]:
+        """Prune the object tree back within budget, LRU-by-last-use.
+
+        ``max_bytes``/``max_entries`` override the configured budgets for
+        this pass (``None`` uses the store's own; a store with no budgets
+        only sweeps crash leftovers and refreshes the index).  Eviction
+        order is oldest file mtime first (reads refresh mtimes, so this is
+        least-recently-used, not least-recently-written); the most recent
+        entry is never deleted — and neither is ``protect`` (the key a
+        triggering write just persisted, immune even to an mtime tie on
+        filesystems with coarse timestamps) — so one oversized measurement
+        still persists.  Orphaned ``.tmp`` files older than
+        ``tmp_grace_seconds`` (crash debris — live writers rename theirs
+        within milliseconds) are swept, and the advisory index is
+        atomically rewritten whenever anything was deleted, so it never
+        lists pruned keys.
+
+        Returns a stats dict: entries/bytes removed by this pass, tmp files
+        swept, and the surviving entry/byte counts.
+        """
+        budget_bytes = self.max_bytes if max_bytes is None else int(max_bytes)
+        budget_entries = (
+            self.max_entries if max_entries is None else int(max_entries)
+        )
+        entries, leftovers = self._scan()
+        removed_tmp = 0
+        cutoff = time.time_ns() - int(tmp_grace_seconds * 1e9)
+        for path, mtime_ns in leftovers:
+            if mtime_ns <= cutoff:
+                try:
+                    os.unlink(path)
+                    removed_tmp += 1
+                except FileNotFoundError:  # pragma: no cover - gc race
+                    pass
+        # Oldest mtime first; key breaks ties deterministically.
+        entries.sort(key=lambda entry: (entry[3], entry[0]))
+        total = sum(size for _, _, size, _ in entries)
+        live = len(entries)
+        removed = removed_bytes = 0
+        survivors: List[Tuple[str, str, int, int]] = []
+        victims = iter(entries)
+        while live > 1 and (
+            (budget_entries is not None and live > budget_entries)
+            or (budget_bytes is not None and total > budget_bytes)
+        ):
+            entry = next(victims, None)
+            if entry is None:  # everything else was protected
+                break
+            if entry[0] == protect or entry is entries[-1]:
+                # Never delete the protected key or the newest entry.
+                survivors.append(entry)
+                continue
+            _, path, size, _ = entry
+            try:
+                os.unlink(path)
+            except FileNotFoundError:  # pragma: no cover - concurrent gc
+                pass
+            total -= size
+            live -= 1
+            removed += 1
+            removed_bytes += size
+        survivors.extend(victims)
+        self.removed_entries += removed
+        self.removed_bytes += removed_bytes
+        self.removed_tmp += removed_tmp
+        if removed or removed_tmp:
+            sizes = {key: size for key, _, size, _ in survivors}
+            payload = json.dumps({"entries": len(sizes), "sizes": sizes})
+            atomic_write(
+                os.path.join(self.directory, self.INDEX_NAME),
+                payload.encode("utf-8"),
+            )
+        with self._gc_lock:
+            # Re-seed the write-path estimate from the precise scan.
+            self._approx_bytes = total
+            self._approx_entries = live
+        return {
+            "removed_entries": removed,
+            "removed_bytes": removed_bytes,
+            "removed_tmp": removed_tmp,
+            "entries": live,
+            "bytes": total,
+        }
+
+    def prune(self, **kwargs: Any) -> Dict[str, int]:
+        """Alias of :meth:`gc` (same budgets, same return value)."""
+        return self.gc(**kwargs)
 
     def write_index(self) -> str:
         """Write the advisory ``index.json`` (key -> byte size), atomically.
@@ -262,6 +477,13 @@ class MeasurementCache:
         representation; exceeding the budget evicts by the same LRU order.
         The most recent entry is never evicted, so a single oversized
         measurement still caches.  ``None`` disables size tracking.
+    max_store_entries, max_store_bytes:
+        Optional garbage-collection budgets for the on-disk object tree of
+        a ``cache_dir`` store (they require one).  Unlike the in-memory
+        budgets above — which only bound this process's working set —
+        these bound the *shared persistent* store: every write-through is
+        followed by an LRU prune of the directory (see
+        :meth:`FileStore.gc`).
 
     Examples
     --------
@@ -279,6 +501,8 @@ class MeasurementCache:
         cache_dir: Optional[str] = None,
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = None,
+        max_store_entries: Optional[int] = None,
+        max_store_bytes: Optional[int] = None,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be a positive integer or None")
@@ -289,13 +513,28 @@ class MeasurementCache:
                 "path (monolithic pickle) and cache_dir (per-key file store) "
                 "are mutually exclusive"
             )
+        if (
+            max_store_entries is not None or max_store_bytes is not None
+        ) and cache_dir is None:
+            raise ValueError(
+                "max_store_entries/max_store_bytes bound the on-disk object "
+                "tree and therefore require cache_dir"
+            )
         self._store: "OrderedDict[str, Measurement]" = OrderedDict()
         self._sizes: Dict[str, int] = {}
         self._total_bytes = 0
         self._lock = threading.Lock()
         self.path = path
         self.cache_dir = cache_dir
-        self._file_store = FileStore(cache_dir) if cache_dir is not None else None
+        self._file_store = (
+            FileStore(
+                cache_dir,
+                max_bytes=max_store_bytes,
+                max_entries=max_store_entries,
+            )
+            if cache_dir is not None
+            else None
+        )
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.hits = 0
@@ -424,6 +663,10 @@ class MeasurementCache:
                 "evictions": self.evictions,
                 "bytes": self._total_bytes,
                 "store_hits": self.store_hits,
+                "store_evictions": (
+                    0 if self._file_store is None
+                    else self._file_store.removed_entries
+                ),
             }
 
     def clear(self) -> None:

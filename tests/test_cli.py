@@ -1,0 +1,183 @@
+"""Direct coverage of the CLI front door (``python -m repro``).
+
+Exit-code contract: 0 on success (including a ``BrokenPipeError`` from a
+closed pager), 2 for unreadable or malformed specs/manifests — with a
+human ``error: ...`` message on stderr naming the problem, never a
+traceback.  Success-path payload shapes (``run --json``, ``suite
+--json``, ``gc --json``) are asserted structurally.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.api import StudySpec, SuiteSpec, list_studies
+from repro.engine.cache import FileStore
+
+
+def _spec_file(tmp_path, spec: StudySpec):
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    return str(path)
+
+
+def _suite_file(tmp_path, suite: SuiteSpec, name="manifest.json"):
+    path = tmp_path / name
+    path.write_text(suite.to_json(indent=2))
+    return str(path)
+
+
+SPEC = StudySpec(
+    study="sample_size", params={"gammas": [0.7, 0.75]}, random_state=0
+)
+
+
+class TestRunCommand:
+    def test_json_payload_shape_and_exit_code(self, tmp_path, capsys):
+        assert main(["run", _spec_file(tmp_path, SPEC), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["study"] == "sample_size"
+        assert payload["spec"] == SPEC.to_dict()
+        assert payload["rows"]
+
+    def test_missing_file_exits_2_with_message(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "absent.json" in err
+
+    def test_invalid_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["run", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_study_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"study": "nope", "params": {}}))
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown study" in err and "registered studies" in err
+
+    def test_invalid_params_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"study": "variance", "params": {"bogus": 1}}))
+        assert main(["run", str(path)]) == 2
+        assert "valid parameters" in capsys.readouterr().err
+
+    def test_unknown_spec_field_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"study": "variance", "jobs": 4}))
+        assert main(["run", str(path)]) == 2
+        assert "unknown StudySpec fields" in capsys.readouterr().err
+
+
+class TestSuiteCommand:
+    def test_summary_and_exit_code(self, tmp_path, capsys):
+        suite = SuiteSpec(name="s", specs=[("only", SPEC)])
+        assert main(["suite", _suite_file(tmp_path, suite)]) == 0
+        captured = capsys.readouterr()
+        assert "suite=s" in captured.out and "== only ==" in captured.out
+        assert "[1/1] only" in captured.err
+
+    def test_cache_dir_override_enables_resume(self, tmp_path, capsys):
+        suite = SuiteSpec(name="s", specs=[("only", SPEC)])
+        path = _suite_file(tmp_path, suite)
+        store = str(tmp_path / "store")
+        assert main(["suite", path, "--cache-dir", store]) == 0
+        capsys.readouterr()
+        assert main(["suite", path, "--cache-dir", store, "--resume", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replayed"] == ["only"]
+
+    def test_resume_without_cache_dir_exits_2(self, tmp_path, capsys):
+        suite = SuiteSpec(name="s", specs=[("only", SPEC)])
+        assert main(["suite", _suite_file(tmp_path, suite), "--resume"]) == 2
+        assert "--resume requires a cache_dir" in capsys.readouterr().err
+
+    def test_manifest_must_be_an_object(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        assert main(["suite", str(path)]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_missing_required_keys_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"name": "s"}))
+        assert main(["suite", str(path)]) == 2
+        assert "missing ['specs']" in capsys.readouterr().err
+
+    def test_duplicate_member_names_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "dups.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "s",
+                    "specs": [
+                        {"name": "a", "spec": SPEC.to_dict()},
+                        {"name": "a", "spec": SPEC.to_dict()},
+                    ],
+                }
+            )
+        )
+        assert main(["suite", str(path)]) == 2
+        assert "duplicate suite spec name" in capsys.readouterr().err
+
+    def test_unknown_member_study_exits_2_naming_the_member(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "unknown.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "s",
+                    "specs": [{"name": "m1", "spec": {"study": "nope"}}],
+                }
+            )
+        )
+        assert main(["suite", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "suite spec 'm1'" in err and "unknown study" in err
+
+    def test_malformed_entry_shape_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"name": "s", "specs": [{"nome": "x"}]}))
+        assert main(["suite", str(path)]) == 2
+        assert "entry #0" in capsys.readouterr().err
+
+    def test_missing_manifest_exits_2(self, tmp_path, capsys):
+        assert main(["suite", str(tmp_path / "absent.json")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestGCCommand:
+    def test_prunes_to_budget_and_reports(self, tmp_path, capsys):
+        store = FileStore(str(tmp_path / "store"))
+        for key in ("aa11", "bb22", "cc33"):
+            store.write(key, "x" * 64)
+        assert main(
+            ["gc", str(tmp_path / "store"), "--max-entries", "1", "--json"]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["removed_entries"] == 2
+        assert stats["entries"] == 1
+        assert len(FileStore(str(tmp_path / "store"))) == 1
+
+    def test_human_output(self, tmp_path, capsys):
+        store = FileStore(str(tmp_path / "store"))
+        store.write("aa11", "x")
+        assert main(["gc", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "removed 0 entries" in out and "1 entries" in out
+
+    def test_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main(["gc", str(tmp_path / "nowhere")]) == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+
+class TestListCommand:
+    def test_lists_every_registered_study(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in list_studies():
+            assert name in out

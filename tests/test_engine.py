@@ -1,5 +1,6 @@
 """Tests for the parallel cached measurement engine (repro.engine)."""
 
+import json
 import threading
 
 import numpy as np
@@ -322,6 +323,67 @@ class TestCacheDirStore:
         assert cold_cache.misses == 0 and cold_cache.store_hits == 1
 
 
+class TestProcessBackendParity:
+    """The determinism contract holds on the process backend too.
+
+    The shard-parity matrix in tests/test_api.py exercises the default
+    thread backend; these run the same submit-equals-run claim — and the
+    cross-backend identity — through real process pools, where functions,
+    items and measurements all cross a pickle boundary.
+    """
+
+    PARAMS = {
+        "task_names": ["entailment", "sentiment"],
+        "n_splits": 2,
+        "dataset_size": 150,
+    }
+
+    @staticmethod
+    def _canon(result):
+        return json.dumps(result.to_rows(), sort_keys=True, default=str)
+
+    def test_submit_equals_run_bitwise_on_process_backend(self):
+        from repro.api import Session, StudySpec
+
+        spec = StudySpec(
+            study="binomial",
+            params=self.PARAMS,
+            n_jobs=2,
+            backend="process",
+            random_state=5,
+        )
+        with Session(backend="process") as session:
+            full = session.run(spec)
+            handle = session.submit(spec)
+            assert len(handle) == 2
+            merged = handle.result()
+        assert self._canon(full) == self._canon(merged)
+        # Cross-backend identity: the process-pool result is bitwise the
+        # serial result (seeds are pre-drawn; pickling changes nothing).
+        with Session() as session:
+            serial = session.run(spec.replace(backend="serial", n_jobs=1))
+        assert self._canon(serial) == self._canon(full)
+
+    def test_process_study_replays_from_shared_store(self, tmp_path):
+        from repro.api import Session, StudySpec
+
+        spec = StudySpec(
+            study="binomial",
+            params=self.PARAMS,
+            n_jobs=2,
+            backend="process",
+            random_state=5,
+        )
+        directory = str(tmp_path / "store")
+        with Session(backend="process", cache_dir=directory) as session:
+            cold = session.run(spec)
+        assert cold.cache_stats["misses"] > 0
+        with Session(backend="process", cache_dir=directory) as fresh:
+            warm = fresh.run(spec)
+        assert warm.cache_stats["misses"] == 0
+        assert self._canon(cold) == self._canon(warm)
+
+
 class TestCancellation:
     def test_map_raises_when_already_cancelled(self):
         event = threading.Event()
@@ -376,6 +438,64 @@ class TestCancellation:
         other = SeedBundle(base_seed=99)
         with pytest.raises(StudyCancelled):
             runner.run([WorkItem(seeds=other)])
+
+    def test_process_map_raises_when_already_cancelled(self):
+        event = threading.Event()
+        event.set()
+        with pytest.raises(StudyCancelled):
+            ParallelExecutor(2, backend="process").map(
+                _square, [1, 2, 3, 4], cancel=event
+            )
+
+    def test_process_map_stops_at_batch_boundaries(self):
+        # The event cannot cross process pickling, so a batch already in
+        # flight runs to completion — but the *next* batch never starts.
+        event = threading.Event()
+        executor = CancellableExecutor(
+            ParallelExecutor(2, backend="process"), event
+        )
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        event.set()
+        with pytest.raises(StudyCancelled):
+            executor.map(_square, [4, 5, 6])
+
+    def test_process_single_item_batch_checks_per_item(self):
+        # One item falls back to the serial path, which checks the event
+        # between items even on a process-configured executor.
+        event = threading.Event()
+
+        def fn(x):
+            event.set()
+            return x
+
+        executor = ParallelExecutor(2, backend="process")
+        assert executor.map(fn, [7], cancel=event) == [7]
+        with pytest.raises(StudyCancelled):
+            executor.map(fn, [8], cancel=event)
+
+    def test_submit_cancel_with_process_backend_drains(self):
+        from repro.api import Session, StudySpec
+
+        spec = StudySpec(
+            study="binomial",
+            params={
+                "task_names": ["entailment", "sentiment"],
+                "n_splits": 2,
+                "dataset_size": 150,
+            },
+            backend="process",
+            n_jobs=2,
+            random_state=0,
+        )
+        with Session(backend="process", max_concurrent_studies=1) as session:
+            handle = session.submit(spec)
+            handle.cancel()
+            assert handle.cancelled()
+            # Process batches stop at their boundaries; draining the
+            # handle must never hang and never yield a truncated shard.
+            for partial in handle.partial_results():
+                assert partial.to_rows()
+            assert handle.done()
 
 
 class TestWorkItemScope:

@@ -1,0 +1,456 @@
+"""Tests for suite manifests (SuiteSpec / run_suite / submit_suite).
+
+Covers the workflow-as-data contract end to end:
+
+* ``SuiteSpec`` — validation and the lossless JSON round-trip
+  (property-tested over every accepted input shape);
+* suite execution — a manifest run through one shared session/cache is
+  bitwise-identical to the same specs run individually through
+  ``Session.run`` against the same ``cache_dir``, at ``n_jobs`` 1 and 4;
+* resume — completed members replay from their records with zero cache
+  lookups, a changed spec invalidates its record, and the shared on-disk
+  store never exceeds its configured byte budget;
+* ``submit_suite`` — streaming per-member results, canonical assembly
+  order and cancellation;
+* the CLI acceptance path: ``python -m repro suite manifest.json`` cold,
+  then ``--resume`` with zero misses.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.__main__ import main
+from repro.api import (
+    Session,
+    StudySpec,
+    SuiteSpec,
+    get_study,
+    list_studies,
+    smoke_suite,
+)
+from repro.engine.cache import FileStore
+
+ALL_STUDIES = list_studies()
+
+#: 64 MiB — the CI smoke budget; generous for these tiny studies, so the
+#: zero-miss resume and the never-exceeded assertions hold simultaneously.
+STORE_BUDGET = 64 << 20
+
+#: A three-member figure suite at test scale: one study with real
+#: measurements per task, one split-level study, one analytic study.
+SUITE_MEMBERS = [
+    (
+        "fig1-variance",
+        StudySpec(
+            study="variance",
+            params={
+                "task_names": ["entailment"],
+                "n_seeds": 2,
+                "include_hpo": False,
+                "dataset_size": 150,
+            },
+            random_state=0,
+        ),
+    ),
+    (
+        "fig2-binomial",
+        StudySpec(
+            study="binomial",
+            params={"task_names": ["sentiment"], "n_splits": 2, "dataset_size": 150},
+            random_state=1,
+        ),
+    ),
+    (
+        "figC1-sample-size",
+        StudySpec(
+            study="sample_size", params={"gammas": [0.7, 0.75]}, random_state=2
+        ),
+    ),
+]
+
+
+def _make_suite(directory, *, n_jobs=None, members=SUITE_MEMBERS):
+    return SuiteSpec(
+        name="fig-suite",
+        specs=members,
+        n_jobs=n_jobs,
+        cache_dir=str(directory),
+        max_store_bytes=STORE_BUDGET,
+    )
+
+
+def _rows(result) -> str:
+    """Canonical JSON of a StudyResult's rows (numpy-safe, order-exact)."""
+    return json.dumps(
+        json.loads(result.to_json())["rows"], sort_keys=True
+    )
+
+
+# ----------------------------------------------------------------------
+# SuiteSpec: round-trip and validation
+# ----------------------------------------------------------------------
+_names = st.from_regex(r"[A-Za-z0-9][A-Za-z0-9._-]{0,8}", fullmatch=True)
+
+_param_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=2),
+    max_leaves=4,
+)
+
+_member_specs = st.builds(
+    StudySpec,
+    study=st.sampled_from(ALL_STUDIES),
+    params=st.dictionaries(st.text(min_size=1, max_size=8), _param_values, max_size=3),
+    n_jobs=st.none() | st.integers(min_value=-1, max_value=8),
+    backend=st.none() | st.sampled_from(["serial", "thread", "process"]),
+    random_state=st.none() | st.integers(min_value=0, max_value=2**31),
+)
+
+
+@st.composite
+def _suites(draw):
+    members = draw(
+        st.dictionaries(_names, _member_specs, min_size=1, max_size=4)
+    )
+    cache_dir = draw(st.none() | st.just(".cache"))
+    budgets = {}
+    if cache_dir is not None:
+        budgets["max_store_bytes"] = draw(
+            st.none() | st.integers(min_value=1, max_value=2**40)
+        )
+        budgets["max_store_entries"] = draw(
+            st.none() | st.integers(min_value=1, max_value=10**6)
+        )
+    return SuiteSpec(
+        name=draw(_names),
+        specs=members,
+        n_jobs=draw(st.none() | st.integers(min_value=-1, max_value=8)),
+        backend=draw(st.none() | st.sampled_from(["serial", "thread", "process"])),
+        cache_dir=cache_dir,
+        **budgets,
+    )
+
+
+class TestSuiteSpec:
+    @settings(max_examples=150, deadline=None)
+    @given(suite=_suites())
+    def test_json_round_trip_property(self, suite):
+        assert SuiteSpec.from_json(suite.to_json()) == suite
+        assert SuiteSpec.from_dict(suite.to_dict()) == suite
+        assert json.loads(suite.to_json())["name"] == suite.name
+
+    def test_accepted_input_shapes_are_equivalent(self):
+        spec = StudySpec(study="sample_size", params={"gammas": [0.7]})
+        from_mapping = SuiteSpec(name="s", specs={"a": spec})
+        from_pairs = SuiteSpec(name="s", specs=[("a", spec)])
+        from_manifest = SuiteSpec(
+            name="s", specs=[{"name": "a", "spec": spec.to_dict()}]
+        )
+        assert from_mapping == from_pairs == from_manifest
+
+    def test_container_protocol(self):
+        suite = _make_suite("d")
+        assert len(suite) == 3
+        assert suite.names == [name for name, _ in SUITE_MEMBERS]
+        assert suite["fig1-variance"].study == "variance"
+        assert list(suite) == list(SUITE_MEMBERS)
+        with pytest.raises(KeyError, match="members"):
+            suite["absent"]
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError, match="at least one spec"):
+            SuiteSpec(name="s", specs=[])
+
+    def test_duplicate_names_rejected(self):
+        spec = StudySpec(study="sample_size")
+        with pytest.raises(ValueError, match="duplicate"):
+            SuiteSpec(name="s", specs=[("a", spec), ("a", spec)])
+
+    def test_unsafe_names_rejected(self):
+        spec = StudySpec(study="sample_size")
+        for bad in ("", "a/b", "../up", ".hidden", "a b"):
+            with pytest.raises(ValueError, match="name"):
+                SuiteSpec(name="s", specs=[(bad, spec)])
+        with pytest.raises(ValueError, match="suite name"):
+            SuiteSpec(name="bad/name", specs=[("a", spec)])
+
+    def test_malformed_entries_rejected_with_position(self):
+        with pytest.raises(ValueError, match="entry #0"):
+            SuiteSpec(name="s", specs=[{"nome": "a", "spec": {}}])
+        with pytest.raises(ValueError, match="entry #1"):
+            SuiteSpec(
+                name="s",
+                specs=[
+                    {"name": "a", "spec": {"study": "sample_size"}},
+                    42,
+                ],
+            )
+
+    def test_member_spec_errors_carry_the_member_name(self):
+        with pytest.raises(ValueError, match="suite spec 'broken'"):
+            SuiteSpec(name="s", specs=[("broken", {"study": ""})])
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown SuiteSpec fields"):
+            SuiteSpec.from_dict(
+                {"name": "s", "specs": [], "jobs": 2}
+            )
+        with pytest.raises(ValueError, match="missing"):
+            SuiteSpec.from_dict({"name": "s"})
+
+    def test_store_budgets_require_cache_dir(self):
+        spec = StudySpec(study="sample_size")
+        with pytest.raises(ValueError, match="cache_dir"):
+            SuiteSpec(name="s", specs=[("a", spec)], max_store_bytes=1024)
+
+    def test_validate_names_offending_member(self):
+        suite = SuiteSpec(
+            name="s", specs=[("bad", StudySpec(study="nope"))]
+        )
+        with pytest.raises(ValueError, match="suite spec 'bad'.*unknown study"):
+            suite.validate()
+        suite = SuiteSpec(
+            name="s",
+            specs=[("bad", StudySpec(study="variance", params={"bogus": 1}))],
+        )
+        with pytest.raises(ValueError, match="suite spec 'bad'"):
+            suite.validate()
+
+    def test_replace_revalidates(self):
+        suite = _make_suite("d")
+        assert suite.replace(n_jobs=4).n_jobs == 4
+        with pytest.raises(ValueError):
+            suite.replace(backend="mpi")
+
+    def test_smoke_suite_covers_every_registered_study(self):
+        suite = smoke_suite(cache_dir=".c", max_store_bytes=STORE_BUDGET)
+        assert suite.names == ALL_STUDIES
+        suite.validate()
+        for name, spec in suite:
+            assert spec.study == name
+            assert dict(spec.params) == dict(get_study(name).smoke_params)
+
+
+# ----------------------------------------------------------------------
+# Suite execution == individual execution, bitwise (the tentpole contract)
+# ----------------------------------------------------------------------
+class TestSuiteEqualsIndividualRuns:
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_suite_matches_individual_runs_bitwise(self, tmp_path, n_jobs):
+        directory = tmp_path / "store"
+        suite = _make_suite(directory, n_jobs=n_jobs)
+        with Session.for_suite(suite) as session:
+            suite_result = session.run_suite(suite)
+        assert suite_result.names == suite.names
+        assert not suite_result.replayed
+        # The same specs, run one at a time through plain Session.run
+        # against the same cache_dir, must reproduce every row bitwise.
+        for name, spec in SUITE_MEMBERS:
+            with Session(n_jobs=n_jobs, cache_dir=str(directory)) as session:
+                individual = session.run(spec)
+            assert _rows(suite_result[name]) == _rows(individual), name
+            assert suite_result[name].to_rows(), name
+        # The shared store stayed within its configured byte budget.
+        assert FileStore(str(directory)).total_bytes <= STORE_BUDGET
+
+    def test_members_share_one_cache(self, tmp_path):
+        # Two members with identical measurement work: the second replays
+        # the first's measurements from the shared session cache.
+        spec = StudySpec(
+            study="binomial",
+            params={"task_names": ["entailment"], "n_splits": 2, "dataset_size": 150},
+            random_state=4,
+        )
+        suite = SuiteSpec(
+            name="twins",
+            specs=[("first", spec), ("second", spec.replace())],
+            cache_dir=str(tmp_path / "store"),
+        )
+        with Session.for_suite(suite) as session:
+            result = session.run_suite(suite)
+        assert result["first"].cache_stats["misses"] > 0
+        assert result["second"].cache_stats["misses"] == 0
+        assert result["second"].cache_stats["hits"] > 0
+        assert _rows(result["first"]) == _rows(result["second"])
+
+
+# ----------------------------------------------------------------------
+# Resume
+# ----------------------------------------------------------------------
+class TestSuiteResume:
+    def test_resume_replays_every_member_with_zero_lookups(self, tmp_path):
+        suite = _make_suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            cold = session.run_suite(suite)
+        with Session.for_suite(suite) as session:
+            resumed = session.run_suite(suite, resume=True)
+        assert resumed.replayed == suite.names
+        # Nothing ran, nothing was even looked up: zero misses *and* hits.
+        assert resumed.cache_stats.get("misses", 0) == 0
+        assert resumed.cache_stats.get("hits", 0) == 0
+        for name in suite.names:
+            assert resumed[name].replayed
+            assert _rows(resumed[name]) == _rows(cold[name]), name
+
+    def test_changed_spec_invalidates_its_record(self, tmp_path):
+        suite = _make_suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            session.run_suite(suite)
+        changed = [
+            (name, spec.replace(random_state=99) if name == "fig2-binomial" else spec)
+            for name, spec in SUITE_MEMBERS
+        ]
+        suite2 = suite.replace(specs=changed)
+        with Session.for_suite(suite2) as session:
+            resumed = session.run_suite(suite2, resume=True)
+        assert resumed.replayed == ["fig1-variance", "figC1-sample-size"]
+        assert not resumed["fig2-binomial"].replayed
+
+    def test_resume_without_cache_dir_rejected(self):
+        suite = SuiteSpec(name="s", specs=SUITE_MEMBERS)
+        with Session() as session:
+            with pytest.raises(ValueError, match="cache_dir"):
+                session.run_suite(suite, resume=True)
+            with pytest.raises(ValueError, match="cache_dir"):
+                session.submit_suite(suite, resume=True)
+
+    def test_progress_events_stream_in_order(self, tmp_path):
+        suite = _make_suite(tmp_path / "store")
+        events = []
+        with Session.for_suite(suite) as session:
+            session.run_suite(
+                suite,
+                progress=lambda event, name, i, total, result: events.append(
+                    (event, name, i, total, result is not None)
+                ),
+            )
+        assert events == [
+            ("start", "fig1-variance", 0, 3, False),
+            ("done", "fig1-variance", 0, 3, True),
+            ("start", "fig2-binomial", 1, 3, False),
+            ("done", "fig2-binomial", 1, 3, True),
+            ("start", "figC1-sample-size", 2, 3, False),
+            ("done", "figC1-sample-size", 2, 3, True),
+        ]
+        with Session.for_suite(suite) as session:
+            session.run_suite(
+                suite,
+                resume=True,
+                progress=lambda event, name, *rest: events.append((event, name)),
+            )
+        assert events[-3:] == [
+            ("replay", "fig1-variance"),
+            ("replay", "fig2-binomial"),
+            ("replay", "figC1-sample-size"),
+        ]
+
+    def test_manifest_written_alongside_records(self, tmp_path):
+        directory = tmp_path / "store"
+        suite = _make_suite(directory)
+        with Session.for_suite(suite) as session:
+            session.run_suite(suite)
+        records = directory / "suites" / suite.name
+        for name in suite.names:
+            assert (records / f"{name}.json").exists()
+        manifest = json.loads((records / "manifest.json").read_text())
+        assert [entry["name"] for entry in manifest["results"]] == suite.names
+
+
+# ----------------------------------------------------------------------
+# submit_suite: streaming handles
+# ----------------------------------------------------------------------
+class TestSubmitSuite:
+    def test_streams_and_assembles_in_canonical_order(self, tmp_path):
+        suite = _make_suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            handle = session.submit_suite(suite)
+            assert len(handle) == 3
+            assert handle.names == suite.names
+            streamed = dict(handle)
+            result = handle.result()
+            assert handle.done()
+        assert set(streamed) == set(suite.names)
+        assert result.names == suite.names  # canonical, not completion, order
+        for name in suite.names:
+            assert _rows(result[name]) == _rows(streamed[name]), name
+
+    def test_submit_suite_equals_run_suite_bitwise(self, tmp_path):
+        suite = _make_suite(tmp_path / "a")
+        with Session.for_suite(suite) as session:
+            sequential = session.run_suite(suite)
+        suite_b = suite.replace(cache_dir=str(tmp_path / "b"))
+        with Session.for_suite(suite_b) as session:
+            concurrent = session.submit_suite(suite_b).result()
+        for name in suite.names:
+            assert _rows(sequential[name]) == _rows(concurrent[name]), name
+
+    def test_resume_members_resolve_immediately(self, tmp_path):
+        suite = _make_suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            session.run_suite(suite)
+        with Session.for_suite(suite) as session:
+            handle = session.submit_suite(suite, resume=True)
+            # Replayed members are pre-resolved futures.
+            assert handle.done()
+            result = handle.result()
+        assert result.replayed == suite.names
+
+    def test_cancel_drains_without_hanging(self, tmp_path):
+        suite = _make_suite(tmp_path / "store")
+        with Session.for_suite(suite, max_concurrent_studies=1) as session:
+            handle = session.submit_suite(suite)
+            handle.cancel()
+            assert handle.cancelled()
+            drained = dict(handle.partial_results())
+            assert handle.done()
+        # Whatever completed before the cancel is still readable.
+        for result in drained.values():
+            assert result.to_rows()
+
+
+# ----------------------------------------------------------------------
+# CLI acceptance: cold suite run, then --resume with zero misses
+# ----------------------------------------------------------------------
+class TestSuiteCLIAcceptance:
+    def test_cold_run_matches_individual_then_resume_zero_miss(
+        self, tmp_path, capsys
+    ):
+        directory = tmp_path / "store"
+        suite = _make_suite(directory)
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(suite.to_json(indent=2))
+
+        assert main(["suite", str(manifest), "--json"]) == 0
+        captured = capsys.readouterr()
+        cold = json.loads(captured.out)
+        assert [r["name"] for r in cold["results"]] == suite.names
+        assert cold["replayed"] == []
+        for line in ("[1/3]", "[2/3]", "[3/3]"):
+            assert line in captured.err  # per-member streaming progress
+
+        # Bitwise-identical to the same specs run individually.
+        by_name = {r["name"]: r for r in cold["results"]}
+        for name, spec in SUITE_MEMBERS:
+            with Session(cache_dir=str(directory)) as session:
+                individual = json.loads(session.run(spec).to_json())
+            assert json.dumps(by_name[name]["rows"], sort_keys=True) == json.dumps(
+                individual["rows"], sort_keys=True
+            ), name
+
+        # Second invocation resumes: everything replays, zero misses, and
+        # the store stayed within its byte budget throughout.
+        assert main(["suite", str(manifest), "--resume", "--json"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["replayed"] == suite.names
+        assert (resumed["cache_stats"] or {}).get("misses", 0) == 0
+        assert [r["rows"] for r in resumed["results"]] == [
+            r["rows"] for r in cold["results"]
+        ]
+        assert FileStore(str(directory)).total_bytes <= STORE_BUDGET
