@@ -26,11 +26,21 @@ fresh session then replays every measurement from the store (zero
 misses), and a ``resume`` pass replays completion records without a
 single cache lookup — with all three passes bitwise-identical and the
 store never exceeding its budget.
+
+``test_suite_distributed`` covers the work-queue scheduler: the same
+suite executed through ``<cache_dir>/queue/`` by 1 vs 3 external
+``python -m repro worker`` processes (coordinator watching, not
+participating), asserting bitwise-identical rows either way and tracking
+both wall-clocks in the perf trajectory.  No speedup is asserted — at
+smoke scale interpreter start-up dominates — the phase exists to keep the
+distributed path exercised and its overhead visible.
 """
 
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
 import tempfile
 import time
 
@@ -39,6 +49,7 @@ import numpy as np
 import json
 
 from conftest import run_once
+import repro
 from repro.api import Session, StudySpec, SuiteSpec
 from repro.core.benchmark import BenchmarkProcess
 from repro.core.sources import VarianceSource
@@ -349,3 +360,156 @@ def test_suite_cold_vs_resume(benchmark, scale):
 
     # The shared store never exceeded its configured byte budget.
     assert 0 < result["store_bytes"] <= SUITE_STORE_BUDGET
+
+
+# ----------------------------------------------------------------------
+# Distributed suite: 1-worker vs 3-worker wall-clock through the queue
+# ----------------------------------------------------------------------
+def _distributed_members(*, n_seeds, n_splits, dataset_size, random_state):
+    return [
+        (
+            "fig1-variance",
+            StudySpec(
+                study="variance",
+                params={
+                    "task_names": ["entailment"],
+                    "n_seeds": n_seeds,
+                    "include_hpo": False,
+                    "dataset_size": dataset_size,
+                },
+                random_state=random_state,
+            ),
+        ),
+        (
+            "fig2-binomial",
+            StudySpec(
+                study="binomial",
+                params={
+                    "task_names": ["entailment"],
+                    "n_splits": n_splits,
+                    "dataset_size": dataset_size,
+                },
+                random_state=random_state,
+            ),
+        ),
+        (
+            "figC1-sample-size",
+            StudySpec(
+                study="sample_size",
+                params={"gammas": [0.7, 0.75, 0.9]},
+                random_state=random_state,
+            ),
+        ),
+    ]
+
+
+def _run_distributed(members, directory, n_workers):
+    """Enqueue the suite, drain it with n external worker processes."""
+    from repro.sched import Coordinator
+
+    suite = SuiteSpec(
+        name="engine-dist", specs=members, cache_dir=directory
+    )
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    start = time.perf_counter()
+    with Session.for_suite(suite) as session:
+        coordinator = Coordinator(session, suite, poll_seconds=0.05)
+        # No explicit enqueue: run() enqueues, and the workers poll until
+        # the queue appears (--exit-when-done waits for one to exist).
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "worker",
+                    directory,
+                    "--exit-when-done",
+                    "--timeout",
+                    "600",
+                ],
+                env=env,
+                stderr=subprocess.DEVNULL,
+            )
+            for _ in range(n_workers)
+        ]
+        try:
+            result = coordinator.run(participate=False, timeout=600)
+        finally:
+            # A worker that never saw the queue before it was destroyed
+            # would idle out its whole --timeout; don't wait for that.
+            for worker in workers:
+                try:
+                    worker.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    worker.terminate()
+                    worker.wait(timeout=30)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def _run_distributed_comparison(
+    *, n_seeds, n_splits, dataset_size, random_state=0
+):
+    members = _distributed_members(
+        n_seeds=n_seeds,
+        n_splits=n_splits,
+        dataset_size=dataset_size,
+        random_state=random_state,
+    )
+    with tempfile.TemporaryDirectory() as reference_dir:
+        suite = SuiteSpec(
+            name="engine-dist", specs=members, cache_dir=reference_dir
+        )
+        start = time.perf_counter()
+        with Session.for_suite(suite) as session:
+            reference = session.run_suite(suite)
+        single_time = time.perf_counter() - start
+    with tempfile.TemporaryDirectory() as one_dir:
+        one_worker, one_time = _run_distributed(members, one_dir, 1)
+    with tempfile.TemporaryDirectory() as three_dir:
+        three_workers, three_time = _run_distributed(members, three_dir, 3)
+    return {
+        "single_time": single_time,
+        "one_worker_time": one_time,
+        "three_worker_time": three_time,
+        "rows": {
+            "single": _suite_rows(reference),
+            "one_worker": _suite_rows(one_worker),
+            "three_workers": _suite_rows(three_workers),
+        },
+    }
+
+
+def test_suite_distributed(benchmark, scale):
+    result = run_once(
+        benchmark,
+        _run_distributed_comparison,
+        n_seeds=scale["n_seeds"],
+        n_splits=scale["n_splits"],
+        dataset_size=scale["dataset_size"],
+    )
+    rows = [
+        {"phase": "single process (in-session)", "seconds": result["single_time"]},
+        {"phase": "queue, 1 worker process", "seconds": result["one_worker_time"]},
+        {"phase": "queue, 3 worker processes", "seconds": result["three_worker_time"]},
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["phase", "seconds"],
+            title="Distributed suite — 3 members over the shared work queue",
+        )
+    )
+    benchmark.extra_info["dist_single_time"] = result["single_time"]
+    benchmark.extra_info["dist_one_worker_time"] = result["one_worker_time"]
+    benchmark.extra_info["dist_three_worker_time"] = result["three_worker_time"]
+
+    # Scheduling must never influence results: every member's rows are
+    # bitwise-identical whether the suite ran in-process, through the
+    # queue with one worker, or raced across three.
+    assert result["rows"]["one_worker"] == result["rows"]["single"]
+    assert result["rows"]["three_workers"] == result["rows"]["single"]

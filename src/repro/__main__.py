@@ -14,17 +14,27 @@ figure suite — is launchable from a JSON manifest without writing Python::
     python -m repro suite manifest.json --resume        # replay completions
     python -m repro gc .repro-cache --max-bytes 67108864
 
+    # distributed: one coordinator + any number of workers, same cache dir
+    python -m repro suite manifest.json --distributed   # terminal 1
+    python -m repro worker .repro-cache                 # terminals 2..N
+
 ``run`` prints :meth:`~repro.api.results.StudyResult.summary` (or, with
 ``--json``, the full rows/provenance payload of
 :meth:`~repro.api.results.StudyResult.to_json`).  ``suite`` executes every
 member of a :class:`~repro.api.spec.SuiteSpec` manifest through one shared
 session/cache with per-member progress on stderr; ``--resume`` replays
 members already completed against the same ``cache_dir`` (a changed spec
-invalidates its record).  ``gc`` prunes a per-key store back within byte /
-entry budgets, LRU-by-last-use.  Because specs fully determine their
-results (seeds are scope-derived, see EXPERIMENTS.md), re-running against
-the same ``--cache-dir`` replays measurements without refitting —
-including measurements persisted by other workers sharing the directory.
+invalidates its record), and ``--distributed`` routes execution through
+the durable work queue under ``<cache_dir>/queue/<suite>/`` so ``worker``
+processes — on this host or any host sharing the directory — claim tasks
+under heartbeat leases and the coordinator assembles the bitwise-identical
+result.  ``worker`` serves every queue it finds under one cache dir until
+stopped (or, with ``--exit-when-done``, until all queues complete).
+``gc`` prunes a per-key store back within byte / entry budgets,
+LRU-by-last-use.  Because specs fully determine their results (seeds are
+scope-derived, see EXPERIMENTS.md), re-running against the same
+``--cache-dir`` replays measurements without refitting — including
+measurements persisted by other workers sharing the directory.
 
 Exit codes: 0 success, 2 for an unreadable or malformed spec/manifest
 (the offending field is named on stderr).
@@ -122,9 +132,105 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     suite.add_argument(
+        "--distributed",
+        action="store_true",
+        help=(
+            "execute through the durable work queue under "
+            "<cache_dir>/queue/<suite>/ so `repro worker` processes "
+            "sharing the cache dir claim tasks cooperatively; this "
+            "coordinator participates too, so zero workers still complete"
+        ),
+    )
+    suite.add_argument(
+        "--shard-members",
+        action="store_true",
+        help=(
+            "with --distributed: pre-shard members by scope path "
+            "(e.g. one task per task_names value) for finer-grained "
+            "work stealing"
+        ),
+    )
+    suite.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=None,
+        help=(
+            "with --distributed: heartbeat lease after which a claimed "
+            "task is presumed crashed and may be stolen (default 30; use "
+            "minutes across hosts with clock skew)"
+        ),
+    )
+    suite.add_argument(
         "--json",
         action="store_true",
         help="print the full output manifest JSON instead of the summaries",
+    )
+
+    worker = commands.add_parser(
+        "worker",
+        help=(
+            "serve the distributed work queues under a shared cache "
+            "directory: claim tasks, execute them through the shared "
+            "store, heartbeat leases, steal from crashed workers"
+        ),
+    )
+    worker.add_argument(
+        "cache_dir",
+        help="the shared per-key store (queues live under <cache_dir>/queue/)",
+    )
+    worker.add_argument(
+        "--suite",
+        default=None,
+        help="serve only this suite's queue (default: every queue found)",
+    )
+    worker.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="heartbeat lease for claimed tasks (default 30)",
+    )
+    worker.add_argument(
+        "--poll-seconds",
+        type=float,
+        default=0.5,
+        help="idle sleep between queue scans (default 0.5)",
+    )
+    worker.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after executing this many tasks",
+    )
+    worker.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="exit after this many seconds regardless of queue state",
+    )
+    worker.add_argument(
+        "--exit-when-done",
+        action="store_true",
+        help=(
+            "exit once at least one queue exists and every queue served "
+            "is complete (default: poll forever for new suites)"
+        ),
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="identity stamped into lease files (default host:pid)",
+    )
+    worker.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="override each suite's per-task worker count",
+    )
+    worker.add_argument(
+        "--backend",
+        choices=VALID_BACKENDS,
+        default=None,
+        help="override each suite's executor backend",
     )
 
     gc = commands.add_parser(
@@ -244,9 +350,71 @@ def _suite(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    if args.distributed and suite.cache_dir is None:
+        raise CLIError(
+            "--distributed shares work through the per-key store and "
+            "requires a cache_dir (in the manifest or --cache-dir)"
+        )
+    if not args.distributed:
+        # Scheduler knobs silently doing nothing would mislead: fail fast.
+        if args.shard_members:
+            raise CLIError("--shard-members requires --distributed")
+        if args.lease_seconds is not None:
+            raise CLIError("--lease-seconds requires --distributed")
+    if args.lease_seconds is not None and args.lease_seconds <= 0:
+        raise CLIError("--lease-seconds must be positive")
+    scheduler_config = {}
+    if args.distributed:
+        scheduler_config = {
+            "distributed": True,
+            "shard_members": args.shard_members,
+            "lease_seconds": args.lease_seconds,
+        }
     with Session.for_suite(suite) as session:
-        result = session.run_suite(suite, resume=args.resume, progress=progress)
+        result = session.run_suite(
+            suite,
+            resume=args.resume,
+            progress=progress,
+            **scheduler_config,
+        )
         print(result.to_json(indent=2) if args.json else result.summary())
+    return 0
+
+
+def _worker(args: argparse.Namespace) -> int:
+    from repro.sched import Worker  # local: keep CLI start-up light
+
+    if not os.path.isdir(args.cache_dir):
+        raise CLIError(f"no cache directory at {args.cache_dir!r}")
+    if args.lease_seconds <= 0:
+        raise CLIError("--lease-seconds must be positive")
+
+    def log(event: str, task_id: str, detail: str) -> None:
+        suffix = f" ({detail})" if detail else ""
+        print(f"worker: {event} {task_id}{suffix}", file=sys.stderr)
+
+    worker = Worker(
+        args.cache_dir,
+        suite=args.suite,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease_seconds,
+        poll_seconds=args.poll_seconds,
+        n_jobs=args.n_jobs,
+        backend=args.backend,
+        log=log,
+    )
+    stats = worker.run(
+        exit_when_done=args.exit_when_done,
+        max_tasks=args.max_tasks,
+        timeout=args.timeout,
+    )
+    served = ", ".join(stats.suites) if stats.suites else "none"
+    print(
+        f"worker {worker.worker_id}: committed {stats.committed} task(s) "
+        f"({stats.stolen} stolen, {stats.lost} lost, {stats.failed} failed) "
+        f"across suites: {served}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -281,12 +449,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _list()
         if args.command == "suite":
             return _suite(args)
+        if args.command == "worker":
+            return _worker(args)
         if args.command == "gc":
             return _gc(args)
         return _run(args)
     except CLIError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
         return 0

@@ -13,7 +13,9 @@ launched the same way —
   :func:`get_study`, :func:`smoke_suite`);
 * :mod:`repro.api.session` — :class:`Session`, the facade owning one
   shared measurement cache and executor across studies, with blocking
-  :meth:`~Session.run` / :meth:`~Session.run_suite` and streaming
+  :meth:`~Session.run` / :meth:`~Session.run_suite` (the latter also the
+  front door to the distributed work-queue scheduler via
+  ``distributed=True``, see :mod:`repro.sched`) and streaming
   :meth:`~Session.submit` / :meth:`~Session.submit_suite`;
 * :mod:`repro.api.results` — :class:`StudyResult` and
   :class:`SuiteResult`, the uniform result envelopes

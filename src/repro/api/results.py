@@ -87,6 +87,7 @@ class StudyResult:
         artefact: str = "",
         elapsed_seconds: float = float("nan"),
         cache_stats: Optional[Dict[str, float]] = None,
+        replayed: bool = False,
     ) -> None:
         for required in ("rows", "report"):
             if not callable(getattr(raw, required, None)):
@@ -99,6 +100,7 @@ class StudyResult:
         self.artefact = artefact
         self.elapsed_seconds = elapsed_seconds
         self.cache_stats = dict(cache_stats or {})
+        self._replayed = bool(replayed)
 
     def __getattr__(self, name: str) -> Any:
         # Fall through to the native result so study-specific attributes
@@ -158,8 +160,14 @@ class StudyResult:
     @property
     def replayed(self) -> bool:
         """True when this result was loaded from a suite resume record
-        rather than executed (see :meth:`from_record`)."""
-        return isinstance(self.raw, _ReplayedRaw)
+        rather than executed (see :meth:`from_record`).
+
+        Purely the constructor flag: a distributed member adapted from a
+        worker's committed record with ``replayed=False`` was genuinely
+        executed and must not read as a replay, even when its native
+        result didn't survive pickling and rows replay from the record.
+        """
+        return self._replayed
 
     def to_record(self) -> Dict[str, Any]:
         """JSON-safe completion record for suite resume.
@@ -184,25 +192,46 @@ class StudyResult:
         }
 
     @classmethod
-    def from_record(cls, record: Mapping[str, Any]) -> "StudyResult":
+    def from_record(
+        cls,
+        record: Mapping[str, Any],
+        *,
+        raw: Any = None,
+        replayed: bool = True,
+    ) -> "StudyResult":
         """Rebuild a result from :meth:`to_record` output.
 
-        The returned result replays the recorded rows and report without
-        touching the engine; ``replayed`` is true, ``elapsed_seconds`` is 0
-        (nothing ran) and ``cache_stats`` is empty (no lookups happened —
-        a resumed spec contributes zero hits *and* zero misses).
+        By default the returned result replays the recorded rows and
+        report without touching the engine; ``replayed`` is true,
+        ``elapsed_seconds`` is 0 (nothing ran) and ``cache_stats`` is
+        empty (no lookups happened — a resumed spec contributes zero hits
+        *and* zero misses).
+
+        ``raw`` restores *full fidelity*: pass the driver's native result
+        object (e.g. unpickled from the ``.raw.pkl`` written alongside the
+        record) and study-specific attributes survive the round-trip
+        instead of degrading to rows + report.  ``replayed=False`` marks a
+        result that was genuinely executed elsewhere — how the distributed
+        coordinator adapts worker-committed records without tagging them
+        as resume replays.
         """
         from repro.api.spec import StudySpec  # local: results <- spec only here
 
         spec = None
         if record.get("spec") is not None:
             spec = StudySpec.from_dict(record["spec"])
+        if raw is None:
+            raw = _ReplayedRaw(
+                record.get("rows") or [], record.get("report") or ""
+            )
+        elapsed = record.get("elapsed_seconds") if not replayed else 0.0
         return cls(
-            _ReplayedRaw(record.get("rows") or [], record.get("report") or ""),
+            raw,
             spec=spec,
             artefact=record.get("artefact") or "",
-            elapsed_seconds=0.0,
-            cache_stats={},
+            elapsed_seconds=float(elapsed) if elapsed is not None else 0.0,
+            cache_stats={} if replayed else dict(record.get("cache_stats") or {}),
+            replayed=replayed,
         )
 
 

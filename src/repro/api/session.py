@@ -70,7 +70,12 @@ from typing import (
 from repro.api.registry import StudyInfo, get_study
 from repro.api.results import StudyResult, SuiteResult, merge_results
 from repro.api.spec import StudySpec, SuiteSpec
-from repro.engine.cache import MeasurementCache, atomic_write
+from repro.engine.cache import (
+    MeasurementCache,
+    atomic_write,
+    dump_fidelity,
+    load_fidelity,
+)
 from repro.engine.executor import CancellableExecutor, ParallelExecutor, StudyCancelled
 
 __all__ = ["Session", "StudyHandle", "SuiteHandle"]
@@ -464,15 +469,24 @@ class Session:
         info.validate_params(spec.params)
         return spec, info
 
-    def run(self, spec: Union[StudySpec, str]) -> StudyResult:
+    def run(
+        self,
+        spec: Union[StudySpec, str],
+        *,
+        cancel_event: Optional[threading.Event] = None,
+    ) -> StudyResult:
         """Execute ``spec`` synchronously and return its uniform result.
 
         The study runs through the measurement engine with this session's
         shared cache and executor; for a fixed ``spec.random_state`` the
         result is bitwise-identical at any ``n_jobs``/``backend``, and
         (for shardable studies) to the merged result of :meth:`submit`.
+        ``cancel_event`` binds an external abort switch to the run (a
+        distributed worker trips it when its lease is stolen): setting it
+        raises :class:`~repro.engine.executor.StudyCancelled` at the next
+        item or batch boundary.
         """
-        return self._execute(spec)
+        return self._execute(spec, cancel_event)
 
     def _execute(
         self,
@@ -605,21 +619,82 @@ class Session:
         *,
         resume: bool = False,
         progress: Optional[SuiteProgress] = None,
+        distributed: bool = False,
+        shard_members: bool = False,
+        participate: bool = True,
+        lease_seconds: Optional[float] = None,
+        poll_seconds: Optional[float] = None,
+        timeout: Optional[float] = None,
     ) -> SuiteResult:
-        """Execute every member of ``suite`` through this session, in order.
+        """Execute every member of ``suite`` through this session.
 
         All members share this session's measurement cache and executors,
         so overlapping studies warm each other and a repeated spec replays
         without refitting.  The whole manifest is validated against the
         registry before anything runs, so a malformed suite fails fast.
+        Members execute in :meth:`~repro.api.spec.SuiteSpec.schedule_order`
+        — dependencies first, then priority (higher first), manifest
+        position as the tie-break — so cheap high-priority members land
+        early; results still assemble in canonical manifest order.
 
         With a ``cache_dir`` bound, each completed member writes a resume
-        record under ``<cache_dir>/suites/<suite.name>/``; ``resume=True``
-        replays members whose record matches their current spec *without
-        re-running them* (zero cache lookups — a changed spec invalidates
-        its record and runs again).  ``progress`` is called per member
-        (``"start"``/``"done"``/``"replay"``) for streaming feedback.
+        record under ``<cache_dir>/suites/<suite.name>/`` (rows + report
+        as JSON, plus a best-effort pickle of the native result object);
+        ``resume=True`` replays members whose record matches their current
+        spec *without re-running them* (zero cache lookups — a changed
+        spec invalidates its record and runs again), restoring
+        study-specific native attributes whenever the pickle is usable.
+        ``progress`` is called per member (``"start"``/``"done"``/
+        ``"replay"``) for streaming feedback.
+
+        ``distributed=True`` routes execution through the filesystem work
+        queue under ``<cache_dir>/queue/<suite.name>/`` instead of this
+        process alone: tasks are durably enqueued, any number of
+        ``python -m repro worker <cache_dir>`` processes (on this host or
+        any host sharing the directory) claim and execute them under
+        heartbeat leases, and this call streams progress and assembles the
+        bitwise-identical result.  ``participate`` (default) makes this
+        session execute tasks too, so zero external workers still
+        complete; ``shard_members`` pre-shards members by scope path for
+        finer-grained stealing; ``lease_seconds``/``poll_seconds`` tune
+        the queue and ``timeout`` bounds the wait (mostly useful with
+        ``participate=False``).
         """
+        if distributed:
+            from repro.sched import Coordinator  # local: sched <- api
+
+            coordinator = Coordinator(
+                self,
+                suite,
+                shard_members=shard_members,
+                lease_seconds=30.0 if lease_seconds is None else lease_seconds,
+                poll_seconds=0.2 if poll_seconds is None else poll_seconds,
+            )
+            return coordinator.run(
+                participate=participate,
+                progress=progress,
+                resume=resume,
+                timeout=timeout,
+            )
+        # Scheduler-only knobs silently doing nothing would mislead the
+        # caller into believing they took effect — same fail-fast rule the
+        # CLI applies to --shard-members/--lease-seconds.
+        ignored = [
+            name
+            for name, misused in (
+                ("shard_members", shard_members),
+                ("participate", participate is not True),
+                ("lease_seconds", lease_seconds is not None),
+                ("poll_seconds", poll_seconds is not None),
+                ("timeout", timeout is not None),
+            )
+            if misused
+        ]
+        if ignored:
+            raise ValueError(
+                f"{ignored} only apply to the distributed scheduler; pass "
+                f"distributed=True"
+            )
         suite.validate()
         records_dir = self._suite_records_dir(suite)
         if resume and records_dir is None:
@@ -630,13 +705,14 @@ class Session:
         results: "Dict[str, StudyResult]" = {}
         total = len(suite)
         start = time.perf_counter()
-        for index, (name, spec) in enumerate(suite):
+        for index, name in enumerate(suite.schedule_order()):
+            spec = suite[name]
             if resume:
-                record = self._load_suite_record(records_dir, name, spec)
-                if record is not None:
-                    results[name] = StudyResult.from_record(record)
+                replayed = self._load_suite_result(records_dir, name, spec)
+                if replayed is not None:
+                    results[name] = replayed
                     if progress is not None:
-                        progress("replay", name, index, total, results[name])
+                        progress("replay", name, index, total, replayed)
                     continue
             if progress is not None:
                 progress("start", name, index, total, None)
@@ -667,9 +743,14 @@ class Session:
         Members fan out over the session's submit pool (bounded by
         ``max_concurrent_studies``) against the one shared cache, stream
         ``(name, result)`` pairs as they complete, and assemble in
-        canonical manifest order on :meth:`SuiteHandle.result`.  Resume
-        semantics match :meth:`run_suite`; replayed members resolve
-        immediately.
+        canonical manifest order on :meth:`SuiteHandle.result`.  Members
+        are submitted in :meth:`~repro.api.spec.SuiteSpec.schedule_order`
+        (so high-priority members reach the pool first) and a member with
+        ``depends_on`` edges blocks until every dependency's future has
+        resolved — topological submission order guarantees the
+        dependencies are already on (or through) the pool, so waiting can
+        never deadlock.  Resume semantics match :meth:`run_suite`;
+        replayed members resolve immediately.
         """
         suite.validate()
         records_dir = self._suite_records_dir(suite)
@@ -680,20 +761,34 @@ class Session:
             )
         pool = self._submit_pool()
         cancel_event = threading.Event()
-        futures: "OrderedDict[str, Future[StudyResult]]" = OrderedDict()
-        for name, spec in suite:
+        futures: "Dict[str, Future[StudyResult]]" = {}
+        for name in suite.schedule_order():
+            spec = suite[name]
             if resume:
-                record = self._load_suite_record(records_dir, name, spec)
-                if record is not None:
+                replayed_result = self._load_suite_result(
+                    records_dir, name, spec
+                )
+                if replayed_result is not None:
                     replayed: "Future[StudyResult]" = Future()
-                    replayed.set_result(StudyResult.from_record(record))
+                    replayed.set_result(replayed_result)
                     futures[name] = replayed
                     continue
+            dependencies = [
+                futures[dep] for dep in suite.depends_on.get(name, ())
+            ]
             futures[name] = pool.submit(
-                self._run_suite_member, spec, name, records_dir, cancel_event
+                self._run_suite_member,
+                spec,
+                name,
+                records_dir,
+                cancel_event,
+                dependencies,
             )
         return SuiteHandle(
-            suite, futures, cancel_event=cancel_event, session=self
+            suite,
+            OrderedDict((name, futures[name]) for name in suite.names),
+            cancel_event=cancel_event,
+            session=self,
         )
 
     def _run_suite_member(
@@ -702,7 +797,13 @@ class Session:
         name: str,
         records_dir: Optional[str],
         cancel_event: threading.Event,
+        dependencies: Optional[List["Future[StudyResult]"]] = None,
     ) -> StudyResult:
+        # Dependencies were submitted (topologically) before this member,
+        # so they are already running or queued ahead of us on the FIFO
+        # pool — blocking here cannot starve them of a worker.
+        for dependency in dependencies or ():
+            dependency.result()
         result = self._execute(spec, cancel_event)
         if records_dir is not None:
             self._write_suite_record(records_dir, name, result)
@@ -712,7 +813,7 @@ class Session:
         """Completion records live inside the per-key store directory."""
         if self.cache.cache_dir is None:
             return None
-        return os.path.join(self.cache.cache_dir, "suites", suite.name)
+        return os.path.join(self.cache.namespace("suites"), suite.name)
 
     @staticmethod
     def _load_suite_record(
@@ -732,16 +833,50 @@ class Session:
             return None
         return record
 
+    @classmethod
+    def _load_suite_result(
+        cls, records_dir: str, name: str, spec: StudySpec
+    ) -> Optional[StudyResult]:
+        """Rebuild one member's result from its completion record, at full
+        fidelity when possible.
+
+        The JSON record is authoritative (no record, or a spec mismatch,
+        means re-run).  When the ``.raw.pkl`` written alongside it still
+        matches the spec, the driver's native result object is restored so
+        study-specific attributes survive resume; a stale or unreadable
+        pickle silently degrades to the recorded rows + report.
+        """
+        record = cls._load_suite_record(records_dir, name, spec)
+        if record is None:
+            return None
+        raw = load_fidelity(
+            os.path.join(records_dir, f"{name}.raw.pkl"), spec.to_dict()
+        )
+        return StudyResult.from_record(record, raw=raw)
+
     @staticmethod
     def _write_suite_record(
         records_dir: str, name: str, result: StudyResult
     ) -> None:
         """Atomically persist one member's completion record, so a suite
-        killed mid-run resumes from whatever finished."""
+        killed mid-run resumes from whatever finished.
+
+        Alongside the JSON record (rows + report — always replayable), the
+        driver's native result object is pickled best-effort, keyed to the
+        spec it was computed for: resume then restores study-specific
+        attributes (``.decompositions``, ``.curves``, ...) instead of a
+        rows-only stand-in.  An unpicklable result just skips the pickle.
+        """
+        record = result.to_record()
         atomic_write(
             os.path.join(records_dir, f"{name}.json"),
-            json.dumps(result.to_record(), sort_keys=True).encode("utf-8"),
+            json.dumps(record, sort_keys=True).encode("utf-8"),
         )
+        fidelity = dump_fidelity(record.get("spec"), result.raw)
+        if fidelity is not None:
+            atomic_write(
+                os.path.join(records_dir, f"{name}.raw.pkl"), fidelity
+            )
 
     # ------------------------------------------------------------------
     # Introspection

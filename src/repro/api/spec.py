@@ -31,6 +31,7 @@ set of paper artefacts through one shared cache — see
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import json
 import re
 from dataclasses import dataclass, field
@@ -207,27 +208,50 @@ class StudySpec:
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
-def _normalize_suite_specs(specs: Any) -> Tuple[Tuple[str, StudySpec], ...]:
+def _normalize_suite_specs(
+    specs: Any,
+) -> Tuple[
+    Tuple[Tuple[str, StudySpec], ...], Dict[str, int], Dict[str, Tuple[str, ...]]
+]:
     """Coerce the accepted ``specs`` shapes to an ordered name->spec tuple.
 
     Accepted inputs: a mapping ``{name: StudySpec|dict}``, a sequence of
     ``(name, StudySpec|dict)`` pairs, or a sequence of
     ``{"name": ..., "spec": {...}}`` entries (the JSON manifest form).
+    Manifest entries may additionally carry scheduling metadata —
+    ``"priority"`` (int) and ``"depends_on"`` (list of member names) —
+    which is returned as the second and third elements so
+    :class:`SuiteSpec` can fold it into its ``priorities``/``depends_on``
+    fields.
     """
+    inline_priorities: Dict[str, int] = {}
+    inline_depends: Dict[str, Tuple[str, ...]] = {}
     if isinstance(specs, Mapping):
         pairs = list(specs.items())
     elif isinstance(specs, Sequence) and not isinstance(specs, (str, bytes)):
         pairs = []
         for position, entry in enumerate(specs):
             if isinstance(entry, Mapping):
-                extra = set(entry) - {"name", "spec"}
+                extra = set(entry) - {"name", "spec", "priority", "depends_on"}
                 if "name" not in entry or "spec" not in entry or extra:
                     raise ValueError(
                         f"suite spec entry #{position} must be an object with "
-                        f"exactly the keys 'name' and 'spec', got keys "
-                        f"{sorted(entry)}"
+                        f"the keys 'name' and 'spec' (plus optional "
+                        f"'priority'/'depends_on'), got keys {sorted(entry)}"
                     )
                 pairs.append((entry["name"], entry["spec"]))
+                if entry.get("priority") is not None:
+                    inline_priorities[entry["name"]] = entry["priority"]
+                if entry.get("depends_on"):
+                    depends = entry["depends_on"]
+                    if isinstance(depends, str) or not isinstance(
+                        depends, Sequence
+                    ):
+                        raise ValueError(
+                            f"suite spec entry #{position}: depends_on must "
+                            f"be a list of member names, got {depends!r}"
+                        )
+                    inline_depends[entry["name"]] = tuple(depends)
             elif isinstance(entry, (list, tuple)) and len(entry) == 2:
                 pairs.append((entry[0], entry[1]))
             else:
@@ -264,7 +288,95 @@ def _normalize_suite_specs(specs: Any) -> Tuple[Tuple[str, StudySpec], ...]:
                 f"got {type(spec).__name__}"
             )
         normalized.append((name, spec))
-    return tuple(normalized)
+    return tuple(normalized), inline_priorities, inline_depends
+
+
+def _normalize_priorities(
+    declared: Any, inline: Mapping[str, int], members: Sequence[str]
+) -> "MappingProxyType[str, int]":
+    """Merge field-style and manifest-inline priorities into one canonical
+    mapping (member order, zero entries dropped so equality is stable)."""
+    if not isinstance(declared, Mapping):
+        raise TypeError(
+            f"priorities must be a mapping of member name -> int, got "
+            f"{type(declared).__name__}"
+        )
+    overlap = set(declared) & set(inline)
+    if overlap:
+        raise ValueError(
+            f"priority for {sorted(overlap)} given both inline in the specs "
+            f"entries and in the priorities field; pick one place"
+        )
+    merged = {**dict(declared), **dict(inline)}
+    known = set(members)
+    canonical: Dict[str, int] = {}
+    for name in members:
+        if name not in merged:
+            continue
+        value = merged.pop(name)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"suite spec {name!r}: priority must be an int, got {value!r}"
+            )
+        if value != 0:  # zero is the default; dropping it keeps to_dict canonical
+            canonical[name] = int(value)
+    unknown = [name for name in merged if name not in known]
+    if unknown:
+        raise ValueError(
+            f"priorities reference unknown suite members {sorted(unknown)}; "
+            f"members: {list(members)}"
+        )
+    return MappingProxyType(canonical)
+
+
+def _normalize_depends_on(
+    declared: Any, inline: Mapping[str, Tuple[str, ...]], members: Sequence[str]
+) -> "MappingProxyType[str, Tuple[str, ...]]":
+    """Merge field-style and manifest-inline dependency edges into one
+    canonical mapping (member order, duplicate edges deduped, empty edge
+    lists dropped).  Unknown targets are structural errors; cycle
+    detection is deferred to :meth:`SuiteSpec.validate`."""
+    if not isinstance(declared, Mapping):
+        raise TypeError(
+            f"depends_on must be a mapping of member name -> list of member "
+            f"names, got {type(declared).__name__}"
+        )
+    overlap = set(declared) & set(inline)
+    if overlap:
+        raise ValueError(
+            f"depends_on for {sorted(overlap)} given both inline in the specs "
+            f"entries and in the depends_on field; pick one place"
+        )
+    merged = {**dict(declared), **dict(inline)}
+    known = set(members)
+    unknown_members = [name for name in merged if name not in known]
+    if unknown_members:
+        raise ValueError(
+            f"depends_on references unknown suite members "
+            f"{sorted(unknown_members)}; members: {list(members)}"
+        )
+    canonical: Dict[str, Tuple[str, ...]] = {}
+    for name in members:
+        if name not in merged:
+            continue
+        edges = merged[name]
+        if isinstance(edges, str) or not isinstance(edges, Sequence):
+            raise ValueError(
+                f"suite spec {name!r}: depends_on must be a list of member "
+                f"names, got {edges!r}"
+            )
+        deduped: List[str] = []
+        for target in edges:
+            if target not in known:
+                raise ValueError(
+                    f"suite spec {name!r}: depends on unknown member "
+                    f"{target!r}; members: {list(members)}"
+                )
+            if target not in deduped:
+                deduped.append(target)
+        if deduped:
+            canonical[name] = tuple(deduped)
+    return MappingProxyType(canonical)
 
 
 @dataclass(frozen=True)
@@ -296,6 +408,21 @@ class SuiteSpec:
         Garbage-collection budgets for the ``cache_dir`` object tree,
         enforced LRU-by-last-use after every write-through (see
         :meth:`repro.engine.cache.FileStore.gc`).
+    priorities:
+        Optional ``{member_name: int}`` scheduling weights.  Higher
+        priority members run first (both the in-process
+        :meth:`~repro.api.session.Session.run_suite` fan-out and the
+        distributed work queue honor them); omitted members default to 0
+        and keep their manifest position as the tie-break.  May also be
+        written inline in the JSON manifest as a per-entry ``"priority"``
+        key.
+    depends_on:
+        Optional ``{member_name: [member_name, ...]}`` dependency edges: a
+        member never starts before every member it depends on has
+        completed.  Cycles are rejected by :meth:`validate` (naming the
+        offending member); unknown dependency targets are rejected at
+        construction.  May also be written inline in the JSON manifest as
+        a per-entry ``"depends_on"`` list.
     """
 
     name: str
@@ -305,6 +432,8 @@ class SuiteSpec:
     cache_dir: Optional[str] = None
     max_store_bytes: Optional[int] = None
     max_store_entries: Optional[int] = None
+    priorities: Mapping[str, int] = field(default_factory=dict)
+    depends_on: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not _NAME_PATTERN.match(self.name):
@@ -312,7 +441,21 @@ class SuiteSpec:
                 f"invalid suite name {self.name!r}: names must match "
                 f"{_NAME_PATTERN.pattern}"
             )
-        object.__setattr__(self, "specs", _normalize_suite_specs(self.specs))
+        pairs, inline_priorities, inline_depends = _normalize_suite_specs(
+            self.specs
+        )
+        object.__setattr__(self, "specs", pairs)
+        members = [name for name, _ in pairs]
+        object.__setattr__(
+            self,
+            "priorities",
+            _normalize_priorities(self.priorities, inline_priorities, members),
+        )
+        object.__setattr__(
+            self,
+            "depends_on",
+            _normalize_depends_on(self.depends_on, inline_depends, members),
+        )
         if self.n_jobs is not None:
             if isinstance(self.n_jobs, bool) or not isinstance(self.n_jobs, int):
                 raise TypeError("n_jobs must be an int or None")
@@ -376,6 +519,8 @@ class SuiteSpec:
         Raises :class:`ValueError` naming the offending member when a spec
         references an unknown study or passes parameters its driver does
         not accept — so a malformed manifest fails before any study runs.
+        ``depends_on`` cycles are rejected here too, naming the first
+        member (in manifest order) caught in one.
         """
         from repro.api.registry import get_study  # local: avoid cycle
 
@@ -385,17 +530,92 @@ class SuiteSpec:
             except (KeyError, ValueError) as error:
                 message = error.args[0] if error.args else error
                 raise ValueError(f"suite spec {name!r}: {message}") from error
+        self.schedule_order()  # raises on dependency cycles
+
+    def schedule_order(self) -> List[str]:
+        """Member names in execution order: dependencies first, then
+        priority (higher first), manifest position as the tie-break.
+
+        The same order drives the in-process
+        :meth:`~repro.api.session.Session.run_suite` fan-out and the
+        enqueue order of the distributed work queue, so scheduling policy
+        lives in exactly one place.  Raises :class:`ValueError` naming a
+        member caught in a ``depends_on`` cycle.
+        """
+        position = {name: index for index, (name, _) in enumerate(self.specs)}
+        blocking = {
+            name: set(self.depends_on.get(name, ())) for name in position
+        }
+        dependents: Dict[str, List[str]] = {name: [] for name in position}
+        for name, edges in blocking.items():
+            for target in edges:
+                dependents[target].append(name)
+        # Min-heap keyed by (-priority, manifest position): among members
+        # whose dependencies are all scheduled, the highest-priority
+        # earliest-declared member runs next — a deterministic topological
+        # order, never influenced by dict iteration or scheduling.
+        ready = [
+            (-self.priorities.get(name, 0), index, name)
+            for name, index in position.items()
+            if not blocking[name]
+        ]
+        heapq.heapify(ready)
+        order: List[str] = []
+        while ready:
+            _, _, name = heapq.heappop(ready)
+            order.append(name)
+            for dependent in dependents[name]:
+                blocking[dependent].discard(name)
+                if not blocking[dependent]:
+                    heapq.heappush(
+                        ready,
+                        (
+                            -self.priorities.get(dependent, 0),
+                            position[dependent],
+                            dependent,
+                        ),
+                    )
+        if len(order) != len(position):
+            stuck = min(
+                (name for name in position if name not in set(order)),
+                key=position.__getitem__,
+            )
+            cycle = [stuck]
+            cursor = stuck
+            while True:
+                cursor = min(blocking[cursor], key=position.__getitem__)
+                if cursor in cycle:
+                    cycle = cycle[cycle.index(cursor):]
+                    break
+                cycle.append(cursor)
+            path = " -> ".join(cycle + [cycle[0]])
+            raise ValueError(
+                f"suite spec {stuck!r}: dependency cycle {path}"
+            )
+        return order
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict manifest form, suitable for ``json`` dumping."""
+        """Plain-dict manifest form, suitable for ``json`` dumping.
+
+        Scheduling metadata serializes *inline* — each member entry gains
+        ``"priority"``/``"depends_on"`` keys when set — so a manifest
+        reads as one list of members and the round-trip through
+        :meth:`from_dict` is lossless either way it was declared.
+        """
+        entries: List[Dict[str, Any]] = []
+        for name, spec in self.specs:
+            entry: Dict[str, Any] = {"name": name, "spec": spec.to_dict()}
+            if name in self.priorities:
+                entry["priority"] = self.priorities[name]
+            if name in self.depends_on:
+                entry["depends_on"] = list(self.depends_on[name])
+            entries.append(entry)
         return {
             "name": self.name,
-            "specs": [
-                {"name": name, "spec": spec.to_dict()} for name, spec in self.specs
-            ],
+            "specs": entries,
             "n_jobs": self.n_jobs,
             "backend": self.backend,
             "cache_dir": self.cache_dir,

@@ -45,7 +45,50 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.benchmark import BenchmarkProcess, Measurement
     from repro.utils.rng import SeedBundle
 
-__all__ = ["FileStore", "MeasurementCache", "atomic_write", "measurement_key"]
+__all__ = [
+    "FileStore",
+    "MeasurementCache",
+    "atomic_write",
+    "dump_fidelity",
+    "load_fidelity",
+    "measurement_key",
+]
+
+
+def dump_fidelity(spec: Any, raw: Any) -> Optional[bytes]:
+    """Pickle a native result object keyed to the spec that produced it.
+
+    The one wire format for *full-fidelity* result records — suite resume
+    records (``<name>.raw.pkl``) and distributed queue commits
+    (``results/<id>.raw.pkl``) both use it, so a change here keeps every
+    reader and writer in sync.  Returns ``None`` when the object does not
+    pickle: fidelity is best-effort, the JSON record (rows + report)
+    remains authoritative.
+    """
+    try:
+        return pickle.dumps(
+            {"spec": spec, "raw": raw}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception:  # noqa: BLE001 - fidelity is best-effort
+        return None
+
+
+def load_fidelity(path: str, spec: Any) -> Any:
+    """Load a :func:`dump_fidelity` payload, gated on an exact spec match.
+
+    Returns the native result object only when the pickle at ``path`` is
+    readable *and* was written for exactly ``spec`` (its dict form) — a
+    stale, foreign or corrupt pickle degrades to ``None`` so callers fall
+    back to the JSON record.
+    """
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except Exception:  # noqa: BLE001 - stale/foreign pickles degrade
+        return None
+    if not isinstance(payload, dict) or payload.get("spec") != spec:
+        return None
+    return payload.get("raw")
 
 
 def atomic_write(target: str, blob: bytes) -> None:
@@ -157,6 +200,8 @@ class FileStore:
 
         <directory>/objects/<key[:2]>/<key>.pkl   # one pickle per key
         <directory>/index.json                    # advisory key -> size map
+        <directory>/<namespace>/...               # subsystem state (suites/,
+                                                  # queue/) — see namespace()
 
     Writes go to a temp file in the destination directory followed by
     :func:`os.replace`, so a reader never observes a torn entry and
@@ -213,6 +258,25 @@ class FileStore:
         if not key or any(c in key for c in "/\\."):
             raise ValueError(f"invalid cache key {key!r}")
         return os.path.join(self._objects, key[:2], key + ".pkl")
+
+    def namespace(self, name: str) -> str:
+        """Directory for auxiliary subsystem state sharing this store root.
+
+        Suites keep completion records under ``namespace("suites")`` and
+        the distributed scheduler keeps its durable task queue under
+        ``namespace("queue")`` — co-located with the measurements they
+        describe, so one shared ``cache_dir`` (e.g. over a network
+        filesystem) carries the whole execution state.  Namespaces are
+        *invisible* to the measurement side of the store: :meth:`keys`,
+        :meth:`gc` and the budgets only ever touch the ``objects`` tree,
+        so queue records and completion markers are never garbage
+        collected, and task state never counts against the byte budget.
+        """
+        if not name or name == "objects" or any(c in name for c in "/\\."):
+            raise ValueError(f"invalid store namespace {name!r}")
+        path = os.path.join(self.directory, name)
+        os.makedirs(path, exist_ok=True)
+        return path
 
     def read(self, key: str) -> Optional["Measurement"]:
         """Load one entry, or ``None`` when absent (or unreadable).
@@ -553,6 +617,16 @@ class MeasurementCache:
     def store(self) -> Optional[FileStore]:
         """The per-key :class:`FileStore` backend, when ``cache_dir`` is set."""
         return self._file_store
+
+    def namespace(self, name: str) -> str:
+        """Auxiliary state directory in the backing store (requires
+        ``cache_dir``); see :meth:`FileStore.namespace`."""
+        if self._file_store is None:
+            raise ValueError(
+                "namespaces live in the per-key file store and therefore "
+                "require cache_dir"
+            )
+        return self._file_store.namespace(name)
 
     def __len__(self) -> int:
         return len(self._store)

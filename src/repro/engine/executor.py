@@ -21,6 +21,8 @@ completion order.
 
 from __future__ import annotations
 
+import functools
+import multiprocessing
 import os
 import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -36,6 +38,28 @@ __all__ = [
 
 class StudyCancelled(RuntimeError):
     """Raised inside a work fan-out once its cancellation event is set."""
+
+#: Per-process cancellation flag installed in pool workers (see
+#: :func:`_install_process_cancel`).  A plain module global: each worker
+#: process owns its interpreter, and the parent never sets it.
+_PROCESS_CANCEL = None
+
+
+def _install_process_cancel(event) -> None:
+    """Pool initializer: remember the shared multiprocessing event."""
+    global _PROCESS_CANCEL
+    _PROCESS_CANCEL = event
+
+
+def _cancel_checked(fn, item):
+    """Per-item guard run inside pool workers: check the relayed event
+    before every item, so a cancelled process batch stops between items
+    instead of draining to the batch boundary."""
+    event = _PROCESS_CANCEL
+    if event is not None and event.is_set():
+        raise StudyCancelled("batch cancelled mid-run")
+    return fn(item)
+
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -106,12 +130,15 @@ class ParallelExecutor:
         """Apply ``fn`` to every item; results keep the submission order.
 
         When ``cancel`` is given, the fan-out stops as soon as the event is
-        observed set: always before the batch starts, per item on the
-        serial and thread backends, and at batch boundaries on the process
-        backend (the event cannot cross process pickling).  Cancellation
-        raises :class:`StudyCancelled` rather than returning partial
-        results, so a caller can never mistake a truncated batch for a
-        complete one.
+        observed set: always before the batch starts, and per item on
+        every backend.  The process backend cannot see a
+        :class:`threading.Event` across pickling, so a relay thread
+        mirrors it into a :class:`multiprocessing.Event` installed in each
+        pool worker, and a per-item guard checks that before every call —
+        in-flight items finish, queued items of the same batch do not.
+        Cancellation raises :class:`StudyCancelled` rather than returning
+        partial results, so a caller can never mistake a truncated batch
+        for a complete one.
         """
         items = list(items)
         if cancel is not None and cancel.is_set():
@@ -139,8 +166,41 @@ class ParallelExecutor:
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, -(-len(items) // workers))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items, chunksize=chunksize))
+        if cancel is None:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, items, chunksize=chunksize))
+        # Mirror the caller's threading event into a multiprocessing event
+        # the pool workers can observe; the relay thread dies with the map.
+        context = multiprocessing.get_context()
+        process_cancel = context.Event()
+        relay_stop = threading.Event()
+
+        def _relay() -> None:
+            while not relay_stop.is_set():
+                if cancel.wait(0.02):
+                    process_cancel.set()
+                    return
+
+        relay = threading.Thread(
+            target=_relay, name="repro-cancel-relay", daemon=True
+        )
+        relay.start()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_install_process_cancel,
+                initargs=(process_cancel,),
+            ) as pool:
+                return list(
+                    pool.map(
+                        functools.partial(_cancel_checked, fn),
+                        items,
+                        chunksize=chunksize,
+                    )
+                )
+        finally:
+            relay_stop.set()
+            relay.join()
 
 
 class CancellableExecutor:

@@ -1,0 +1,42 @@
+"""Distributed work-queue scheduler over the shared per-key store.
+
+The paper's prescription — re-run every benchmark many times and account
+for every variance source — makes figure regeneration embarrassingly
+parallel but wall-clock-expensive.  This package turns the single-process
+suite runner into a multi-worker (and, over a network filesystem,
+multi-host) system, using nothing but the directory the measurements
+already share:
+
+* :mod:`repro.sched.queue` — :class:`TaskQueue`, a filesystem-backed
+  durable queue under ``<cache_dir>/queue/<suite>/``: atomic-rename
+  claims, mtime-heartbeat leases, steal-on-expiry, and a commit protocol
+  where finishing a task *is* one rename — so a crashed worker's tasks
+  are re-run and a stale worker can never double-commit;
+* :mod:`repro.sched.worker` — :class:`Worker`, the claim-execute-commit
+  loop behind ``python -m repro worker <cache_dir>``;
+* :mod:`repro.sched.coordinator` — :class:`Coordinator`, which enqueues a
+  :class:`~repro.api.spec.SuiteSpec` (optionally pre-sharded by scope
+  path for fine-grained stealing), streams progress, and assembles the
+  same bitwise-identical :class:`~repro.api.results.SuiteResult` as the
+  in-process path — the engine behind
+  ``Session.run_suite(..., distributed=True)``.
+
+At-least-once execution is safe here because every study derives its
+seeds from scope paths: re-running a stolen task produces bitwise-
+identical rows, so the only thing the queue must make unique is the
+*commit*, which the claim-rename protocol guarantees.
+"""
+
+from repro.sched.coordinator import Coordinator
+from repro.sched.queue import QueueState, TaskClaim, TaskQueue, TaskRecord
+from repro.sched.worker import Worker, WorkerStats
+
+__all__ = [
+    "Coordinator",
+    "QueueState",
+    "TaskClaim",
+    "TaskQueue",
+    "TaskRecord",
+    "Worker",
+    "WorkerStats",
+]

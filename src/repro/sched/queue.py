@@ -1,0 +1,633 @@
+"""Durable filesystem work queue: claims, leases, exactly-once commit.
+
+One :class:`TaskQueue` lives under ``<cache_dir>/queue/<suite>/`` — the
+same directory tree that already holds the per-key measurement store and
+the suite completion records, so any worker that can see the cache (same
+host, or any host mounting it over a network filesystem) can join the
+computation with zero extra infrastructure.
+
+Layout::
+
+    queue/<suite>/suite.json        # the SuiteSpec manifest (worker config)
+    queue/<suite>/plan.json         # immutable task graph: id, member, spec,
+                                    #   priority, depends_on, shard index
+    queue/<suite>/pending/<id>      # marker: task is claimable
+    queue/<suite>/running/<id>#<claim>   # lease file; mtime = last heartbeat
+    queue/<suite>/done/<id>         # marker: result committed
+    queue/<suite>/failed/<id>       # marker: task raised (error in errors/)
+    queue/<suite>/results/<id>.json # StudyResult.to_record() payload
+    queue/<suite>/results/<id>.raw.pkl  # optional native result pickle
+    queue/<suite>/errors/<id>.json  # traceback of a failed task
+
+Every state transition is a single :func:`os.rename` on one filesystem,
+which POSIX makes atomic:
+
+* **claim** — ``pending/<id>`` → ``running/<id>#<claim>``.  Exactly one
+  of any number of racing workers wins; the losers get
+  :class:`FileNotFoundError` and move on.
+* **steal** — a ``running`` entry whose mtime is older than the lease
+  belongs to a *dead* worker (crashed, SIGKILLed, host gone — anything
+  that stops its heartbeat thread); a stealer renames it to its own claim
+  token.  Again exactly one stealer wins.  Note the converse: a worker
+  whose process is alive but whose *study* is wedged keeps heartbeating,
+  so leases do not recover in-process hangs — bound those with the
+  coordinator's ``timeout``.
+* **commit** — the worker writes ``results/<id>.json`` and then renames
+  ``running/<id>#<claim>`` → ``done/<id>``.  Possession of the *exact*
+  claim filename is the commit token: a worker whose task was stolen lost
+  that filename, so its rename fails and it discards — a task is
+  committed exactly once even though it may have executed more than once.
+  (At-least-once execution is harmless: scope-addressed seeding makes
+  re-execution bitwise-identical, so the one committed result is the same
+  bytes whoever won.)
+
+Heartbeats are ``os.utime`` refreshes of the claim file's mtime — no
+writes, no locks.  Lease expiry compares that mtime against the local
+clock, so leases shared across hosts should comfortably exceed any clock
+skew between them (the default is 30 s; cross-host deployments over NFS
+should use minutes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.spec import StudySpec, SuiteSpec
+from repro.engine.cache import atomic_write, dump_fidelity, load_fidelity
+
+__all__ = ["QueueState", "TaskClaim", "TaskQueue", "TaskRecord"]
+
+#: Separator between task id and claim token in running/ filenames.  Task
+#: ids use the member-name alphabet plus ``@`` (shard suffix), so ``#``
+#: can never appear in one.
+_CLAIM_SEP = "#"
+
+_PLAN_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One immutable unit of queue work: a member study (or one shard of it).
+
+    Attributes
+    ----------
+    id:
+        Queue-unique, filesystem-safe identity.  Equal to the member name
+        for whole-member tasks; ``<member>@<k>`` for the ``k``-th shard of
+        a pre-sharded member.
+    member:
+        The suite member this task belongs to.
+    spec:
+        The exact :class:`~repro.api.spec.StudySpec` to execute (already
+        narrowed to one shard value when sharded).
+    priority:
+        Claim-order weight (higher first), from the suite's ``priorities``.
+    depends_on:
+        *Member* names that must be fully committed before this task may
+        be claimed (every task of a sharded dependency must be done).
+    shard_key:
+        Scope-path shard identity (``task_names=sentiment``) for
+        provenance; ``None`` for whole-member tasks.
+    index:
+        Position in the plan — the deterministic tie-break for claim order
+        and the assembly order of a member's shards.
+    """
+
+    id: str
+    member: str
+    spec: StudySpec
+    priority: int = 0
+    depends_on: Tuple[str, ...] = ()
+    shard_key: Optional[str] = None
+    index: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "member": self.member,
+            "spec": self.spec.to_dict(),
+            "priority": self.priority,
+            "depends_on": list(self.depends_on),
+            "shard_key": self.shard_key,
+            "index": self.index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskRecord":
+        return cls(
+            id=data["id"],
+            member=data["member"],
+            spec=StudySpec.from_dict(data["spec"]),
+            priority=int(data.get("priority", 0)),
+            depends_on=tuple(data.get("depends_on") or ()),
+            shard_key=data.get("shard_key"),
+            index=int(data.get("index", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class TaskClaim:
+    """Proof of task possession: the exact running/ filename is the token."""
+
+    task_id: str
+    token: str
+    path: str
+
+
+@dataclass
+class QueueState:
+    """One consistent-enough snapshot of the queue's state directories.
+
+    ``running`` maps task id to ``(claim filename, heartbeat age seconds)``;
+    everything else is a set of task ids.  Directory scans race concurrent
+    renames, so a task can transiently appear in no set (mid-rename) —
+    consumers simply rescan on the next poll.
+    """
+
+    pending: set = field(default_factory=set)
+    running: Dict[str, Tuple[str, float]] = field(default_factory=dict)
+    done: set = field(default_factory=set)
+    failed: set = field(default_factory=set)
+
+
+class TaskQueue:
+    """Filesystem work queue for one suite (see the module docstring).
+
+    Parameters
+    ----------
+    directory:
+        The queue root, normally ``<cache_dir>/queue/<suite_name>`` (use
+        :meth:`for_suite`).
+    lease_seconds:
+        Heartbeat lease: a running task whose claim file has not been
+        touched for this long is considered abandoned and may be stolen.
+    """
+
+    _STATE_DIRS = ("pending", "running", "done", "failed", "results", "errors")
+
+    def __init__(self, directory: str, *, lease_seconds: float = 30.0) -> None:
+        if lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        self.directory = str(directory)
+        self.lease_seconds = float(lease_seconds)
+        self._plan: Optional[List[TaskRecord]] = None
+        self._plan_mtime_ns: Optional[int] = None
+
+    @classmethod
+    def for_suite(
+        cls, cache_dir: str, suite_name: str, **kwargs: Any
+    ) -> "TaskQueue":
+        """The queue of ``suite_name`` inside a shared ``cache_dir``."""
+        return cls(
+            os.path.join(str(cache_dir), "queue", suite_name), **kwargs
+        )
+
+    @classmethod
+    def discover(cls, cache_dir: str, **kwargs: Any) -> List["TaskQueue"]:
+        """Every queue currently present under ``<cache_dir>/queue/``."""
+        root = os.path.join(str(cache_dir), "queue")
+        try:
+            names = sorted(
+                entry.name for entry in os.scandir(root) if entry.is_dir()
+            )
+        except FileNotFoundError:
+            return []
+        queues = []
+        for name in names:
+            queue = cls(os.path.join(root, name), **kwargs)
+            if queue.exists():
+                queues.append(queue)
+        return queues
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _dir(self, state: str) -> str:
+        return os.path.join(self.directory, state)
+
+    def _marker(self, state: str, task_id: str) -> str:
+        return os.path.join(self.directory, state, task_id)
+
+    def result_path(self, task_id: str) -> str:
+        return os.path.join(self.directory, "results", f"{task_id}.json")
+
+    def raw_path(self, task_id: str) -> str:
+        return os.path.join(self.directory, "results", f"{task_id}.raw.pkl")
+
+    def error_path(self, task_id: str) -> str:
+        return os.path.join(self.directory, "errors", f"{task_id}.json")
+
+    def exists(self) -> bool:
+        return os.path.exists(os.path.join(self.directory, "plan.json"))
+
+    # ------------------------------------------------------------------
+    # Coordinator side: enqueue
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        suite: SuiteSpec,
+        tasks: Sequence[TaskRecord],
+        *,
+        keep_completed: bool = False,
+    ) -> None:
+        """Durably enqueue ``tasks``.
+
+        The write order is the correctness story: state directories, the
+        suite manifest, every ``pending`` marker, and ``plan.json`` *last*
+        — a queue does not exist for workers until its plan lands, so a
+        coordinator crash mid-enqueue leaves inert markers, never a
+        claimable half-queue, and ``plan.json``'s presence guarantees
+        every task has exactly one state marker.
+
+        ``keep_completed=True`` (the resume path) makes an identical
+        re-enqueue a no-op — committed tasks stay committed, workers
+        mid-flight are untouched, and no marker is ever re-written for a
+        task a worker might hold (the stale-snapshot resurrection race is
+        structurally gone because nothing is written at all).  Without it,
+        re-enqueueing matches the in-process no-resume contract: the queue
+        state is wiped and every task runs again (measurements still
+        replay from the shared store).  Either way, a queue another
+        execution is actively working (live leases) is never rebuilt —
+        pass ``keep_completed=True`` / ``--resume`` to join it instead.
+        """
+        plan_payload = json.dumps(
+            {
+                "version": _PLAN_VERSION,
+                # The full manifest (not just the name): a changed session
+                # config (n_jobs, budgets) must read as a changed plan.
+                "suite": suite.to_dict(),
+                "tasks": [task.to_dict() for task in tasks],
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        plan_path = os.path.join(self.directory, "plan.json")
+        try:
+            with open(plan_path, "rb") as handle:
+                existing = handle.read()
+        except FileNotFoundError:
+            existing = None
+        if existing == plan_payload and keep_completed:
+            self._plan = list(tasks)
+            self._plan_mtime_ns = os.stat(plan_path).st_mtime_ns
+            return
+        if existing is not None:
+            state = self.snapshot()
+            live = [
+                task_id
+                for task_id, (_, age) in state.running.items()
+                if age < self.lease_seconds
+            ]
+            if live:
+                raise RuntimeError(
+                    f"queue {self.directory!r} tasks {sorted(live)} are "
+                    f"still leased by active workers; resume to join the "
+                    f"running execution, or wait for the leases to expire"
+                )
+            # Unlink the plan first: the queue stops existing, so workers
+            # step aside (their cached plan goes stale by mtime) before
+            # any old-state marker disappears or new marker lands.
+            self._unlink(plan_path)
+            self._wipe()
+        os.makedirs(self.directory, exist_ok=True)
+        for state_dir in self._STATE_DIRS:
+            os.makedirs(self._dir(state_dir), exist_ok=True)
+        atomic_write(
+            os.path.join(self.directory, "suite.json"),
+            suite.to_json(indent=2).encode("utf-8"),
+        )
+        for task in tasks:
+            # The marker content is informational; claimability is the
+            # file's existence.
+            atomic_write(
+                self._marker("pending", task.id),
+                json.dumps({"task": task.id}).encode("utf-8"),
+            )
+        atomic_write(plan_path, plan_payload)
+        self._plan = list(tasks)
+        self._plan_mtime_ns = os.stat(plan_path).st_mtime_ns
+
+    def _wipe(self) -> None:
+        """Drop all queue state (a rebuild invalidates everything)."""
+        for state_dir in self._STATE_DIRS:
+            try:
+                entries = os.scandir(self._dir(state_dir))
+            except FileNotFoundError:
+                continue
+            for entry in entries:
+                try:
+                    os.unlink(entry.path)
+                except (FileNotFoundError, IsADirectoryError):
+                    pass
+        self._plan = None
+
+    def destroy(self) -> None:
+        """Remove the whole queue directory.
+
+        Called by the coordinator once a run has been assembled (the
+        results were mirrored into the suite's completion records, so the
+        queue is spent scratch state) — queues therefore never accumulate
+        in the GC-exempt store namespace.  A failed run's queue is kept
+        for inspection (``errors/``).
+        """
+        shutil.rmtree(self.directory, ignore_errors=True)
+        self._plan = None
+        self._plan_mtime_ns = None
+
+    # ------------------------------------------------------------------
+    # Shared: plan and state
+    # ------------------------------------------------------------------
+    def suite(self) -> SuiteSpec:
+        """The enqueued suite manifest (worker-side session config)."""
+        with open(
+            os.path.join(self.directory, "suite.json"), encoding="utf-8"
+        ) as handle:
+            return SuiteSpec.from_json(handle.read())
+
+    def plan(self, *, refresh: bool = False) -> List[TaskRecord]:
+        """The task graph, cached and keyed to ``plan.json``'s mtime.
+
+        A plan is immutable for the lifetime of one enqueue, but a
+        coordinator may legitimately *rebuild* an idle queue with a
+        changed plan (see :meth:`create`); the mtime check (one ``stat``
+        per call, no parse) lets long-lived workers cache the parsed graph
+        while still noticing the swap.
+        """
+        path = os.path.join(self.directory, "plan.json")
+        mtime_ns = os.stat(path).st_mtime_ns
+        if self._plan is None or refresh or mtime_ns != self._plan_mtime_ns:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            self._plan = [
+                TaskRecord.from_dict(entry) for entry in payload["tasks"]
+            ]
+            self._plan_mtime_ns = mtime_ns
+        return list(self._plan)
+
+    def snapshot(self) -> QueueState:
+        """Scan the state directories into one :class:`QueueState`."""
+        state = QueueState()
+        now = time.time()
+        for name in self._list("pending"):
+            state.pending.add(name)
+        for name in self._list("running"):
+            task_id, _, _token = name.rpartition(_CLAIM_SEP)
+            if not task_id:
+                continue
+            try:
+                mtime = os.stat(self._marker("running", name)).st_mtime
+            except FileNotFoundError:  # raced a rename mid-scan
+                continue
+            state.running[task_id] = (name, max(0.0, now - mtime))
+        for name in self._list("done"):
+            state.done.add(name)
+        for name in self._list("failed"):
+            state.failed.add(name)
+        return state
+
+    def _list(self, state_dir: str) -> List[str]:
+        try:
+            return sorted(os.listdir(self._dir(state_dir)))
+        except FileNotFoundError:
+            return []
+
+    def _blocked_by_failure(self, state: QueueState) -> set:
+        """Task ids that can never run: a (transitive) dependency failed."""
+        plan = self.plan()
+        failed_members = {
+            task.member for task in plan if task.id in state.failed
+        }
+        member_deps = {}
+        for task in plan:
+            member_deps.setdefault(task.member, set()).update(task.depends_on)
+        # Propagate failure through the member dependency graph to a fixed
+        # point (the graph is tiny: one node per suite member).
+        doomed = set(failed_members)
+        changed = True
+        while changed:
+            changed = False
+            for member, deps in member_deps.items():
+                if member not in doomed and deps & doomed:
+                    doomed.add(member)
+                    changed = True
+        return {
+            task.id
+            for task in plan
+            if task.member in doomed and task.id not in state.failed
+        }
+
+    def complete(self, state: Optional[QueueState] = None) -> bool:
+        """True when every task is done, failed, or unrunnable because a
+        dependency failed — i.e. no further execution is possible."""
+        state = state or self.snapshot()
+        terminal = state.done | state.failed | self._blocked_by_failure(state)
+        return all(task.id in terminal for task in self.plan())
+
+    # ------------------------------------------------------------------
+    # Worker side: claim / heartbeat / commit
+    # ------------------------------------------------------------------
+    def claimable(self, state: Optional[QueueState] = None) -> List[TaskRecord]:
+        """Tasks a worker may try to claim right now, in claim order.
+
+        A task is claimable when it is not terminal, every member it
+        depends on is fully committed, and it is either ``pending`` or
+        ``running`` with an expired lease (a steal).  Order is priority
+        descending, then plan position — the same policy as
+        :meth:`repro.api.spec.SuiteSpec.schedule_order`.
+        """
+        state = state or self.snapshot()
+        plan = self.plan()
+        done_members: Dict[str, bool] = {}
+        for task in plan:
+            done_members.setdefault(task.member, True)
+            if task.id not in state.done:
+                done_members[task.member] = False
+        # Tasks doomed by a failure (a sibling shard of their member, or a
+        # transitive dependency, failed) are terminal for the run — their
+        # results could never be assembled, so executing them would only
+        # burn compute.
+        doomed = self._blocked_by_failure(state)
+        candidates = []
+        for task in plan:
+            if task.id in doomed:
+                continue
+            if task.id in state.done or task.id in state.failed:
+                if task.id in state.running:
+                    # Stale lease left by a worker that crashed between
+                    # its commit link and its cleanup unlink; harmless,
+                    # sweep it so snapshots stay small.
+                    name, _ = state.running[task.id]
+                    self._unlink(self._marker("running", name))
+                continue
+            if task.id in state.running:
+                _, age = state.running[task.id]
+                if age < self.lease_seconds:
+                    continue  # live lease — not stealable yet
+            elif task.id not in state.pending:
+                continue  # mid-rename; next poll will see it settled
+            if not all(done_members.get(dep, False) for dep in task.depends_on):
+                continue
+            candidates.append(task)
+        candidates.sort(key=lambda task: (-task.priority, task.index))
+        return candidates
+
+    def claim(
+        self,
+        task: TaskRecord,
+        *,
+        worker: str = "",
+        state: Optional[QueueState] = None,
+    ) -> Optional[TaskClaim]:
+        """Try to take ``task``: atomic rename of its pending marker (or of
+        an expired lease — a steal) to a fresh claim file.  Returns ``None``
+        when another worker won the race."""
+        token = uuid.uuid4().hex[:12]
+        target = self._marker("running", f"{task.id}{_CLAIM_SEP}{token}")
+        state = state or self.snapshot()
+        if task.id in state.running:
+            name, age = state.running[task.id]
+            if age < self.lease_seconds:
+                return None
+            source = self._marker("running", name)
+        else:
+            source = self._marker("pending", task.id)
+        try:
+            os.rename(source, target)
+        except FileNotFoundError:
+            return None
+        claim = TaskClaim(task_id=task.id, token=token, path=target)
+        # Stamp ownership and refresh the mtime immediately: a rename
+        # preserves the source mtime, so a fresh claim of a long-pending
+        # task (or a steal) would otherwise look expired until the first
+        # heartbeat.  Opened *without* O_CREAT: if the claim was already
+        # stolen back, recreating the file here would resurrect a second
+        # lease for the same task and break the exactly-once commit.
+        try:
+            fd = os.open(target, os.O_WRONLY | os.O_TRUNC)
+        except FileNotFoundError:  # pragma: no cover - stolen instantly
+            return None
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"task": task.id, "worker": worker, "pid": os.getpid()},
+                handle,
+            )
+        return claim
+
+    def heartbeat(self, claim: TaskClaim) -> bool:
+        """Refresh the lease.  ``False`` means the task was stolen — the
+        worker should abandon the execution and must not commit."""
+        try:
+            os.utime(claim.path)
+            return True
+        except FileNotFoundError:
+            return False
+
+    def commit(
+        self,
+        claim: TaskClaim,
+        record: Mapping[str, Any],
+        *,
+        raw: Any = None,
+    ) -> bool:
+        """Durably publish a task result; the commit point is one rename.
+
+        The result record lands first (atomic write), the optional native
+        result pickle second (best-effort — an unpicklable result degrades
+        to the JSON record), and then ``running/<id>#<claim>`` is *linked*
+        to ``done/<id>`` and unlinked.  Only the holder of the exact claim
+        filename can make that link, and a link never overwrites an
+        existing marker (unlike rename), so of N at-least-once executions
+        exactly one commits; the rest observe ``False`` and discard.
+        Writing the record before the commit link is safe even for losers:
+        records of the same task are bitwise-identical in everything but
+        timing metadata (scope-addressed seeding), so the ``done`` marker
+        always describes the bytes on disk.
+        """
+        if not self.heartbeat(claim):
+            return False
+        atomic_write(
+            self.result_path(claim.task_id),
+            json.dumps(dict(record), sort_keys=True).encode("utf-8"),
+        )
+        if raw is not None:
+            fidelity = dump_fidelity(record.get("spec"), raw)
+            if fidelity is not None:
+                atomic_write(self.raw_path(claim.task_id), fidelity)
+        try:
+            os.link(claim.path, self._marker("done", claim.task_id))
+        except FileNotFoundError:  # stolen: the thief owns the commit now
+            return False
+        except FileExistsError:
+            # Already committed (e.g. a previous holder crashed *between*
+            # its commit link and its lease cleanup, and we re-ran the
+            # task).  The result is durable; just drop our stale lease.
+            self._unlink(claim.path)
+            return False
+        self._unlink(claim.path)
+        return True
+
+    @staticmethod
+    def _unlink(path: str) -> None:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+
+    def fail(self, claim: TaskClaim, message: str) -> bool:
+        """Mark a task as deterministically failed (exception, not crash).
+
+        Crash recovery is the lease's job; ``fail`` is for tasks whose
+        execution *raised* — re-running those would raise identically, so
+        they park in ``failed/`` for the coordinator to report instead of
+        bouncing between workers forever.  The state rename comes first:
+        a claim that was already stolen returns ``False`` without leaving
+        a stray error record behind (the thief owns the task's fate now,
+        and may well commit it successfully).
+        """
+        try:
+            os.rename(claim.path, self._marker("failed", claim.task_id))
+        except FileNotFoundError:
+            return False
+        atomic_write(
+            self.error_path(claim.task_id),
+            json.dumps({"task": claim.task_id, "error": message}).encode(
+                "utf-8"
+            ),
+        )
+        return True
+
+    def release(self, claim: TaskClaim) -> bool:
+        """Put a claimed task back (graceful worker shutdown mid-queue)."""
+        try:
+            os.rename(claim.path, self._marker("pending", claim.task_id))
+            return True
+        except FileNotFoundError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def load_record(self, task_id: str) -> Optional[Dict[str, Any]]:
+        """The committed result record of ``task_id`` (``None`` if absent)."""
+        try:
+            with open(self.result_path(task_id), encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def load_raw(self, task_id: str, spec: StudySpec) -> Any:
+        """The native result pickled alongside ``task_id``'s record, when
+        present *and* written for exactly ``spec`` (``None`` otherwise)."""
+        return load_fidelity(self.raw_path(task_id), spec.to_dict())
+
+    def load_error(self, task_id: str) -> str:
+        try:
+            with open(self.error_path(task_id), encoding="utf-8") as handle:
+                return json.load(handle).get("error", "")
+        except (FileNotFoundError, json.JSONDecodeError):
+            return ""

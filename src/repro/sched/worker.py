@@ -1,0 +1,353 @@
+"""The claim-execute-commit loop behind ``python -m repro worker``.
+
+A :class:`Worker` polls the queues under one shared ``cache_dir``, claims
+the highest-priority runnable task (dependencies committed, lease free),
+executes its :class:`~repro.api.spec.StudySpec` through a
+:class:`~repro.api.session.Session` bound to the *same* store — so every
+measurement it fits is write-through shared with every other worker —
+heartbeats its lease from a background thread while the study runs, and
+commits the result record.
+
+Leases recover *process death*: a worker that crashes (or is SIGKILLed,
+or whose host disappears) stops heartbeating, its lease expires, and
+another worker steals the task.  A worker that is alive but *wedged*
+keeps heartbeating — in-process hangs are bounded by the coordinator's
+``timeout``, not by leases.  When a worker does lose its lease (e.g. a
+long GC pause let a thief in), the heartbeat thread notices the stolen
+claim file and trips the study's cancellation event: the execution aborts
+at its next work item on every backend (process pools observe the event
+through the executor's relayed multiprocessing event), and nothing is
+committed.  The thief re-runs the task to bitwise-identical results, so
+abandonment costs wall-clock, never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.api.session import Session
+from repro.sched.queue import TaskClaim, TaskQueue, TaskRecord
+
+__all__ = ["Worker", "WorkerStats"]
+
+#: Signature of the optional per-event worker log callback:
+#: ``(event, task_id, detail)`` with ``event`` one of ``"claim"``,
+#: ``"steal"``, ``"commit"``, ``"lost"``, ``"fail"``, ``"release"``.
+WorkerLog = Callable[[str, str, str], None]
+
+
+@dataclass
+class WorkerStats:
+    """Lifetime counters of one worker loop, for logs and tests."""
+
+    claimed: int = 0
+    stolen: int = 0
+    committed: int = 0
+    lost: int = 0
+    failed: int = 0
+    idle_polls: int = 0
+    suites: List[str] = field(default_factory=list)
+
+
+class Worker:
+    """Cooperative suite executor over one shared cache directory.
+
+    Parameters
+    ----------
+    cache_dir:
+        The shared per-key store; queues live under ``<cache_dir>/queue/``.
+    suite:
+        Restrict to one suite's queue (default: work every queue found).
+    worker_id:
+        Stable identity for lease files and logs (default ``host:pid``).
+    lease_seconds, poll_seconds:
+        Heartbeat lease for claimed tasks, and how long to sleep when no
+        task is claimable.
+    n_jobs, backend:
+        Per-task engine overrides; default to each suite's own manifest
+        configuration.
+    log:
+        Optional ``(event, task_id, detail)`` callback for streaming logs.
+    session:
+        Execute through this existing :class:`~repro.api.session.Session`
+        instead of building one per suite — how a participating
+        coordinator keeps its own cache (and cache statistics) on the
+        execution path.  The caller keeps ownership: :meth:`close` leaves
+        an injected session open.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str,
+        *,
+        suite: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        lease_seconds: float = 30.0,
+        poll_seconds: float = 0.5,
+        n_jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+        log: Optional[WorkerLog] = None,
+        session: Optional[Session] = None,
+    ) -> None:
+        self.cache_dir = str(cache_dir)
+        self.suite = suite
+        self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
+        self.lease_seconds = float(lease_seconds)
+        self.poll_seconds = float(poll_seconds)
+        self.n_jobs = n_jobs
+        self.backend = backend
+        self.log = log
+        self.stats = WorkerStats()
+        self._sessions: Dict[str, Session] = {}
+        self._queues: Dict[str, TaskQueue] = {}
+        self._injected_session = session
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def queues(self) -> List[TaskQueue]:
+        """The queues this worker serves (rescanned every poll, so suites
+        enqueued after the worker started are picked up).
+
+        Instances are cached per queue directory: the parsed plan then
+        survives across polls (``TaskQueue.plan`` re-reads only when
+        ``plan.json``'s mtime changes), so a standing fleet doesn't
+        re-parse every task spec on every idle scan.
+        """
+        if self.suite is not None:
+            queue = self._queue_at(
+                TaskQueue.for_suite(self.cache_dir, self.suite).directory
+            )
+            return [queue] if queue.exists() else []
+        return [
+            self._queue_at(found.directory)
+            for found in TaskQueue.discover(self.cache_dir)
+        ]
+
+    def _queue_at(self, directory: str) -> TaskQueue:
+        if directory not in self._queues:
+            self._queues[directory] = TaskQueue(
+                directory, lease_seconds=self.lease_seconds
+            )
+        return self._queues[directory]
+
+    def _forget(self, queue: TaskQueue) -> None:
+        """Drop a vanished queue entirely (instance cache and session)."""
+        self._queues.pop(queue.directory, None)
+        self._release_session(queue)
+
+    def _release_session(self, queue: TaskQueue) -> None:
+        """Close a queue's per-suite session, freeing its in-memory
+        measurement cache — a standing fleet worker must not hold one
+        cache per suite it ever served.  The cached :class:`TaskQueue`
+        (and its parsed plan) may stay: a complete-but-not-yet-destroyed
+        queue is still polled, and re-parsing its plan each poll is
+        exactly what the instance cache avoids."""
+        session = self._sessions.pop(os.path.basename(queue.directory), None)
+        if session is not None:
+            session.close()
+
+    def _session_for(self, queue: TaskQueue) -> Session:
+        if self._injected_session is not None:
+            return self._injected_session
+        name = os.path.basename(queue.directory)
+        if name not in self._sessions:
+            overrides: Dict[str, Any] = {"cache_dir": self.cache_dir}
+            if self.n_jobs is not None:
+                overrides["n_jobs"] = self.n_jobs
+            if self.backend is not None:
+                overrides["backend"] = self.backend
+            # The manifest's own cache_dir is the *coordinator's* path to
+            # the store; this worker reaches the same directory through
+            # its own mount point, so the local path always wins.
+            self._sessions[name] = Session.for_suite(queue.suite(), **overrides)
+        return self._sessions[name]
+
+    def close(self) -> None:
+        """Close every session this worker built (flushes store indexes).
+
+        An injected session stays open — its owner closes it."""
+        for session in self._sessions.values():
+            session.close()
+        self._sessions.clear()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _emit(self, event: str, task_id: str, detail: str = "") -> None:
+        if self.log is not None:
+            self.log(event, task_id, detail)
+
+    def step(self) -> bool:
+        """Claim and execute at most one task across all served queues.
+
+        Returns ``True`` when a task was executed (committed, lost or
+        failed), ``False`` when nothing was claimable anywhere — the
+        caller decides whether to sleep, exit, or do other work.
+        """
+        for queue in self.queues():
+            try:
+                state = queue.snapshot()
+                candidates = queue.claimable(state)
+            except FileNotFoundError:
+                # The queue vanished between discovery and use (assembled
+                # and destroyed, or deleted by an operator); forget it.
+                self._forget(queue)
+                continue
+            for task in candidates:
+                stealing = task.id in state.running
+                claim = queue.claim(task, worker=self.worker_id, state=state)
+                if claim is None:
+                    continue  # lost the race; try the next candidate
+                if stealing:
+                    self.stats.stolen += 1
+                    self._emit("steal", task.id, "lease expired")
+                self.stats.claimed += 1
+                suite_name = os.path.basename(queue.directory)
+                if suite_name not in self.stats.suites:
+                    self.stats.suites.append(suite_name)
+                self._emit("claim", task.id, task.spec.study)
+                self._execute(queue, task, claim)
+                return True
+        return False
+
+    def _execute(
+        self, queue: TaskQueue, task: TaskRecord, claim: TaskClaim
+    ) -> None:
+        session = self._session_for(queue)
+        cancel = threading.Event()
+        lost = threading.Event()
+        stop_heartbeat = threading.Event()
+
+        def _heartbeat() -> None:
+            interval = max(0.05, self.lease_seconds / 4.0)
+            while not stop_heartbeat.wait(interval):
+                if not queue.heartbeat(claim):
+                    # Stolen: stop the study at its next cancellation
+                    # point and make sure we never commit.
+                    lost.set()
+                    cancel.set()
+                    return
+
+        heartbeat = threading.Thread(
+            target=_heartbeat, name=f"repro-heartbeat-{task.id}", daemon=True
+        )
+        heartbeat.start()
+        try:
+            result = session.run(task.spec, cancel_event=cancel)
+        except (KeyboardInterrupt, SystemExit):
+            # Being stopped is transient, not a property of the task:
+            # requeue it for the rest of the fleet instead of parking it
+            # in failed/ (which is terminal and would doom dependents).
+            stop_heartbeat.set()
+            heartbeat.join()
+            queue.release(claim)
+            self._emit("release", task.id, "worker interrupted")
+            raise
+        except BaseException as error:  # noqa: BLE001 - park, don't crash
+            stop_heartbeat.set()
+            heartbeat.join()
+            if lost.is_set():
+                self.stats.lost += 1
+                self._emit("lost", task.id, "lease stolen mid-run")
+                return
+            message = "".join(
+                traceback.format_exception_only(type(error), error)
+            ).strip()
+            if queue.fail(claim, f"{message}\n{traceback.format_exc()}"):
+                self.stats.failed += 1
+                self._emit("fail", task.id, message)
+            else:
+                # The claim was stolen before the heartbeat noticed: the
+                # thief owns the task (and may commit it fine) — this
+                # execution was lost, not failed.
+                self.stats.lost += 1
+                self._emit("lost", task.id, "lease stolen mid-run")
+            return
+        stop_heartbeat.set()
+        heartbeat.join()
+        if lost.is_set():
+            self.stats.lost += 1
+            self._emit("lost", task.id, "lease stolen mid-run")
+            return
+        if queue.commit(claim, result.to_record(), raw=result.raw):
+            self.stats.committed += 1
+            self._emit(
+                "commit", task.id, f"{result.elapsed_seconds:.2f}s"
+            )
+        else:
+            self.stats.lost += 1
+            self._emit("lost", task.id, "commit lost to a thief")
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        exit_when_done: bool = False,
+        max_tasks: Optional[int] = None,
+        timeout: Optional[float] = None,
+        stop: Optional[threading.Event] = None,
+    ) -> WorkerStats:
+        """Serve queues until told to stop.
+
+        ``exit_when_done`` returns once at least one queue has been
+        observed and nothing is left to serve — every current queue is
+        complete, or all observed queues are gone (a coordinator destroys
+        its queue after assembling the run).  Without it the worker polls
+        forever — the long-lived fleet mode, picking up suites as
+        coordinators enqueue them.  ``max_tasks`` bounds executed tasks,
+        ``timeout`` bounds wall-clock, and ``stop`` is an external kill
+        switch; whichever trips first wins.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        executed = 0
+        seen_any = False
+        try:
+            while True:
+                if stop is not None and stop.is_set():
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                if max_tasks is not None and executed >= max_tasks:
+                    break
+                if self.step():
+                    executed += 1
+                    seen_any = True
+                    continue
+                queues = self.queues()
+                seen_any = seen_any or bool(queues)
+                finished = 0
+                for queue in queues:
+                    try:
+                        done = queue.complete()
+                    except FileNotFoundError:
+                        self._forget(queue)  # assembled and destroyed
+                        finished += 1
+                        continue
+                    if done:
+                        # Nothing more to claim there: release the
+                        # per-suite session (but keep the queue's plan
+                        # cache — the directory is still being polled).
+                        self._release_session(queue)
+                        finished += 1
+                if exit_when_done and seen_any and finished == len(queues):
+                    break
+                self.stats.idle_polls += 1
+                wait = self.poll_seconds
+                if deadline is not None:
+                    wait = min(wait, max(0.0, deadline - time.monotonic()))
+                if stop is not None:
+                    stop.wait(wait)
+                else:
+                    time.sleep(wait)
+        finally:
+            self.close()
+        return self.stats

@@ -1,7 +1,9 @@
 """Tests for the parallel cached measurement engine (repro.engine)."""
 
 import json
+import os
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -27,6 +29,16 @@ from repro.utils.rng import SeedBundle, SeedScope
 
 def _square(x):
     return x * x
+
+
+def _mark_and_sleep(item):
+    """Process-pool work item: drop a marker file, then dawdle (top level
+    so it pickles)."""
+    directory, index = item
+    with open(os.path.join(directory, f"item-{index}"), "w"):
+        pass
+    time.sleep(0.05)
+    return index
 
 
 class TestParallelExecutor:
@@ -447,9 +459,9 @@ class TestCancellation:
                 _square, [1, 2, 3, 4], cancel=event
             )
 
-    def test_process_map_stops_at_batch_boundaries(self):
-        # The event cannot cross process pickling, so a batch already in
-        # flight runs to completion — but the *next* batch never starts.
+    def test_process_map_stops_between_batches(self):
+        # An event set between batches stops the next batch before any
+        # worker spins up.
         event = threading.Event()
         executor = CancellableExecutor(
             ParallelExecutor(2, backend="process"), event
@@ -458,6 +470,39 @@ class TestCancellation:
         event.set()
         with pytest.raises(StudyCancelled):
             executor.map(_square, [4, 5, 6])
+
+    def test_process_map_stops_between_items_inside_a_batch(self, tmp_path):
+        # The threading event cannot cross process pickling, so a relay
+        # mirrors it into a multiprocessing event checked before every
+        # item *inside* pool workers: a cancellation mid-batch stops the
+        # remaining items of that batch, not just the next batch.
+        event = threading.Event()
+        watcher_error = []
+
+        def set_after_first_marker():
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if any(tmp_path.iterdir()):
+                    event.set()
+                    return
+                time.sleep(0.002)
+            watcher_error.append("no marker appeared")  # pragma: no cover
+
+        watcher = threading.Thread(target=set_after_first_marker)
+        watcher.start()
+        items = [(str(tmp_path), index) for index in range(24)]
+        try:
+            with pytest.raises(StudyCancelled):
+                ParallelExecutor(2, backend="process").map(
+                    _mark_and_sleep, items, cancel=event
+                )
+        finally:
+            watcher.join()
+        assert not watcher_error
+        # Some items ran before the cancel landed, but nowhere near all:
+        # the batch was truncated between items, not drained.
+        ran = len(list(tmp_path.iterdir()))
+        assert 1 <= ran < 24
 
     def test_process_single_item_batch_checks_per_item(self):
         # One item falls back to the serial path, which checks the event

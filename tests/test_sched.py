@@ -1,0 +1,678 @@
+"""Tests for the distributed work-queue scheduler (repro.sched).
+
+Queue invariants are pinned at three levels:
+
+* **protocol** — claim exclusivity under thread races, lease expiry and
+  stealing, exactly-once commit (a stale claim can never double-commit),
+  dependency gating and priority order, all property-tested over random
+  task graphs with simulated workers;
+* **system** — K real workers (threads and subprocesses) cooperatively
+  executing a suite against one shared cache dir produce a
+  ``SuiteResult`` bitwise-identical to the in-process path, including
+  after a worker is SIGKILLed mid-task (its leased tasks are stolen and
+  completed);
+* **spec** — ``priority``/``depends_on`` round-trip through the manifest
+  JSON, ``schedule_order`` is a priority-respecting topological order,
+  and dependency cycles are rejected at ``SuiteSpec.validate()`` with an
+  error naming the offending member.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.__main__ import main
+from repro.api import Session, StudySpec, SuiteSpec
+from repro.sched import Coordinator, TaskQueue, TaskRecord, Worker
+
+ANALYTIC = StudySpec(study="sample_size", params={"gammas": [0.7]})
+
+#: Small three-member suite with real measurement work (variance), a
+#: split-level study (binomial) and an analytic study (sample_size).
+MEMBERS = [
+    (
+        "fig1-variance",
+        StudySpec(
+            study="variance",
+            params={
+                "task_names": ["entailment"],
+                "n_seeds": 2,
+                "include_hpo": False,
+                "dataset_size": 150,
+            },
+            random_state=0,
+        ),
+    ),
+    (
+        "fig2-binomial",
+        StudySpec(
+            study="binomial",
+            params={"task_names": ["sentiment"], "n_splits": 2, "dataset_size": 150},
+            random_state=1,
+        ),
+    ),
+    (
+        "figC1-sample-size",
+        StudySpec(
+            study="sample_size", params={"gammas": [0.7, 0.75]}, random_state=2
+        ),
+    ),
+]
+
+
+def _rows(result) -> str:
+    return json.dumps(json.loads(result.to_json())["rows"], sort_keys=True)
+
+
+def _suite(directory, **kwargs) -> SuiteSpec:
+    return SuiteSpec(
+        name="sched-suite", specs=MEMBERS, cache_dir=str(directory), **kwargs
+    )
+
+
+def _reference_rows(tmp_path):
+    """In-process reference run of MEMBERS (the bitwise ground truth)."""
+    suite = _suite(tmp_path / "reference")
+    with Session.for_suite(suite) as session:
+        reference = session.run_suite(suite)
+    return {name: _rows(reference[name]) for name in suite.names}
+
+
+def _tasks(graph, *, priorities=None):
+    """TaskRecords for a {member: deps} graph (insertion order = plan order)."""
+    priorities = priorities or {}
+    return [
+        TaskRecord(
+            id=member,
+            member=member,
+            spec=ANALYTIC,
+            priority=priorities.get(member, 0),
+            depends_on=tuple(deps),
+            index=index,
+        )
+        for index, (member, deps) in enumerate(graph.items())
+    ]
+
+
+def _queue_suite(graph):
+    return SuiteSpec(
+        name="q", specs=[(member, ANALYTIC) for member in graph]
+    )
+
+
+# ----------------------------------------------------------------------
+# Protocol: claims, leases, stealing, exactly-once commit
+# ----------------------------------------------------------------------
+class TestTaskQueueProtocol:
+    def test_claim_is_exclusive_under_races(self, tmp_path):
+        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+        graph = {"solo": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        task = queue.plan()[0]
+        barrier = threading.Barrier(8)
+        claims = []
+
+        def contender():
+            barrier.wait()
+            claim = queue.claim(task, worker="racer")
+            if claim is not None:
+                claims.append(claim)
+
+        threads = [threading.Thread(target=contender) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(claims) == 1
+        assert queue.snapshot().running.keys() == {"solo"}
+
+    def test_lease_expiry_enables_steal_and_blocks_stale_commit(self, tmp_path):
+        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=0.2)
+        graph = {"solo": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        task = queue.plan()[0]
+        stale = queue.claim(task, worker="crasher")
+        assert stale is not None
+        # Within the lease the task is invisible to other workers.
+        assert queue.claimable() == []
+        time.sleep(0.25)
+        # Expired: the task is claimable again, and the steal wins.
+        assert [t.id for t in queue.claimable()] == ["solo"]
+        thief = queue.claim(task, worker="thief")
+        assert thief is not None
+        # The crashed worker wakes up: its heartbeat and commit both fail.
+        assert not queue.heartbeat(stale)
+        assert not queue.commit(stale, {"who": "stale"})
+        # The thief commits exactly once; the marker cannot be overwritten.
+        assert queue.commit(thief, {"who": "thief"})
+        assert queue.load_record("solo") == {"who": "thief"}
+        state = queue.snapshot()
+        assert state.done == {"solo"} and not state.running
+        assert queue.complete()
+
+    def test_dependency_gating_and_priority_order(self, tmp_path):
+        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+        graph = {"low": (), "high": (), "gated": ("low",)}
+        queue.create(
+            _queue_suite(graph), _tasks(graph, priorities={"high": 5})
+        )
+        # 'gated' is invisible until 'low' commits; 'high' outranks 'low'.
+        assert [t.id for t in queue.claimable()] == ["high", "low"]
+        low = next(t for t in queue.plan() if t.id == "low")
+        claim = queue.claim(low, worker="w")
+        assert queue.commit(claim, {"rows": []})
+        assert [t.id for t in queue.claimable()] == ["high", "gated"]
+
+    def test_failed_dependency_blocks_dependents_but_completes(self, tmp_path):
+        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+        graph = {"boom": (), "after": ("boom",), "free": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        boom = next(t for t in queue.plan() if t.id == "boom")
+        claim = queue.claim(boom, worker="w")
+        assert queue.fail(claim, "ValueError: synthetic")
+        # 'after' can never run, 'free' still can; once 'free' commits the
+        # queue is complete (workers with --exit-when-done terminate).
+        assert [t.id for t in queue.claimable()] == ["free"]
+        assert not queue.complete()
+        free = next(t for t in queue.plan() if t.id == "free")
+        assert queue.commit(queue.claim(free, worker="w"), {"rows": []})
+        assert queue.complete()
+        assert "synthetic" in queue.load_error("boom")
+
+    def test_failed_shard_dooms_siblings_out_of_claimable(self, tmp_path):
+        # One shard of a member fails deterministically: the member can
+        # never assemble, so its surviving shards must stop being claimed
+        # (they would burn compute for a result the run already discarded)
+        # and the queue must still reach completion.
+        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+        tasks = [
+            TaskRecord(id="m@0", member="m", spec=ANALYTIC, index=0),
+            TaskRecord(id="m@1", member="m", spec=ANALYTIC, index=1),
+        ]
+        queue.create(SuiteSpec(name="q", specs=[("m", ANALYTIC)]), tasks)
+        claim = queue.claim(tasks[0], worker="w")
+        assert queue.fail(claim, "ValueError: synthetic")
+        assert queue.claimable() == []
+        assert queue.complete()
+
+    def test_release_requeues_and_resume_create_keeps_completions(self, tmp_path):
+        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+        graph = {"a": (), "b": ()}
+        suite = _queue_suite(graph)
+        tasks = _tasks(graph)
+        queue.create(suite, tasks)
+        claim = queue.claim(queue.plan()[0], worker="w")
+        assert queue.release(claim)
+        assert queue.snapshot().pending == {"a", "b"}
+        # Identical plan re-created with keep_completed (the resume path):
+        # a no-op — done state preserved, no marker rewritten.
+        done = queue.claim(queue.plan()[0], worker="w")
+        assert queue.commit(done, {"rows": []})
+        queue.create(suite, tasks, keep_completed=True)
+        state = queue.snapshot()
+        assert state.done == {"a"} and state.pending == {"b"}
+
+    def test_fresh_create_wipes_same_plan_completions(self, tmp_path):
+        # Without keep_completed (a no-resume re-run), an identical idle
+        # queue is rebuilt: every task runs again, matching the
+        # in-process no-resume contract.
+        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+        graph = {"a": ()}
+        suite = _queue_suite(graph)
+        tasks = _tasks(graph)
+        queue.create(suite, tasks)
+        assert queue.commit(queue.claim(queue.plan()[0], worker="w"), {"rows": []})
+        queue.create(suite, tasks)
+        state = queue.snapshot()
+        assert state.done == set() and state.pending == {"a"}
+
+    def test_changed_plan_rebuilds_idle_queue(self, tmp_path):
+        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+        graph = {"a": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        claim = queue.claim(queue.plan()[0], worker="w")
+        assert queue.commit(claim, {"rows": []})
+        changed = {"a": (), "b": ()}
+        queue.create(_queue_suite(changed), _tasks(changed))
+        state = queue.snapshot()
+        # Old completion is gone (the old plan's results are meaningless
+        # for a changed plan) and both tasks are pending again.
+        assert state.done == set() and state.pending == {"a", "b"}
+
+    def test_changed_plan_refused_while_leased(self, tmp_path):
+        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+        graph = {"a": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        assert queue.claim(queue.plan()[0], worker="w") is not None
+        changed = {"a": (), "b": ()}
+        with pytest.raises(RuntimeError, match="still leased"):
+            queue.create(_queue_suite(changed), _tasks(changed))
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_simulated_fleet_commits_every_task_exactly_once(self, data, tmp_path_factory):
+        """Random DAG + racing simulated workers with crash injection:
+        every task commits exactly once, dependencies always commit before
+        dependents, and the queue reaches completion."""
+        n_tasks = data.draw(st.integers(min_value=1, max_value=6), label="n_tasks")
+        members = [f"t{i}" for i in range(n_tasks)]
+        graph = {
+            member: tuple(
+                dep
+                for dep in members[:index]
+                if data.draw(st.booleans(), label=f"edge-{dep}-{member}")
+            )
+            for index, member in enumerate(members)
+        }
+        priorities = {
+            member: data.draw(
+                st.integers(min_value=-2, max_value=2), label=f"prio-{member}"
+            )
+            for member in members
+        }
+        crashy = {
+            member: data.draw(st.booleans(), label=f"crash-{member}")
+            for member in members
+        }
+        directory = tmp_path_factory.mktemp("fleet")
+        queue = TaskQueue(str(directory / "q"), lease_seconds=0.05)
+        queue.create(_queue_suite(graph), _tasks(graph, priorities=priorities))
+        commits = []
+        commit_lock = threading.Lock()
+        crashed_once = set()
+
+        def fleet_worker(worker_id):
+            idle = 0
+            while idle < 200:
+                state = queue.snapshot()
+                if queue.complete(state):
+                    return
+                progressed = False
+                for task in queue.claimable(state):
+                    claim = queue.claim(task, worker=worker_id, state=state)
+                    if claim is None:
+                        continue
+                    progressed = True
+                    with commit_lock:
+                        crash = crashy[task.id] and task.id not in crashed_once
+                        if crash:
+                            crashed_once.add(task.id)
+                    if crash:
+                        break  # abandon the claim: no heartbeat, no commit
+                    done_before = queue.snapshot().done
+                    if queue.commit(claim, {"task": task.id}):
+                        with commit_lock:
+                            commits.append((task.id, frozenset(done_before)))
+                    break
+                if not progressed:
+                    idle += 1
+                    time.sleep(0.01)
+
+        threads = [
+            threading.Thread(target=fleet_worker, args=(f"w{i}",))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert queue.complete()
+        committed = [task_id for task_id, _ in commits]
+        assert sorted(committed) == sorted(members)  # exactly once each
+        for task_id, done_before in commits:
+            assert set(graph[task_id]) <= done_before, (
+                f"{task_id} committed before its dependencies {graph[task_id]}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Spec: scheduling metadata
+# ----------------------------------------------------------------------
+class TestSchedulingSpec:
+    def test_priority_and_depends_on_round_trip_inline_and_field(self):
+        suite = SuiteSpec(
+            name="s",
+            specs=[("a", ANALYTIC), ("b", ANALYTIC), ("c", ANALYTIC)],
+            priorities={"c": 7},
+            depends_on={"b": ["a"]},
+        )
+        assert SuiteSpec.from_json(suite.to_json()) == suite
+        payload = json.loads(suite.to_json())
+        by_name = {entry["name"]: entry for entry in payload["specs"]}
+        assert by_name["c"]["priority"] == 7
+        assert by_name["b"]["depends_on"] == ["a"]
+        assert "priority" not in by_name["a"]
+        inline = SuiteSpec.from_dict(payload)
+        assert inline.priorities == {"c": 7}
+        assert inline.depends_on == {"b": ("a",)}
+
+    def test_cycle_rejected_at_validate_with_member_name(self):
+        suite = SuiteSpec(
+            name="s",
+            specs=[("a", ANALYTIC), ("b", ANALYTIC)],
+            depends_on={"a": ["b"], "b": ["a"]},
+        )
+        with pytest.raises(ValueError, match="suite spec 'a'.*cycle"):
+            suite.validate()
+        with pytest.raises(ValueError, match="a -> b -> a|b -> a -> b"):
+            suite.schedule_order()
+
+    def test_self_dependency_is_a_cycle(self):
+        suite = SuiteSpec(
+            name="s", specs=[("a", ANALYTIC)], depends_on={"a": ["a"]}
+        )
+        with pytest.raises(ValueError, match="suite spec 'a'.*cycle"):
+            suite.validate()
+
+    def test_unknown_targets_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown member 'ghost'"):
+            SuiteSpec(
+                name="s", specs=[("a", ANALYTIC)], depends_on={"a": ["ghost"]}
+            )
+        with pytest.raises(ValueError, match="unknown suite members"):
+            SuiteSpec(
+                name="s", specs=[("a", ANALYTIC)], priorities={"ghost": 1}
+            )
+
+    def test_conflicting_inline_and_field_metadata_rejected(self):
+        with pytest.raises(ValueError, match="both inline"):
+            SuiteSpec(
+                name="s",
+                specs=[{"name": "a", "spec": ANALYTIC.to_dict(), "priority": 1}],
+                priorities={"a": 2},
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_schedule_order_is_topological_and_priority_greedy(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=7), label="n")
+        members = [f"m{i}" for i in range(n)]
+        depends = {
+            member: [
+                dep
+                for dep in members[:index]
+                if data.draw(st.booleans(), label=f"edge-{dep}-{member}")
+            ]
+            for index, member in enumerate(members)
+        }
+        priorities = {
+            member: data.draw(
+                st.integers(min_value=-3, max_value=3), label=f"p-{member}"
+            )
+            for member in members
+        }
+        suite = SuiteSpec(
+            name="s",
+            specs=[(member, ANALYTIC) for member in members],
+            depends_on={k: v for k, v in depends.items() if v},
+            priorities=priorities,
+        )
+        order = suite.schedule_order()
+        assert sorted(order) == sorted(members)
+        seen = set()
+        position = {member: index for index, member in enumerate(members)}
+        for index, member in enumerate(order):
+            assert set(depends[member]) <= seen, "dependency ran after dependent"
+            # Greedy priority: nothing runnable at this step outranked the
+            # chosen member (or tied with an earlier manifest position).
+            runnable = [
+                other
+                for other in members
+                if other not in seen
+                and set(depends[other]) <= seen
+            ]
+            chosen_key = (-priorities[member], position[member])
+            assert chosen_key == min(
+                (-priorities[other], position[other]) for other in runnable
+            )
+            seen.add(member)
+
+
+# ----------------------------------------------------------------------
+# System: real workers over a shared cache dir
+# ----------------------------------------------------------------------
+class TestDistributedExecution:
+    def test_three_worker_threads_match_in_process_bitwise(self, tmp_path):
+        reference = _reference_rows(tmp_path)
+        suite = _suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            coordinator = Coordinator(session, suite, poll_seconds=0.05)
+            coordinator.enqueue()
+            workers = [
+                Worker(str(tmp_path / "store"), poll_seconds=0.05)
+                for _ in range(3)
+            ]
+            threads = [
+                threading.Thread(
+                    target=worker.run, kwargs={"exit_when_done": True}
+                )
+                for worker in workers
+            ]
+            for thread in threads:
+                thread.start()
+            result = coordinator.run(participate=False, timeout=240)
+            for thread in threads:
+                thread.join(timeout=240)
+        assert result.names == suite.names
+        for name in suite.names:
+            assert _rows(result[name]) == reference[name], name
+            assert not result[name].replayed
+        # Exactly-once: each of the 3 tasks committed by exactly one worker.
+        committed = sum(worker.stats.committed for worker in workers)
+        assert committed == len(suite)
+        assert all(worker.stats.failed == 0 for worker in workers)
+
+    def test_sharded_members_steal_at_shard_granularity(self, tmp_path):
+        reference = _reference_rows(tmp_path)
+        suite = _suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            coordinator = Coordinator(
+                session, suite, shard_members=True, poll_seconds=0.05
+            )
+            coordinator.enqueue()
+            plan_ids = [task.id for task in coordinator.queue.plan()]
+            # figC1's two gammas pre-shard into two independently stealable
+            # tasks; single-valued members stay whole.
+            assert "figC1-sample-size@0" in plan_ids
+            assert "figC1-sample-size@1" in plan_ids
+            assert "fig1-variance" in plan_ids
+            result = coordinator.run(participate=True, timeout=240)
+        for name in suite.names:
+            assert _rows(result[name]) == reference[name], name
+
+    def test_distributed_honors_priorities_and_dependencies(self, tmp_path):
+        suite = _suite(
+            tmp_path / "store",
+            priorities={"figC1-sample-size": 10},
+            depends_on={"fig2-binomial": ["fig1-variance"]},
+        )
+        events = []
+        with Session.for_suite(suite) as session:
+            result = session.run_suite(
+                suite,
+                distributed=True,
+                poll_seconds=0.05,
+                progress=lambda event, name, *rest: events.append((event, name)),
+            )
+        done_order = [name for event, name in events if event == "done"]
+        assert done_order[0] == "figC1-sample-size"  # highest priority first
+        assert done_order.index("fig1-variance") < done_order.index(
+            "fig2-binomial"
+        )
+        assert result.names == suite.names  # canonical assembly order
+
+    def test_resume_skips_queue_and_restores_native_attributes(self, tmp_path):
+        suite = _suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            cold = session.run_suite(suite, distributed=True, poll_seconds=0.05)
+        with Session.for_suite(suite) as session:
+            resumed = session.run_suite(
+                suite, distributed=True, resume=True, poll_seconds=0.05
+            )
+        assert resumed.replayed == suite.names
+        for name in suite.names:
+            assert _rows(resumed[name]) == _rows(cold[name]), name
+        # Full fidelity: the variance member exposes its native result
+        # class (not the rows-only stand-in), so study-specific attributes
+        # survive the distributed round-trip.
+        assert type(resumed["fig1-variance"].raw).__name__ == "VarianceStudyResult"
+        assert resumed["fig1-variance"].raw.decompositions
+
+    def test_watching_coordinator_survives_sibling_destroying_queue(
+        self, tmp_path
+    ):
+        # Two coordinators on one run: the executing one finishes first,
+        # mirrors results into completion records and destroys the spent
+        # queue; the watching one must assemble the identical result from
+        # those records instead of crashing on the vanished directory.
+        suite = _suite(tmp_path / "store")
+        with Session.for_suite(suite) as watch_session:
+            watcher = Coordinator(watch_session, suite, poll_seconds=0.05)
+            watcher.enqueue()
+            box = {}
+
+            def watch():
+                box["result"] = watcher.run(participate=False, timeout=240)
+
+            thread = threading.Thread(target=watch)
+            thread.start()
+            with Session.for_suite(suite) as run_session:
+                runner = Coordinator(run_session, suite, poll_seconds=0.05)
+                executed = runner.run(participate=True, timeout=240)
+            thread.join(timeout=240)
+        assert not thread.is_alive()
+        watched = box["result"]
+        for name in suite.names:
+            assert _rows(watched[name]) == _rows(executed[name]), name
+
+    def test_failed_task_surfaces_with_traceback_pointer(self, tmp_path):
+        bad = SuiteSpec(
+            name="sched-bad",
+            specs=[
+                ("ok", MEMBERS[2][1]),
+                # n_seeds=0 passes registry validation (it's a valid name)
+                # but raises inside the driver — a deterministic failure.
+                ("boom", MEMBERS[0][1].with_params(n_seeds=0)),
+            ],
+            cache_dir=str(tmp_path / "store"),
+        )
+        with Session.for_suite(bad) as session:
+            with pytest.raises(RuntimeError, match="boom"):
+                session.run_suite(bad, distributed=True, poll_seconds=0.05)
+
+    @pytest.mark.skipif(os.name != "posix", reason="SIGKILL semantics")
+    def test_sigkilled_worker_tasks_are_stolen_and_completed(self, tmp_path):
+        reference = _reference_rows(tmp_path)
+        suite = _suite(tmp_path / "store")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.abspath("src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        with Session.for_suite(suite) as session:
+            coordinator = Coordinator(
+                session, suite, lease_seconds=1.0, poll_seconds=0.05
+            )
+            coordinator.enqueue()
+            victim = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "worker",
+                    str(tmp_path / "store"),
+                    "--lease-seconds",
+                    "1",
+                ],
+                env=env,
+                stderr=subprocess.DEVNULL,
+            )
+            try:
+                deadline = time.time() + 120
+                queue = coordinator.queue
+                while time.time() < deadline and not queue.snapshot().running:
+                    time.sleep(0.05)
+                assert queue.snapshot().running, "victim never claimed a task"
+            finally:
+                victim.kill()
+                victim.wait()
+            stolen_from = set(queue.snapshot().running)
+            result = coordinator.run(participate=True, timeout=240)
+        assert stolen_from, "nothing was leased when the victim died"
+        for name in suite.names:
+            assert _rows(result[name]) == reference[name], name
+        # The assembled run mirrored its results into completion records
+        # and destroyed its spent queue.
+        assert not os.path.exists(coordinator.queue.directory)
+        records = tmp_path / "store" / "suites" / suite.name
+        for name in suite.names:
+            assert (records / f"{name}.json").exists()
+
+
+# ----------------------------------------------------------------------
+# Worker CLI
+# ----------------------------------------------------------------------
+class TestWorkerCLI:
+    def test_worker_drains_an_enqueued_suite(self, tmp_path, capsys):
+        suite = _suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            coordinator = Coordinator(session, suite, poll_seconds=0.05)
+            coordinator.enqueue()
+            assert (
+                main(
+                    [
+                        "worker",
+                        str(tmp_path / "store"),
+                        "--exit-when-done",
+                        "--timeout",
+                        "240",
+                    ]
+                )
+                == 0
+            )
+            err = capsys.readouterr().err
+            assert "committed 3 task(s)" in err
+            result = coordinator.run(participate=False, timeout=60)
+        assert result.names == suite.names
+
+    def test_worker_rejects_missing_cache_dir(self, tmp_path, capsys):
+        assert main(["worker", str(tmp_path / "nope")]) == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_run_suite_rejects_scheduler_knobs_without_distributed(
+        self, tmp_path
+    ):
+        suite = _suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            with pytest.raises(ValueError, match="distributed=True"):
+                session.run_suite(suite, shard_members=True)
+            with pytest.raises(ValueError, match="timeout"):
+                session.run_suite(suite, timeout=10.0)
+
+    def test_suite_scheduler_flags_require_distributed(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(_suite(tmp_path / "store").to_json())
+        assert main(["suite", str(manifest), "--shard-members"]) == 2
+        assert "--shard-members requires --distributed" in capsys.readouterr().err
+        assert main(["suite", str(manifest), "--lease-seconds", "5"]) == 2
+        assert "--lease-seconds requires --distributed" in capsys.readouterr().err
+        assert (
+            main(
+                [
+                    "suite",
+                    str(manifest),
+                    "--distributed",
+                    "--lease-seconds",
+                    "0",
+                ]
+            )
+            == 2
+        )
+        assert "must be positive" in capsys.readouterr().err

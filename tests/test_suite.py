@@ -128,12 +128,33 @@ def _suites(draw):
         budgets["max_store_entries"] = draw(
             st.none() | st.integers(min_value=1, max_value=10**6)
         )
+    names = list(members)
+    priorities = {
+        name: draw(
+            st.integers(min_value=-5, max_value=5), label=f"priority-{name}"
+        )
+        for name in names
+        if draw(st.booleans(), label=f"has-priority-{name}")
+    }
+    # Acyclic by construction: members may only depend on earlier ones.
+    depends_on = {}
+    for index, name in enumerate(names[1:], start=1):
+        if draw(st.booleans(), label=f"has-deps-{name}"):
+            targets = draw(
+                st.lists(
+                    st.sampled_from(names[:index]), min_size=1, unique=True
+                ),
+                label=f"deps-{name}",
+            )
+            depends_on[name] = targets
     return SuiteSpec(
         name=draw(_names),
         specs=members,
         n_jobs=draw(st.none() | st.integers(min_value=-1, max_value=8)),
         backend=draw(st.none() | st.sampled_from(["serial", "thread", "process"])),
         cache_dir=cache_dir,
+        priorities=priorities,
+        depends_on=depends_on,
         **budgets,
     )
 
@@ -413,6 +434,114 @@ class TestSubmitSuite:
         # Whatever completed before the cancel is still readable.
         for result in drained.values():
             assert result.to_rows()
+
+
+# ----------------------------------------------------------------------
+# In-process scheduling: priorities and dependencies
+# ----------------------------------------------------------------------
+class TestInProcessScheduling:
+    def test_run_suite_orders_fanout_by_priority(self, tmp_path):
+        # The analytic member outranks everything: it runs first even
+        # though it is declared last, and results still assemble in
+        # canonical manifest order.
+        suite = _make_suite(tmp_path / "store").replace(
+            priorities={"figC1-sample-size": 10, "fig2-binomial": 5}
+        )
+        events = []
+        with Session.for_suite(suite) as session:
+            result = session.run_suite(
+                suite,
+                progress=lambda event, name, *rest: events.append((event, name)),
+            )
+        started = [name for event, name in events if event == "start"]
+        assert started == ["figC1-sample-size", "fig2-binomial", "fig1-variance"]
+        assert result.names == suite.names  # canonical, not execution, order
+
+    def test_run_suite_runs_dependencies_first(self, tmp_path):
+        suite = _make_suite(tmp_path / "store").replace(
+            priorities={"fig1-variance": 10},
+            depends_on={"fig1-variance": ["figC1-sample-size"]},
+        )
+        events = []
+        with Session.for_suite(suite) as session:
+            session.run_suite(
+                suite,
+                progress=lambda event, name, *rest: events.append((event, name)),
+            )
+        started = [name for event, name in events if event == "start"]
+        # Highest priority, but gated on its dependency.
+        assert started.index("figC1-sample-size") < started.index(
+            "fig1-variance"
+        )
+
+    def test_submit_suite_blocks_dependents_on_dependencies(self, tmp_path):
+        suite = _make_suite(tmp_path / "store").replace(
+            depends_on={
+                "fig2-binomial": ["fig1-variance"],
+                "figC1-sample-size": ["fig2-binomial"],
+            }
+        )
+        done_order = []
+        with Session.for_suite(suite, max_concurrent_studies=3) as session:
+            handle = session.submit_suite(suite)
+            for name, _ in handle:
+                done_order.append(name)
+            handle.result()
+        assert done_order == [
+            "fig1-variance",
+            "fig2-binomial",
+            "figC1-sample-size",
+        ]
+
+    def test_bitwise_identical_regardless_of_scheduling(self, tmp_path):
+        plain = _make_suite(tmp_path / "a")
+        scheduled = _make_suite(tmp_path / "b").replace(
+            priorities={"figC1-sample-size": 3},
+            depends_on={"fig2-binomial": ["figC1-sample-size"]},
+        )
+        with Session.for_suite(plain) as session:
+            first = session.run_suite(plain)
+        with Session.for_suite(scheduled) as session:
+            second = session.run_suite(scheduled)
+        for name in plain.names:
+            assert _rows(first[name]) == _rows(second[name]), name
+
+
+# ----------------------------------------------------------------------
+# Full-fidelity resume: native result objects survive the round-trip
+# ----------------------------------------------------------------------
+class TestFullFidelityResume:
+    def test_resume_restores_native_attributes(self, tmp_path):
+        suite = _make_suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            cold = session.run_suite(suite)
+        with Session.for_suite(suite) as session:
+            resumed = session.run_suite(suite, resume=True)
+        assert resumed.replayed == suite.names
+        variance = resumed["fig1-variance"]
+        # Not the rows-only stand-in: the driver's own result class, with
+        # its study-specific attributes intact.
+        assert type(variance.raw).__name__ == "VarianceStudyResult"
+        assert variance.raw.decompositions
+        assert type(resumed["fig2-binomial"].raw).__name__ == type(
+            cold["fig2-binomial"].raw
+        ).__name__
+        for name in suite.names:
+            assert _rows(resumed[name]) == _rows(cold[name]), name
+
+    def test_stale_pickle_degrades_to_recorded_rows(self, tmp_path):
+        suite = _make_suite(tmp_path / "store")
+        with Session.for_suite(suite) as session:
+            cold = session.run_suite(suite)
+        records = tmp_path / "store" / "suites" / suite.name
+        # Corrupt one member's pickle: resume must fall back to the JSON
+        # record (rows + report) rather than fail or resurrect stale raw.
+        (records / "fig1-variance.raw.pkl").write_bytes(b"not a pickle")
+        with Session.for_suite(suite) as session:
+            resumed = session.run_suite(suite, resume=True)
+        assert resumed.replayed == suite.names
+        assert type(resumed["fig1-variance"].raw).__name__ == "_ReplayedRaw"
+        assert _rows(resumed["fig1-variance"]) == _rows(cold["fig1-variance"])
 
 
 # ----------------------------------------------------------------------
