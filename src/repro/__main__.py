@@ -17,6 +17,10 @@ figure suite — is launchable from a JSON manifest without writing Python::
     # distributed: one coordinator + any number of workers, same cache dir
     python -m repro suite manifest.json --distributed   # terminal 1
     python -m repro worker .repro-cache                 # terminals 2..N
+    python -m repro queue .repro-cache                  # live queue status
+
+    # transactional sqlite queue instead of rename-claim files
+    python -m repro suite manifest.json --distributed --queue-backend sqlite
 
 ``run`` prints :meth:`~repro.api.results.StudyResult.summary` (or, with
 ``--json``, the full rows/provenance payload of
@@ -25,11 +29,16 @@ member of a :class:`~repro.api.spec.SuiteSpec` manifest through one shared
 session/cache with per-member progress on stderr; ``--resume`` replays
 members already completed against the same ``cache_dir`` (a changed spec
 invalidates its record), and ``--distributed`` routes execution through
-the durable work queue under ``<cache_dir>/queue/<suite>/`` so ``worker``
-processes — on this host or any host sharing the directory — claim tasks
-under heartbeat leases and the coordinator assembles the bitwise-identical
-result.  ``worker`` serves every queue it finds under one cache dir until
-stopped (or, with ``--exit-when-done``, until all queues complete).
+the durable work queue in the cache dir so ``worker`` processes — on this
+host or any host sharing the directory — claim tasks under heartbeat
+leases and the coordinator assembles the bitwise-identical result.
+``--queue-backend`` picks where task state lives: ``fs`` (rename-claim
+files under ``<cache_dir>/queue/<suite>/``, the default) or ``sqlite``
+(transactional claims in ``<cache_dir>/queue.db``).  ``worker`` serves
+every queue it finds — on either backend — under one cache dir until
+stopped (or, with ``--exit-when-done``, until all queues complete);
+``queue`` prints each queue's live pending/running/done/failed state,
+lease ages and attempt counts.
 ``gc`` prunes a per-key store back within byte / entry budgets,
 LRU-by-last-use.  Because specs fully determine their results (seeds are
 scope-derived, see EXPERIMENTS.md), re-running against the same
@@ -51,6 +60,7 @@ from typing import List, Optional
 from repro.api import Session, StudySpec, SuiteSpec, get_study, iter_studies
 from repro.api.spec import VALID_BACKENDS
 from repro.engine.cache import FileStore
+from repro.sched.backend import QUEUE_BACKENDS
 
 
 class CLIError(Exception):
@@ -161,6 +171,38 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     suite.add_argument(
+        "--queue-backend",
+        choices=QUEUE_BACKENDS,
+        default=None,
+        help=(
+            "with --distributed: where durable task state lives — 'fs' "
+            "(rename-claim files under <cache_dir>/queue/<suite>/, the "
+            "default) or 'sqlite' (transactional claims in "
+            "<cache_dir>/queue.db; immune to clock skew and NFS rename "
+            "races)"
+        ),
+    )
+    suite.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help=(
+            "with --distributed: executions a task gets before a "
+            "transient failure (OSError, timeout) parks it as failed "
+            "(default 3; deterministic errors always park on the first)"
+        ),
+    )
+    suite.add_argument(
+        "--stall-seconds",
+        type=float,
+        default=None,
+        help=(
+            "with --distributed: stop renewing a task's lease when the "
+            "study makes no progress for this long, so a hung task is "
+            "stolen by a healthy worker (default: renew unconditionally)"
+        ),
+    )
+    suite.add_argument(
         "--json",
         action="store_true",
         help="print the full output manifest JSON instead of the summaries",
@@ -231,6 +273,71 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=VALID_BACKENDS,
         default=None,
         help="override each suite's executor backend",
+    )
+    worker.add_argument(
+        "--queue-backend",
+        choices=QUEUE_BACKENDS,
+        default=None,
+        help=(
+            "serve only queues on this backend (default: both — fs "
+            "directories and the sqlite queue.db)"
+        ),
+    )
+    worker.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help=(
+            "executions a task gets before a transient failure parks it "
+            "(default 3)"
+        ),
+    )
+    worker.add_argument(
+        "--stall-seconds",
+        type=float,
+        default=None,
+        help=(
+            "stop renewing a task's lease when its study makes no "
+            "progress for this long (default: renew unconditionally)"
+        ),
+    )
+
+    queue = commands.add_parser(
+        "queue",
+        help=(
+            "show the live state of every distributed work queue under a "
+            "cache directory: task counts, lease ages, attempt counts, "
+            "worker ids"
+        ),
+    )
+    queue.add_argument(
+        "cache_dir",
+        help="the shared per-key store the queues live in",
+    )
+    queue.add_argument(
+        "--suite",
+        default=None,
+        help="show only this suite's queue(s)",
+    )
+    queue.add_argument(
+        "--queue-backend",
+        choices=QUEUE_BACKENDS,
+        default=None,
+        help="show only queues on this backend (default: both)",
+    )
+    queue.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help=(
+            "lease horizon used to flag expired leases in the report "
+            "(default 30; match what the coordinator was started with)"
+        ),
+    )
+    queue.add_argument(
+        "--json",
+        action="store_true",
+        help="print the status reports as JSON",
     )
 
     gc = commands.add_parser(
@@ -361,14 +468,27 @@ def _suite(args: argparse.Namespace) -> int:
             raise CLIError("--shard-members requires --distributed")
         if args.lease_seconds is not None:
             raise CLIError("--lease-seconds requires --distributed")
+        if args.queue_backend is not None:
+            raise CLIError("--queue-backend requires --distributed")
+        if args.max_attempts is not None:
+            raise CLIError("--max-attempts requires --distributed")
+        if args.stall_seconds is not None:
+            raise CLIError("--stall-seconds requires --distributed")
     if args.lease_seconds is not None and args.lease_seconds <= 0:
         raise CLIError("--lease-seconds must be positive")
+    if args.max_attempts is not None and args.max_attempts < 1:
+        raise CLIError("--max-attempts must be at least 1")
+    if args.stall_seconds is not None and args.stall_seconds <= 0:
+        raise CLIError("--stall-seconds must be positive")
     scheduler_config = {}
     if args.distributed:
         scheduler_config = {
             "distributed": True,
             "shard_members": args.shard_members,
             "lease_seconds": args.lease_seconds,
+            "queue_backend": args.queue_backend,
+            "max_attempts": args.max_attempts,
+            "stall_seconds": args.stall_seconds,
         }
     with Session.for_suite(suite) as session:
         result = session.run_suite(
@@ -388,6 +508,10 @@ def _worker(args: argparse.Namespace) -> int:
         raise CLIError(f"no cache directory at {args.cache_dir!r}")
     if args.lease_seconds <= 0:
         raise CLIError("--lease-seconds must be positive")
+    if args.max_attempts is not None and args.max_attempts < 1:
+        raise CLIError("--max-attempts must be at least 1")
+    if args.stall_seconds is not None and args.stall_seconds <= 0:
+        raise CLIError("--stall-seconds must be positive")
 
     def log(event: str, task_id: str, detail: str) -> None:
         suffix = f" ({detail})" if detail else ""
@@ -399,6 +523,9 @@ def _worker(args: argparse.Namespace) -> int:
         worker_id=args.worker_id,
         lease_seconds=args.lease_seconds,
         poll_seconds=args.poll_seconds,
+        queue_backend=args.queue_backend,
+        max_attempts=args.max_attempts,
+        stall_seconds=args.stall_seconds,
         n_jobs=args.n_jobs,
         backend=args.backend,
         log=log,
@@ -411,10 +538,68 @@ def _worker(args: argparse.Namespace) -> int:
     served = ", ".join(stats.suites) if stats.suites else "none"
     print(
         f"worker {worker.worker_id}: committed {stats.committed} task(s) "
-        f"({stats.stolen} stolen, {stats.lost} lost, {stats.failed} failed) "
-        f"across suites: {served}",
+        f"({stats.stolen} stolen, {stats.lost} lost, {stats.retried} "
+        f"retried, {stats.failed} failed) across suites: {served}",
         file=sys.stderr,
     )
+    return 0
+
+
+def _queue_status(args: argparse.Namespace) -> int:
+    from repro.sched import TaskQueue  # local: keep CLI start-up light
+
+    if not os.path.isdir(args.cache_dir):
+        raise CLIError(f"no cache directory at {args.cache_dir!r}")
+    if args.lease_seconds <= 0:
+        raise CLIError("--lease-seconds must be positive")
+    queues = TaskQueue.discover(
+        args.cache_dir,
+        backend=args.queue_backend,
+        lease_seconds=args.lease_seconds,
+    )
+    if args.suite is not None:
+        queues = [queue for queue in queues if queue.suite_name == args.suite]
+    reports = []
+    for queue in queues:
+        try:
+            reports.append(queue.status())
+        except FileNotFoundError:
+            continue  # assembled and destroyed between discovery and read
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+        return 0
+    if not reports:
+        where = f" for suite {args.suite!r}" if args.suite else ""
+        print(f"no queues{where} under {args.cache_dir}")
+        return 0
+    for report in reports:
+        state = "complete" if report["complete"] else "in progress"
+        print(f"{report['suite']} [{report['backend']}] — {state}")
+        print(f"  at {report['location']}")
+        blocked = (
+            f", {report['blocked']} blocked" if report["blocked"] else ""
+        )
+        print(
+            f"  {report['tasks']} tasks: {report['pending']} pending, "
+            f"{report['running']} running, {report['done']} done, "
+            f"{report['failed']} failed{blocked}"
+        )
+        for lease in report["leases"]:
+            extras = " EXPIRED" if lease["expired"] else ""
+            if lease["worker"]:
+                extras += f" worker={lease['worker']}"
+            if lease["attempts"]:
+                extras += f" attempts={lease['attempts']}"
+            print(
+                f"  running {lease['task']}: lease age "
+                f"{lease['age_seconds']:.1f}s/"
+                f"{report['lease_seconds']:.0f}s{extras}"
+            )
+        for failure in report["failed_tasks"]:
+            print(
+                f"  failed {failure['task']} "
+                f"(attempts={failure['attempts']}): {failure['error']}"
+            )
     return 0
 
 
@@ -451,6 +636,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _suite(args)
         if args.command == "worker":
             return _worker(args)
+        if args.command == "queue":
+            return _queue_status(args)
         if args.command == "gc":
             return _gc(args)
         return _run(args)

@@ -474,6 +474,7 @@ class Session:
         spec: Union[StudySpec, str],
         *,
         cancel_event: Optional[threading.Event] = None,
+        tick: Optional[Callable[[], None]] = None,
     ) -> StudyResult:
         """Execute ``spec`` synchronously and return its uniform result.
 
@@ -484,14 +485,18 @@ class Session:
         ``cancel_event`` binds an external abort switch to the run (a
         distributed worker trips it when its lease is stolen): setting it
         raises :class:`~repro.engine.executor.StudyCancelled` at the next
-        item or batch boundary.
+        item or batch boundary.  ``tick`` is an optional per-work-item
+        liveness callback (see :meth:`ParallelExecutor.map`) — distributed
+        workers couple lease renewal to it so a hung study loses its
+        lease while a slow-but-alive one keeps it.
         """
-        return self._execute(spec, cancel_event)
+        return self._execute(spec, cancel_event, tick)
 
     def _execute(
         self,
         spec: Union[StudySpec, str],
         cancel_event: Optional[threading.Event] = None,
+        tick: Optional[Callable[[], None]] = None,
     ) -> StudyResult:
         spec, info = self._resolve(spec)
         n_jobs = self.n_jobs if spec.n_jobs is None else spec.n_jobs
@@ -502,11 +507,12 @@ class Session:
         # share the cache.
         view = None if cache is None else _RunCacheView(cache)
         executor: Any = self._executor_for(n_jobs, backend)
-        if cancel_event is not None:
+        if cancel_event is not None or tick is not None:
             # Bind this submission's cancellation event to every batch the
             # study fans out, so cancel() stops in-flight work between
-            # batches, not just shards that have not started.
-            executor = CancellableExecutor(executor, cancel_event)
+            # batches, not just shards that have not started.  The tick
+            # rides the same wrapper: one view, both liveness directions.
+            executor = CancellableExecutor(executor, cancel_event, tick=tick)
         kwargs: Dict[str, Any] = dict(spec.params)
         kwargs.update(
             n_jobs=n_jobs,
@@ -625,6 +631,9 @@ class Session:
         lease_seconds: Optional[float] = None,
         poll_seconds: Optional[float] = None,
         timeout: Optional[float] = None,
+        queue_backend: Optional[str] = None,
+        max_attempts: Optional[int] = None,
+        stall_seconds: Optional[float] = None,
     ) -> SuiteResult:
         """Execute every member of ``suite`` through this session.
 
@@ -647,17 +656,24 @@ class Session:
         ``progress`` is called per member (``"start"``/``"done"``/
         ``"replay"``) for streaming feedback.
 
-        ``distributed=True`` routes execution through the filesystem work
-        queue under ``<cache_dir>/queue/<suite.name>/`` instead of this
-        process alone: tasks are durably enqueued, any number of
+        ``distributed=True`` routes execution through the durable work
+        queue in the cache directory instead of this process alone: tasks
+        are durably enqueued, any number of
         ``python -m repro worker <cache_dir>`` processes (on this host or
         any host sharing the directory) claim and execute them under
         heartbeat leases, and this call streams progress and assembles the
-        bitwise-identical result.  ``participate`` (default) makes this
-        session execute tasks too, so zero external workers still
-        complete; ``shard_members`` pre-shards members by scope path for
-        finer-grained stealing; ``lease_seconds``/``poll_seconds`` tune
-        the queue and ``timeout`` bounds the wait (mostly useful with
+        bitwise-identical result.  ``queue_backend`` selects where task
+        state lives — ``"fs"`` (default: rename-claim files under
+        ``<cache_dir>/queue/<suite.name>/``) or ``"sqlite"``
+        (transactional claims in ``<cache_dir>/queue.db``, immune to
+        clock skew and network-filesystem rename races).
+        ``participate`` (default) makes this session execute tasks too,
+        so zero external workers still complete; ``shard_members``
+        pre-shards members by scope path for finer-grained stealing;
+        ``lease_seconds``/``poll_seconds`` tune the queue;
+        ``max_attempts`` bounds re-runs after transient failures;
+        ``stall_seconds`` couples this process's lease renewal to study
+        progress; and ``timeout`` bounds the wait (mostly useful with
         ``participate=False``).
         """
         if distributed:
@@ -669,6 +685,9 @@ class Session:
                 shard_members=shard_members,
                 lease_seconds=30.0 if lease_seconds is None else lease_seconds,
                 poll_seconds=0.2 if poll_seconds is None else poll_seconds,
+                queue_backend=queue_backend,
+                max_attempts=max_attempts,
+                stall_seconds=stall_seconds,
             )
             return coordinator.run(
                 participate=participate,
@@ -687,6 +706,9 @@ class Session:
                 ("lease_seconds", lease_seconds is not None),
                 ("poll_seconds", poll_seconds is not None),
                 ("timeout", timeout is not None),
+                ("queue_backend", queue_backend is not None),
+                ("max_attempts", max_attempts is not None),
+                ("stall_seconds", stall_seconds is not None),
             )
             if misused
         ]

@@ -51,6 +51,7 @@ __all__ = [
     "atomic_write",
     "dump_fidelity",
     "load_fidelity",
+    "load_fidelity_bytes",
     "measurement_key",
 ]
 
@@ -83,7 +84,17 @@ def load_fidelity(path: str, spec: Any) -> Any:
     """
     try:
         with open(path, "rb") as handle:
-            payload = pickle.load(handle)
+            blob = handle.read()
+    except Exception:  # noqa: BLE001 - stale/foreign pickles degrade
+        return None
+    return load_fidelity_bytes(blob, spec)
+
+
+def load_fidelity_bytes(blob: bytes, spec: Any) -> Any:
+    """:func:`load_fidelity` for payloads not stored as files (queue
+    backends that keep fidelity blobs in a database row)."""
+    try:
+        payload = pickle.loads(blob)
     except Exception:  # noqa: BLE001 - stale/foreign pickles degrade
         return None
     if not isinstance(payload, dict) or payload.get("spec") != spec:

@@ -67,6 +67,22 @@ R = TypeVar("R")
 _BACKENDS = ("serial", "thread", "process")
 
 
+def _drain(results: Iterable[R], tick: Optional[Callable[[], None]]) -> List[R]:
+    """Collect a lazy result stream, invoking ``tick`` as each item lands.
+
+    Pool ``map`` iterators yield in submission order from the caller's
+    process, so the tick always runs caller-side — no pickling concerns —
+    and fires exactly once per completed item on every backend.
+    """
+    if tick is None:
+        return list(results)
+    collected: List[R] = []
+    for result in results:
+        collected.append(result)
+        tick()
+    return collected
+
+
 def resolve_n_jobs(n_jobs: int) -> int:
     """Translate an ``n_jobs`` knob into a concrete worker count.
 
@@ -126,6 +142,7 @@ class ParallelExecutor:
         items: Sequence[T] | Iterable[T],
         *,
         cancel: Optional[threading.Event] = None,
+        tick: Optional[Callable[[], None]] = None,
     ) -> List[R]:
         """Apply ``fn`` to every item; results keep the submission order.
 
@@ -139,6 +156,11 @@ class ParallelExecutor:
         Cancellation raises :class:`StudyCancelled` rather than returning
         partial results, so a caller can never mistake a truncated batch
         for a complete one.
+
+        ``tick`` is an optional zero-argument liveness callback invoked in
+        the *calling* process once per completed item, on every backend —
+        the progress signal distributed workers couple their lease
+        heartbeats to.  It must be cheap and must not raise.
         """
         items = list(items)
         if cancel is not None and cancel.is_set():
@@ -152,6 +174,8 @@ class ParallelExecutor:
                 if cancel is not None and cancel.is_set():
                     raise StudyCancelled("batch cancelled mid-run")
                 results.append(fn(item))
+                if tick is not None:
+                    tick()
             return results
         workers = min(self.n_jobs, len(items))
         if backend == "thread":
@@ -162,13 +186,13 @@ class ParallelExecutor:
                         raise StudyCancelled("batch cancelled mid-run")
                     return _fn(item)
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(guarded, items))
+                return _drain(pool.map(guarded, items), tick)
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, -(-len(items) // workers))
         if cancel is None:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(fn, items, chunksize=chunksize))
+                return _drain(pool.map(fn, items, chunksize=chunksize), tick)
         # Mirror the caller's threading event into a multiprocessing event
         # the pool workers can observe; the relay thread dies with the map.
         context = multiprocessing.get_context()
@@ -191,12 +215,13 @@ class ParallelExecutor:
                 initializer=_install_process_cancel,
                 initargs=(process_cancel,),
             ) as pool:
-                return list(
+                return _drain(
                     pool.map(
                         functools.partial(_cancel_checked, fn),
                         items,
                         chunksize=chunksize,
-                    )
+                    ),
+                    tick,
                 )
         finally:
             relay_stop.set()
@@ -215,13 +240,23 @@ class CancellableExecutor:
     :meth:`~repro.api.session.StudyHandle.cancel` sets the event — the
     next batch (or, on serial/thread backends, the next item) raises
     :class:`StudyCancelled` instead of running on.
+
+    ``tick`` optionally binds a per-item liveness callback the same way
+    (see :meth:`ParallelExecutor.map`); either binding may be ``None``.
     """
 
-    __slots__ = ("inner", "cancel_event")
+    __slots__ = ("inner", "cancel_event", "tick")
 
-    def __init__(self, inner: ParallelExecutor, cancel_event: threading.Event) -> None:
+    def __init__(
+        self,
+        inner: ParallelExecutor,
+        cancel_event: Optional[threading.Event] = None,
+        *,
+        tick: Optional[Callable[[], None]] = None,
+    ) -> None:
         self.inner = inner
         self.cancel_event = cancel_event
+        self.tick = tick
 
     @property
     def n_jobs(self) -> int:
@@ -236,4 +271,4 @@ class CancellableExecutor:
         return self.inner.effective_backend
 
     def map(self, fn: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> List[R]:
-        return self.inner.map(fn, items, cancel=self.cancel_event)
+        return self.inner.map(fn, items, cancel=self.cancel_event, tick=self.tick)

@@ -58,6 +58,18 @@ class Coordinator:
         per-shard reports, exactly like a merged ``submit`` handle.
     lease_seconds, poll_seconds:
         Queue lease for claimed tasks and the coordinator's poll cadence.
+    queue_backend:
+        ``"fs"`` (default) or ``"sqlite"`` — where the queue's durable
+        task state lives (see :mod:`repro.sched.backend`).  Results are
+        bitwise-identical either way; only failure-recovery semantics and
+        infrastructure assumptions differ.
+    max_attempts:
+        Executions a task gets before a *transient* failure parks it
+        (``None``: the queue's default).
+    stall_seconds:
+        Progress-coupled lease renewal threshold for the participating
+        worker (``None``: renew unconditionally); external
+        ``repro worker`` processes configure their own.
     """
 
     def __init__(
@@ -68,6 +80,9 @@ class Coordinator:
         shard_members: bool = False,
         lease_seconds: float = 30.0,
         poll_seconds: float = 0.2,
+        queue_backend: Optional[str] = None,
+        max_attempts: Optional[int] = None,
+        stall_seconds: Optional[float] = None,
     ) -> None:
         if session.cache.cache_dir is None:
             raise ValueError(
@@ -79,12 +94,19 @@ class Coordinator:
         self.suite = suite
         self.shard_members = bool(shard_members)
         self.poll_seconds = float(poll_seconds)
+        self.stall_seconds = stall_seconds
         # The queue namespace is invisible to store GC (see
-        # FileStore.namespace), so task state can never be collected out
-        # from under a live run.
+        # FileStore.namespace) and queue.db sits beside the objects tree
+        # GC walks, so task state can never be collected out from under a
+        # live run on either backend.
         session.cache.namespace("queue")
+        queue_kwargs = {} if max_attempts is None else {"max_attempts": max_attempts}
         self.queue = TaskQueue.for_suite(
-            session.cache.cache_dir, suite.name, lease_seconds=lease_seconds
+            session.cache.cache_dir,
+            suite.name,
+            backend=queue_backend,
+            lease_seconds=lease_seconds,
+            **queue_kwargs,
         )
         self._enqueued = False
 
@@ -209,6 +231,11 @@ class Coordinator:
                 worker_id=f"coordinator:{os.getpid()}",
                 lease_seconds=self.queue.lease_seconds,
                 poll_seconds=self.poll_seconds,
+                # Serve exactly this run's queue: same backend, same
+                # retry budget, same stall policy.
+                queue_backend=self.queue.backend.name,
+                max_attempts=self.queue.max_attempts,
+                stall_seconds=self.stall_seconds,
                 # Execute through the coordinator's own session, so its
                 # cache warms (and its statistics see) the work this
                 # process does, exactly like the in-process path.
@@ -419,19 +446,25 @@ class Coordinator:
         assembled: Dict[str, StudyResult],
         started: float,
     ) -> SuiteResult:
-        state = self.queue.snapshot()
+        state = self.queue.snapshot(detail=True)
         failures = {
             task_id: self.queue.load_error(task_id)
             for task_id in sorted(state.failed)
         }
         if failures:
             details = "; ".join(
-                f"{task_id}: {message.splitlines()[0] if message else 'unknown error'}"
+                f"{task_id}: "
+                f"{message.splitlines()[0] if message else 'unknown error'}"
+                + (
+                    f" (after {state.attempts[task_id]} attempts)"
+                    if state.attempts.get(task_id, 0) > 1
+                    else ""
+                )
                 for task_id, message in failures.items()
             )
             raise RuntimeError(
                 f"distributed suite {self.suite.name!r} failed: {details} "
-                f"(full tracebacks under {self.queue.directory}/errors/)"
+                f"(full tracebacks: {self.queue.backend.errors_where()})"
             )
         results: Dict[str, StudyResult] = {}
         records_dir = self.session._suite_records_dir(self.suite)

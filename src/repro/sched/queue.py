@@ -1,74 +1,73 @@
-"""Durable filesystem work queue: claims, leases, exactly-once commit.
+"""Durable work queue for one suite: plan logic over a pluggable backend.
 
-One :class:`TaskQueue` lives under ``<cache_dir>/queue/<suite>/`` — the
-same directory tree that already holds the per-key measurement store and
-the suite completion records, so any worker that can see the cache (same
-host, or any host mounting it over a network filesystem) can join the
-computation with zero extra infrastructure.
+A :class:`TaskQueue` pairs the *plan* — the immutable task graph with its
+priorities, dependencies, and shard assembly order — with a
+:class:`~repro.sched.backend.QueueBackend` that makes the task lifecycle
+durable and race-free.  Everything graph-shaped (claim order, dependency
+gating, failure propagation, completion) lives here once and behaves
+identically on every backend; everything that must be atomic (claims,
+leases, commits, retries) is the backend's contract.
 
-Layout::
+Backends:
 
-    queue/<suite>/suite.json        # the SuiteSpec manifest (worker config)
-    queue/<suite>/plan.json         # immutable task graph: id, member, spec,
-                                    #   priority, depends_on, shard index
-    queue/<suite>/pending/<id>      # marker: task is claimable
-    queue/<suite>/running/<id>#<claim>   # lease file; mtime = last heartbeat
-    queue/<suite>/done/<id>         # marker: result committed
-    queue/<suite>/failed/<id>       # marker: task raised (error in errors/)
-    queue/<suite>/results/<id>.json # StudyResult.to_record() payload
-    queue/<suite>/results/<id>.raw.pkl  # optional native result pickle
-    queue/<suite>/errors/<id>.json  # traceback of a failed task
+* ``"fs"`` (default) — :class:`~repro.sched.backend.FilesystemBackend`,
+  atomic-rename claims and mtime-heartbeat leases under
+  ``<cache_dir>/queue/<suite>/``.  Zero infrastructure: any worker that
+  can see the directory can join.
+* ``"sqlite"`` — :class:`~repro.sched.sqlite.SqliteBackend`,
+  transactional claims in a WAL database at ``<cache_dir>/queue.db``.
+  Immune to clock skew between claimants and to network-filesystem
+  rename races; adds a per-task ``attempts`` counter persisted in the
+  same transaction as each state flip.
 
-Every state transition is a single :func:`os.rename` on one filesystem,
-which POSIX makes atomic:
+The task lifecycle, identical on both::
 
-* **claim** — ``pending/<id>`` → ``running/<id>#<claim>``.  Exactly one
-  of any number of racing workers wins; the losers get
-  :class:`FileNotFoundError` and move on.
-* **steal** — a ``running`` entry whose mtime is older than the lease
-  belongs to a *dead* worker (crashed, SIGKILLed, host gone — anything
-  that stops its heartbeat thread); a stealer renames it to its own claim
-  token.  Again exactly one stealer wins.  Note the converse: a worker
-  whose process is alive but whose *study* is wedged keeps heartbeating,
-  so leases do not recover in-process hangs — bound those with the
-  coordinator's ``timeout``.
-* **commit** — the worker writes ``results/<id>.json`` and then renames
-  ``running/<id>#<claim>`` → ``done/<id>``.  Possession of the *exact*
-  claim filename is the commit token: a worker whose task was stolen lost
-  that filename, so its rename fails and it discards — a task is
-  committed exactly once even though it may have executed more than once.
-  (At-least-once execution is harmless: scope-addressed seeding makes
-  re-execution bitwise-identical, so the one committed result is the same
-  bytes whoever won.)
+                      claim                    commit
+        pending ─────────────────▶ running ─────────────▶ done
+           ▲                        │   ▲                (terminal)
+           │   fail(transient) &    │   │ steal_expired
+           │   attempts < max       │   │ (lease expired)
+           └────────────────────────┤   └──── running ──┐
+                                    │     (new holder)  │
+                 fail(deterministic │                    │
+                 or attempts        ▼                    │
+                 exhausted)       failed ◀───────────────┘
+                                 (terminal, error + attempts recorded)
 
-Heartbeats are ``os.utime`` refreshes of the claim file's mtime — no
-writes, no locks.  Lease expiry compares that mtime against the local
-clock, so leases shared across hosts should comfortably exceed any clock
-skew between them (the default is 30 s; cross-host deployments over NFS
-should use minutes).
+At-least-once execution is harmless (scope-addressed seeding makes
+re-execution bitwise-identical), so the one invariant every backend
+enforces is that the *commit* is exactly-once.
 """
 
 from __future__ import annotations
 
 import json
 import os
-import shutil
-import time
-import uuid
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.spec import StudySpec, SuiteSpec
-from repro.engine.cache import atomic_write, dump_fidelity, load_fidelity
+from repro.engine.cache import dump_fidelity, load_fidelity_bytes
+from repro.sched.backend import (
+    QUEUE_BACKENDS,
+    FilesystemBackend,
+    QueueBackend,
+    QueueState,
+    TaskClaim,
+)
 
-__all__ = ["QueueState", "TaskClaim", "TaskQueue", "TaskRecord"]
-
-#: Separator between task id and claim token in running/ filenames.  Task
-#: ids use the member-name alphabet plus ``@`` (shard suffix), so ``#``
-#: can never appear in one.
-_CLAIM_SEP = "#"
+__all__ = [
+    "QueueState",
+    "TaskClaim",
+    "TaskQueue",
+    "TaskRecord",
+]
 
 _PLAN_VERSION = 1
+
+#: Default executions a task gets before a *transient* failure parks it.
+DEFAULT_MAX_ATTEMPTS = 3
+
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -131,100 +130,159 @@ class TaskRecord:
         )
 
 
-@dataclass(frozen=True)
-class TaskClaim:
-    """Proof of task possession: the exact running/ filename is the token."""
+def _make_backend(
+    backend: Union[str, QueueBackend, None],
+    directory: str,
+    lease_seconds: float,
+) -> QueueBackend:
+    """Resolve a backend selector to an instance.
 
-    task_id: str
-    token: str
-    path: str
-
-
-@dataclass
-class QueueState:
-    """One consistent-enough snapshot of the queue's state directories.
-
-    ``running`` maps task id to ``(claim filename, heartbeat age seconds)``;
-    everything else is a set of task ids.  Directory scans race concurrent
-    renames, so a task can transiently appear in no set (mid-rename) —
-    consumers simply rescan on the next poll.
+    ``"fs"`` lives at ``directory`` itself; ``"sqlite"`` shares one
+    database next to the queue root (``<parent>/queue.db`` — for a
+    :meth:`TaskQueue.for_suite` directory of ``<cache>/queue/<suite>``
+    use :meth:`for_suite`, which places it at ``<cache>/queue.db``).
     """
+    if isinstance(backend, QueueBackend):
+        return backend
+    if backend is None or backend == "fs":
+        return FilesystemBackend(directory, lease_seconds=lease_seconds)
+    if backend == "sqlite":
+        from repro.sched.sqlite import SqliteBackend  # local: keep fs light
 
-    pending: set = field(default_factory=set)
-    running: Dict[str, Tuple[str, float]] = field(default_factory=dict)
-    done: set = field(default_factory=set)
-    failed: set = field(default_factory=set)
+        parent = os.path.dirname(os.path.abspath(directory))
+        return SqliteBackend(
+            os.path.join(parent, "queue.db"),
+            os.path.basename(directory),
+            lease_seconds=lease_seconds,
+        )
+    raise ValueError(
+        f"queue backend must be one of {QUEUE_BACKENDS} or a QueueBackend "
+        f"instance, got {backend!r}"
+    )
 
 
 class TaskQueue:
-    """Filesystem work queue for one suite (see the module docstring).
+    """Work queue for one suite (see the module docstring).
 
     Parameters
     ----------
     directory:
-        The queue root, normally ``<cache_dir>/queue/<suite_name>`` (use
-        :meth:`for_suite`).
+        The queue's logical root, normally ``<cache_dir>/queue/<suite>``
+        (use :meth:`for_suite`).  The filesystem backend stores its state
+        here; other backends use it as the suite's identity (its basename
+        is the suite name).
     lease_seconds:
-        Heartbeat lease: a running task whose claim file has not been
-        touched for this long is considered abandoned and may be stolen.
+        Heartbeat lease: a running task whose lease has not been renewed
+        for this long is considered abandoned and may be stolen.
+    backend:
+        ``"fs"`` (default), ``"sqlite"``, or a ready
+        :class:`~repro.sched.backend.QueueBackend` instance.
+    max_attempts:
+        Executions a task gets before a *transient* failure parks it
+        (deterministic failures always park on the first).
     """
 
-    _STATE_DIRS = ("pending", "running", "done", "failed", "results", "errors")
-
-    def __init__(self, directory: str, *, lease_seconds: float = 30.0) -> None:
+    def __init__(
+        self,
+        directory: str,
+        *,
+        lease_seconds: float = 30.0,
+        backend: Union[str, QueueBackend, None] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
         self.directory = str(directory)
         self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+        self.backend = _make_backend(backend, self.directory, self.lease_seconds)
         self._plan: Optional[List[TaskRecord]] = None
-        self._plan_mtime_ns: Optional[int] = None
+        self._plan_stamp: Optional[Any] = None
+
+    @property
+    def suite_name(self) -> str:
+        return os.path.basename(self.directory)
+
+    @property
+    def key(self) -> str:
+        """Stable identity across backends (a worker may serve an fs and
+        a sqlite queue of the same suite side by side)."""
+        return f"{self.backend.name}:{self.directory}"
 
     @classmethod
     def for_suite(
-        cls, cache_dir: str, suite_name: str, **kwargs: Any
+        cls,
+        cache_dir: str,
+        suite_name: str,
+        *,
+        backend: Union[str, QueueBackend, None] = None,
+        lease_seconds: float = 30.0,
+        **kwargs: Any,
     ) -> "TaskQueue":
-        """The queue of ``suite_name`` inside a shared ``cache_dir``."""
+        """The queue of ``suite_name`` inside a shared ``cache_dir``.
+
+        ``"fs"`` state lives under ``<cache_dir>/queue/<suite>/``;
+        ``"sqlite"`` state lives in ``<cache_dir>/queue.db`` (one
+        database for every suite sharing the cache).  Both are invisible
+        to store GC, which only ever touches the ``objects`` tree.
+        """
+        directory = os.path.join(str(cache_dir), "queue", suite_name)
+        if backend == "sqlite":
+            from repro.sched.sqlite import SqliteBackend
+
+            backend = SqliteBackend(
+                os.path.join(str(cache_dir), "queue.db"),
+                suite_name,
+                lease_seconds=lease_seconds,
+            )
         return cls(
-            os.path.join(str(cache_dir), "queue", suite_name), **kwargs
+            directory,
+            lease_seconds=lease_seconds,
+            backend=backend,
+            **kwargs,
         )
 
     @classmethod
-    def discover(cls, cache_dir: str, **kwargs: Any) -> List["TaskQueue"]:
-        """Every queue currently present under ``<cache_dir>/queue/``."""
-        root = os.path.join(str(cache_dir), "queue")
-        try:
-            names = sorted(
-                entry.name for entry in os.scandir(root) if entry.is_dir()
-            )
-        except FileNotFoundError:
-            return []
-        queues = []
-        for name in names:
-            queue = cls(os.path.join(root, name), **kwargs)
-            if queue.exists():
-                queues.append(queue)
+    def discover(
+        cls,
+        cache_dir: str,
+        *,
+        backend: Optional[str] = None,
+        **kwargs: Any,
+    ) -> List["TaskQueue"]:
+        """Every queue currently present under ``cache_dir``.
+
+        ``backend=None`` scans both homes — the ``queue/`` directory tree
+        and the ``queue.db`` database — so a worker fleet serves every
+        suite regardless of how its coordinator enqueued it.
+        """
+        queues: List[TaskQueue] = []
+        if backend in (None, "fs"):
+            root = os.path.join(str(cache_dir), "queue")
+            try:
+                names = sorted(
+                    entry.name for entry in os.scandir(root) if entry.is_dir()
+                )
+            except FileNotFoundError:
+                names = []
+            for name in names:
+                queue = cls.for_suite(cache_dir, name, backend="fs", **kwargs)
+                if queue.exists():
+                    queues.append(queue)
+        if backend in (None, "sqlite"):
+            from repro.sched.sqlite import SqliteBackend
+
+            db_path = os.path.join(str(cache_dir), "queue.db")
+            for name in SqliteBackend.discover_suites(db_path):
+                queues.append(
+                    cls.for_suite(cache_dir, name, backend="sqlite", **kwargs)
+                )
         return queues
 
-    # ------------------------------------------------------------------
-    # Paths
-    # ------------------------------------------------------------------
-    def _dir(self, state: str) -> str:
-        return os.path.join(self.directory, state)
-
-    def _marker(self, state: str, task_id: str) -> str:
-        return os.path.join(self.directory, state, task_id)
-
-    def result_path(self, task_id: str) -> str:
-        return os.path.join(self.directory, "results", f"{task_id}.json")
-
-    def raw_path(self, task_id: str) -> str:
-        return os.path.join(self.directory, "results", f"{task_id}.raw.pkl")
-
-    def error_path(self, task_id: str) -> str:
-        return os.path.join(self.directory, "errors", f"{task_id}.json")
-
     def exists(self) -> bool:
-        return os.path.exists(os.path.join(self.directory, "plan.json"))
+        return self.backend.exists()
 
     # ------------------------------------------------------------------
     # Coordinator side: enqueue
@@ -238,23 +296,23 @@ class TaskQueue:
     ) -> None:
         """Durably enqueue ``tasks``.
 
-        The write order is the correctness story: state directories, the
-        suite manifest, every ``pending`` marker, and ``plan.json`` *last*
-        — a queue does not exist for workers until its plan lands, so a
-        coordinator crash mid-enqueue leaves inert markers, never a
-        claimable half-queue, and ``plan.json``'s presence guarantees
-        every task has exactly one state marker.
+        The backend's ``create_plan`` guarantees the correctness story:
+        a queue does not exist for workers until its plan lands, so a
+        coordinator crash mid-enqueue never leaves a claimable
+        half-queue, and the plan's presence guarantees every task has
+        exactly one durable state.
 
         ``keep_completed=True`` (the resume path) makes an identical
         re-enqueue a no-op — committed tasks stay committed, workers
-        mid-flight are untouched, and no marker is ever re-written for a
-        task a worker might hold (the stale-snapshot resurrection race is
-        structurally gone because nothing is written at all).  Without it,
-        re-enqueueing matches the in-process no-resume contract: the queue
-        state is wiped and every task runs again (measurements still
-        replay from the shared store).  Either way, a queue another
-        execution is actively working (live leases) is never rebuilt —
-        pass ``keep_completed=True`` / ``--resume`` to join it instead.
+        mid-flight are untouched, and no task state is ever re-written
+        for a task a worker might hold (the stale-snapshot resurrection
+        race is structurally gone because nothing is written at all).
+        Without it, re-enqueueing matches the in-process no-resume
+        contract: the queue state is wiped and every task runs again
+        (measurements still replay from the shared store).  Either way, a
+        queue another execution is actively working (live leases) is
+        never rebuilt — pass ``keep_completed=True`` / ``--resume`` to
+        join it instead.
         """
         plan_payload = json.dumps(
             {
@@ -266,15 +324,13 @@ class TaskQueue:
             },
             sort_keys=True,
         ).encode("utf-8")
-        plan_path = os.path.join(self.directory, "plan.json")
         try:
-            with open(plan_path, "rb") as handle:
-                existing = handle.read()
+            existing: Optional[bytes] = self.backend.read_plan()
         except FileNotFoundError:
             existing = None
         if existing == plan_payload and keep_completed:
             self._plan = list(tasks)
-            self._plan_mtime_ns = os.stat(plan_path).st_mtime_ns
+            self._plan_stamp = self.backend.plan_stamp()
             return
         if existing is not None:
             state = self.snapshot()
@@ -285,116 +341,66 @@ class TaskQueue:
             ]
             if live:
                 raise RuntimeError(
-                    f"queue {self.directory!r} tasks {sorted(live)} are "
+                    f"queue {self.backend.where()!r} tasks {sorted(live)} are "
                     f"still leased by active workers; resume to join the "
                     f"running execution, or wait for the leases to expire"
                 )
-            # Unlink the plan first: the queue stops existing, so workers
-            # step aside (their cached plan goes stale by mtime) before
-            # any old-state marker disappears or new marker lands.
-            self._unlink(plan_path)
-            self._wipe()
-        os.makedirs(self.directory, exist_ok=True)
-        for state_dir in self._STATE_DIRS:
-            os.makedirs(self._dir(state_dir), exist_ok=True)
-        atomic_write(
-            os.path.join(self.directory, "suite.json"),
+            self.backend.reset()
+            self._plan = None
+        self.backend.create_plan(
             suite.to_json(indent=2).encode("utf-8"),
+            plan_payload,
+            [task.id for task in tasks],
         )
-        for task in tasks:
-            # The marker content is informational; claimability is the
-            # file's existence.
-            atomic_write(
-                self._marker("pending", task.id),
-                json.dumps({"task": task.id}).encode("utf-8"),
-            )
-        atomic_write(plan_path, plan_payload)
         self._plan = list(tasks)
-        self._plan_mtime_ns = os.stat(plan_path).st_mtime_ns
-
-    def _wipe(self) -> None:
-        """Drop all queue state (a rebuild invalidates everything)."""
-        for state_dir in self._STATE_DIRS:
-            try:
-                entries = os.scandir(self._dir(state_dir))
-            except FileNotFoundError:
-                continue
-            for entry in entries:
-                try:
-                    os.unlink(entry.path)
-                except (FileNotFoundError, IsADirectoryError):
-                    pass
-        self._plan = None
+        self._plan_stamp = self.backend.plan_stamp()
 
     def destroy(self) -> None:
-        """Remove the whole queue directory.
+        """Remove the whole queue.
 
         Called by the coordinator once a run has been assembled (the
         results were mirrored into the suite's completion records, so the
         queue is spent scratch state) — queues therefore never accumulate
         in the GC-exempt store namespace.  A failed run's queue is kept
-        for inspection (``errors/``).
+        for inspection (error records and attempt counts).
         """
-        shutil.rmtree(self.directory, ignore_errors=True)
+        self.backend.destroy()
         self._plan = None
-        self._plan_mtime_ns = None
+        self._plan_stamp = None
 
     # ------------------------------------------------------------------
     # Shared: plan and state
     # ------------------------------------------------------------------
     def suite(self) -> SuiteSpec:
         """The enqueued suite manifest (worker-side session config)."""
-        with open(
-            os.path.join(self.directory, "suite.json"), encoding="utf-8"
-        ) as handle:
-            return SuiteSpec.from_json(handle.read())
+        return SuiteSpec.from_json(self.backend.read_suite())
 
     def plan(self, *, refresh: bool = False) -> List[TaskRecord]:
-        """The task graph, cached and keyed to ``plan.json``'s mtime.
+        """The task graph, cached and keyed to the backend's plan stamp.
 
         A plan is immutable for the lifetime of one enqueue, but a
         coordinator may legitimately *rebuild* an idle queue with a
-        changed plan (see :meth:`create`); the mtime check (one ``stat``
-        per call, no parse) lets long-lived workers cache the parsed graph
-        while still noticing the swap.
+        changed plan (see :meth:`create`); the stamp check (one ``stat``
+        or indexed row read, no parse) lets long-lived workers cache the
+        parsed graph while still noticing the swap.
         """
-        path = os.path.join(self.directory, "plan.json")
-        mtime_ns = os.stat(path).st_mtime_ns
-        if self._plan is None or refresh or mtime_ns != self._plan_mtime_ns:
-            with open(path, encoding="utf-8") as handle:
-                payload = json.load(handle)
+        stamp = self.backend.plan_stamp()
+        if self._plan is None or refresh or stamp != self._plan_stamp:
+            payload = json.loads(self.backend.read_plan())
             self._plan = [
                 TaskRecord.from_dict(entry) for entry in payload["tasks"]
             ]
-            self._plan_mtime_ns = mtime_ns
+            self._plan_stamp = stamp
         return list(self._plan)
 
-    def snapshot(self) -> QueueState:
-        """Scan the state directories into one :class:`QueueState`."""
-        state = QueueState()
-        now = time.time()
-        for name in self._list("pending"):
-            state.pending.add(name)
-        for name in self._list("running"):
-            task_id, _, _token = name.rpartition(_CLAIM_SEP)
-            if not task_id:
-                continue
-            try:
-                mtime = os.stat(self._marker("running", name)).st_mtime
-            except FileNotFoundError:  # raced a rename mid-scan
-                continue
-            state.running[task_id] = (name, max(0.0, now - mtime))
-        for name in self._list("done"):
-            state.done.add(name)
-        for name in self._list("failed"):
-            state.failed.add(name)
-        return state
+    def snapshot(self, *, detail: bool = False) -> QueueState:
+        """The backend's current view of every task's lifecycle state.
 
-    def _list(self, state_dir: str) -> List[str]:
-        try:
-            return sorted(os.listdir(self._dir(state_dir)))
-        except FileNotFoundError:
-            return []
+        ``detail=True`` additionally fills per-task attempt counts and
+        running worker ids — the status read path behind
+        ``python -m repro queue``.
+        """
+        return self.backend.snapshot(detail=detail)
 
     def _blocked_by_failure(self, state: QueueState) -> set:
         """Task ids that can never run: a (transitive) dependency failed."""
@@ -427,6 +433,50 @@ class TaskQueue:
         state = state or self.snapshot()
         terminal = state.done | state.failed | self._blocked_by_failure(state)
         return all(task.id in terminal for task in self.plan())
+
+    def status(self) -> Dict[str, Any]:
+        """One structured status report — the read path behind
+        ``python -m repro queue`` (and the future service's endpoint)."""
+        state = self.snapshot(detail=True)
+        plan = self.plan()
+        leases = [
+            {
+                "task": task_id,
+                "age_seconds": round(age, 3),
+                "expired": age >= self.lease_seconds,
+                "worker": state.workers.get(task_id, ""),
+                "attempts": state.attempts.get(task_id, 0),
+            }
+            for task_id, (_, age) in sorted(state.running.items())
+        ]
+        failed = [
+            {
+                "task": task_id,
+                "attempts": state.attempts.get(task_id, 0),
+                "error": (self.load_error(task_id).splitlines() or [""])[0],
+            }
+            for task_id in sorted(state.failed)
+        ]
+        return {
+            "suite": self.suite_name,
+            "backend": self.backend.name,
+            "location": self.backend.where(),
+            "lease_seconds": self.lease_seconds,
+            "tasks": len(plan),
+            "pending": len(state.pending),
+            "running": len(state.running),
+            "done": len(state.done),
+            "failed": len(state.failed),
+            "blocked": len(self._blocked_by_failure(state)),
+            "complete": self.complete(state),
+            "leases": leases,
+            "attempts": {
+                task_id: count
+                for task_id, count in sorted(state.attempts.items())
+                if count
+            },
+            "failed_tasks": failed,
+        }
 
     # ------------------------------------------------------------------
     # Worker side: claim / heartbeat / commit
@@ -462,14 +512,14 @@ class TaskQueue:
                     # its commit link and its cleanup unlink; harmless,
                     # sweep it so snapshots stay small.
                     name, _ = state.running[task.id]
-                    self._unlink(self._marker("running", name))
+                    self.backend.sweep_stale_lease(task.id, name)
                 continue
             if task.id in state.running:
                 _, age = state.running[task.id]
                 if age < self.lease_seconds:
                     continue  # live lease — not stealable yet
             elif task.id not in state.pending:
-                continue  # mid-rename; next poll will see it settled
+                continue  # mid-transition; next poll will see it settled
             if not all(done_members.get(dep, False) for dep in task.depends_on):
                 continue
             candidates.append(task)
@@ -483,49 +533,21 @@ class TaskQueue:
         worker: str = "",
         state: Optional[QueueState] = None,
     ) -> Optional[TaskClaim]:
-        """Try to take ``task``: atomic rename of its pending marker (or of
-        an expired lease — a steal) to a fresh claim file.  Returns ``None``
-        when another worker won the race."""
-        token = uuid.uuid4().hex[:12]
-        target = self._marker("running", f"{task.id}{_CLAIM_SEP}{token}")
+        """Try to take ``task``: an atomic pending-claim, or — when its
+        observed lease has expired — a steal.  Returns ``None`` when
+        another worker won the race."""
         state = state or self.snapshot()
         if task.id in state.running:
             name, age = state.running[task.id]
             if age < self.lease_seconds:
                 return None
-            source = self._marker("running", name)
-        else:
-            source = self._marker("pending", task.id)
-        try:
-            os.rename(source, target)
-        except FileNotFoundError:
-            return None
-        claim = TaskClaim(task_id=task.id, token=token, path=target)
-        # Stamp ownership and refresh the mtime immediately: a rename
-        # preserves the source mtime, so a fresh claim of a long-pending
-        # task (or a steal) would otherwise look expired until the first
-        # heartbeat.  Opened *without* O_CREAT: if the claim was already
-        # stolen back, recreating the file here would resurrect a second
-        # lease for the same task and break the exactly-once commit.
-        try:
-            fd = os.open(target, os.O_WRONLY | os.O_TRUNC)
-        except FileNotFoundError:  # pragma: no cover - stolen instantly
-            return None
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(
-                {"task": task.id, "worker": worker, "pid": os.getpid()},
-                handle,
-            )
-        return claim
+            return self.backend.steal_expired(task.id, name, worker=worker)
+        return self.backend.claim(task.id, worker=worker)
 
     def heartbeat(self, claim: TaskClaim) -> bool:
         """Refresh the lease.  ``False`` means the task was stolen — the
         worker should abandon the execution and must not commit."""
-        try:
-            os.utime(claim.path)
-            return True
-        except FileNotFoundError:
-            return False
+        return self.backend.heartbeat(claim)
 
     def commit(
         self,
@@ -534,100 +556,74 @@ class TaskQueue:
         *,
         raw: Any = None,
     ) -> bool:
-        """Durably publish a task result; the commit point is one rename.
+        """Durably publish a task result exactly once.
 
-        The result record lands first (atomic write), the optional native
-        result pickle second (best-effort — an unpicklable result degrades
-        to the JSON record), and then ``running/<id>#<claim>`` is *linked*
-        to ``done/<id>`` and unlinked.  Only the holder of the exact claim
-        filename can make that link, and a link never overwrites an
-        existing marker (unlike rename), so of N at-least-once executions
-        exactly one commits; the rest observe ``False`` and discard.
-        Writing the record before the commit link is safe even for losers:
-        records of the same task are bitwise-identical in everything but
-        timing metadata (scope-addressed seeding), so the ``done`` marker
-        always describes the bytes on disk.
+        The JSON record is authoritative; the optional native result
+        pickle rides along best-effort (an unpicklable result degrades to
+        the record).  Of N at-least-once executions exactly one observes
+        ``True``; the rest discard.
         """
-        if not self.heartbeat(claim):
-            return False
-        atomic_write(
-            self.result_path(claim.task_id),
-            json.dumps(dict(record), sort_keys=True).encode("utf-8"),
-        )
+        record_bytes = json.dumps(dict(record), sort_keys=True).encode("utf-8")
+        raw_bytes = None
         if raw is not None:
-            fidelity = dump_fidelity(record.get("spec"), raw)
-            if fidelity is not None:
-                atomic_write(self.raw_path(claim.task_id), fidelity)
-        try:
-            os.link(claim.path, self._marker("done", claim.task_id))
-        except FileNotFoundError:  # stolen: the thief owns the commit now
-            return False
-        except FileExistsError:
-            # Already committed (e.g. a previous holder crashed *between*
-            # its commit link and its lease cleanup, and we re-ran the
-            # task).  The result is durable; just drop our stale lease.
-            self._unlink(claim.path)
-            return False
-        self._unlink(claim.path)
-        return True
+            raw_bytes = dump_fidelity(record.get("spec"), raw)
+        return self.backend.commit(claim, record_bytes, raw_bytes)
 
-    @staticmethod
-    def _unlink(path: str) -> None:
-        try:
-            os.unlink(path)
-        except FileNotFoundError:
-            pass
+    def fail(
+        self,
+        claim: TaskClaim,
+        message: str,
+        *,
+        transient: bool = False,
+    ) -> str:
+        """Record a failed execution; returns the disposition.
 
-    def fail(self, claim: TaskClaim, message: str) -> bool:
-        """Mark a task as deterministically failed (exception, not crash).
+        ``transient=True`` marks the failure as plausibly environmental
+        (OSError, executor timeout, broken pool): the task re-enqueues
+        with its ``attempts`` counter incremented until ``max_attempts``
+        executions are spent, then parks.  Deterministic failures
+        (``transient=False`` — the default, matching the pre-retry
+        contract) park immediately: re-running them would raise
+        identically, so they wait in ``failed`` for the coordinator to
+        report instead of bouncing between workers forever.
 
-        Crash recovery is the lease's job; ``fail`` is for tasks whose
-        execution *raised* — re-running those would raise identically, so
-        they park in ``failed/`` for the coordinator to report instead of
-        bouncing between workers forever.  The state rename comes first:
-        a claim that was already stolen returns ``False`` without leaving
-        a stray error record behind (the thief owns the task's fate now,
-        and may well commit it successfully).
+        Returns ``"retried"`` (re-enqueued), ``"failed"`` (parked with
+        its error and attempt count durably recorded), or ``""`` — the
+        claim was stolen first, so the thief owns the task's fate and
+        this execution was lost, not failed.  Both non-empty dispositions
+        are truthy; crash recovery remains the lease's job.
         """
-        try:
-            os.rename(claim.path, self._marker("failed", claim.task_id))
-        except FileNotFoundError:
-            return False
-        atomic_write(
-            self.error_path(claim.task_id),
-            json.dumps({"task": claim.task_id, "error": message}).encode(
-                "utf-8"
-            ),
+        return self.backend.fail(
+            claim,
+            message,
+            transient=transient,
+            max_attempts=self.max_attempts,
         )
-        return True
 
     def release(self, claim: TaskClaim) -> bool:
         """Put a claimed task back (graceful worker shutdown mid-queue)."""
-        try:
-            os.rename(claim.path, self._marker("pending", claim.task_id))
-            return True
-        except FileNotFoundError:
-            return False
+        return self.backend.release(claim)
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
     def load_record(self, task_id: str) -> Optional[Dict[str, Any]]:
         """The committed result record of ``task_id`` (``None`` if absent)."""
+        blob = self.backend.load_record(task_id)
+        if blob is None:
+            return None
         try:
-            with open(self.result_path(task_id), encoding="utf-8") as handle:
-                return json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+            return json.loads(blob.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
             return None
 
     def load_raw(self, task_id: str, spec: StudySpec) -> Any:
         """The native result pickled alongside ``task_id``'s record, when
         present *and* written for exactly ``spec`` (``None`` otherwise)."""
-        return load_fidelity(self.raw_path(task_id), spec.to_dict())
+        blob = self.backend.load_raw(task_id)
+        if blob is None:
+            return None
+        return load_fidelity_bytes(blob, spec.to_dict())
 
     def load_error(self, task_id: str) -> str:
-        try:
-            with open(self.error_path(task_id), encoding="utf-8") as handle:
-                return json.load(handle).get("error", "")
-        except (FileNotFoundError, json.JSONDecodeError):
-            return ""
+        return self.backend.load_error(task_id)

@@ -1,8 +1,9 @@
 """The claim-execute-commit loop behind ``python -m repro worker``.
 
-A :class:`Worker` polls the queues under one shared ``cache_dir``, claims
-the highest-priority runnable task (dependencies committed, lease free),
-executes its :class:`~repro.api.spec.StudySpec` through a
+A :class:`Worker` polls the queues under one shared ``cache_dir`` — on
+any queue backend — claims the highest-priority runnable task
+(dependencies committed, lease free), executes its
+:class:`~repro.api.spec.StudySpec` through a
 :class:`~repro.api.session.Session` bound to the *same* store — so every
 measurement it fits is write-through shared with every other worker —
 heartbeats its lease from a background thread while the study runs, and
@@ -10,19 +11,29 @@ commits the result record.
 
 Leases recover *process death*: a worker that crashes (or is SIGKILLed,
 or whose host disappears) stops heartbeating, its lease expires, and
-another worker steals the task.  A worker that is alive but *wedged*
-keeps heartbeating — in-process hangs are bounded by the coordinator's
-``timeout``, not by leases.  When a worker does lose its lease (e.g. a
-long GC pause let a thief in), the heartbeat thread notices the stolen
-claim file and trips the study's cancellation event: the execution aborts
-at its next work item on every backend (process pools observe the event
-through the executor's relayed multiprocessing event), and nothing is
-committed.  The thief re-runs the task to bitwise-identical results, so
-abandonment costs wall-clock, never correctness.
+another worker steals the task.  With ``stall_seconds`` set, leases also
+recover *in-process hangs*: the heartbeat thread renews only while the
+study's progress events keep flowing, so a wedged study stops renewing
+and loses its lease to a healthy worker even though its process is still
+alive.  When a worker does lose its lease (a stall, or a long GC pause
+that let a thief in), the heartbeat thread notices the stolen claim and
+trips the study's cancellation event: the execution aborts at its next
+work item on every backend (process pools observe the event through the
+executor's relayed multiprocessing event), and nothing is committed.
+The thief re-runs the task to bitwise-identical results, so abandonment
+costs wall-clock, never correctness.
+
+Failures are classified before they park.  *Transient* errors —
+:class:`OSError` (NFS hiccups, disk-full blips), timeouts, a broken
+executor pool — re-enqueue the task with its durable ``attempts``
+counter incremented, up to the queue's ``max_attempts``; every other
+exception is deterministic (it would raise identically on re-run) and
+parks the task in ``failed`` immediately, full traceback recorded.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import os
 import socket
 import threading
@@ -38,8 +49,25 @@ __all__ = ["Worker", "WorkerStats"]
 
 #: Signature of the optional per-event worker log callback:
 #: ``(event, task_id, detail)`` with ``event`` one of ``"claim"``,
-#: ``"steal"``, ``"commit"``, ``"lost"``, ``"fail"``, ``"release"``.
+#: ``"steal"``, ``"commit"``, ``"lost"``, ``"retry"``, ``"fail"``,
+#: ``"release"``.
 WorkerLog = Callable[[str, str, str], None]
+
+#: Exception types treated as plausibly environmental: the same task may
+#: well succeed on a later attempt (possibly on another worker), so it is
+#: re-enqueued with its ``attempts`` counter incremented instead of
+#: parking.  ``TimeoutError`` is an :class:`OSError` subclass on modern
+#: Pythons, but :mod:`concurrent.futures` kept a distinct class through
+#: 3.10; ``BrokenExecutor`` covers a pool whose processes were killed
+#: under the study.  Everything else is deterministic: re-running it
+#: would raise identically, so it parks with its traceback on the first
+#: failure.
+TRANSIENT_EXCEPTIONS = (
+    OSError,
+    TimeoutError,
+    concurrent.futures.TimeoutError,
+    concurrent.futures.BrokenExecutor,
+)
 
 
 @dataclass
@@ -50,6 +78,7 @@ class WorkerStats:
     stolen: int = 0
     committed: int = 0
     lost: int = 0
+    retried: int = 0
     failed: int = 0
     idle_polls: int = 0
     suites: List[str] = field(default_factory=list)
@@ -61,17 +90,32 @@ class Worker:
     Parameters
     ----------
     cache_dir:
-        The shared per-key store; queues live under ``<cache_dir>/queue/``.
+        The shared per-key store; filesystem queues live under
+        ``<cache_dir>/queue/``, sqlite queues in ``<cache_dir>/queue.db``.
     suite:
         Restrict to one suite's queue (default: work every queue found).
     worker_id:
-        Stable identity for lease files and logs (default ``host:pid``).
+        Stable identity for leases and logs (default ``host:pid``).
     lease_seconds, poll_seconds:
         Heartbeat lease for claimed tasks, and how long to sleep when no
         task is claimable.
+    queue_backend:
+        ``"fs"``, ``"sqlite"``, or ``None`` (default) to serve queues on
+        *both* backends — a fleet need not know how each coordinator
+        enqueued.
+    max_attempts:
+        Executions a task gets before a transient failure parks it.
+    stall_seconds:
+        Couple lease renewal to study progress: when the running study
+        emits no progress event for this long, the heartbeat thread stops
+        renewing and deliberately lets the lease lapse, so a hung task is
+        stolen by a healthy worker.  ``None`` (default) renews
+        unconditionally — the right choice for studies whose longest
+        single work item can exceed any reasonable threshold.
     n_jobs, backend:
-        Per-task engine overrides; default to each suite's own manifest
-        configuration.
+        Per-task *engine* overrides (``backend`` here is the executor
+        backend — serial/thread/process — not the queue backend); default
+        to each suite's own manifest configuration.
     log:
         Optional ``(event, task_id, detail)`` callback for streaming logs.
     session:
@@ -90,6 +134,9 @@ class Worker:
         worker_id: Optional[str] = None,
         lease_seconds: float = 30.0,
         poll_seconds: float = 0.5,
+        queue_backend: Optional[str] = None,
+        max_attempts: Optional[int] = None,
+        stall_seconds: Optional[float] = None,
         n_jobs: Optional[int] = None,
         backend: Optional[str] = None,
         log: Optional[WorkerLog] = None,
@@ -100,6 +147,11 @@ class Worker:
         self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
         self.lease_seconds = float(lease_seconds)
         self.poll_seconds = float(poll_seconds)
+        self.queue_backend = queue_backend
+        self.max_attempts = max_attempts
+        if stall_seconds is not None and stall_seconds <= 0:
+            raise ValueError("stall_seconds must be positive (or None)")
+        self.stall_seconds = stall_seconds
         self.n_jobs = n_jobs
         self.backend = backend
         self.log = log
@@ -115,31 +167,33 @@ class Worker:
         """The queues this worker serves (rescanned every poll, so suites
         enqueued after the worker started are picked up).
 
-        Instances are cached per queue directory: the parsed plan then
-        survives across polls (``TaskQueue.plan`` re-reads only when
-        ``plan.json``'s mtime changes), so a standing fleet doesn't
+        Instances are cached per backend+directory: the parsed plan then
+        survives across polls (``TaskQueue.plan`` re-reads only when the
+        backend's plan stamp changes), so a standing fleet doesn't
         re-parse every task spec on every idle scan.
         """
+        kwargs: Dict[str, Any] = {"lease_seconds": self.lease_seconds}
+        if self.max_attempts is not None:
+            kwargs["max_attempts"] = self.max_attempts
+        found = TaskQueue.discover(
+            self.cache_dir, backend=self.queue_backend, **kwargs
+        )
         if self.suite is not None:
-            queue = self._queue_at(
-                TaskQueue.for_suite(self.cache_dir, self.suite).directory
-            )
-            return [queue] if queue.exists() else []
-        return [
-            self._queue_at(found.directory)
-            for found in TaskQueue.discover(self.cache_dir)
-        ]
+            found = [
+                queue for queue in found if queue.suite_name == self.suite
+            ]
+        return [self._remember(queue) for queue in found]
 
-    def _queue_at(self, directory: str) -> TaskQueue:
-        if directory not in self._queues:
-            self._queues[directory] = TaskQueue(
-                directory, lease_seconds=self.lease_seconds
-            )
-        return self._queues[directory]
+    def _remember(self, queue: TaskQueue) -> TaskQueue:
+        # Keyed by backend *and* directory: an fs and a sqlite queue may
+        # legitimately serve the same suite name side by side.
+        if queue.key not in self._queues:
+            self._queues[queue.key] = queue
+        return self._queues[queue.key]
 
     def _forget(self, queue: TaskQueue) -> None:
         """Drop a vanished queue entirely (instance cache and session)."""
-        self._queues.pop(queue.directory, None)
+        self._queues.pop(queue.key, None)
         self._release_session(queue)
 
     def _release_session(self, queue: TaskQueue) -> None:
@@ -149,14 +203,14 @@ class Worker:
         (and its parsed plan) may stay: a complete-but-not-yet-destroyed
         queue is still polled, and re-parsing its plan each poll is
         exactly what the instance cache avoids."""
-        session = self._sessions.pop(os.path.basename(queue.directory), None)
+        session = self._sessions.pop(queue.suite_name, None)
         if session is not None:
             session.close()
 
     def _session_for(self, queue: TaskQueue) -> Session:
         if self._injected_session is not None:
             return self._injected_session
-        name = os.path.basename(queue.directory)
+        name = queue.suite_name
         if name not in self._sessions:
             overrides: Dict[str, Any] = {"cache_dir": self.cache_dir}
             if self.n_jobs is not None:
@@ -187,9 +241,9 @@ class Worker:
     def step(self) -> bool:
         """Claim and execute at most one task across all served queues.
 
-        Returns ``True`` when a task was executed (committed, lost or
-        failed), ``False`` when nothing was claimable anywhere — the
-        caller decides whether to sleep, exit, or do other work.
+        Returns ``True`` when a task was executed (committed, lost,
+        retried or failed), ``False`` when nothing was claimable anywhere
+        — the caller decides whether to sleep, exit, or do other work.
         """
         for queue in self.queues():
             try:
@@ -209,9 +263,8 @@ class Worker:
                     self.stats.stolen += 1
                     self._emit("steal", task.id, "lease expired")
                 self.stats.claimed += 1
-                suite_name = os.path.basename(queue.directory)
-                if suite_name not in self.stats.suites:
-                    self.stats.suites.append(suite_name)
+                if queue.suite_name not in self.stats.suites:
+                    self.stats.suites.append(queue.suite_name)
                 self._emit("claim", task.id, task.spec.study)
                 self._execute(queue, task, claim)
                 return True
@@ -224,10 +277,28 @@ class Worker:
         cancel = threading.Event()
         lost = threading.Event()
         stop_heartbeat = threading.Event()
+        # Monotonic timestamp of the study's last progress event, shared
+        # with the heartbeat thread.  A one-element list, not a lock: the
+        # single float store is atomic, and the tick must stay cheap.
+        last_tick = [time.monotonic()]
+
+        def _tick() -> None:
+            last_tick[0] = time.monotonic()
 
         def _heartbeat() -> None:
             interval = max(0.05, self.lease_seconds / 4.0)
             while not stop_heartbeat.wait(interval):
+                if (
+                    self.stall_seconds is not None
+                    and time.monotonic() - last_tick[0] >= self.stall_seconds
+                ):
+                    # The study has stopped making progress.  Skip the
+                    # renewal — deliberately, so the lease lapses and a
+                    # healthy worker steals the task.  If progress ever
+                    # resumes, the next renewal attempt discovers whether
+                    # the claim survived; if it did not, the execution is
+                    # cancelled and nothing is committed.
+                    continue
                 if not queue.heartbeat(claim):
                     # Stolen: stop the study at its next cancellation
                     # point and make sure we never commit.
@@ -240,7 +311,7 @@ class Worker:
         )
         heartbeat.start()
         try:
-            result = session.run(task.spec, cancel_event=cancel)
+            result = session.run(task.spec, cancel_event=cancel, tick=_tick)
         except (KeyboardInterrupt, SystemExit):
             # Being stopped is transient, not a property of the task:
             # requeue it for the rest of the fleet instead of parking it
@@ -260,7 +331,18 @@ class Worker:
             message = "".join(
                 traceback.format_exception_only(type(error), error)
             ).strip()
-            if queue.fail(claim, f"{message}\n{traceback.format_exc()}"):
+            transient = isinstance(error, TRANSIENT_EXCEPTIONS)
+            disposition = queue.fail(
+                claim,
+                f"{message}\n{traceback.format_exc()}",
+                transient=transient,
+            )
+            if disposition == "retried":
+                self.stats.retried += 1
+                self._emit(
+                    "retry", task.id, f"transient, attempt {claim.attempts + 1}"
+                )
+            elif disposition == "failed":
                 self.stats.failed += 1
                 self._emit("fail", task.id, message)
             else:
@@ -335,7 +417,7 @@ class Worker:
                     if done:
                         # Nothing more to claim there: release the
                         # per-suite session (but keep the queue's plan
-                        # cache — the directory is still being polled).
+                        # cache — the queue is still being polled).
                         self._release_session(queue)
                         finished += 1
                 if exit_when_done and seen_any and finished == len(queues):

@@ -4,13 +4,16 @@ Queue invariants are pinned at three levels:
 
 * **protocol** — claim exclusivity under thread races, lease expiry and
   stealing, exactly-once commit (a stale claim can never double-commit),
-  dependency gating and priority order, all property-tested over random
-  task graphs with simulated workers;
+  dependency gating and priority order, bounded retries for transient
+  failures, all property-tested over random task graphs with simulated
+  workers — and all parameterized over both queue backends (the
+  filesystem rename/lease store and the transactional sqlite store),
+  which must be behaviourally indistinguishable through ``TaskQueue``;
 * **system** — K real workers (threads and subprocesses) cooperatively
   executing a suite against one shared cache dir produce a
   ``SuiteResult`` bitwise-identical to the in-process path, including
   after a worker is SIGKILLed mid-task (its leased tasks are stolen and
-  completed);
+  completed), on both backends;
 * **spec** — ``priority``/``depends_on`` round-trip through the manifest
   JSON, ``schedule_order`` is a priority-respecting topological order,
   and dependency cycles are rejected at ``SuiteSpec.validate()`` with an
@@ -31,7 +34,13 @@ from hypothesis import strategies as st
 
 from repro.__main__ import main
 from repro.api import Session, StudySpec, SuiteSpec
-from repro.sched import Coordinator, TaskQueue, TaskRecord, Worker
+from repro.sched import (
+    Coordinator,
+    SqliteBackend,
+    TaskQueue,
+    TaskRecord,
+    Worker,
+)
 
 ANALYTIC = StudySpec(study="sample_size", params={"gammas": [0.7]})
 
@@ -108,12 +117,31 @@ def _queue_suite(graph):
     )
 
 
+@pytest.fixture(params=["fs", "sqlite"])
+def queue_backend(request):
+    """Protocol tests run once per backend: the two stores must be
+    behaviourally indistinguishable through ``TaskQueue``."""
+    return request.param
+
+
+def _make_queue(tmp_path, backend, **kwargs):
+    kwargs.setdefault("lease_seconds", 30)
+    return TaskQueue(str(tmp_path / "q"), backend=backend, **kwargs)
+
+
+@pytest.fixture(scope="session")
+def reference_rows(tmp_path_factory):
+    """One in-process reference run of MEMBERS shared by every bitwise
+    comparison (the ground truth is backend-independent by construction)."""
+    return _reference_rows(tmp_path_factory.mktemp("reference"))
+
+
 # ----------------------------------------------------------------------
 # Protocol: claims, leases, stealing, exactly-once commit
 # ----------------------------------------------------------------------
 class TestTaskQueueProtocol:
-    def test_claim_is_exclusive_under_races(self, tmp_path):
-        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+    def test_claim_is_exclusive_under_races(self, tmp_path, queue_backend):
+        queue = _make_queue(tmp_path, queue_backend)
         graph = {"solo": ()}
         queue.create(_queue_suite(graph), _tasks(graph))
         task = queue.plan()[0]
@@ -134,8 +162,10 @@ class TestTaskQueueProtocol:
         assert len(claims) == 1
         assert queue.snapshot().running.keys() == {"solo"}
 
-    def test_lease_expiry_enables_steal_and_blocks_stale_commit(self, tmp_path):
-        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=0.2)
+    def test_lease_expiry_enables_steal_and_blocks_stale_commit(
+        self, tmp_path, queue_backend
+    ):
+        queue = _make_queue(tmp_path, queue_backend, lease_seconds=0.2)
         graph = {"solo": ()}
         queue.create(_queue_suite(graph), _tasks(graph))
         task = queue.plan()[0]
@@ -158,8 +188,8 @@ class TestTaskQueueProtocol:
         assert state.done == {"solo"} and not state.running
         assert queue.complete()
 
-    def test_dependency_gating_and_priority_order(self, tmp_path):
-        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+    def test_dependency_gating_and_priority_order(self, tmp_path, queue_backend):
+        queue = _make_queue(tmp_path, queue_backend)
         graph = {"low": (), "high": (), "gated": ("low",)}
         queue.create(
             _queue_suite(graph), _tasks(graph, priorities={"high": 5})
@@ -171,8 +201,10 @@ class TestTaskQueueProtocol:
         assert queue.commit(claim, {"rows": []})
         assert [t.id for t in queue.claimable()] == ["high", "gated"]
 
-    def test_failed_dependency_blocks_dependents_but_completes(self, tmp_path):
-        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+    def test_failed_dependency_blocks_dependents_but_completes(
+        self, tmp_path, queue_backend
+    ):
+        queue = _make_queue(tmp_path, queue_backend)
         graph = {"boom": (), "after": ("boom",), "free": ()}
         queue.create(_queue_suite(graph), _tasks(graph))
         boom = next(t for t in queue.plan() if t.id == "boom")
@@ -187,12 +219,14 @@ class TestTaskQueueProtocol:
         assert queue.complete()
         assert "synthetic" in queue.load_error("boom")
 
-    def test_failed_shard_dooms_siblings_out_of_claimable(self, tmp_path):
+    def test_failed_shard_dooms_siblings_out_of_claimable(
+        self, tmp_path, queue_backend
+    ):
         # One shard of a member fails deterministically: the member can
         # never assemble, so its surviving shards must stop being claimed
         # (they would burn compute for a result the run already discarded)
         # and the queue must still reach completion.
-        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+        queue = _make_queue(tmp_path, queue_backend)
         tasks = [
             TaskRecord(id="m@0", member="m", spec=ANALYTIC, index=0),
             TaskRecord(id="m@1", member="m", spec=ANALYTIC, index=1),
@@ -203,8 +237,10 @@ class TestTaskQueueProtocol:
         assert queue.claimable() == []
         assert queue.complete()
 
-    def test_release_requeues_and_resume_create_keeps_completions(self, tmp_path):
-        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+    def test_release_requeues_and_resume_create_keeps_completions(
+        self, tmp_path, queue_backend
+    ):
+        queue = _make_queue(tmp_path, queue_backend)
         graph = {"a": (), "b": ()}
         suite = _queue_suite(graph)
         tasks = _tasks(graph)
@@ -220,11 +256,11 @@ class TestTaskQueueProtocol:
         state = queue.snapshot()
         assert state.done == {"a"} and state.pending == {"b"}
 
-    def test_fresh_create_wipes_same_plan_completions(self, tmp_path):
+    def test_fresh_create_wipes_same_plan_completions(self, tmp_path, queue_backend):
         # Without keep_completed (a no-resume re-run), an identical idle
         # queue is rebuilt: every task runs again, matching the
         # in-process no-resume contract.
-        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+        queue = _make_queue(tmp_path, queue_backend)
         graph = {"a": ()}
         suite = _queue_suite(graph)
         tasks = _tasks(graph)
@@ -234,8 +270,8 @@ class TestTaskQueueProtocol:
         state = queue.snapshot()
         assert state.done == set() and state.pending == {"a"}
 
-    def test_changed_plan_rebuilds_idle_queue(self, tmp_path):
-        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+    def test_changed_plan_rebuilds_idle_queue(self, tmp_path, queue_backend):
+        queue = _make_queue(tmp_path, queue_backend)
         graph = {"a": ()}
         queue.create(_queue_suite(graph), _tasks(graph))
         claim = queue.claim(queue.plan()[0], worker="w")
@@ -247,8 +283,8 @@ class TestTaskQueueProtocol:
         # for a changed plan) and both tasks are pending again.
         assert state.done == set() and state.pending == {"a", "b"}
 
-    def test_changed_plan_refused_while_leased(self, tmp_path):
-        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30)
+    def test_changed_plan_refused_while_leased(self, tmp_path, queue_backend):
+        queue = _make_queue(tmp_path, queue_backend)
         graph = {"a": ()}
         queue.create(_queue_suite(graph), _tasks(graph))
         assert queue.claim(queue.plan()[0], worker="w") is not None
@@ -261,7 +297,9 @@ class TestTaskQueueProtocol:
     def test_simulated_fleet_commits_every_task_exactly_once(self, data, tmp_path_factory):
         """Random DAG + racing simulated workers with crash injection:
         every task commits exactly once, dependencies always commit before
-        dependents, and the queue reaches completion."""
+        dependents, and the queue reaches completion — on a randomly drawn
+        backend, so both stores face the same adversarial schedules."""
+        backend = data.draw(st.sampled_from(["fs", "sqlite"]), label="backend")
         n_tasks = data.draw(st.integers(min_value=1, max_value=6), label="n_tasks")
         members = [f"t{i}" for i in range(n_tasks)]
         graph = {
@@ -283,7 +321,9 @@ class TestTaskQueueProtocol:
             for member in members
         }
         directory = tmp_path_factory.mktemp("fleet")
-        queue = TaskQueue(str(directory / "q"), lease_seconds=0.05)
+        queue = TaskQueue(
+            str(directory / "q"), lease_seconds=0.05, backend=backend
+        )
         queue.create(_queue_suite(graph), _tasks(graph, priorities=priorities))
         commits = []
         commit_lock = threading.Lock()
@@ -331,6 +371,193 @@ class TestTaskQueueProtocol:
             assert set(graph[task_id]) <= done_before, (
                 f"{task_id} committed before its dependencies {graph[task_id]}"
             )
+
+
+# ----------------------------------------------------------------------
+# Protocol: bounded retries
+# ----------------------------------------------------------------------
+class TestRetryLifecycle:
+    def test_transient_failure_requeues_with_attempts_until_exhausted(
+        self, tmp_path, queue_backend
+    ):
+        queue = _make_queue(tmp_path, queue_backend, max_attempts=3)
+        graph = {"flaky": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        for attempt in range(2):
+            claim = queue.claim(queue.claimable()[0], worker="w")
+            assert claim.attempts == attempt
+            assert queue.fail(claim, "OSError: blip", transient=True) == "retried"
+            state = queue.snapshot(detail=True)
+            assert state.pending == {"flaky"} and not state.failed
+            assert state.attempts["flaky"] == attempt + 1
+        # Third (= max_attempts) execution fails too: the budget is spent.
+        claim = queue.claim(queue.claimable()[0], worker="w")
+        assert claim.attempts == 2
+        assert queue.fail(claim, "OSError: blip", transient=True) == "failed"
+        state = queue.snapshot(detail=True)
+        assert state.failed == {"flaky"} and state.attempts["flaky"] == 3
+        assert "blip" in queue.load_error("flaky")
+        assert queue.complete()
+
+    def test_deterministic_failure_parks_on_first_attempt(
+        self, tmp_path, queue_backend
+    ):
+        queue = _make_queue(tmp_path, queue_backend, max_attempts=3)
+        graph = {"boom": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        claim = queue.claim(queue.claimable()[0], worker="w")
+        # transient=False (the default): retrying would raise identically.
+        assert queue.fail(claim, "ValueError: bad params") == "failed"
+        state = queue.snapshot(detail=True)
+        assert state.failed == {"boom"} and state.attempts["boom"] == 1
+        assert "bad params" in queue.load_error("boom")
+
+    def test_steals_do_not_consume_the_retry_budget(
+        self, tmp_path, queue_backend
+    ):
+        # Crash recovery must stay unbounded: a task bounced between dying
+        # workers is the lease's business, not the retry counter's.
+        queue = _make_queue(tmp_path, queue_backend, lease_seconds=0.1, max_attempts=2)
+        graph = {"solo": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        for _ in range(4):  # more abandonments than max_attempts
+            task = queue.plan()[0]
+            assert queue.claim(task, worker="crasher") is not None
+            time.sleep(0.15)  # abandon: no heartbeat, lease expires
+        claim = queue.claim(queue.plan()[0], worker="survivor")
+        assert claim is not None and claim.attempts == 0
+        assert queue.commit(claim, {"rows": []})
+        assert queue.snapshot().done == {"solo"}
+
+    def test_stale_claim_cannot_fail_a_stolen_task(self, tmp_path, queue_backend):
+        queue = _make_queue(tmp_path, queue_backend, lease_seconds=0.1)
+        graph = {"solo": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        stale = queue.claim(queue.plan()[0], worker="crasher")
+        time.sleep(0.15)
+        thief = queue.claim(queue.plan()[0], worker="thief")
+        assert thief is not None
+        # The stale holder's failure report is void: the thief owns the
+        # task's fate now ("" = lost, falsy — the pre-retry contract).
+        assert queue.fail(stale, "OSError: late", transient=True) == ""
+        assert queue.commit(thief, {"rows": []})
+        assert queue.snapshot().done == {"solo"}
+
+
+# ----------------------------------------------------------------------
+# Backend specifics
+# ----------------------------------------------------------------------
+class TestBackendSpecifics:
+    def test_filesystem_layout_is_preserved(self, tmp_path):
+        # PR 5's on-disk contract, byte for byte: queues enqueued before
+        # the backend seam existed must remain readable, and external
+        # tooling that inspects the directory must keep working.
+        queue = TaskQueue(str(tmp_path / "q"), lease_seconds=30, backend="fs")
+        graph = {"a": (), "b": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        root = tmp_path / "q"
+        for state_dir in ("pending", "running", "done", "failed", "results", "errors"):
+            assert (root / state_dir).is_dir()
+        assert (root / "plan.json").is_file()
+        assert (root / "suite.json").is_file()
+        marker = json.loads((root / "pending" / "a").read_text())
+        assert marker == {"task": "a"}
+        claim = queue.claim(queue.plan()[0], worker="w1")
+        leases = list((root / "running").iterdir())
+        assert [path.name.split("#")[0] for path in leases] == ["a"]
+        stamp = json.loads(leases[0].read_text())
+        assert stamp["task"] == "a" and stamp["worker"] == "w1"
+        assert queue.commit(claim, {"rows": []})
+        assert (root / "done" / "a").is_file()
+        assert json.loads((root / "results" / "a.json").read_text()) == {"rows": []}
+        # A fresh TaskQueue over the same directory reads it all back.
+        reread = TaskQueue(str(root), lease_seconds=30)
+        assert reread.snapshot().done == {"a"}
+        assert reread.load_record("a") == {"rows": []}
+
+    def test_sqlite_concurrent_writers_share_one_wal_database(self, tmp_path):
+        # Many writers, each with its OWN connection (as separate worker
+        # processes would be), hammering one WAL database: busy-timeout
+        # absorbs lock contention, every task commits exactly once, and
+        # no writer ever sees "database is locked".
+        graph = {f"t{i}": () for i in range(12)}
+        suite = _queue_suite(graph)
+        enqueuer = _make_queue(tmp_path, "sqlite")
+        enqueuer.create(suite, _tasks(graph))
+        db_path = str(tmp_path / "queue.db")
+        n_workers = 6
+        commits = []
+        errors = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(n_workers)
+
+        def worker(worker_id):
+            backend = SqliteBackend(db_path, "q", lease_seconds=30)
+            queue = TaskQueue(str(tmp_path / "q"), backend=backend)
+            barrier.wait()
+            try:
+                idle = 0
+                while idle < 100:
+                    state = queue.snapshot()
+                    if queue.complete(state):
+                        return
+                    progressed = False
+                    for task in queue.claimable(state):
+                        claim = queue.claim(task, worker=worker_id, state=state)
+                        if claim is None:
+                            continue
+                        progressed = True
+                        if queue.commit(claim, {"task": task.id}):
+                            with lock:
+                                commits.append(task.id)
+                        break
+                    if not progressed:
+                        idle += 1
+                        time.sleep(0.005)
+            except Exception as error:  # noqa: BLE001 - recorded for assert
+                with lock:
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",))
+            for i in range(n_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert sorted(commits) == sorted(graph)  # exactly once each
+        assert enqueuer.complete()
+
+    def test_sqlite_state_survives_reopen(self, tmp_path):
+        # Durability across connections: a brand-new TaskQueue over the
+        # same database (a worker on another host) sees identical state.
+        queue = _make_queue(tmp_path, "sqlite")
+        graph = {"a": (), "b": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        claim = queue.claim(queue.plan()[0], worker="w")
+        assert queue.commit(claim, {"rows": [1, 2]})
+        reopened = _make_queue(tmp_path, "sqlite")
+        state = reopened.snapshot()
+        assert state.done == {"a"} and state.pending == {"b"}
+        assert reopened.load_record("a") == {"rows": [1, 2]}
+        assert [t.id for t in reopened.plan()] == ["a", "b"]
+
+    def test_discover_finds_queues_on_both_backends(self, tmp_path):
+        fs_queue = TaskQueue.for_suite(str(tmp_path), "alpha", backend="fs")
+        sq_queue = TaskQueue.for_suite(str(tmp_path), "beta", backend="sqlite")
+        graph = {"a": ()}
+        for queue, name in ((fs_queue, "alpha"), (sq_queue, "beta")):
+            suite = SuiteSpec(name=name, specs=[("a", ANALYTIC)])
+            queue.create(suite, _tasks(graph))
+        found = {
+            (queue.backend.name, queue.suite_name)
+            for queue in TaskQueue.discover(str(tmp_path))
+        }
+        assert found == {("fs", "alpha"), ("sqlite", "beta")}
+        only_sqlite = TaskQueue.discover(str(tmp_path), backend="sqlite")
+        assert [queue.suite_name for queue in only_sqlite] == ["beta"]
 
 
 # ----------------------------------------------------------------------
@@ -440,11 +667,15 @@ class TestSchedulingSpec:
 # System: real workers over a shared cache dir
 # ----------------------------------------------------------------------
 class TestDistributedExecution:
-    def test_three_worker_threads_match_in_process_bitwise(self, tmp_path):
-        reference = _reference_rows(tmp_path)
+    def test_three_worker_threads_match_in_process_bitwise(
+        self, tmp_path, queue_backend, reference_rows
+    ):
+        reference = reference_rows
         suite = _suite(tmp_path / "store")
         with Session.for_suite(suite) as session:
-            coordinator = Coordinator(session, suite, poll_seconds=0.05)
+            coordinator = Coordinator(
+                session, suite, poll_seconds=0.05, queue_backend=queue_backend
+            )
             coordinator.enqueue()
             workers = [
                 Worker(str(tmp_path / "store"), poll_seconds=0.05)
@@ -470,8 +701,10 @@ class TestDistributedExecution:
         assert committed == len(suite)
         assert all(worker.stats.failed == 0 for worker in workers)
 
-    def test_sharded_members_steal_at_shard_granularity(self, tmp_path):
-        reference = _reference_rows(tmp_path)
+    def test_sharded_members_steal_at_shard_granularity(
+        self, tmp_path, reference_rows
+    ):
+        reference = reference_rows
         suite = _suite(tmp_path / "store")
         with Session.for_suite(suite) as session:
             coordinator = Coordinator(
@@ -509,13 +742,26 @@ class TestDistributedExecution:
         )
         assert result.names == suite.names  # canonical assembly order
 
-    def test_resume_skips_queue_and_restores_native_attributes(self, tmp_path):
+    def test_resume_skips_queue_and_restores_native_attributes(
+        self, tmp_path, queue_backend
+    ):
+        # Cold on the parameterized backend (raw pickles round-trip
+        # through its commit/load_raw path), resume on the same one.
         suite = _suite(tmp_path / "store")
         with Session.for_suite(suite) as session:
-            cold = session.run_suite(suite, distributed=True, poll_seconds=0.05)
+            cold = session.run_suite(
+                suite,
+                distributed=True,
+                poll_seconds=0.05,
+                queue_backend=queue_backend,
+            )
         with Session.for_suite(suite) as session:
             resumed = session.run_suite(
-                suite, distributed=True, resume=True, poll_seconds=0.05
+                suite,
+                distributed=True,
+                resume=True,
+                poll_seconds=0.05,
+                queue_backend=queue_backend,
             )
         assert resumed.replayed == suite.names
         for name in suite.names:
@@ -569,8 +815,10 @@ class TestDistributedExecution:
                 session.run_suite(bad, distributed=True, poll_seconds=0.05)
 
     @pytest.mark.skipif(os.name != "posix", reason="SIGKILL semantics")
-    def test_sigkilled_worker_tasks_are_stolen_and_completed(self, tmp_path):
-        reference = _reference_rows(tmp_path)
+    def test_sigkilled_worker_tasks_are_stolen_and_completed(
+        self, tmp_path, queue_backend, reference_rows
+    ):
+        reference = reference_rows
         suite = _suite(tmp_path / "store")
         env = dict(os.environ)
         env["PYTHONPATH"] = (
@@ -578,7 +826,11 @@ class TestDistributedExecution:
         )
         with Session.for_suite(suite) as session:
             coordinator = Coordinator(
-                session, suite, lease_seconds=1.0, poll_seconds=0.05
+                session,
+                suite,
+                lease_seconds=1.0,
+                poll_seconds=0.05,
+                queue_backend=queue_backend,
             )
             coordinator.enqueue()
             victim = subprocess.Popen(
@@ -609,11 +861,174 @@ class TestDistributedExecution:
         for name in suite.names:
             assert _rows(result[name]) == reference[name], name
         # The assembled run mirrored its results into completion records
-        # and destroyed its spent queue.
-        assert not os.path.exists(coordinator.queue.directory)
+        # and destroyed its spent queue (the fs directory is gone; the
+        # sqlite rows are deleted).
+        assert not coordinator.queue.exists()
         records = tmp_path / "store" / "suites" / suite.name
         for name in suite.names:
             assert (records / f"{name}.json").exists()
+
+
+# ----------------------------------------------------------------------
+# Worker lifecycle: retry classification and progress-coupled leases
+# ----------------------------------------------------------------------
+class _FlakySession:
+    """Session stand-in that fails the first N runs, then delegates.
+
+    ``close`` is a no-op: the inner session's owner closes it (same
+    contract as a Worker's injected session).
+    """
+
+    def __init__(self, inner, error, n_failures=1):
+        self.inner = inner
+        self.error = error
+        self.failures_left = n_failures
+
+    def run(self, spec, **kwargs):
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise self.error
+        return self.inner.run(spec, **kwargs)
+
+    def close(self):
+        pass
+
+
+def _single_task_queue(store, name, *, backend, **kwargs):
+    suite = SuiteSpec(name=name, specs=[("m", ANALYTIC)], cache_dir=str(store))
+    queue = TaskQueue.for_suite(str(store), name, backend=backend, **kwargs)
+    queue.create(
+        suite, [TaskRecord(id="m", member="m", spec=ANALYTIC, index=0)]
+    )
+    return queue
+
+
+class TestWorkerLifecycle:
+    def test_transient_error_completes_on_a_later_attempt(
+        self, tmp_path, queue_backend
+    ):
+        # Acceptance: an OSError on attempt 1 must not park the task —
+        # it re-enqueues and a later attempt commits the real result.
+        store = tmp_path / "store"
+        queue = _single_task_queue(store, "flaky", backend=queue_backend)
+        with Session(cache_dir=str(store)) as session:
+            worker = Worker(
+                str(store),
+                queue_backend=queue_backend,
+                poll_seconds=0.01,
+                session=_FlakySession(session, OSError("synthetic blip")),
+            )
+            stats = worker.run(exit_when_done=True, timeout=240)
+        assert stats.retried == 1 and stats.committed == 1
+        assert stats.failed == 0
+        state = queue.snapshot(detail=True)
+        assert state.done == {"m"} and state.attempts["m"] == 1
+        assert queue.load_record("m") is not None
+
+    def test_deterministic_error_parks_exactly_once(
+        self, tmp_path, queue_backend
+    ):
+        # Acceptance: a deterministic failure parks on the first attempt
+        # (re-running would raise identically) with attempts recorded.
+        store = tmp_path / "store"
+        queue = _single_task_queue(store, "doomed", backend=queue_backend)
+        with Session(cache_dir=str(store)) as session:
+            worker = Worker(
+                str(store),
+                queue_backend=queue_backend,
+                poll_seconds=0.01,
+                session=_FlakySession(
+                    session, ValueError("bad config"), n_failures=10
+                ),
+            )
+            stats = worker.run(exit_when_done=True, timeout=240)
+        assert stats.failed == 1 and stats.retried == 0
+        assert stats.committed == 0
+        state = queue.snapshot(detail=True)
+        assert state.failed == {"m"} and state.attempts["m"] == 1
+        assert "bad config" in queue.load_error("m")
+
+    def test_transient_budget_exhaustion_parks_with_full_history(
+        self, tmp_path, queue_backend
+    ):
+        store = tmp_path / "store"
+        queue = _single_task_queue(
+            store, "hopeless", backend=queue_backend, max_attempts=2
+        )
+        with Session(cache_dir=str(store)) as session:
+            worker = Worker(
+                str(store),
+                queue_backend=queue_backend,
+                max_attempts=2,
+                poll_seconds=0.01,
+                session=_FlakySession(
+                    session, OSError("still down"), n_failures=10
+                ),
+            )
+            stats = worker.run(exit_when_done=True, timeout=240)
+        assert stats.retried == 1 and stats.failed == 1
+        state = queue.snapshot(detail=True)
+        assert state.failed == {"m"} and state.attempts["m"] == 2
+        assert "still down" in queue.load_error("m")
+
+    def test_stalled_task_loses_lease_and_is_stolen_by_healthy_worker(
+        self, tmp_path, queue_backend
+    ):
+        # The progress-coupled heartbeat: a worker whose study hangs
+        # (alive process, zero progress ticks) stops renewing its lease,
+        # a healthy worker steals and completes the task, and the hung
+        # worker's eventual outcome is discarded as lost — not committed,
+        # not failed.
+        store = tmp_path / "store"
+        queue = _single_task_queue(
+            store, "stall", backend=queue_backend, lease_seconds=0.4
+        )
+        release = threading.Event()
+        claimed = threading.Event()
+
+        class _HangingSession:
+            def run(self, spec, **kwargs):
+                claimed.set()
+                # Blocks without ever emitting a progress tick.
+                if not release.wait(timeout=240):
+                    raise RuntimeError("never released")
+                raise OSError("aborted after stall")
+
+            def close(self):
+                pass
+
+        hung = Worker(
+            str(store),
+            queue_backend=queue_backend,
+            lease_seconds=0.4,
+            stall_seconds=0.2,
+            poll_seconds=0.01,
+            worker_id="hung",
+            session=_HangingSession(),
+        )
+        hung_thread = threading.Thread(target=hung.step)
+        hung_thread.start()
+        try:
+            assert claimed.wait(timeout=60), "hung worker never claimed"
+            with Session(cache_dir=str(store)) as session:
+                healthy = Worker(
+                    str(store),
+                    queue_backend=queue_backend,
+                    lease_seconds=0.4,
+                    poll_seconds=0.02,
+                    worker_id="healthy",
+                    session=session,
+                )
+                healthy_stats = healthy.run(exit_when_done=True, timeout=240)
+        finally:
+            release.set()
+            hung_thread.join(timeout=60)
+        assert not hung_thread.is_alive()
+        assert healthy_stats.stolen == 1 and healthy_stats.committed == 1
+        assert hung.stats.lost == 1
+        assert hung.stats.failed == 0 and hung.stats.committed == 0
+        assert queue.snapshot().done == {"m"}
+        assert queue.load_record("m") is not None
 
 
 # ----------------------------------------------------------------------
@@ -655,6 +1070,12 @@ class TestWorkerCLI:
                 session.run_suite(suite, shard_members=True)
             with pytest.raises(ValueError, match="timeout"):
                 session.run_suite(suite, timeout=10.0)
+            with pytest.raises(ValueError, match="queue_backend"):
+                session.run_suite(suite, queue_backend="sqlite")
+            with pytest.raises(ValueError, match="max_attempts"):
+                session.run_suite(suite, max_attempts=5)
+            with pytest.raises(ValueError, match="stall_seconds"):
+                session.run_suite(suite, stall_seconds=60.0)
 
     def test_suite_scheduler_flags_require_distributed(self, tmp_path, capsys):
         manifest = tmp_path / "manifest.json"
@@ -663,6 +1084,12 @@ class TestWorkerCLI:
         assert "--shard-members requires --distributed" in capsys.readouterr().err
         assert main(["suite", str(manifest), "--lease-seconds", "5"]) == 2
         assert "--lease-seconds requires --distributed" in capsys.readouterr().err
+        assert main(["suite", str(manifest), "--queue-backend", "sqlite"]) == 2
+        assert "--queue-backend requires --distributed" in capsys.readouterr().err
+        assert main(["suite", str(manifest), "--max-attempts", "2"]) == 2
+        assert "--max-attempts requires --distributed" in capsys.readouterr().err
+        assert main(["suite", str(manifest), "--stall-seconds", "5"]) == 2
+        assert "--stall-seconds requires --distributed" in capsys.readouterr().err
         assert (
             main(
                 [
@@ -676,3 +1103,66 @@ class TestWorkerCLI:
             == 2
         )
         assert "must be positive" in capsys.readouterr().err
+        assert (
+            main(
+                [
+                    "suite",
+                    str(manifest),
+                    "--distributed",
+                    "--max-attempts",
+                    "0",
+                ]
+            )
+            == 2
+        )
+        assert "--max-attempts must be at least 1" in capsys.readouterr().err
+
+    def test_queue_status_reports_both_backends(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        for backend, name in (("fs", "alpha"), ("sqlite", "beta")):
+            _single_task_queue(store, name, backend=backend)
+        claimer = TaskQueue.for_suite(str(store), "alpha", backend="fs")
+        assert claimer.claim(claimer.plan()[0], worker="w9") is not None
+        assert main(["queue", str(store), "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        by_suite = {report["suite"]: report for report in reports}
+        assert set(by_suite) == {"alpha", "beta"}
+        assert by_suite["alpha"]["backend"] == "fs"
+        assert by_suite["beta"]["backend"] == "sqlite"
+        assert by_suite["alpha"]["running"] == 1
+        assert by_suite["alpha"]["leases"][0]["worker"] == "w9"
+        assert by_suite["beta"]["pending"] == 1 and by_suite["beta"]["tasks"] == 1
+        # Human-readable rendering carries the same facts.
+        assert main(["queue", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "alpha [fs]" in out and "beta [sqlite]" in out
+        assert "running m" in out and "worker=w9" in out
+        # Filters narrow by suite and by backend.
+        assert main(["queue", str(store), "--suite", "beta", "--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert [report["suite"] for report in reports] == ["beta"]
+        assert (
+            main(["queue", str(store), "--queue-backend", "fs", "--json"]) == 0
+        )
+        reports = json.loads(capsys.readouterr().out)
+        assert [report["suite"] for report in reports] == ["alpha"]
+
+    def test_queue_status_shows_failures_with_attempts(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        queue = _single_task_queue(store, "bad", backend="sqlite", max_attempts=2)
+        claim = queue.claim(queue.plan()[0], worker="w")
+        assert queue.fail(claim, "OSError: blip", transient=True) == "retried"
+        claim = queue.claim(queue.plan()[0], worker="w")
+        assert queue.fail(claim, "OSError: blip", transient=True) == "failed"
+        assert main(["queue", str(store), "--json"]) == 0
+        (report,) = json.loads(capsys.readouterr().out)
+        assert report["failed"] == 1 and report["complete"] is True
+        (failure,) = report["failed_tasks"]
+        assert failure["attempts"] == 2
+        assert failure["error"].startswith("OSError")
+        assert main(["queue", str(store)]) == 0
+        assert "attempts=2" in capsys.readouterr().out
+
+    def test_queue_rejects_missing_cache_dir(self, tmp_path, capsys):
+        assert main(["queue", str(tmp_path / "nope")]) == 2
+        assert "no cache directory" in capsys.readouterr().err
