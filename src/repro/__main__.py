@@ -22,6 +22,11 @@ figure suite — is launchable from a JSON manifest without writing Python::
     # transactional sqlite queue instead of rename-claim files
     python -m repro suite manifest.json --distributed --queue-backend sqlite
 
+    # long-running HTTP/JSON study service with a live dashboard at /
+    python -m repro serve .repro-cache --port 8321      # terminal 1
+    python -m repro worker .repro-cache                 # terminals 2..N
+    curl -d @manifest.json http://127.0.0.1:8321/v1/suites
+
 ``run`` prints :meth:`~repro.api.results.StudyResult.summary` (or, with
 ``--json``, the full rows/provenance payload of
 :meth:`~repro.api.results.StudyResult.to_json`).  ``suite`` executes every
@@ -39,6 +44,12 @@ every queue it finds — on either backend — under one cache dir until
 stopped (or, with ``--exit-when-done``, until all queues complete);
 ``queue`` prints each queue's live pending/running/done/failed state,
 lease ages and attempt counts.
+``serve`` runs the long-lived study service (see ``src/repro/serve/``):
+specs POSTed to ``/v1/studies`` run on the session's bounded in-process
+pool, manifests POSTed to ``/v1/suites`` go through the same durable
+queue that ``worker`` drains, per-member progress streams from
+``/v1/jobs/<id>/events`` as server-sent events, and ``GET /`` serves a
+zero-dependency status dashboard.
 ``gc`` prunes a per-key store back within byte / entry budgets,
 LRU-by-last-use.  Because specs fully determine their results (seeds are
 scope-derived, see EXPERIMENTS.md), re-running against the same
@@ -364,7 +375,104 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the gc stats as JSON"
     )
 
-    commands.add_parser("list", help="list registered studies")
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the HTTP/JSON study service: POST specs, stream progress "
+            "over server-sent events, browse the dashboard at /"
+        ),
+    )
+    serve.add_argument(
+        "cache_dir",
+        help=(
+            "shared per-key store the service runs against (results, "
+            "suite records and work queues all live here)"
+        ),
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; 0.0.0.0 exposes the LAN)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="port to bind (default 8321; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="per-study worker count for in-process execution",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=VALID_BACKENDS,
+        default=None,
+        help="executor backend for in-process execution",
+    )
+    serve.add_argument(
+        "--max-concurrent-studies",
+        type=int,
+        default=None,
+        help=(
+            "bound on studies the in-process submit pool runs at once "
+            "(suites are not affected: they go through the work queue)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-backend",
+        choices=QUEUE_BACKENDS,
+        default=None,
+        help="queue backend for submitted suites (default fs)",
+    )
+    serve.add_argument(
+        "--shard-members",
+        action="store_true",
+        help="pre-shard suite members by scope path for finer work stealing",
+    )
+    serve.add_argument(
+        "--no-participate",
+        action="store_true",
+        help=(
+            "do not execute suite tasks in the service process; external "
+            "`repro worker` processes must drain the queue"
+        ),
+    )
+    serve.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="heartbeat lease for suite tasks (default 30)",
+    )
+    serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="executions a suite task gets before a transient failure parks it",
+    )
+    serve.add_argument(
+        "--stall-seconds",
+        type=float,
+        default=None,
+        help="stop renewing a hung suite task's lease after this long",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request access logging",
+    )
+
+    list_parser = commands.add_parser("list", help="list registered studies")
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "print the machine-readable registry catalogue (name, "
+            "artefact, description, size/smoke parameters, shard axis)"
+        ),
+    )
     return parser
 
 
@@ -621,7 +729,57 @@ def _gc(args: argparse.Namespace) -> int:
     return 0
 
 
-def _list() -> int:
+def _serve(args: argparse.Namespace) -> int:
+    from repro.serve import serve  # local: keep CLI start-up light
+
+    if not os.path.isdir(args.cache_dir):
+        raise CLIError(f"no cache directory at {args.cache_dir!r}")
+    if not 0 <= args.port <= 65535:
+        raise CLIError("--port must be between 0 and 65535")
+    if args.lease_seconds <= 0:
+        raise CLIError("--lease-seconds must be positive")
+    if args.max_attempts is not None and args.max_attempts < 1:
+        raise CLIError("--max-attempts must be at least 1")
+    if args.stall_seconds is not None and args.stall_seconds <= 0:
+        raise CLIError("--stall-seconds must be positive")
+    session_config = {}
+    if args.n_jobs is not None:
+        session_config["n_jobs"] = args.n_jobs
+    if args.backend is not None:
+        session_config["backend"] = args.backend
+    if args.max_concurrent_studies is not None:
+        session_config["max_concurrent_studies"] = args.max_concurrent_studies
+    try:
+        serve(
+            args.cache_dir,
+            host=args.host,
+            port=args.port,
+            session_config=session_config,
+            verbose=not args.quiet,
+            queue_backend=args.queue_backend,
+            shard_members=args.shard_members,
+            participate=not args.no_participate,
+            lease_seconds=args.lease_seconds,
+            max_attempts=args.max_attempts,
+            stall_seconds=args.stall_seconds,
+        )
+    except OSError as error:
+        raise CLIError(
+            f"cannot bind {args.host}:{args.port}: {error}"
+        ) from error
+    return 0
+
+
+def _list(args: argparse.Namespace) -> int:
+    if args.json:
+        print(
+            json.dumps(
+                [info.to_dict() for info in iter_studies()],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     for info in iter_studies():
         print(f"{info.name:16s} {info.artefact:24s} {info.description}")
     return 0
@@ -631,9 +789,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "list":
-            return _list()
+            return _list(args)
         if args.command == "suite":
             return _suite(args)
+        if args.command == "serve":
+            return _serve(args)
         if args.command == "worker":
             return _worker(args)
         if args.command == "queue":

@@ -87,6 +87,21 @@ class StudyInfo:
             in (parameter.POSITIONAL_OR_KEYWORD, parameter.KEYWORD_ONLY)
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe registry entry — the machine-readable catalogue
+        behind ``python -m repro list --json`` and the study service's
+        ``GET /v1/studies``, so clients discover studies (and their shard
+        axes and smoke parameters) without scraping text output."""
+        return {
+            "name": self.name,
+            "artefact": self.artefact,
+            "description": self.description,
+            "size_params": list(self.size_params),
+            "smoke_params": dict(self.smoke_params),
+            "shard_param": self.shard_param,
+            "benchmark": self.benchmark,
+        }
+
     def smoke_spec(self, *, random_state: Optional[int] = 7) -> "StudySpec":
         """A tiny-scale :class:`~repro.api.spec.StudySpec` for this study.
 

@@ -86,6 +86,16 @@ __all__ = ["Session", "StudyHandle", "SuiteHandle"]
 #: ``None`` for ``"start"``).
 SuiteProgress = Callable[[str, str, int, int, Optional[StudyResult]], None]
 
+#: Signature of the optional per-shard progress callback of
+#: :meth:`Session.submit`: ``(event, key, index, total, result)`` with
+#: ``event`` one of ``"start"`` / ``"done"``, ``key`` the shard's scope
+#: path (``""`` for an unsharded study), ``index`` the shard's canonical
+#: position and ``total`` the shard count.  ``result`` is ``None`` for
+#: ``"start"``.  Callbacks fire on the submit-pool threads and must be
+#: cheap and non-raising — the progress plumbing the study service rides
+#: for live event streaming.
+StudyProgress = Callable[[str, str, int, int, Optional[StudyResult]], None]
+
 class _RunCacheView:
     """Per-run counting proxy over a shared :class:`MeasurementCache`.
 
@@ -203,12 +213,25 @@ class StudyHandle:
         Cancelled shards are skipped rather than raised, so a consumer
         can drain whatever completed before a :meth:`cancel`.
         """
-        pending = set(self._futures.values())
+        for _key, result in self.completed():
+            yield result
+
+    def completed(self) -> Iterator[Tuple[str, StudyResult]]:
+        """Yield ``(key, result)`` pairs as shards complete.
+
+        The keyed twin of :meth:`partial_results`: completion order, but
+        each result arrives with its scope-path identity, so a consumer
+        (e.g. the study service's event stream) can attribute progress to
+        shards without re-deriving the sharding.  Cancelled shards are
+        skipped, exactly like :meth:`partial_results`.
+        """
+        pending = {future: key for key, future in self._futures.items()}
         while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            finished, _ = wait(set(pending), return_when=FIRST_COMPLETED)
             for future in finished:
+                key = pending.pop(future)
                 try:
-                    yield future.result()
+                    yield key, future.result()
                 except (CancelledError, StudyCancelled):
                     continue
 
@@ -551,7 +574,12 @@ class Session:
             cache_stats=cache_stats,
         )
 
-    def submit(self, spec: Union[StudySpec, str]) -> StudyHandle:
+    def submit(
+        self,
+        spec: Union[StudySpec, str],
+        *,
+        progress: Optional[StudyProgress] = None,
+    ) -> StudyHandle:
         """Launch ``spec`` asynchronously and return a :class:`StudyHandle`.
 
         When the registry declares a shardable parameter for the study and
@@ -561,16 +589,47 @@ class Session:
         derives seeds from scope paths, :meth:`StudyHandle.result` — which
         merges by key in canonical spec order — is bitwise-identical to
         :meth:`run` of the same spec.
+
+        ``progress`` (see :data:`StudyProgress`) streams per-shard
+        ``"start"``/``"done"`` events from the submit-pool threads as the
+        execution proceeds — a push-based alternative to polling
+        :meth:`StudyHandle.completed`.  Concurrent ``submit`` calls are
+        safe: each submission gets its own cancellation event and progress
+        stream, and all share the session's bounded pool and cache.
         """
         spec, info = self._resolve(spec)
         shards = self._shard(spec, info)
         pool = self._submit_pool()
         cancel_event = threading.Event()
-        futures = OrderedDict(
-            (key, pool.submit(self._execute, shard, cancel_event))
-            for key, shard in shards.items()
-        )
+        total = len(shards)
+        futures: "OrderedDict[str, Future[StudyResult]]" = OrderedDict()
+        for index, (key, shard) in enumerate(shards.items()):
+            futures[key] = pool.submit(
+                self._run_shard,
+                shard,
+                key,
+                index,
+                total,
+                cancel_event,
+                progress,
+            )
         return StudyHandle(spec, shards, futures, cancel_event=cancel_event)
+
+    def _run_shard(
+        self,
+        shard: StudySpec,
+        key: str,
+        index: int,
+        total: int,
+        cancel_event: threading.Event,
+        progress: Optional[StudyProgress],
+    ) -> StudyResult:
+        if progress is not None:
+            progress("start", key, index, total, None)
+        result = self._execute(shard, cancel_event)
+        if progress is not None:
+            progress("done", key, index, total, result)
+        return result
 
     @staticmethod
     def _shard(spec: StudySpec, info: StudyInfo) -> "OrderedDict[str, StudySpec]":

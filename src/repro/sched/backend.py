@@ -13,7 +13,10 @@ propagation, shard assembly — and delegates everything that must be
 * ``commit`` — durably publish a result exactly once, gated on the
   claim token;
 * ``fail`` — record a failed execution: transient failures re-enqueue
-  with an incremented ``attempts`` counter until ``max_attempts``,
+  with an incremented ``attempts`` counter until ``max_attempts`` —
+  gated behind a persisted *not-before* timestamp (exponential backoff
+  with deterministic jitter, see :func:`retry_not_before`) so a fleet
+  retrying the same fault doesn't thundering-herd the store —
   deterministic ones park immediately;
 * ``release`` — put a claimed task back (graceful shutdown);
 * ``snapshot`` — one consistent-enough view of every task's state.
@@ -38,6 +41,7 @@ hard job is making the *commit* unique.
 from __future__ import annotations
 
 import abc
+import hashlib
 import json
 import os
 import shutil
@@ -54,6 +58,7 @@ __all__ = [
     "QueueState",
     "TaskClaim",
     "QUEUE_BACKENDS",
+    "retry_not_before",
 ]
 
 #: Names accepted wherever a queue backend is selected (CLI flags,
@@ -64,6 +69,41 @@ QUEUE_BACKENDS = ("fs", "sqlite")
 #: ids use the member-name alphabet plus ``@`` (shard suffix), so ``#``
 #: can never appear in one.
 _CLAIM_SEP = "#"
+
+
+def retry_not_before(
+    task_id: str,
+    attempts: int,
+    *,
+    base: float,
+    cap: float,
+    now: Optional[float] = None,
+) -> float:
+    """Earliest wall-clock time a transiently failed task may be
+    re-claimed: exponential backoff with deterministic jitter.
+
+    The delay doubles per failed execution (``base * 2**(attempts-1)``,
+    capped at ``cap``) and is jittered into ``[delay/2, delay)`` so a
+    fleet that hit the same transient fault in lock-step doesn't retry
+    in lock-step too and thundering-herd the store.  The jitter is
+    *deterministic* — a uniform draw seeded from
+    ``sha256("<task_id>:<attempts>")`` — so every replica computes the
+    identical timestamp for the same failure (no backend-side coin
+    flips to reason about) while distinct tasks, and distinct attempts
+    of one task, still spread out.
+
+    ``base <= 0`` disables backoff entirely (the pre-backoff contract:
+    retried tasks are claimable immediately).
+    """
+    stamp = time.time() if now is None else float(now)
+    if base <= 0 or attempts <= 0:
+        return stamp
+    delay = min(float(cap), float(base) * (2.0 ** (attempts - 1)))
+    digest = hashlib.sha256(
+        f"{task_id}:{attempts}".encode("utf-8")
+    ).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2.0**64
+    return stamp + delay * (0.5 + 0.5 * fraction)
 
 
 @dataclass(frozen=True)
@@ -90,10 +130,11 @@ class QueueState:
     ``pending``/``done``/``failed`` are sets of task ids.  State reads
     race concurrent transitions, so a task can transiently appear in no
     set (mid-rename on the filesystem backend) — consumers simply rescan
-    on the next poll.  ``attempts`` (failed executions so far) and
-    ``workers`` (running task -> worker id) are filled only by
-    ``snapshot(detail=True)`` — the status read path — so the hot
-    claim-poll path stays cheap.
+    on the next poll.  ``attempts`` (failed executions so far),
+    ``workers`` (running task -> worker id) and ``not_before`` (pending
+    task -> absolute retry-backoff gate, only entries still in the
+    future) are filled only by ``snapshot(detail=True)`` — the status
+    read path — so the hot claim-poll path stays cheap.
     """
 
     pending: set = field(default_factory=set)
@@ -102,6 +143,7 @@ class QueueState:
     failed: set = field(default_factory=set)
     attempts: Dict[str, int] = field(default_factory=dict)
     workers: Dict[str, str] = field(default_factory=dict)
+    not_before: Dict[str, float] = field(default_factory=dict)
 
 
 class QueueBackend(abc.ABC):
@@ -207,6 +249,8 @@ class QueueBackend(abc.ABC):
         *,
         transient: bool = False,
         max_attempts: int = 1,
+        retry_base_seconds: float = 0.0,
+        retry_cap_seconds: float = 60.0,
     ) -> str:
         """Record a failed execution.
 
@@ -215,6 +259,12 @@ class QueueBackend(abc.ABC):
         (parked with its error durably recorded), or ``""`` (the claim
         was stolen first — the thief owns the task's fate, and this
         execution was lost, not failed).
+
+        With ``retry_base_seconds > 0`` a retried task carries a
+        durable not-before timestamp — :func:`retry_not_before` of the
+        task id and new attempt count — and :meth:`claim` refuses it
+        until that gate passes (``0``, the protocol default, keeps the
+        pre-backoff immediate-retry contract).
         """
 
     @abc.abstractmethod
@@ -272,9 +322,11 @@ class FilesystemBackend(QueueBackend):
     deployments over NFS should use minutes — or the sqlite backend,
     whose claims are transactions rather than renames).
 
-    The retry counter rides inside the marker/claim file JSON (PR 5
-    wrote ``{"task": <id>}`` there and documented the content as
-    informational, so old markers read as ``attempts == 0``).
+    The retry counter — and, after a backoff-gated retry, the
+    ``not_before`` timestamp — ride inside the marker/claim file JSON
+    (PR 5 wrote ``{"task": <id>}`` there and documented the content as
+    informational, so old markers read as ``attempts == 0`` and
+    immediately claimable).
     """
 
     name = "fs"
@@ -374,6 +426,12 @@ class FilesystemBackend(QueueBackend):
                 attempts = int(info.get("attempts", 0) or 0)
                 if attempts:
                     state.attempts[name] = attempts
+                try:
+                    gate = float(info.get("not_before") or 0.0)
+                except (TypeError, ValueError):
+                    gate = 0.0
+                if gate > now:
+                    state.not_before[name] = gate
         for name in self._list("running"):
             task_id, _, _token = name.rpartition(_CLAIM_SEP)
             if not task_id:
@@ -424,9 +482,20 @@ class FilesystemBackend(QueueBackend):
         return payload if isinstance(payload, dict) else {}
 
     def claim(self, task_id: str, *, worker: str = "") -> Optional[TaskClaim]:
-        return self._take(
-            task_id, self._marker("pending", task_id), worker=worker
-        )
+        marker = self._marker("pending", task_id)
+        if self._marker_not_before(marker) > time.time():
+            return None  # backing off after a transient failure
+        return self._take(task_id, marker, worker=worker)
+
+    @classmethod
+    def _marker_not_before(cls, marker_path: str) -> float:
+        """The retry-backoff gate riding in a pending marker (0.0 when
+        absent or unreadable — old markers are claimable immediately)."""
+        value = cls._read_json(marker_path).get("not_before")
+        try:
+            return float(value) if value is not None else 0.0
+        except (TypeError, ValueError):
+            return 0.0
 
     def steal_expired(
         self, task_id: str, lease_name: str, *, worker: str = ""
@@ -528,22 +597,34 @@ class FilesystemBackend(QueueBackend):
         *,
         transient: bool = False,
         max_attempts: int = 1,
+        retry_base_seconds: float = 0.0,
+        retry_cap_seconds: float = 60.0,
     ) -> str:
         attempts = self._claim_attempts(claim) + 1
         if transient and attempts < max_attempts:
-            # Re-enqueue with the incremented counter riding inside the
-            # marker content: rewrite the claim file (no O_CREAT — a
-            # stolen claim must not resurrect), then rename it back to
-            # pending.  A thief racing either step wins cleanly: our open
-            # or rename fails and the execution reads as lost.
+            # Re-enqueue with the incremented counter (and the backoff
+            # gate) riding inside the marker content: rewrite the claim
+            # file (no O_CREAT — a stolen claim must not resurrect),
+            # then rename it back to pending.  A thief racing either
+            # step wins cleanly: our open or rename fails and the
+            # execution reads as lost.
+            marker: Dict[str, Any] = {
+                "task": claim.task_id,
+                "attempts": attempts,
+            }
+            if retry_base_seconds > 0:
+                marker["not_before"] = retry_not_before(
+                    claim.task_id,
+                    attempts,
+                    base=retry_base_seconds,
+                    cap=retry_cap_seconds,
+                )
             try:
                 fd = os.open(claim.path, os.O_WRONLY | os.O_TRUNC)
             except FileNotFoundError:
                 return ""
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(
-                    {"task": claim.task_id, "attempts": attempts}, handle
-                )
+                json.dump(marker, handle)
             try:
                 os.rename(
                     claim.path, self._marker("pending", claim.task_id)

@@ -232,9 +232,11 @@ class Coordinator:
                 lease_seconds=self.queue.lease_seconds,
                 poll_seconds=self.poll_seconds,
                 # Serve exactly this run's queue: same backend, same
-                # retry budget, same stall policy.
+                # retry budget and backoff, same stall policy.
                 queue_backend=self.queue.backend.name,
                 max_attempts=self.queue.max_attempts,
+                retry_base_seconds=self.queue.retry_base_seconds,
+                retry_cap_seconds=self.queue.retry_cap_seconds,
                 stall_seconds=self.stall_seconds,
                 # Execute through the coordinator's own session, so its
                 # cache warms (and its statistics see) the work this

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.spec import StudySpec, SuiteSpec
@@ -66,6 +67,13 @@ _PLAN_VERSION = 1
 
 #: Default executions a task gets before a *transient* failure parks it.
 DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default retry-backoff policy: first retry ~1-2s after the failure
+#: (base 2.0 jittered into [delay/2, delay)), doubling per attempt, at
+#: most ``cap`` seconds.  ``retry_base_seconds=0`` restores immediate
+#: retries.  See :func:`repro.sched.backend.retry_not_before`.
+DEFAULT_RETRY_BASE_SECONDS = 2.0
+DEFAULT_RETRY_CAP_SECONDS = 60.0
 
 from dataclasses import dataclass
 
@@ -180,6 +188,14 @@ class TaskQueue:
     max_attempts:
         Executions a task gets before a *transient* failure parks it
         (deterministic failures always park on the first).
+    retry_base_seconds, retry_cap_seconds:
+        Retry-backoff policy for transient failures: the ``n``-th retry
+        becomes claimable only after an exponentially growing,
+        deterministically jittered delay (see
+        :func:`repro.sched.backend.retry_not_before`), so a fleet
+        retrying the same fault doesn't thundering-herd the store.
+        ``retry_base_seconds=0`` disables the gate (immediate retry —
+        the pre-backoff contract).
     """
 
     def __init__(
@@ -189,14 +205,20 @@ class TaskQueue:
         lease_seconds: float = 30.0,
         backend: Union[str, QueueBackend, None] = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        retry_base_seconds: float = DEFAULT_RETRY_BASE_SECONDS,
+        retry_cap_seconds: float = DEFAULT_RETRY_CAP_SECONDS,
     ) -> None:
         if lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
+        if retry_base_seconds < 0 or retry_cap_seconds < 0:
+            raise ValueError("retry backoff seconds must be non-negative")
         self.directory = str(directory)
         self.lease_seconds = float(lease_seconds)
         self.max_attempts = int(max_attempts)
+        self.retry_base_seconds = float(retry_base_seconds)
+        self.retry_cap_seconds = float(retry_cap_seconds)
         self.backend = _make_backend(backend, self.directory, self.lease_seconds)
         self._plan: Optional[List[TaskRecord]] = None
         self._plan_stamp: Optional[Any] = None
@@ -439,6 +461,11 @@ class TaskQueue:
         ``python -m repro queue`` (and the future service's endpoint)."""
         state = self.snapshot(detail=True)
         plan = self.plan()
+        now = time.time()
+        backoff = {
+            task_id: round(max(0.0, gate - now), 3)
+            for task_id, gate in sorted(state.not_before.items())
+        }
         leases = [
             {
                 "task": task_id,
@@ -475,6 +502,9 @@ class TaskQueue:
                 for task_id, count in sorted(state.attempts.items())
                 if count
             },
+            # Pending tasks still inside their retry-backoff window, and
+            # how many seconds remain before each becomes claimable.
+            "backoff": backoff,
             "failed_tasks": failed,
         }
 
@@ -581,7 +611,11 @@ class TaskQueue:
         ``transient=True`` marks the failure as plausibly environmental
         (OSError, executor timeout, broken pool): the task re-enqueues
         with its ``attempts`` counter incremented until ``max_attempts``
-        executions are spent, then parks.  Deterministic failures
+        executions are spent, then parks.  A re-enqueued task carries a
+        durable not-before gate per this queue's
+        ``retry_base_seconds``/``retry_cap_seconds`` backoff policy and
+        is refused by every backend's claim until it passes.
+        Deterministic failures
         (``transient=False`` — the default, matching the pre-retry
         contract) park immediately: re-running them would raise
         identically, so they wait in ``failed`` for the coordinator to
@@ -598,6 +632,8 @@ class TaskQueue:
             message,
             transient=transient,
             max_attempts=self.max_attempts,
+            retry_base_seconds=self.retry_base_seconds,
+            retry_cap_seconds=self.retry_cap_seconds,
         )
 
     def release(self, claim: TaskClaim) -> bool:

@@ -17,7 +17,9 @@ on SQLite's transaction engine:
   status flip, so a stale holder can never double-commit and there are
   no post-commit lease remnants to sweep;
 * **retry** — the ``attempts`` counter is a column, incremented in the
-  same transaction that re-enqueues or parks the task.
+  same transaction that re-enqueues or parks the task; the retry
+  backoff gate is a ``not_before`` column checked inside the claim
+  UPDATE itself, so no racer can claim a backing-off task early.
 
 WAL mode keeps readers (snapshot polls) unblocked by writers; a busy
 timeout makes concurrent writers queue instead of failing.  Result
@@ -39,7 +41,12 @@ import time
 import uuid
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.sched.backend import QueueBackend, QueueState, TaskClaim
+from repro.sched.backend import (
+    QueueBackend,
+    QueueState,
+    TaskClaim,
+    retry_not_before,
+)
 
 __all__ = ["SqliteBackend"]
 
@@ -64,6 +71,7 @@ CREATE TABLE IF NOT EXISTS tasks (
     worker       TEXT,
     attempts     INTEGER NOT NULL DEFAULT 0,
     heartbeat_at REAL,
+    not_before   REAL,
     record       BLOB,
     raw          BLOB,
     error        TEXT,
@@ -130,6 +138,20 @@ class SqliteBackend(QueueBackend):
                 f"PRAGMA busy_timeout={int(self.busy_timeout * 1000)}"
             )
             conn.executescript(_SCHEMA)
+            # Databases created before the retry-backoff column existed
+            # migrate in place (CREATE TABLE IF NOT EXISTS never adds
+            # columns); a concurrent opener racing the same ALTER loses
+            # with "duplicate column name", which is success.
+            columns = {
+                row[1] for row in conn.execute("PRAGMA table_info(tasks)")
+            }
+            if "not_before" not in columns:
+                try:
+                    conn.execute(
+                        "ALTER TABLE tasks ADD COLUMN not_before REAL"
+                    )
+                except sqlite3.OperationalError:
+                    pass
             self._conn = conn
         return self._conn
 
@@ -275,13 +297,23 @@ class SqliteBackend(QueueBackend):
         now = time.time()
         with self._lock:
             rows = self._connect().execute(
-                "SELECT id, status, claim, worker, attempts, heartbeat_at "
-                "FROM tasks WHERE suite = ?",
+                "SELECT id, status, claim, worker, attempts, heartbeat_at, "
+                "not_before FROM tasks WHERE suite = ?",
                 (self.suite_name,),
             ).fetchall()
-        for task_id, status, claim, worker, attempts, heartbeat_at in rows:
+        for (
+            task_id,
+            status,
+            claim,
+            worker,
+            attempts,
+            heartbeat_at,
+            not_before,
+        ) in rows:
             if status == "pending":
                 state.pending.add(task_id)
+                if detail and not_before is not None and not_before > now:
+                    state.not_before[task_id] = float(not_before)
             elif status == "running":
                 age = max(0.0, now - (heartbeat_at or 0.0))
                 state.running[task_id] = (claim or "", age)
@@ -299,11 +331,16 @@ class SqliteBackend(QueueBackend):
         token = uuid.uuid4().hex[:12]
         with self._lock:
             conn = self._connect()
+            # The backoff gate lives inside the claim transaction: a
+            # retried task simply isn't claimable until its not-before
+            # passes, with no separate read for racers to interleave.
+            now = time.time()
             cursor = conn.execute(
                 "UPDATE tasks SET status = 'running', claim = ?, "
-                "worker = ?, heartbeat_at = ? "
-                "WHERE suite = ? AND id = ? AND status = 'pending'",
-                (token, worker, time.time(), self.suite_name, task_id),
+                "worker = ?, heartbeat_at = ?, not_before = NULL "
+                "WHERE suite = ? AND id = ? AND status = 'pending' "
+                "AND (not_before IS NULL OR not_before <= ?)",
+                (token, worker, now, self.suite_name, task_id, now),
             )
             if cursor.rowcount != 1:
                 return None
@@ -388,6 +425,8 @@ class SqliteBackend(QueueBackend):
         *,
         transient: bool = False,
         max_attempts: int = 1,
+        retry_base_seconds: float = 0.0,
+        retry_cap_seconds: float = 60.0,
     ) -> str:
         with self._lock:
             conn = self._connect()
@@ -404,11 +443,25 @@ class SqliteBackend(QueueBackend):
                     return ""
                 attempts = int(row[0]) + 1
                 if transient and attempts < max_attempts:
+                    not_before = None
+                    if retry_base_seconds > 0:
+                        not_before = retry_not_before(
+                            claim.task_id,
+                            attempts,
+                            base=retry_base_seconds,
+                            cap=retry_cap_seconds,
+                        )
                     conn.execute(
                         "UPDATE tasks SET status = 'pending', claim = NULL, "
                         "worker = NULL, heartbeat_at = NULL, attempts = ?, "
-                        "error = ? WHERE suite = ? AND id = ?",
-                        (attempts, message, self.suite_name, claim.task_id),
+                        "not_before = ?, error = ? WHERE suite = ? AND id = ?",
+                        (
+                            attempts,
+                            not_before,
+                            message,
+                            self.suite_name,
+                            claim.task_id,
+                        ),
                     )
                     conn.execute("COMMIT")
                     return "retried"

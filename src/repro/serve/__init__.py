@@ -1,0 +1,16 @@
+"""HTTP/JSON study service: submit, stream, and browse over a socket.
+
+``python -m repro serve <cache_dir>`` turns one shared
+:class:`~repro.api.session.Session` into a long-running service —
+:class:`~repro.serve.server.StudyServer` — that accepts study and suite
+specs over HTTP, streams per-member progress as server-sent events,
+exposes the distributed queue, and serves a zero-dependency status
+dashboard at ``/``.  Suites are enqueued through the durable
+:class:`~repro.sched.queue.TaskQueue`, so external ``repro worker``
+processes drain the same submissions the dashboard is watching.
+"""
+
+from repro.serve.jobs import Job, JobRegistry
+from repro.serve.server import StudyServer, serve
+
+__all__ = ["Job", "JobRegistry", "StudyServer", "serve"]

@@ -1,0 +1,296 @@
+"""The study service's single-file status dashboard.
+
+Served verbatim at ``GET /`` — one HTML document, vanilla JS, zero
+external assets, so it works from the same stdlib server that runs the
+jobs (no build step, no CDN, usable over an ssh tunnel).
+
+Three panes:
+
+* **Jobs** — polls ``/v1/jobs`` and, for the selected job, follows
+  ``/v1/jobs/<id>/events`` with ``EventSource`` so per-member progress
+  (start / done / replay, elapsed seconds) appears live as workers
+  finish tasks; a progress bar tracks ``completed/total``.
+* **Queue** — polls ``/v1/queue`` for pending / running / done / failed
+  counts and active backoff gates per suite.
+* **Results** — for a finished job, renders the result rows directly:
+  variance-decomposition rows (``task/source/std``) as horizontal bars
+  grouped by task, detection-rate rows
+  (``method/estimator/p_a_gt_b/detection_rate``) as a comparison table,
+  and anything else as a generic table of the first rows.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro serve — study service</title>
+<style>
+  :root { --fg: #1a2332; --dim: #6b7686; --line: #d8dee8; --accent: #2563eb;
+          --ok: #16a34a; --bad: #dc2626; --warn: #d97706; --bg: #f7f8fa; }
+  * { box-sizing: border-box; }
+  body { margin: 0; font: 14px/1.45 system-ui, sans-serif;
+         color: var(--fg); background: var(--bg); }
+  header { padding: 12px 20px; background: #fff;
+           border-bottom: 1px solid var(--line);
+           display: flex; align-items: baseline; gap: 14px; }
+  header h1 { font-size: 17px; margin: 0; }
+  header .dim { color: var(--dim); font-size: 12px; }
+  main { display: grid; grid-template-columns: 330px 1fr;
+         gap: 16px; padding: 16px 20px; max-width: 1200px; }
+  section { background: #fff; border: 1px solid var(--line);
+            border-radius: 8px; padding: 12px 14px; }
+  h2 { font-size: 13px; text-transform: uppercase; letter-spacing: .05em;
+       color: var(--dim); margin: 0 0 8px; }
+  table { border-collapse: collapse; width: 100%; font-size: 13px; }
+  th, td { text-align: left; padding: 3px 8px 3px 0;
+           border-bottom: 1px solid var(--line); }
+  th { color: var(--dim); font-weight: 600; }
+  tr.job { cursor: pointer; }
+  tr.job:hover td { background: #eef2ff; }
+  tr.selected td { background: #e0e7ff; }
+  .state { font-weight: 600; }
+  .state.done { color: var(--ok); }
+  .state.failed, .state.cancelled { color: var(--bad); }
+  .state.running { color: var(--accent); }
+  .state.queued { color: var(--warn); }
+  .bar { height: 8px; background: #e5e9f0; border-radius: 4px;
+         overflow: hidden; margin: 6px 0 10px; }
+  .bar > div { height: 100%; background: var(--accent); width: 0;
+               transition: width .3s; }
+  #events { max-height: 260px; overflow-y: auto; font-family: ui-monospace,
+            monospace; font-size: 12px; background: #f1f3f7;
+            border-radius: 6px; padding: 8px; white-space: pre-wrap; }
+  .vrow { display: flex; align-items: center; gap: 8px; margin: 2px 0; }
+  .vrow .label { width: 220px; font-size: 12px; color: var(--dim);
+                 text-align: right; overflow: hidden;
+                 text-overflow: ellipsis; white-space: nowrap; }
+  .vrow .track { flex: 1; height: 10px; background: #e5e9f0;
+                 border-radius: 5px; overflow: hidden; }
+  .vrow .fill { height: 100%; background: var(--accent); }
+  .vrow .value { width: 80px; font-size: 12px; font-family: ui-monospace,
+                 monospace; }
+  .vtask { margin: 10px 0 2px; font-weight: 600; font-size: 13px; }
+  .error { color: var(--bad); font-family: ui-monospace, monospace;
+           font-size: 12px; white-space: pre-wrap; }
+  footer { padding: 8px 20px; color: var(--dim); font-size: 12px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro serve</h1>
+  <span class="dim" id="meta">connecting…</span>
+</header>
+<main>
+  <div>
+    <section>
+      <h2>Jobs</h2>
+      <table id="jobs"><thead>
+        <tr><th>id</th><th>name</th><th>state</th><th>progress</th></tr>
+      </thead><tbody></tbody></table>
+    </section>
+    <section style="margin-top:16px">
+      <h2>Queue</h2>
+      <table id="queue"><thead>
+        <tr><th>suite</th><th>pend</th><th>run</th><th>done</th>
+            <th>fail</th><th>backoff</th></tr>
+      </thead><tbody></tbody></table>
+    </section>
+  </div>
+  <div>
+    <section>
+      <h2>Progress <span class="dim" id="job-title"></span></h2>
+      <div class="bar"><div id="bar-fill"></div></div>
+      <div id="events">select a job to stream its events</div>
+    </section>
+    <section style="margin-top:16px">
+      <h2>Results</h2>
+      <div id="results" class="dim">results render here when the selected
+        job finishes</div>
+    </section>
+  </div>
+</main>
+<footer>API under <code>/v1/</code> — submit with
+  <code>curl -d @spec.json http://host:port/v1/suites</code></footer>
+<script>
+"use strict";
+let selected = null;
+let stream = null;
+
+const $ = (id) => document.getElementById(id);
+const esc = (text) => String(text).replace(/[&<>"]/g,
+  (c) => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+
+async function getJSON(path) {
+  const response = await fetch(path);
+  if (!response.ok) throw new Error(path + " -> " + response.status);
+  return response.json();
+}
+
+async function refreshHealth() {
+  try {
+    const health = await getJSON("/v1/health");
+    $("meta").textContent = "cache_dir " + health.cache_dir +
+      " · " + health.jobs + " job(s)";
+  } catch (err) { $("meta").textContent = "service unreachable"; }
+}
+
+async function refreshJobs() {
+  const jobs = await getJSON("/v1/jobs").catch(() => []);
+  const body = $("jobs").querySelector("tbody");
+  body.innerHTML = "";
+  for (const job of jobs.slice().reverse()) {
+    const row = document.createElement("tr");
+    row.className = "job" + (job.id === selected ? " selected" : "");
+    const done = job.total ? job.completed + "/" + job.total : "—";
+    row.innerHTML = "<td>" + esc(job.id) + "</td><td>" + esc(job.name) +
+      "</td><td class='state " + esc(job.state) + "'>" + esc(job.state) +
+      "</td><td>" + done + "</td>";
+    row.onclick = () => select(job.id);
+    body.appendChild(row);
+  }
+  if (selected) {
+    const job = jobs.find((j) => j.id === selected);
+    if (job) {
+      const fraction = job.total ? job.completed / job.total : 0;
+      $("bar-fill").style.width = Math.round(100 * fraction) + "%";
+      if (job.state === "done") renderResults(job.id);
+      if (job.error) $("results").innerHTML =
+        "<div class='error'>" + esc(job.error) + "</div>";
+    }
+  }
+}
+
+async function refreshQueue() {
+  const queues = await getJSON("/v1/queue").catch(() => []);
+  const body = $("queue").querySelector("tbody");
+  body.innerHTML = "";
+  for (const q of queues) {
+    const backoff = Object.keys(q.backoff || {}).length;
+    const row = document.createElement("tr");
+    row.innerHTML = "<td>" + esc(q.suite) + "</td><td>" + q.pending +
+      "</td><td>" + q.running + "</td><td>" + q.done + "</td><td>" +
+      q.failed + "</td><td>" + (backoff || "—") + "</td>";
+    body.appendChild(row);
+  }
+}
+
+function select(jobId) {
+  selected = jobId;
+  $("job-title").textContent = "— " + jobId;
+  $("events").textContent = "";
+  $("results").textContent = "waiting for the job to finish…";
+  $("bar-fill").style.width = "0";
+  if (stream) stream.close();
+  stream = new EventSource("/v1/jobs/" + jobId + "/events");
+  stream.onmessage = () => {};
+  for (const kind of ["start", "done", "replay", "end"]) {
+    stream.addEventListener(kind, (message) => {
+      const event = JSON.parse(message.data);
+      const line = kind === "end"
+        ? "■ end state=" + event.state + (event.error ? " " + event.error : "")
+        : (kind === "start" ? "▶" : "✔") + " " + kind + " " + event.name +
+          " [" + (event.index + 1) + "/" + event.total + "]" +
+          (event.elapsed_seconds != null
+            ? " " + event.elapsed_seconds.toFixed(2) + "s" : "") +
+          (event.replayed ? " (replayed)" : "");
+      $("events").textContent += line + "\\n";
+      $("events").scrollTop = $("events").scrollHeight;
+      if (kind === "end") { stream.close(); refreshJobs(); }
+    });
+  }
+  refreshJobs();
+}
+
+function isVarianceRows(rows) {
+  return rows.length > 0 && "source" in rows[0] && "std" in rows[0];
+}
+function isDetectionRows(rows) {
+  return rows.length > 0 && "detection_rate" in rows[0] &&
+    "method" in rows[0];
+}
+
+function renderVariance(rows) {
+  const byTask = new Map();
+  for (const row of rows) {
+    if (!byTask.has(row.task)) byTask.set(row.task, []);
+    byTask.get(row.task).push(row);
+  }
+  let html = "";
+  for (const [task, group] of byTask) {
+    const max = Math.max(...group.map((r) => r.std)) || 1;
+    html += "<div class='vtask'>" + esc(task || "variance") + "</div>";
+    for (const row of group) {
+      const width = Math.max(1, Math.round(100 * row.std / max));
+      html += "<div class='vrow'><span class='label' title='" +
+        esc(row.source) + "'>" + esc(row.source) + "</span>" +
+        "<span class='track'><span class='fill' style='display:block;" +
+        "width:" + width + "%'></span></span>" +
+        "<span class='value'>" + row.std.toExponential(2) + "</span></div>";
+    }
+  }
+  return html;
+}
+
+function renderDetection(rows) {
+  let html = "<table><thead><tr><th>method</th><th>estimator</th>" +
+    "<th>P(A&gt;B)</th><th>detection rate</th></tr></thead><tbody>";
+  for (const row of rows) {
+    html += "<tr><td>" + esc(row.method) + "</td><td>" +
+      esc(row.estimator) + "</td><td>" + row.p_a_gt_b.toFixed(3) +
+      "</td><td>" + row.detection_rate.toFixed(3) + "</td></tr>";
+  }
+  return html + "</tbody></table>";
+}
+
+function renderGeneric(rows) {
+  const keys = Object.keys(rows[0]);
+  let html = "<table><thead><tr>" + keys.map((k) =>
+    "<th>" + esc(k) + "</th>").join("") + "</tr></thead><tbody>";
+  for (const row of rows.slice(0, 40)) {
+    html += "<tr>" + keys.map((k) => {
+      const value = row[k];
+      const text = typeof value === "number"
+        ? (Number.isInteger(value) ? value : value.toPrecision(4))
+        : JSON.stringify(value);
+      return "<td>" + esc(text) + "</td>";
+    }).join("") + "</tr>";
+  }
+  html += "</tbody></table>";
+  if (rows.length > 40)
+    html += "<div class='dim'>… " + (rows.length - 40) + " more rows</div>";
+  return html;
+}
+
+async function renderResults(jobId) {
+  const payload = await getJSON("/v1/jobs/" + jobId + "/result")
+    .catch(() => null);
+  if (!payload || !payload.result) return;
+  const result = payload.result;
+  // SuiteResult payloads carry {results: [{name, rows}]}; StudyResult
+  // payloads carry flat {rows}.
+  const groups = result.results
+    ? result.results.map((r) => [r.name, r.rows || []])
+    : [[payload.name, result.rows || []]];
+  let html = "";
+  for (const [name, rows] of groups) {
+    html += "<div class='vtask'>" + esc(name) + "</div>";
+    if (!rows.length) { html += "<div class='dim'>no rows</div>"; continue; }
+    if (isVarianceRows(rows)) html += renderVariance(rows);
+    else if (isDetectionRows(rows)) html += renderDetection(rows);
+    else html += renderGeneric(rows);
+  }
+  $("results").innerHTML = html || "<div class='dim'>no rows</div>";
+}
+
+refreshHealth(); refreshJobs(); refreshQueue();
+setInterval(refreshHealth, 5000);
+setInterval(refreshJobs, 2000);
+setInterval(refreshQueue, 2000);
+</script>
+</body>
+</html>
+"""

@@ -181,3 +181,20 @@ class TestListCommand:
         out = capsys.readouterr().out
         for name in list_studies():
             assert name in out
+
+    def test_json_catalogue_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalogue = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in catalogue] == list_studies()
+        for entry in catalogue:
+            assert set(entry) == {
+                "name",
+                "artefact",
+                "description",
+                "size_params",
+                "smoke_params",
+                "shard_param",
+                "benchmark",
+            }
+            # smoke_params must round-trip into a runnable StudySpec.
+            StudySpec(study=entry["name"], params=entry["smoke_params"])

@@ -41,6 +41,7 @@ from repro.sched import (
     TaskRecord,
     Worker,
 )
+from repro.sched.backend import retry_not_before
 
 ANALYTIC = StudySpec(study="sample_size", params={"gammas": [0.7]})
 
@@ -380,7 +381,12 @@ class TestRetryLifecycle:
     def test_transient_failure_requeues_with_attempts_until_exhausted(
         self, tmp_path, queue_backend
     ):
-        queue = _make_queue(tmp_path, queue_backend, max_attempts=3)
+        # retry_base_seconds=0: this test exercises the attempts budget,
+        # not the backoff gate (TestRetryBackoff covers that), so retried
+        # tasks must be claimable immediately.
+        queue = _make_queue(
+            tmp_path, queue_backend, max_attempts=3, retry_base_seconds=0
+        )
         graph = {"flaky": ()}
         queue.create(_queue_suite(graph), _tasks(graph))
         for attempt in range(2):
@@ -429,6 +435,52 @@ class TestRetryLifecycle:
         assert queue.commit(claim, {"rows": []})
         assert queue.snapshot().done == {"solo"}
 
+    def test_backoff_gate_defers_then_admits_a_retry(
+        self, tmp_path, queue_backend
+    ):
+        # The full lifecycle on a short real clock: a transient failure
+        # re-enqueues behind a durable not-before gate, claims are refused
+        # while it holds (the task is pending, not failed), and the gate
+        # admits the retry once it passes — on both backends.
+        queue = _make_queue(
+            tmp_path,
+            queue_backend,
+            max_attempts=3,
+            retry_base_seconds=0.3,
+            retry_cap_seconds=0.6,
+        )
+        graph = {"flaky": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        claim = queue.claim(queue.plan()[0], worker="w")
+        assert queue.fail(claim, "OSError: blip", transient=True) == "retried"
+        state = queue.snapshot(detail=True)
+        assert state.pending == {"flaky"} and not state.failed
+        assert state.not_before["flaky"] > time.time()
+        assert queue.claim(queue.plan()[0], worker="w") is None
+        # The status read path surfaces the remaining wait.
+        assert queue.status()["backoff"]["flaky"] > 0
+        assert not queue.complete()
+        deadline = time.time() + 30
+        claim = None
+        while claim is None and time.time() < deadline:
+            time.sleep(0.02)
+            claim = queue.claim(queue.plan()[0], worker="w")
+        assert claim is not None and claim.attempts == 1
+        assert queue.commit(claim, {"rows": []})
+        assert queue.snapshot().done == {"flaky"}
+
+    def test_release_is_not_gated_by_backoff(self, tmp_path, queue_backend):
+        # A graceful release is not a failure: the task must be claimable
+        # again immediately, with no backoff residue from the claim.
+        queue = _make_queue(
+            tmp_path, queue_backend, retry_base_seconds=60.0
+        )
+        graph = {"solo": ()}
+        queue.create(_queue_suite(graph), _tasks(graph))
+        claim = queue.claim(queue.plan()[0], worker="w")
+        assert queue.release(claim)
+        assert queue.claim(queue.plan()[0], worker="w") is not None
+
     def test_stale_claim_cannot_fail_a_stolen_task(self, tmp_path, queue_backend):
         queue = _make_queue(tmp_path, queue_backend, lease_seconds=0.1)
         graph = {"solo": ()}
@@ -442,6 +494,59 @@ class TestRetryLifecycle:
         assert queue.fail(stale, "OSError: late", transient=True) == ""
         assert queue.commit(thief, {"rows": []})
         assert queue.snapshot().done == {"solo"}
+
+
+# ----------------------------------------------------------------------
+# Retry backoff policy (pure function)
+# ----------------------------------------------------------------------
+class TestRetryBackoffPolicy:
+    @given(
+        task_id=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz0123456789-@", min_size=1,
+            max_size=24,
+        ),
+        attempts=st.integers(min_value=1, max_value=40),
+        base=st.floats(min_value=0.01, max_value=10.0),
+        cap=st.floats(min_value=0.01, max_value=300.0),
+    )
+    def test_gate_is_deterministic_and_inside_the_jitter_window(
+        self, task_id, attempts, base, cap
+    ):
+        gate = retry_not_before(task_id, attempts, base=base, cap=cap, now=0.0)
+        again = retry_not_before(
+            task_id, attempts, base=base, cap=cap, now=0.0
+        )
+        assert gate == again  # seeded from (task id, attempt): no coin flips
+        delay = min(cap, base * 2.0 ** (attempts - 1))
+        assert delay / 2 <= gate <= delay
+
+    def test_delay_doubles_up_to_the_cap(self):
+        # Window midpoints, jitter aside: 2, 4, 8, ... then pinned at cap.
+        windows = [
+            retry_not_before("m@3", attempts, base=2.0, cap=16.0, now=0.0)
+            for attempts in range(1, 8)
+        ]
+        for attempts, gate in enumerate(windows, start=1):
+            delay = min(16.0, 2.0 * 2.0 ** (attempts - 1))
+            assert delay / 2 <= gate <= delay
+        # Beyond the cap the window stops growing entirely.
+        assert windows[-1] == retry_not_before(
+            "m@3", 7, base=2.0, cap=16.0, now=0.0
+        )
+
+    def test_distinct_tasks_spread_out(self):
+        # The whole point of the jitter: a fleet that failed together
+        # must not wake together.  20 shards of one member, same attempt,
+        # all land at distinct points of the window.
+        gates = {
+            retry_not_before(f"member@{i}", 1, base=2.0, cap=60.0, now=0.0)
+            for i in range(20)
+        }
+        assert len(gates) == 20
+
+    def test_zero_base_disables_the_gate(self):
+        assert retry_not_before("t", 3, base=0.0, cap=60.0, now=7.5) == 7.5
+        assert retry_not_before("t", 0, base=2.0, cap=60.0, now=7.5) == 7.5
 
 
 # ----------------------------------------------------------------------
@@ -1149,7 +1254,10 @@ class TestWorkerCLI:
 
     def test_queue_status_shows_failures_with_attempts(self, tmp_path, capsys):
         store = tmp_path / "store"
-        queue = _single_task_queue(store, "bad", backend="sqlite", max_attempts=2)
+        queue = _single_task_queue(
+            store, "bad", backend="sqlite", max_attempts=2,
+            retry_base_seconds=0,
+        )
         claim = queue.claim(queue.plan()[0], worker="w")
         assert queue.fail(claim, "OSError: blip", transient=True) == "retried"
         claim = queue.claim(queue.plan()[0], worker="w")
