@@ -103,6 +103,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override the spec's executor backend",
     )
     run.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "group up to this many same-hyperparameter measurements into "
+            "one vectorized multi-seed fit (results are bitwise-identical "
+            "at any value; defaults the backend to 'process')"
+        ),
+    )
+    run.add_argument(
         "--cache-dir",
         default=None,
         help=(
@@ -137,6 +147,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=VALID_BACKENDS,
         default=None,
         help="override the manifest's executor backend",
+    )
+    suite.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "group up to this many same-hyperparameter measurements into "
+            "one vectorized multi-seed fit per dispatched task"
+        ),
     )
     suite.add_argument(
         "--cache-dir",
@@ -286,6 +305,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override each suite's executor backend",
     )
     worker.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "group up to this many same-hyperparameter measurements into "
+            "one vectorized multi-seed fit per dispatched task"
+        ),
+    )
+    worker.add_argument(
         "--queue-backend",
         choices=QUEUE_BACKENDS,
         default=None,
@@ -413,6 +441,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="executor backend for in-process execution",
     )
     serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "group up to this many same-hyperparameter measurements into "
+            "one vectorized multi-seed fit per dispatched task"
+        ),
+    )
+    serve.add_argument(
         "--max-concurrent-studies",
         type=int,
         default=None,
@@ -520,7 +557,10 @@ def _run(args: argparse.Namespace) -> int:
         spec = spec.replace(n_jobs=args.n_jobs)
     if args.backend is not None:
         spec = spec.replace(backend=args.backend)
-    with Session(cache_dir=args.cache_dir) as session:
+    if args.batch_size is not None and args.batch_size < 1:
+        raise CLIError("--batch-size must be a positive integer")
+    batch_size = 1 if args.batch_size is None else args.batch_size
+    with Session(cache_dir=args.cache_dir, batch_size=batch_size) as session:
         result = session.run(spec)
         print(result.to_json(indent=2) if args.json else result.summary())
     return 0
@@ -537,6 +577,8 @@ def _suite(args: argparse.Namespace) -> int:
         overrides["cache_dir"] = args.cache_dir
     if overrides:
         suite = suite.replace(**overrides)
+    if args.batch_size is not None and args.batch_size < 1:
+        raise CLIError("--batch-size must be a positive integer")
     if args.resume and suite.cache_dir is None:
         raise CLIError(
             "--resume requires a cache_dir (in the manifest or --cache-dir)"
@@ -598,7 +640,10 @@ def _suite(args: argparse.Namespace) -> int:
             "max_attempts": args.max_attempts,
             "stall_seconds": args.stall_seconds,
         }
-    with Session.for_suite(suite) as session:
+    session_overrides = {}
+    if args.batch_size is not None:
+        session_overrides["batch_size"] = args.batch_size
+    with Session.for_suite(suite, **session_overrides) as session:
         result = session.run_suite(
             suite,
             resume=args.resume,
@@ -620,6 +665,8 @@ def _worker(args: argparse.Namespace) -> int:
         raise CLIError("--max-attempts must be at least 1")
     if args.stall_seconds is not None and args.stall_seconds <= 0:
         raise CLIError("--stall-seconds must be positive")
+    if args.batch_size is not None and args.batch_size < 1:
+        raise CLIError("--batch-size must be a positive integer")
 
     def log(event: str, task_id: str, detail: str) -> None:
         suffix = f" ({detail})" if detail else ""
@@ -636,6 +683,7 @@ def _worker(args: argparse.Namespace) -> int:
         stall_seconds=args.stall_seconds,
         n_jobs=args.n_jobs,
         backend=args.backend,
+        batch_size=args.batch_size,
         log=log,
     )
     stats = worker.run(
@@ -742,11 +790,15 @@ def _serve(args: argparse.Namespace) -> int:
         raise CLIError("--max-attempts must be at least 1")
     if args.stall_seconds is not None and args.stall_seconds <= 0:
         raise CLIError("--stall-seconds must be positive")
+    if args.batch_size is not None and args.batch_size < 1:
+        raise CLIError("--batch-size must be a positive integer")
     session_config = {}
     if args.n_jobs is not None:
         session_config["n_jobs"] = args.n_jobs
     if args.backend is not None:
         session_config["backend"] = args.backend
+    if args.batch_size is not None:
+        session_config["batch_size"] = args.batch_size
     if args.max_concurrent_studies is not None:
         session_config["max_concurrent_studies"] = args.max_concurrent_studies
     try:

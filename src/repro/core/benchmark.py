@@ -20,13 +20,13 @@ measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.data.dataset import Dataset
 from repro.data.resampling import BootstrapResampler
 from repro.hpo.base import HPOptimizer, HPOResult
 from repro.hpo.random_search import RandomSearch
-from repro.pipelines.base import Pipeline, fit_and_score
+from repro.pipelines.base import Pipeline, fit_and_score, fit_and_score_many
 from repro.utils.rng import SeedBundle
 from repro.utils.validation import check_positive_int
 
@@ -161,6 +161,40 @@ class BenchmarkProcess:
             seeds=seeds,
             n_fits=1,
         )
+
+    def measure_many(
+        self,
+        seeds_list: Sequence[SeedBundle],
+        hparams: Optional[Mapping[str, Any]] = None,
+    ) -> List[Measurement]:
+        """B measurements with *given* hyperparameters in one batched pass.
+
+        Each seed bundle draws its own resample with its ``data`` stream,
+        then all B fits go through :meth:`Pipeline.fit_many` — vectorized
+        into one stacked multi-seed kernel where the pipeline supports it.
+        Evaluation stays per item on each item's own (variable-size)
+        out-of-bootstrap test set.  Per item the measurement is
+        bitwise-identical to :meth:`measure`.
+        """
+        seeds_list = list(seeds_list)
+        if not seeds_list:
+            return []
+        splits = [self.split(seeds) for seeds in seeds_list]
+        trains, valids, tests = (list(part) for part in zip(*splits))
+        outcomes = fit_and_score_many(
+            self.pipeline, trains, tests, hparams, seeds_list, valids=valids
+        )
+        return [
+            Measurement(
+                test_score=float(outcome.test_score),
+                valid_score=outcome.valid_score,
+                train_score=float(outcome.train_score),
+                hparams=dict(outcome.hparams),
+                seeds=seeds,
+                n_fits=1,
+            )
+            for outcome, seeds in zip(outcomes, seeds_list)
+        ]
 
     def measure_with_hpo(self, seeds: SeedBundle) -> Measurement:
         """One measurement including its own HOpt run (Algorithm 1 inner loop).

@@ -37,7 +37,16 @@ import tempfile
 import threading
 import time
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -349,6 +358,46 @@ class FileStore:
         if run_gc:
             self.gc(protect=key)
         return len(blob)
+
+    def write_many(
+        self, entries: Sequence[Tuple[str, "Measurement"]]
+    ) -> List[int]:
+        """Atomically persist N entries under one GC bookkeeping pass.
+
+        Per-measurement :meth:`write` updates the budget estimate — and
+        potentially runs a full :meth:`gc` tree scan — once per entry;
+        batched study commits land B measurements at a time, so this
+        variant writes every entry first and then updates the estimate
+        (and runs at most *one* gc pass, protecting the batch's last key)
+        in a single locked step.  Returns each entry's pickled size, in
+        order.
+        """
+        entries = list(entries)
+        if not entries:
+            return []
+        sizes: List[int] = []
+        for key, measurement in entries:
+            blob = pickle.dumps(measurement, protocol=pickle.HIGHEST_PROTOCOL)
+            atomic_write(self._path(key), blob)
+            sizes.append(len(blob))
+        if self.max_bytes is None and self.max_entries is None:
+            return sizes
+        with self._gc_lock:
+            if self._approx_bytes is None:
+                run_gc = True  # first budgeted write: seed from a real scan
+            else:
+                self._approx_bytes += sum(sizes)
+                self._approx_entries += len(sizes)
+                run_gc = (
+                    self.max_bytes is not None
+                    and self._approx_bytes > self.max_bytes
+                ) or (
+                    self.max_entries is not None
+                    and self._approx_entries > self.max_entries
+                )
+        if run_gc:
+            self.gc(protect=entries[-1][0])
+        return sizes
 
     def __contains__(self, key: str) -> bool:
         return os.path.exists(self._path(key))
@@ -698,6 +747,29 @@ class MeasurementCache:
             evicted = self._evict()
         if self._file_store is not None:
             self._file_store.write(key, measurement)
+        return evicted
+
+    def put_many(
+        self, pairs: Sequence[Tuple[str, "Measurement"]]
+    ) -> int:
+        """Store N entries in one locked pass (batched study commits).
+
+        All insertions happen under a single lock acquisition followed by
+        one eviction sweep, and the write-through (when ``cache_dir`` is
+        bound) goes through :meth:`FileStore.write_many` — one GC
+        bookkeeping pass for the whole batch instead of one per
+        measurement.  Returns the total number of entries evicted, like N
+        calls to :meth:`put` would.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return 0
+        with self._lock:
+            for key, measurement in pairs:
+                self._insert(key, measurement)
+            evicted = self._evict()
+        if self._file_store is not None:
+            self._file_store.write_many(pairs)
         return evicted
 
     def _insert(self, key: str, measurement: "Measurement") -> None:

@@ -67,19 +67,27 @@ R = TypeVar("R")
 _BACKENDS = ("serial", "thread", "process")
 
 
-def _drain(results: Iterable[R], tick: Optional[Callable[[], None]]) -> List[R]:
+def _drain(
+    results: Iterable[R],
+    tick: Optional[Callable[[], None]],
+    weights: Optional[Sequence[int]] = None,
+) -> List[R]:
     """Collect a lazy result stream, invoking ``tick`` as each item lands.
 
     Pool ``map`` iterators yield in submission order from the caller's
-    process, so the tick always runs caller-side — no pickling concerns —
-    and fires exactly once per completed item on every backend.
+    process, so the tick always runs caller-side — no pickling concerns.
+    Without ``weights`` the tick fires exactly once per completed item;
+    with ``weights`` it fires ``weights[i]`` times for item ``i`` — one
+    tick per *measurement* when a batched task carries B of them, keeping
+    progress bars and stall-steal heartbeats measurement-granular.
     """
     if tick is None:
         return list(results)
     collected: List[R] = []
-    for result in results:
+    for index, result in enumerate(results):
         collected.append(result)
-        tick()
+        for _ in range(weights[index] if weights is not None else 1):
+            tick()
     return collected
 
 
@@ -112,6 +120,12 @@ class ParallelExecutor:
         Optional override of the per-task chunk size for the process
         backend (defaults to an even split across workers, which bounds
         how many times the function's bound state is pickled).
+    batch_size:
+        Measurement-batching hint carried on the executor so it reaches
+        every :class:`~repro.engine.runner.StudyRunner` built on it without
+        widening driver signatures: runners group compatible work items
+        into tasks of up to this many measurements.  ``1`` (default)
+        disables batching.
     """
 
     def __init__(
@@ -120,6 +134,7 @@ class ParallelExecutor:
         *,
         backend: str = "thread",
         chunksize: int | None = None,
+        batch_size: int = 1,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
@@ -128,6 +143,9 @@ class ParallelExecutor:
         if chunksize is not None and chunksize < 1:
             raise ValueError("chunksize must be a positive integer or None")
         self.chunksize = chunksize
+        if int(batch_size) < 1:
+            raise ValueError("batch_size must be a positive integer")
+        self.batch_size = int(batch_size)
 
     @property
     def effective_backend(self) -> str:
@@ -143,6 +161,7 @@ class ParallelExecutor:
         *,
         cancel: Optional[threading.Event] = None,
         tick: Optional[Callable[[], None]] = None,
+        weights: Optional[Sequence[int]] = None,
     ) -> List[R]:
         """Apply ``fn`` to every item; results keep the submission order.
 
@@ -161,21 +180,28 @@ class ParallelExecutor:
         the *calling* process once per completed item, on every backend —
         the progress signal distributed workers couple their lease
         heartbeats to.  It must be cheap and must not raise.
+
+        ``weights`` optionally declares how many measurements each item
+        carries (batched tasks); ``tick`` then fires that many times per
+        completed item so liveness stays measurement-granular.
         """
         items = list(items)
         if cancel is not None and cancel.is_set():
             raise StudyCancelled("batch cancelled before it started")
         if not items:
             return []
+        if weights is not None and len(weights) != len(items):
+            raise ValueError("weights must align one-to-one with items")
         backend = self.effective_backend
         if backend == "serial" or len(items) == 1:
             results = []
-            for item in items:
+            for index, item in enumerate(items):
                 if cancel is not None and cancel.is_set():
                     raise StudyCancelled("batch cancelled mid-run")
                 results.append(fn(item))
                 if tick is not None:
-                    tick()
+                    for _ in range(weights[index] if weights is not None else 1):
+                        tick()
             return results
         workers = min(self.n_jobs, len(items))
         if backend == "thread":
@@ -186,13 +212,13 @@ class ParallelExecutor:
                         raise StudyCancelled("batch cancelled mid-run")
                     return _fn(item)
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return _drain(pool.map(guarded, items), tick)
+                return _drain(pool.map(guarded, items), tick, weights)
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, -(-len(items) // workers))
         if cancel is None:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return _drain(pool.map(fn, items, chunksize=chunksize), tick)
+                return _drain(pool.map(fn, items, chunksize=chunksize), tick, weights)
         # Mirror the caller's threading event into a multiprocessing event
         # the pool workers can observe; the relay thread dies with the map.
         context = multiprocessing.get_context()
@@ -222,6 +248,7 @@ class ParallelExecutor:
                         chunksize=chunksize,
                     ),
                     tick,
+                    weights,
                 )
         finally:
             relay_stop.set()
@@ -270,5 +297,17 @@ class CancellableExecutor:
     def effective_backend(self) -> str:
         return self.inner.effective_backend
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> List[R]:
-        return self.inner.map(fn, items, cancel=self.cancel_event, tick=self.tick)
+    @property
+    def batch_size(self) -> int:
+        return getattr(self.inner, "batch_size", 1)
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T] | Iterable[T],
+        *,
+        weights: Optional[Sequence[int]] = None,
+    ) -> List[R]:
+        return self.inner.map(
+            fn, items, cancel=self.cancel_event, tick=self.tick, weights=weights
+        )

@@ -25,12 +25,23 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
-from repro.engine.cache import MeasurementCache, measurement_key
+from repro.engine.cache import MeasurementCache, _canonical_value, measurement_key
 from repro.engine.executor import ParallelExecutor
+from repro.engine.shm import DatasetHandle, shared_arena
 from repro.utils.rng import SeedBundle, SeedScope
 
 if TYPE_CHECKING:  # pragma: no cover - runtime import would cycle through
@@ -104,15 +115,58 @@ def _execute_item(process: BenchmarkProcess, item: WorkItem) -> Measurement:
 
 
 class _BoundExecute:
-    """Picklable ``item -> Measurement`` closure over the process."""
+    """Picklable ``item -> Measurement`` closure over the process.
 
-    __slots__ = ("process",)
+    When a ``dataset_handle`` is attached (process backend), pickling
+    strips the dataset from the payload and ships the shared-memory handle
+    instead; unpickling in a pool worker re-attaches the published
+    segments — the dataset arrays never cross the pipe.
+    """
 
-    def __init__(self, process: BenchmarkProcess) -> None:
+    __slots__ = ("process", "dataset_handle")
+
+    def __init__(
+        self,
+        process: BenchmarkProcess,
+        dataset_handle: Optional[DatasetHandle] = None,
+    ) -> None:
         self.process = process
+        self.dataset_handle = dataset_handle
 
     def __call__(self, item: WorkItem) -> Measurement:
         return _execute_item(self.process, item)
+
+    def __getstate__(self) -> dict:
+        if self.dataset_handle is None:
+            return {"process": self.process, "handle": None}
+        lean = copy.copy(self.process)
+        lean.dataset = None
+        return {"process": lean, "handle": self.dataset_handle}
+
+    def __setstate__(self, state: dict) -> None:
+        self.process = state["process"]
+        self.dataset_handle = state["handle"]
+        if self.dataset_handle is not None and self.process.dataset is None:
+            self.process.dataset = self.dataset_handle.materialize()
+
+
+class _BoundExecuteMany(_BoundExecute):
+    """Picklable ``(item, ...) -> [Measurement, ...]`` batched closure.
+
+    Homogeneous multi-item tasks (same hyperparameters, no HPO — the
+    grouping :meth:`StudyRunner._plan_batches` guarantees) go through the
+    vectorized :meth:`BenchmarkProcess.measure_many`; singletons and HPO
+    items take the exact per-item path.
+    """
+
+    __slots__ = ()
+
+    def __call__(self, task: Tuple[WorkItem, ...]) -> List[Measurement]:
+        if len(task) == 1 or any(item.with_hpo for item in task):
+            return [_execute_item(self.process, item) for item in task]
+        return self.process.measure_many(
+            [item.seeds for item in task], task[0].hparams
+        )
 
 
 class StudyRunner:
@@ -132,6 +186,12 @@ class StudyRunner:
         (true parallelism for pure-Python fits) when no executor is given.
     cache:
         Optional :class:`MeasurementCache` for cross-batch memoization.
+    batch_size:
+        Group up to this many compatible work items (same hyperparameters,
+        no HPO, different seeds) into one dispatched task, executed through
+        the pipeline's vectorized multi-seed kernel.  Defaults to the
+        executor's ``batch_size`` hint (``1`` = no batching).  Batched
+        results are bitwise-identical to per-item execution.
     """
 
     def __init__(
@@ -142,12 +202,16 @@ class StudyRunner:
         n_jobs: int = 1,
         backend: str = "thread",
         cache: Optional[MeasurementCache] = None,
+        batch_size: Optional[int] = None,
     ) -> None:
         self.process = process
         self.executor = (
             executor if executor is not None else ParallelExecutor(n_jobs, backend=backend)
         )
         self.cache = cache
+        if batch_size is None:
+            batch_size = getattr(self.executor, "batch_size", 1)
+        self.batch_size = max(1, int(batch_size))
 
     # ------------------------------------------------------------------
     # Measurement batches
@@ -156,13 +220,18 @@ class StudyRunner:
         """Execute every item; results are returned in submission order.
 
         With a cache attached, keys already stored are replayed and each
-        distinct missing key is computed exactly once per batch.
+        distinct missing key is computed exactly once per batch.  With
+        ``batch_size > 1``, compatible cache-miss items are grouped into
+        multi-measurement tasks (vectorized fits, one dispatch per group)
+        and their results are committed through the cache's batched
+        ``put_many`` — one store index/GC pass per group instead of one
+        per measurement.
         """
         items = list(items)
         if not items:
             return []
         if self.cache is None:
-            return self.executor.map(_BoundExecute(self.process), items)
+            return self._execute_items(items)
 
         keys = [
             measurement_key(
@@ -182,11 +251,70 @@ class StudyRunner:
             else:
                 pending[key] = item
         if pending:
-            computed = self.executor.map(_BoundExecute(self.process), list(pending.values()))
-            for key, measurement in zip(pending, computed):
-                self.cache.put(key, measurement)
-                results[key] = measurement
+            computed = self._execute_items(list(pending.values()))
+            pairs = list(zip(pending, computed))
+            put_many = getattr(self.cache, "put_many", None)
+            if len(pairs) > 1 and put_many is not None:
+                put_many(pairs)
+            else:
+                for key, measurement in pairs:
+                    self.cache.put(key, measurement)
+            results.update(pairs)
         return [results[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    # Dispatch: per-item or grouped into batched tasks
+    # ------------------------------------------------------------------
+    def _dataset_handle(self) -> Optional[DatasetHandle]:
+        """Publish the dataset to shared memory for process-backend runs."""
+        if getattr(self.executor, "effective_backend", "serial") != "process":
+            return None
+        dataset = getattr(self.process, "dataset", None)
+        if dataset is None or not hasattr(dataset, "X"):
+            return None
+        return shared_arena().publish(dataset)
+
+    def _execute_items(self, items: List[WorkItem]) -> List[Measurement]:
+        handle = self._dataset_handle()
+        if self.batch_size <= 1:
+            return self.executor.map(_BoundExecute(self.process, handle), items)
+        tasks, positions = self._plan_batches(items)
+        weights = [len(task) for task in tasks]
+        grouped = self.executor.map(
+            _BoundExecuteMany(self.process, handle), tasks, weights=weights
+        )
+        ordered: List[Optional[Measurement]] = [None] * len(items)
+        for task_positions, measurements in zip(positions, grouped):
+            for position, measurement in zip(task_positions, measurements):
+                ordered[position] = measurement
+        return ordered  # type: ignore[return-value]
+
+    def _plan_batches(
+        self, items: Sequence[WorkItem]
+    ) -> Tuple[List[Tuple[WorkItem, ...]], List[Tuple[int, ...]]]:
+        """Group items into dispatchable tasks of up to ``batch_size``.
+
+        Only items sharing canonical hyperparameters (and not running HPO)
+        are grouped — exactly the compatibility the vectorized kernel
+        needs.  HPO items stay singleton tasks.  Grouping preserves
+        first-seen order, and the returned positions map each task's
+        measurements back to submission order.
+        """
+        groups: Dict[str, List[int]] = {}
+        for position, item in enumerate(items):
+            if item.with_hpo:
+                key = f"hpo/{position}"
+            else:
+                key = repr(_canonical_value(item.hparams))
+            groups.setdefault(key, []).append(position)
+        tasks: List[Tuple[WorkItem, ...]] = []
+        positions: List[Tuple[int, ...]] = []
+        for members in groups.values():
+            for start in range(0, len(members), self.batch_size):
+                chunk = members[start : start + self.batch_size]
+                tasks.append(tuple(items[position] for position in chunk))
+                positions.append(tuple(chunk))
+        return tasks, positions
 
     def run_scores(self, items: Sequence[WorkItem]) -> np.ndarray:
         """Execute every item and return the test scores as a float array."""

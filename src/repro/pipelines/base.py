@@ -11,12 +11,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.data.dataset import Dataset
 from repro.utils.rng import SeedBundle
 
-__all__ = ["Pipeline", "FitOutcome", "fit_and_score"]
+__all__ = ["Pipeline", "FitOutcome", "fit_and_score", "fit_and_score_many"]
 
 
 @dataclass
@@ -86,6 +86,30 @@ class Pipeline(ABC):
     def evaluate(self, model: Any, dataset: Dataset) -> float:
         """Evaluate a fitted model on ``dataset``; larger is better."""
 
+    def fit_many(
+        self,
+        trains: Sequence[Dataset],
+        hparams: Mapping[str, Any],
+        seeds_list: Sequence[SeedBundle],
+        valids: Optional[Sequence[Optional[Dataset]]] = None,
+    ) -> List[FitOutcome]:
+        """Fit one model per ``(train, seeds)`` pair under shared hyperparameters.
+
+        The batching contract: every item shares the pipeline and the
+        hyperparameters while the seed bundles (and hence the resampled
+        training sets) differ per item.  The default implementation is a
+        sequential loop over :meth:`fit` — trivially bitwise-identical to
+        per-item execution — and pipelines that can vectorize (the linear
+        and MLP families) override it with a stacked multi-seed kernel that
+        preserves bitwise identity per item.
+        """
+        if valids is None:
+            valids = [None] * len(trains)
+        return [
+            self.fit(train, hparams, seeds, valid=valid)
+            for train, seeds, valid in zip(trains, seeds_list, valids)
+        ]
+
     def resolve_hparams(self, hparams: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
         """Merge user hyperparameters over the defaults."""
         merged = dict(self.default_hparams())
@@ -119,3 +143,30 @@ def fit_and_score(
         outcome.valid_score = pipeline.evaluate(outcome.model, valid)
     outcome.test_score = pipeline.evaluate(outcome.model, test)
     return outcome
+
+
+def fit_and_score_many(
+    pipeline: Pipeline,
+    trains: Sequence[Dataset],
+    tests: Sequence[Dataset],
+    hparams: Optional[Mapping[str, Any]],
+    seeds_list: Sequence[SeedBundle],
+    valids: Optional[Sequence[Optional[Dataset]]] = None,
+) -> List[FitOutcome]:
+    """Batched :func:`fit_and_score`: B fits under one shared configuration.
+
+    Fits go through :meth:`Pipeline.fit_many` (vectorized where the
+    pipeline supports it), evaluation stays per item on each item's own
+    resample — test sets vary in size across bootstrap seeds, so scoring
+    cannot be stacked.  Per item the outcome is bitwise-identical to
+    :func:`fit_and_score`.
+    """
+    if valids is None:
+        valids = [None] * len(trains)
+    resolved = pipeline.resolve_hparams(hparams)
+    outcomes = pipeline.fit_many(trains, resolved, seeds_list, valids=valids)
+    for outcome, valid, test in zip(outcomes, valids, tests):
+        if valid is not None and outcome.valid_score is None:
+            outcome.valid_score = pipeline.evaluate(outcome.model, valid)
+        outcome.test_score = pipeline.evaluate(outcome.model, test)
+    return outcomes

@@ -9,7 +9,7 @@ seed-controlled mini-batch loop so they expose the same variance sources
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -70,6 +70,37 @@ class _BaseLinearPipeline(Pipeline):
     def _output_size(self, train: Dataset) -> int:
         raise NotImplementedError
 
+    def _build_network(
+        self, train: Dataset, hparams: Mapping[str, Any], seeds: SeedBundle
+    ) -> MLPNetwork:
+        # A linear model is a zero-hidden-layer MLP, which lets us reuse the
+        # same seed-controlled training loop and optimizers.
+        return MLPNetwork(
+            [train.n_features, self._output_size(train)],
+            task_type=self.task_type,
+            dropout_rate=0.0,
+            init_scheme="glorot_uniform",
+            init_rng=seeds.rng_for("init"),
+        )
+
+    def _build_optimizer(self, hparams: Mapping[str, Any]) -> SGD:
+        return SGD(
+            learning_rate=float(hparams["learning_rate"]),
+            momentum=float(hparams["momentum"]),
+            weight_decay=float(hparams["weight_decay"]),
+        )
+
+    def _training_config(self, hparams: Mapping[str, Any]) -> TrainingConfig:
+        schedule = ExponentialDecaySchedule(
+            learning_rate=float(hparams["learning_rate"]), gamma=float(hparams["gamma"])
+        )
+        return TrainingConfig(
+            n_epochs=self.n_epochs,
+            batch_size=self.batch_size,
+            schedule=schedule,
+            numerical_noise_scale=self.numerical_noise_scale,
+        )
+
     def fit(
         self,
         train: Dataset,
@@ -80,29 +111,9 @@ class _BaseLinearPipeline(Pipeline):
         from repro.pipelines.mlp import _clip_hparams
 
         hparams = _clip_hparams(self.resolve_hparams(hparams))
-        # A linear model is a zero-hidden-layer MLP, which lets us reuse the
-        # same seed-controlled training loop and optimizers.
-        network = MLPNetwork(
-            [train.n_features, self._output_size(train)],
-            task_type=self.task_type,
-            dropout_rate=0.0,
-            init_scheme="glorot_uniform",
-            init_rng=seeds.rng_for("init"),
-        )
-        optimizer = SGD(
-            learning_rate=float(hparams["learning_rate"]),
-            momentum=float(hparams["momentum"]),
-            weight_decay=float(hparams["weight_decay"]),
-        )
-        schedule = ExponentialDecaySchedule(
-            learning_rate=float(hparams["learning_rate"]), gamma=float(hparams["gamma"])
-        )
-        config = TrainingConfig(
-            n_epochs=self.n_epochs,
-            batch_size=self.batch_size,
-            schedule=schedule,
-            numerical_noise_scale=self.numerical_noise_scale,
-        )
+        network = self._build_network(train, hparams, seeds)
+        optimizer = self._build_optimizer(hparams)
+        config = self._training_config(hparams)
         history = train_network(network, train, optimizer, config, seeds)
         return FitOutcome(
             model=network,
@@ -112,6 +123,21 @@ class _BaseLinearPipeline(Pipeline):
             seeds=seeds,
             history=history.as_dict(),
         )
+
+    def fit_many(
+        self,
+        trains: Sequence[Dataset],
+        hparams: Mapping[str, Any],
+        seeds_list: Sequence[SeedBundle],
+        valids: Optional[Sequence[Optional[Dataset]]] = None,
+    ) -> List[FitOutcome]:
+        from repro.pipelines.mlp import _fit_many_stacked, _stackable
+
+        if valids is None:
+            valids = [None] * len(trains)
+        if not _stackable(self, trains):
+            return super().fit_many(trains, hparams, seeds_list, valids=valids)
+        return _fit_many_stacked(self, trains, hparams, seeds_list, valids)
 
     def evaluate(self, model: MLPNetwork, dataset: Dataset) -> float:
         metric = METRICS[self.metric_name]

@@ -11,17 +11,18 @@ initialization standard deviation for the BERT-like configuration.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.pipelines.base import FitOutcome, Pipeline
 from repro.pipelines.metrics import METRICS
+from repro.pipelines.nn.batched import BatchedNetwork
 from repro.pipelines.nn.network import MLPNetwork
 from repro.pipelines.nn.optimizers import SGD, Adam
 from repro.pipelines.nn.schedules import ExponentialDecaySchedule
-from repro.pipelines.training import TrainingConfig, train_network
+from repro.pipelines.training import TrainingConfig, train_network, train_network_many
 from repro.utils.rng import SeedBundle
 
 __all__ = ["MLPClassifierPipeline", "MLPRegressorPipeline"]
@@ -66,6 +67,64 @@ def _clip_hparams(hparams: Mapping[str, Any]) -> Dict[str, Any]:
     if "init_scale" in clipped:
         clipped["init_scale"] = max(float(clipped["init_scale"]), 1e-8)
     return clipped
+
+
+def _stackable(pipeline, trains: Sequence[Dataset]) -> bool:
+    """Whether a batch of training sets can share one stacked kernel.
+
+    Bootstrap resamples of one dataset normally have identical train
+    shapes (the in-bag size is fixed), but degenerate resamples (an empty
+    out-of-bag set shrinks the in-bag pool) or a resample that misses the
+    top class (changing the classifier's output width) break the stacking
+    precondition — those batches fall back to the serial loop.
+    """
+    if len(trains) < 2:
+        return False
+    if len({train.X.shape for train in trains}) != 1:
+        return False
+    return len({pipeline._output_size(train) for train in trains}) == 1
+
+
+def _fit_many_stacked(
+    pipeline,
+    trains: Sequence[Dataset],
+    hparams: Mapping[str, Any],
+    seeds_list: Sequence[SeedBundle],
+    valids: Sequence[Optional[Dataset]],
+) -> List[FitOutcome]:
+    """Vectorized multi-seed fit shared by the linear and MLP pipelines.
+
+    Per-item networks are initialized from each seed's own ``init`` stream
+    (identical draws to the serial path), stacked into ``(B, in, out)``
+    tensors, and trained in one lockstep pass; a single element-wise
+    optimizer instance updates all B weight stacks per step.  Scores and
+    histories are bitwise-identical to B serial :meth:`Pipeline.fit` calls.
+    """
+    hparams = _clip_hparams(pipeline.resolve_hparams(hparams))
+    networks = [
+        pipeline._build_network(train, hparams, seeds)
+        for train, seeds in zip(trains, seeds_list)
+    ]
+    batched = BatchedNetwork(networks)
+    optimizer = pipeline._build_optimizer(hparams)
+    config = pipeline._training_config(hparams)
+    histories = train_network_many(batched, trains, optimizer, config, seeds_list)
+    batched.unstack()
+    return [
+        FitOutcome(
+            model=network,
+            train_score=pipeline.evaluate(network, train),
+            valid_score=(
+                pipeline.evaluate(network, valid) if valid is not None else None
+            ),
+            hparams=dict(hparams),
+            seeds=seeds,
+            history=history.as_dict(),
+        )
+        for network, train, seeds, valid, history in zip(
+            networks, trains, seeds_list, valids, histories
+        )
+    ]
 
 
 class _BaseMLPPipeline(Pipeline):
@@ -150,6 +209,18 @@ class _BaseMLPPipeline(Pipeline):
             weight_decay=float(hparams["weight_decay"]),
         )
 
+    def _training_config(self, hparams: Mapping[str, Any]) -> TrainingConfig:
+        schedule = ExponentialDecaySchedule(
+            learning_rate=float(hparams["learning_rate"]), gamma=float(hparams["gamma"])
+        )
+        return TrainingConfig(
+            n_epochs=self.n_epochs,
+            batch_size=self.batch_size,
+            schedule=schedule,
+            augmentations=self.augmentations,
+            numerical_noise_scale=self.numerical_noise_scale,
+        )
+
     def fit(
         self,
         train: Dataset,
@@ -160,16 +231,7 @@ class _BaseMLPPipeline(Pipeline):
         hparams = _clip_hparams(self.resolve_hparams(hparams))
         network = self._build_network(train, hparams, seeds)
         optimizer = self._build_optimizer(hparams)
-        schedule = ExponentialDecaySchedule(
-            learning_rate=float(hparams["learning_rate"]), gamma=float(hparams["gamma"])
-        )
-        config = TrainingConfig(
-            n_epochs=self.n_epochs,
-            batch_size=self.batch_size,
-            schedule=schedule,
-            augmentations=self.augmentations,
-            numerical_noise_scale=self.numerical_noise_scale,
-        )
+        config = self._training_config(hparams)
         history = train_network(network, train, optimizer, config, seeds)
         outcome = FitOutcome(
             model=network,
@@ -180,6 +242,19 @@ class _BaseMLPPipeline(Pipeline):
             history=history.as_dict(),
         )
         return outcome
+
+    def fit_many(
+        self,
+        trains: Sequence[Dataset],
+        hparams: Mapping[str, Any],
+        seeds_list: Sequence[SeedBundle],
+        valids: Optional[Sequence[Optional[Dataset]]] = None,
+    ) -> List[FitOutcome]:
+        if valids is None:
+            valids = [None] * len(trains)
+        if not _stackable(self, trains):
+            return super().fit_many(trains, hparams, seeds_list, valids=valids)
+        return _fit_many_stacked(self, trains, hparams, seeds_list, valids)
 
     def evaluate(self, model: MLPNetwork, dataset: Dataset) -> float:
         metric = METRICS[self.metric_name]

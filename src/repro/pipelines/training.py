@@ -23,12 +23,18 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.pipelines.nn.batched import BatchedNetwork
 from repro.pipelines.nn.network import MLPNetwork
 from repro.pipelines.nn.optimizers import Optimizer
 from repro.utils.rng import SeedBundle
 from repro.utils.validation import check_positive_int
 
-__all__ = ["TrainingConfig", "TrainingHistory", "train_network"]
+__all__ = [
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_network",
+    "train_network_many",
+]
 
 #: Type of an augmentation transform: (X, rng) -> X'.
 Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
@@ -151,3 +157,90 @@ def train_network(
             config.numerical_noise_scale, seeds.rng_for("numerical")
         )
     return history
+
+
+def train_network_many(
+    batched: "BatchedNetwork",
+    trains: Sequence[Dataset],
+    optimizer: Optimizer,
+    config: TrainingConfig,
+    seeds_list: Sequence[SeedBundle],
+) -> List[TrainingHistory]:
+    """Train B stacked networks in lockstep, one per ``(train, seeds)`` pair.
+
+    The vectorized twin of :func:`train_network`: every random stream
+    (order permutations, dropout masks, augmentations, the numerical
+    perturbation) is consumed *per item* from that item's own seed bundle
+    in exactly the order the serial loop consumes it, while the arithmetic
+    between draws (forward, backward, optimizer step) runs once on the
+    ``(B, ...)`` stacks.  All items share the optimizer hyperparameters and
+    the training configuration, and every training set must have the same
+    shape — :meth:`repro.pipelines.base.Pipeline.fit_many` checks this and
+    falls back to a serial loop otherwise.
+
+    Returns one :class:`TrainingHistory` per item, bitwise-equal to the
+    serial histories.
+    """
+    check_positive_int(config.n_epochs, "n_epochs")
+    check_positive_int(config.batch_size, "batch_size")
+    trains = list(trains)
+    seeds_list = list(seeds_list)
+    if len(trains) != len(seeds_list) or len(trains) != batched.n_items:
+        raise ValueError("trains, seeds_list and the batch must align")
+    n_samples = trains[0].n_samples
+    if any(t.n_samples != n_samples for t in trains):
+        raise ValueError("all training sets must have the same size")
+    n_items = batched.n_items
+    order_rngs = [seeds.rng_for("order") for seeds in seeds_list]
+    dropout_rngs = (
+        [seeds.rng_for("dropout") for seeds in seeds_list]
+        if batched.dropout_rate > 0
+        else None
+    )
+    augment_rngs = (
+        [seeds.rng_for("augment") for seeds in seeds_list]
+        if config.augmentations
+        else None
+    )
+    histories = [TrainingHistory() for _ in range(n_items)]
+    parameters = batched.parameters()
+    for epoch in range(config.n_epochs):
+        lr = (
+            config.schedule(epoch)
+            if config.schedule is not None
+            else optimizer.learning_rate
+        )
+        X_epochs = []
+        for index, train in enumerate(trains):
+            X_epoch = train.X
+            if augment_rngs is not None:
+                for transform in config.augmentations:
+                    X_epoch = transform(X_epoch, augment_rngs[index])
+            X_epochs.append(X_epoch)
+        epoch_losses = np.zeros(n_items)
+        item_batches = [
+            _epoch_batches(n_samples, config.batch_size, order_rngs[index], config.shuffle)
+            for index in range(n_items)
+        ]
+        for step in range(len(item_batches[0])):
+            batch_indices = [batches[step] for batches in item_batches]
+            X_stack = np.stack(
+                [X_epochs[index][batch_indices[index]] for index in range(n_items)]
+            )
+            y_stack = np.stack(
+                [trains[index].y[batch_indices[index]] for index in range(n_items)]
+            )
+            losses, gradients = batched.loss_and_gradients(
+                X_stack, y_stack, dropout_rngs=dropout_rngs
+            )
+            optimizer.step(parameters, gradients, lr)
+            epoch_losses += losses * batch_indices[0].size
+        for index in range(n_items):
+            histories[index].losses.append(float(epoch_losses[index] / n_samples))
+            histories[index].learning_rates.append(lr)
+    if config.numerical_noise_scale > 0:
+        batched.perturb_parameters(
+            config.numerical_noise_scale,
+            [seeds.rng_for("numerical") for seeds in seeds_list],
+        )
+    return histories

@@ -1,7 +1,9 @@
 """The queue backend seam: one durable task-lifecycle protocol, N stores.
 
 :class:`~repro.sched.queue.TaskQueue` owns everything that is a pure
-function of the *plan* — dependency gating, priority order, failure
+function of the *plan* — dependency gating, priority order, shard
+affinity (a worker's ``prefer_member`` hint reorders claim candidates,
+see :meth:`~repro.sched.queue.TaskQueue.claimable`), failure
 propagation, shard assembly — and delegates everything that must be
 *durable and atomic* to a :class:`QueueBackend`:
 

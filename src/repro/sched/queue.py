@@ -511,7 +511,12 @@ class TaskQueue:
     # ------------------------------------------------------------------
     # Worker side: claim / heartbeat / commit
     # ------------------------------------------------------------------
-    def claimable(self, state: Optional[QueueState] = None) -> List[TaskRecord]:
+    def claimable(
+        self,
+        state: Optional[QueueState] = None,
+        *,
+        prefer_member: Optional[str] = None,
+    ) -> List[TaskRecord]:
         """Tasks a worker may try to claim right now, in claim order.
 
         A task is claimable when it is not terminal, every member it
@@ -519,6 +524,15 @@ class TaskQueue:
         ``running`` with an expired lease (a steal).  Order is priority
         descending, then plan position — the same policy as
         :meth:`repro.api.spec.SuiteSpec.schedule_order`.
+
+        ``prefer_member`` is the shard-affinity hint: within a priority
+        tier, tasks of that suite member sort ahead of the rest (plan
+        position still breaks ties inside each group).  Workers pass the
+        member they last committed, so a pre-sharded member's sibling
+        shards stay on the worker whose session cache (and warmed
+        datasets) already served that member — purely an ordering
+        preference, never a reservation: any worker may still claim any
+        task, and with no hint the order is exactly priority/position.
         """
         state = state or self.snapshot()
         plan = self.plan()
@@ -553,7 +567,13 @@ class TaskQueue:
             if not all(done_members.get(dep, False) for dep in task.depends_on):
                 continue
             candidates.append(task)
-        candidates.sort(key=lambda task: (-task.priority, task.index))
+        candidates.sort(
+            key=lambda task: (
+                -task.priority,
+                0 if task.member == prefer_member else 1,
+                task.index,
+            )
+        )
         return candidates
 
     def claim(

@@ -21,6 +21,11 @@ on SQLite's transaction engine:
   backoff gate is a ``not_before`` column checked inside the claim
   UPDATE itself, so no racer can claim a backing-off task early.
 
+Claim *ordering* — priority, shard affinity (``prefer_member``), plan
+position — stays in :meth:`~repro.sched.queue.TaskQueue.claimable`,
+shared with the filesystem backend: this module only guarantees that of
+the workers attempting a given task, exactly one wins.
+
 WAL mode keeps readers (snapshot polls) unblocked by writers; a busy
 timeout makes concurrent writers queue instead of failing.  Result
 records and fidelity pickles live in the database too, so destroying a

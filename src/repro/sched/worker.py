@@ -116,10 +116,12 @@ class Worker:
         stolen by a healthy worker.  ``None`` (default) renews
         unconditionally — the right choice for studies whose longest
         single work item can exceed any reasonable threshold.
-    n_jobs, backend:
+    n_jobs, backend, batch_size:
         Per-task *engine* overrides (``backend`` here is the executor
-        backend — serial/thread/process — not the queue backend); default
-        to each suite's own manifest configuration.
+        backend — serial/thread/process — not the queue backend;
+        ``batch_size`` groups compatible measurements into vectorized
+        multi-seed fits); default to each suite's own manifest
+        configuration.
     log:
         Optional ``(event, task_id, detail)`` callback for streaming logs.
     session:
@@ -145,6 +147,7 @@ class Worker:
         stall_seconds: Optional[float] = None,
         n_jobs: Optional[int] = None,
         backend: Optional[str] = None,
+        batch_size: Optional[int] = None,
         log: Optional[WorkerLog] = None,
         session: Optional[Session] = None,
     ) -> None:
@@ -162,11 +165,18 @@ class Worker:
         self.stall_seconds = stall_seconds
         self.n_jobs = n_jobs
         self.backend = backend
+        if batch_size is not None and int(batch_size) < 1:
+            raise ValueError("batch_size must be a positive integer (or None)")
+        self.batch_size = batch_size
         self.log = log
         self.stats = WorkerStats()
         self._sessions: Dict[str, Session] = {}
         self._queues: Dict[str, TaskQueue] = {}
         self._injected_session = session
+        # Shard affinity: the suite member this worker last *committed*,
+        # per queue — passed to claimable() so sibling shards of a member
+        # keep landing on the worker whose caches that member warmed.
+        self._last_member: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Discovery
@@ -206,6 +216,7 @@ class Worker:
     def _forget(self, queue: TaskQueue) -> None:
         """Drop a vanished queue entirely (instance cache and session)."""
         self._queues.pop(queue.key, None)
+        self._last_member.pop(queue.key, None)
         self._release_session(queue)
 
     def _release_session(self, queue: TaskQueue) -> None:
@@ -229,6 +240,8 @@ class Worker:
                 overrides["n_jobs"] = self.n_jobs
             if self.backend is not None:
                 overrides["backend"] = self.backend
+            if self.batch_size is not None:
+                overrides["batch_size"] = self.batch_size
             # The manifest's own cache_dir is the *coordinator's* path to
             # the store; this worker reaches the same directory through
             # its own mount point, so the local path always wins.
@@ -260,7 +273,9 @@ class Worker:
         for queue in self.queues():
             try:
                 state = queue.snapshot()
-                candidates = queue.claimable(state)
+                candidates = queue.claimable(
+                    state, prefer_member=self._last_member.get(queue.key)
+                )
             except FileNotFoundError:
                 # The queue vanished between discovery and use (assembled
                 # and destroyed, or deleted by an operator); forget it.
@@ -372,6 +387,9 @@ class Worker:
             return
         if queue.commit(claim, result.to_record(), raw=result.raw):
             self.stats.committed += 1
+            # Remember the member for shard affinity: the next claim scan
+            # prefers this member's remaining shards.
+            self._last_member[queue.key] = task.member
             self._emit(
                 "commit", task.id, f"{result.elapsed_seconds:.2f}s"
             )

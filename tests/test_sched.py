@@ -1274,3 +1274,98 @@ class TestWorkerCLI:
     def test_queue_rejects_missing_cache_dir(self, tmp_path, capsys):
         assert main(["queue", str(tmp_path / "nope")]) == 2
         assert "no cache directory" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Shard affinity: workers prefer the member they last committed
+# ----------------------------------------------------------------------
+def _sharded_tasks():
+    """Two members, two shards each, interleaved in plan order."""
+    return [
+        TaskRecord(
+            id=f"{member}@{k}",
+            member=member,
+            spec=ANALYTIC,
+            shard_key=f"k={k}",
+            index=index,
+        )
+        for index, (member, k) in enumerate(
+            [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+        )
+    ]
+
+
+class TestShardAffinity:
+    def test_prefer_member_front_runs_its_shards(self, tmp_path, queue_backend):
+        queue = _make_queue(tmp_path, queue_backend)
+        queue.create(
+            SuiteSpec(name="q", specs=[("a", ANALYTIC), ("b", ANALYTIC)]),
+            _sharded_tasks(),
+        )
+        # No preference: plan order.
+        assert [t.id for t in queue.claimable()] == ["a@0", "b@0", "a@1", "b@1"]
+        # Preference pulls the member's shards to the front; plan order
+        # still holds within the preferred group and within the rest.
+        assert [t.id for t in queue.claimable(prefer_member="b")] == [
+            "b@0", "b@1", "a@0", "a@1",
+        ]
+        assert [t.id for t in queue.claimable(prefer_member="a")] == [
+            "a@0", "a@1", "b@0", "b@1",
+        ]
+
+    def test_prefer_member_none_is_the_legacy_order(self, tmp_path, queue_backend):
+        queue = _make_queue(tmp_path, queue_backend)
+        queue.create(
+            SuiteSpec(name="q", specs=[("a", ANALYTIC), ("b", ANALYTIC)]),
+            _sharded_tasks(),
+        )
+        state = queue.snapshot()
+        default = [t.id for t in queue.claimable(state)]
+        explicit_none = [t.id for t in queue.claimable(state, prefer_member=None)]
+        unknown = [t.id for t in queue.claimable(state, prefer_member="ghost")]
+        assert default == explicit_none == unknown
+
+    def test_priority_outranks_affinity(self, tmp_path, queue_backend):
+        # Affinity is a tie-break *within* a priority tier, never a way to
+        # starve higher-priority work.
+        queue = _make_queue(tmp_path, queue_backend)
+        tasks = [
+            TaskRecord(id="cold@0", member="cold", spec=ANALYTIC, index=0),
+            TaskRecord(
+                id="hot", member="hot", spec=ANALYTIC, priority=5, index=1
+            ),
+            TaskRecord(id="cold@1", member="cold", spec=ANALYTIC, index=2),
+        ]
+        queue.create(
+            SuiteSpec(name="q", specs=[("cold", ANALYTIC), ("hot", ANALYTIC)]),
+            tasks,
+        )
+        assert [t.id for t in queue.claimable(prefer_member="cold")] == [
+            "hot", "cold@0", "cold@1",
+        ]
+
+    def test_worker_sticks_to_last_committed_member(
+        self, tmp_path, queue_backend
+    ):
+        # A worker that just committed a@0 claims a@1 next (sibling shard,
+        # warm dataset/cache) even though b@0 precedes it in plan order.
+        store = tmp_path / "store"
+        suite = SuiteSpec(
+            name="aff",
+            specs=[("a", ANALYTIC), ("b", ANALYTIC)],
+            cache_dir=str(store),
+        )
+        queue = TaskQueue.for_suite(str(store), "aff", backend=queue_backend)
+        queue.create(suite, _sharded_tasks())
+        with Session(cache_dir=str(store)) as session:
+            worker = Worker(
+                str(store),
+                queue_backend=queue_backend,
+                poll_seconds=0.01,
+                session=session,
+            )
+            assert worker.step()
+            assert worker._last_member[queue.key] == "a"
+            assert worker.step()
+        assert queue.snapshot().done == {"a@0", "a@1"}
+        assert worker.stats.committed == 2
