@@ -657,3 +657,111 @@ def test_suite_distributed(benchmark, scale):
         assert (
             result["rows"][f"{backend}_three_workers"] == result["rows"]["single"]
         )
+
+
+# ----------------------------------------------------------------------
+# Report generation: zero re-execution, zero store writes
+# ----------------------------------------------------------------------
+def _run_report_comparison(*, n_seeds, dataset_size, random_state=0):
+    from repro.report import write_suite_reports
+
+    with tempfile.TemporaryDirectory() as directory:
+        suite = SuiteSpec(
+            name="engine-report",
+            cache_dir=directory,
+            specs=[
+                (
+                    "ablation",
+                    StudySpec(
+                        study="layer_ablation",
+                        params={
+                            "task_names": ["entailment"],
+                            "combos": ["none", "dropout", "order", "all"],
+                            "n_seeds": n_seeds,
+                            "dataset_size": dataset_size,
+                        },
+                        random_state=random_state,
+                    ),
+                ),
+            ],
+        )
+        start = time.perf_counter()
+        with Session.for_suite(suite) as session:
+            session.run_suite(suite)
+        suite_time = time.perf_counter() - start
+
+        store = FileStore(directory)
+        entries_before = len(store)
+        bytes_before = store.total_bytes
+
+        start = time.perf_counter()
+        _, written = write_suite_reports(directory, "engine-report")
+        report_time = time.perf_counter() - start
+        first_tree = {path: open(path, "rb").read() for path in written}
+
+        start = time.perf_counter()
+        write_suite_reports(directory, "engine-report")
+        regen_time = time.perf_counter() - start
+        second_tree = {path: open(path, "rb").read() for path in written}
+
+        store = FileStore(directory)
+        entries_after = len(store)
+        bytes_after = store.total_bytes
+    return {
+        "suite_time": suite_time,
+        "report_time": report_time,
+        "regen_time": regen_time,
+        "report_files": len(written),
+        "store_entries_before": entries_before,
+        "store_entries_after": entries_after,
+        "store_bytes_before": bytes_before,
+        "store_bytes_after": bytes_after,
+        "trees_identical": first_tree == second_tree,
+    }
+
+
+def test_report_time(benchmark, scale):
+    result = run_once(
+        benchmark,
+        _run_report_comparison,
+        n_seeds=scale["n_seeds"],
+        dataset_size=scale["dataset_size"],
+    )
+    rows = [
+        {"phase": "suite run (fits + records)", "seconds": result["suite_time"]},
+        {"phase": "report generation (records only)", "seconds": result["report_time"]},
+        {"phase": "report regeneration", "seconds": result["regen_time"]},
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["phase", "seconds"],
+            title=f"Report — {result['report_files']} files from cached records",
+        )
+    )
+    recorded = (
+        "suite_time",
+        "report_time",
+        "regen_time",
+        "report_files",
+        "store_entries_before",
+        "store_entries_after",
+        "store_bytes_before",
+        "store_bytes_after",
+    )
+    for key in recorded:
+        benchmark.extra_info[key] = result[key]
+    record_bench("report", {key: result[key] for key in recorded})
+
+    # Reports are a pure function of the completion records: generating
+    # them touches no measurement — the object store is byte-for-byte
+    # exactly where the suite run left it.
+    assert result["store_entries_after"] == result["store_entries_before"]
+    assert result["store_bytes_after"] == result["store_bytes_before"]
+
+    # Regeneration from the same cache is byte-identical (the invariant
+    # CI's report-smoke job diffs) and reporting costs a tiny fraction of
+    # the suite run it summarizes.
+    assert result["trees_identical"]
+    assert result["report_time"] < result["suite_time"]

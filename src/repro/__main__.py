@@ -14,6 +14,9 @@ figure suite — is launchable from a JSON manifest without writing Python::
     python -m repro suite manifest.json --resume        # replay completions
     python -m repro gc .repro-cache --max-bytes 67108864
 
+    # variance-provenance reports from cached completion records only
+    python -m repro report .repro-cache --suite fig-suite
+
     # distributed: one coordinator + any number of workers, same cache dir
     python -m repro suite manifest.json --distributed   # terminal 1
     python -m repro worker .repro-cache                 # terminals 2..N
@@ -50,6 +53,10 @@ pool, manifests POSTed to ``/v1/suites`` go through the same durable
 queue that ``worker`` drains, per-member progress streams from
 ``/v1/jobs/<id>/events`` as server-sent events, and ``GET /`` serves a
 zero-dependency status dashboard.
+``report`` rebuilds variance-provenance artifacts (markdown + JSON
+variance budgets, see ``src/repro/report/``) purely from the suite
+completion records in a cache dir — no measurement re-executes — and
+writes them under ``<cache_dir>/reports/<suite>/``.
 ``gc`` prunes a per-key store back within byte / entry budgets,
 LRU-by-last-use.  Because specs fully determine their results (seeds are
 scope-derived, see EXPERIMENTS.md), re-running against the same
@@ -501,6 +508,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="suppress per-request access logging",
     )
 
+    report = commands.add_parser(
+        "report",
+        help=(
+            "emit markdown + JSON variance-budget reports from cached "
+            "suite completion records (zero re-execution)"
+        ),
+    )
+    report.add_argument(
+        "cache_dir",
+        help="per-key store directory holding suite completion records",
+    )
+    report.add_argument(
+        "--suite",
+        default=None,
+        help=(
+            "suite name to report on (default: every suite with "
+            "completion records under the cache dir)"
+        ),
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="print the suite report payload(s) as JSON instead of a summary",
+    )
+
     list_parser = commands.add_parser("list", help="list registered studies")
     list_parser.add_argument(
         "--json",
@@ -822,6 +854,39 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report(args: argparse.Namespace) -> int:
+    from repro.report import ReportError, list_report_suites, write_suite_reports
+
+    if not os.path.isdir(args.cache_dir):
+        raise CLIError(f"no cache directory at {args.cache_dir!r}")
+    try:
+        if args.suite is not None:
+            suite_names = [args.suite]
+        else:
+            suite_names = list_report_suites(args.cache_dir)
+            if not suite_names:
+                raise ReportError(
+                    f"no suite completion records under {args.cache_dir!r}; "
+                    f"run a suite with this cache dir first"
+                )
+        payloads = []
+        for suite_name in suite_names:
+            payload, written = write_suite_reports(args.cache_dir, suite_name)
+            payloads.append(payload)
+            if not args.json:
+                print(
+                    f"suite {suite_name}: {len(payload['members'])} member "
+                    f"report(s), {len(written)} file(s) under "
+                    f"{os.path.join(args.cache_dir, 'reports', suite_name)}"
+                )
+    except ReportError as error:
+        raise CLIError(str(error)) from error
+    if args.json:
+        rendered = payloads[0] if args.suite is not None else payloads
+        print(json.dumps(rendered, indent=2, sort_keys=True))
+    return 0
+
+
 def _list(args: argparse.Namespace) -> int:
     if args.json:
         print(
@@ -852,6 +917,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _queue_status(args)
         if args.command == "gc":
             return _gc(args)
+        if args.command == "report":
+            return _report(args)
         return _run(args)
     except CLIError as error:
         print(f"error: {error}", file=sys.stderr)

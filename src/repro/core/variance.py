@@ -29,6 +29,8 @@ from repro.utils.validation import check_positive_int, check_random_state
 
 __all__ = [
     "VarianceDecomposition",
+    "LayerVarianceBudget",
+    "layer_variance_budget",
     "variance_decomposition_study",
     "hpo_variance_study",
     "estimator_standard_error_curve",
@@ -83,6 +85,110 @@ class VarianceDecomposition:
                 }
             )
         return rows
+
+
+@dataclass(frozen=True)
+class LayerVarianceBudget:
+    """Variance budget of counterfactual noise-layer toggles.
+
+    Built from a one-at-a-time toggle grid: the all-layers-on variance is
+    the *total*, the all-layers-off variance is the *floor* (numerical
+    noise only), and each single-layer-on variance is that layer's
+    isolated *component*.  Because layers interact through the nonlinear
+    training dynamics the components need not sum to the total; the gap is
+    reported as an explicit *residual* interaction term rather than being
+    silently normalized away.
+
+    Attributes
+    ----------
+    total_variance:
+        Variance with every layer enabled.
+    floor_variance:
+        Variance with every layer disabled (the noise floor).
+    components:
+        Mapping from layer name to the variance measured with only that
+        layer enabled.
+    """
+
+    total_variance: float
+    floor_variance: float
+    components: Dict[str, float]
+
+    def fractions(self) -> Dict[str, float]:
+        """Each layer's share of the total variance, clipped into [0, 1].
+
+        A degenerate budget (``total_variance <= 0``) yields zero for
+        every layer so the residual carries the full unit mass.
+        """
+        if not np.isfinite(self.total_variance) or self.total_variance <= 0:
+            return {name: 0.0 for name in self.components}
+        return {
+            name: float(np.clip(value / self.total_variance, 0.0, 1.0))
+            for name, value in self.components.items()
+        }
+
+    def residual(self) -> float:
+        """Interaction term closing the budget: ``1 - sum(fractions)``.
+
+        Negative when layer variances overlap (components over-explain the
+        total), positive when interactions add variance no single layer
+        shows in isolation.  Either way fractions + residual sum to 1
+        exactly — the invariant the property tests pin.
+        """
+        return float(1.0 - sum(self.fractions().values()))
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Rows for :func:`repro.utils.tables.format_table`."""
+        fractions = self.fractions()
+        rows: List[Dict[str, object]] = [
+            {
+                "component": name,
+                "variance": float(self.components[name]),
+                "fraction": fractions[name],
+            }
+            for name in sorted(self.components)
+        ]
+        rows.append(
+            {
+                "component": "residual (interactions)",
+                "variance": float(self.total_variance - sum(self.components.values())),
+                "fraction": self.residual(),
+            }
+        )
+        return rows
+
+
+def layer_variance_budget(
+    total_variance: float,
+    layer_variances: Mapping[str, float],
+    *,
+    floor_variance: float = 0.0,
+) -> LayerVarianceBudget:
+    """Build a :class:`LayerVarianceBudget` from raw toggle-grid variances.
+
+    Parameters
+    ----------
+    total_variance:
+        Variance of the all-layers-on runs.
+    layer_variances:
+        Per-layer variance with only that layer enabled.
+    floor_variance:
+        Variance of the all-layers-off runs (defaults to 0 when the grid
+        did not include the ``"none"`` combination).
+    """
+    for name, value in {"total_variance": total_variance, "floor_variance": floor_variance}.items():
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative")
+    components = {}
+    for name, value in layer_variances.items():
+        if value < 0:
+            raise ValueError(f"variance of layer {name!r} must be non-negative")
+        components[name] = float(value)
+    return LayerVarianceBudget(
+        total_variance=float(total_variance),
+        floor_variance=float(floor_variance),
+        components=components,
+    )
 
 
 def variance_decomposition_study(

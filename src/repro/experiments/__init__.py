@@ -16,6 +16,7 @@ from repro.experiments.detection_study import (
 )
 from repro.experiments.estimator_study import run_estimator_study
 from repro.experiments.hpo_curves import run_hpo_curves_study
+from repro.experiments.layer_ablation import run_layer_ablation_study
 from repro.experiments.mhc_comparison import run_mhc_model_comparison
 from repro.experiments.normality_study import run_normality_study
 from repro.experiments.sample_size_study import run_sample_size_study
@@ -29,6 +30,7 @@ __all__ = [
     "run_robustness_study",
     "run_estimator_study",
     "run_hpo_curves_study",
+    "run_layer_ablation_study",
     "run_mhc_model_comparison",
     "run_normality_study",
     "run_sample_size_study",

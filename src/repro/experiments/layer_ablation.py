@@ -1,0 +1,248 @@
+"""Counterfactual noise-layer ablation grid behind the variance-provenance reports.
+
+For each task the full-run seed bundles are pre-drawn once, then every
+layer-toggle combination re-measures the *same* bundles with the disabled
+layers silenced (:meth:`~repro.pipelines.base.Pipeline.with_noise_layers`).
+Because each seed source owns an independent stream, a layer-off run is a
+true counterfactual of the layer-on run — not a fresh draw — so comparing
+variances across combinations attributes the run-to-run variance to its
+layers.  The one-at-a-time grid yields the per-study variance budget
+rendered by ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.api.registry import register_study
+from repro.core.benchmark import BenchmarkProcess
+from repro.core.variance import LayerVarianceBudget, layer_variance_budget
+from repro.data.tasks import get_task
+from repro.engine import MeasurementCache, ParallelExecutor, StudyRunner
+from repro.engine.runner import WorkItem
+from repro.pipelines.layers import (
+    NOISE_LAYERS,
+    combo_label,
+    full_grid_combos,
+    normalize_layers,
+    one_at_a_time_combos,
+    parse_combo,
+)
+from repro.utils.rng import SeedScope
+from repro.utils.tables import format_table
+from repro.utils.validation import check_positive_int
+
+__all__ = ["LayerAblationResult", "run_layer_ablation_study"]
+
+
+def _combo_layers(combo: str, layers: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Layers enabled by ``combo``, validated against the studied set.
+
+    ``"all"`` means every *studied* layer (which may be a subset of
+    :data:`~repro.pipelines.layers.NOISE_LAYERS` when the study restricts
+    ``layers``).
+    """
+    if combo.strip() == "all":
+        return layers
+    on = parse_combo(combo)
+    extra = set(on) - set(layers)
+    if extra:
+        raise ValueError(
+            f"combo {combo!r} enables layers {sorted(extra)} outside the "
+            f"studied set {list(layers)}"
+        )
+    return on
+
+
+@dataclass
+class LayerAblationResult:
+    """Results of the layer-ablation toggle grid.
+
+    Attributes
+    ----------
+    layers:
+        The studied (toggleable) noise layers.
+    n_seeds:
+        Seed-bundle repetitions per (combo, task) cell.
+    entries:
+        One summary dict per (combo, task) cell, in execution order
+        (combos outer so sharded runs concatenate into the same order).
+    scores:
+        Raw per-repetition test scores keyed by ``(combo, task)``.
+    """
+
+    layers: Tuple[str, ...] = NOISE_LAYERS
+    n_seeds: int = 0
+    entries: List[dict] = field(default_factory=list)
+    scores: Dict[Tuple[str, str], np.ndarray] = field(default_factory=dict)
+
+    def rows(self) -> List[dict]:
+        """One row per (combo, task) cell of the toggle grid."""
+        return [dict(entry) for entry in self.entries]
+
+    def report(self) -> str:
+        """Plain-text rendition of the toggle grid."""
+        return format_table(
+            self.rows(),
+            columns=["combo", "task", "n_seeds", "mean", "std", "variance"],
+            title="Layer ablation — variance under counterfactual noise-layer toggles",
+        )
+
+    def budgets(self) -> Dict[str, LayerVarianceBudget]:
+        """Per-task variance budgets, for tasks whose grid supports one.
+
+        Requires the ``"all"`` combination (the total) plus at least one
+        single-layer combination; the ``"none"`` floor is used when
+        present.
+        """
+        per_task: Dict[str, Dict[str, float]] = {}
+        for entry in self.entries:
+            per_task.setdefault(entry["task"], {})[entry["combo"]] = entry["variance"]
+        budgets: Dict[str, LayerVarianceBudget] = {}
+        for task_name, by_combo in per_task.items():
+            total_label = combo_label(self.layers)
+            if total_label not in by_combo and "all" in by_combo:
+                total_label = "all"
+            components = {
+                layer: by_combo[layer] for layer in self.layers if layer in by_combo
+            }
+            if total_label not in by_combo or not components:
+                continue
+            budgets[task_name] = layer_variance_budget(
+                by_combo[total_label],
+                components,
+                floor_variance=by_combo.get("none", 0.0),
+            )
+        return budgets
+
+
+@register_study(
+    "layer_ablation",
+    artefact="Variance provenance",
+    size_params=("n_seeds", "dataset_size"),
+    smoke_params={
+        "task_names": ["entailment"],
+        "combos": ["none", "dropout", "order", "all"],
+        "n_seeds": 3,
+        "dataset_size": 150,
+    },
+    shard_param="combos",
+    benchmark="benchmarks/bench_engine.py",
+)
+def run_layer_ablation_study(
+    task_names: Sequence[str] = ("sentiment",),
+    *,
+    combos: Optional[Sequence[str]] = None,
+    layers: Sequence[str] = NOISE_LAYERS,
+    full_grid: bool = False,
+    n_seeds: int = 10,
+    dataset_size: Optional[int] = None,
+    n_jobs: int = 1,
+    backend: str = "thread",
+    cache: Optional[MeasurementCache] = None,
+    executor: Optional[ParallelExecutor] = None,
+    random_state=None,
+) -> LayerAblationResult:
+    """Measure run-to-run variance under counterfactual noise-layer toggles.
+
+    Parameters
+    ----------
+    task_names:
+        Case-study analogue tasks to include.
+    combos:
+        Layer-combination labels to measure (see
+        :func:`~repro.pipelines.layers.combo_label`); defaults to the
+        one-at-a-time grid over ``layers`` (or the full 2^k grid when
+        ``full_grid`` is true).
+    layers:
+        The toggleable layers under study; per repetition the seeds of
+        exactly these sources are re-drawn (jointly), every other seed
+        stays at its base value.
+    full_grid:
+        Use the full 2^k grid when ``combos`` is not given.
+    n_seeds:
+        Seed-bundle repetitions per (combo, task) cell.
+    dataset_size:
+        Optional override of the dataset size for faster runs.
+    n_jobs, backend, cache, executor:
+        Measurement-engine knobs, identical to every other study driver.
+    random_state:
+        Seed, generator or :class:`~repro.utils.rng.SeedScope`.  The
+        repetition bundles are a pure function of the (task, layer, rep)
+        scope path — independent of which combos run — so every
+        combination measures the *same* bundles (the counterfactual
+        contract) and a single-combo shard is bitwise identical to its
+        slice of the full run.
+    """
+    n_seeds = check_positive_int(n_seeds, "n_seeds", minimum=2)
+    layers = normalize_layers(layers)
+    if not layers:
+        raise ValueError("at least one noise layer must be studied")
+    if combos is None:
+        combos = full_grid_combos(layers) if full_grid else one_at_a_time_combos(layers)
+    combos = [str(combo) for combo in combos]
+    for combo in combos:
+        _combo_layers(combo, layers)  # validate before any work runs
+
+    scope = SeedScope.from_state(random_state)
+    result = LayerAblationResult(layers=layers, n_seeds=n_seeds)
+
+    # Per-task state is combo-independent by construction: datasets and
+    # repetition bundles derive from (task, layer, rep) scope paths only.
+    datasets = {}
+    rep_seeds = {}
+    for task_name in task_names:
+        task_scope = scope.child("task", task_name)
+        task = get_task(task_name)
+        dataset_kwargs = {"n_samples": dataset_size} if dataset_size else {}
+        datasets[task_name] = task.make_dataset(
+            random_state=task_scope.child("dataset").rng(), **dataset_kwargs
+        )
+        base_seeds = task_scope.child("base").bundle()
+        rep_seeds[task_name] = [
+            base_seeds.with_seeds(
+                **{
+                    layer: task_scope.child("layer", layer).child("rep", i).seed()
+                    for layer in layers
+                }
+            )
+            for i in range(n_seeds)
+        ]
+
+    # Combos form the outer loop — the shard axis — so a sharded run's
+    # concatenated rows match the full run's row order exactly.
+    for combo in combos:
+        layers_on = _combo_layers(combo, layers)
+        for task_name in task_names:
+            task_scope = scope.child("task", task_name)
+            task = get_task(task_name)
+            pipeline = task.make_pipeline().with_noise_layers(layers_on)
+            process = BenchmarkProcess(datasets[task_name], pipeline)
+            runner = StudyRunner(
+                process, executor=executor, n_jobs=n_jobs, backend=backend, cache=cache
+            )
+            combo_scope = task_scope.child("combo", combo)
+            items = [
+                WorkItem(
+                    seeds=rep_seeds[task_name][i],
+                    scope_path=combo_scope.child("rep", i).path_str(),
+                )
+                for i in range(n_seeds)
+            ]
+            scores = runner.run_scores(items)
+            result.scores[(combo, task_name)] = scores
+            result.entries.append(
+                {
+                    "combo": combo,
+                    "task": task_name,
+                    "layers_on": list(layers_on),
+                    "n_seeds": n_seeds,
+                    "mean": float(np.mean(scores)),
+                    "std": float(np.std(scores, ddof=1)),
+                    "variance": float(np.var(scores, ddof=1)),
+                }
+            )
+    return result

@@ -110,6 +110,20 @@ class Pipeline(ABC):
             for train, seeds, valid in zip(trains, seeds_list, valids)
         ]
 
+    def with_noise_layers(self, layers) -> "Pipeline":
+        """A variant of this pipeline with only the given noise layers on.
+
+        Pipelines that support counterfactual noise-layer toggles (see
+        :mod:`repro.pipelines.layers`) override this to return a clone
+        whose disabled layers are silenced while every remaining layer
+        consumes exactly the same seed streams.  The base implementation
+        refuses: a silent no-op would turn an "ablated" measurement into
+        an unablated one.
+        """
+        raise NotImplementedError(
+            f"pipeline {self.name!r} does not support noise-layer toggles"
+        )
+
     def resolve_hparams(self, hparams: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
         """Merge user hyperparameters over the defaults."""
         merged = dict(self.default_hparams())

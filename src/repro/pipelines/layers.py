@@ -1,0 +1,122 @@
+"""Toggleable noise layers: counterfactual on/off switches for ξ_O sources.
+
+A *noise layer* is one stochastic element of the learning procedure that a
+pipeline can disable without disturbing any other source of randomness:
+
+=============  =====================================================
+Layer          Off semantics
+=============  =====================================================
+``augment``    data augmentation disabled (no augment draws)
+``dropout``    dropout rate forced to 0 (no dropout masks)
+``init``       weights initialized from a frozen, constant stream
+``order``      batch order fixed to dataset order (no shuffling)
+=============  =====================================================
+
+Because every seed source owns an independent generator
+(:meth:`repro.utils.rng.SeedBundle.rng_for` returns a fresh stream per
+source), turning a layer off never shifts the draws consumed by the other
+layers.  A layer-off run under seed bundle ``b`` is therefore a *true
+counterfactual* of the layer-on run under the same ``b`` — "the same run,
+had this source been silenced" — rather than a fresh random draw.
+
+Layer combinations are addressed by canonical labels: ``"none"`` (all
+layers off), ``"all"`` (every layer on), a single layer name, or layer
+names joined by ``"+"`` in :data:`NOISE_LAYERS` order (e.g.
+``"dropout+init"``).  The label grammar is the shard axis of the
+``layer_ablation`` study and the key of the variance-budget reports.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Sequence, Tuple, Union
+
+__all__ = [
+    "NOISE_LAYERS",
+    "normalize_layers",
+    "combo_label",
+    "parse_combo",
+    "one_at_a_time_combos",
+    "full_grid_combos",
+]
+
+#: The toggleable learning-procedure noise layers, in canonical order.
+#: Each name is also a seed source of :data:`repro.utils.rng.KNOWN_SOURCES`.
+NOISE_LAYERS: Tuple[str, ...] = ("augment", "dropout", "init", "order")
+
+LayerSet = Union[str, Iterable[str]]
+
+
+def normalize_layers(layers: LayerSet) -> Tuple[str, ...]:
+    """Validate a layer collection and return it in canonical order.
+
+    Accepts an iterable of layer names or a single combo label string
+    (``"none"``, ``"all"``, ``"dropout"``, ``"dropout+init"``, ...).
+    Duplicates collapse; unknown names raise ``ValueError``.
+    """
+    if isinstance(layers, str):
+        return parse_combo(layers)
+    requested = set(layers)
+    unknown = requested - set(NOISE_LAYERS)
+    if unknown:
+        raise ValueError(
+            f"unknown noise layers {sorted(unknown)}; known layers: "
+            f"{list(NOISE_LAYERS)}"
+        )
+    return tuple(layer for layer in NOISE_LAYERS if layer in requested)
+
+
+def combo_label(layers_on: LayerSet) -> str:
+    """Canonical label of a layer combination.
+
+    The empty set is ``"none"``, the full set is ``"all"``, everything in
+    between is the enabled layers joined by ``"+"`` in canonical order.
+    """
+    layers = normalize_layers(layers_on)
+    if not layers:
+        return "none"
+    if layers == NOISE_LAYERS:
+        return "all"
+    return "+".join(layers)
+
+
+def parse_combo(label: str) -> Tuple[str, ...]:
+    """Inverse of :func:`combo_label`: label → canonical layer tuple."""
+    label = label.strip()
+    if label == "none" or label == "":
+        return ()
+    if label == "all":
+        return NOISE_LAYERS
+    parts = [part.strip() for part in label.split("+")]
+    unknown = set(parts) - set(NOISE_LAYERS)
+    if unknown:
+        raise ValueError(
+            f"unknown noise layers {sorted(unknown)} in combo {label!r}; "
+            f"known layers: {list(NOISE_LAYERS)}"
+        )
+    return tuple(layer for layer in NOISE_LAYERS if layer in set(parts))
+
+
+def one_at_a_time_combos(layers: Sequence[str] = NOISE_LAYERS) -> List[str]:
+    """The one-at-a-time toggle grid, as canonical combo labels.
+
+    ``"none"`` (the noise floor), each layer alone (its isolated variance
+    contribution), then ``"all"`` (the total) — the minimal grid a
+    variance budget needs.
+    """
+    layers = normalize_layers(layers)
+    return ["none", *(combo_label((layer,)) for layer in layers), combo_label(layers)]
+
+
+def full_grid_combos(layers: Sequence[str] = NOISE_LAYERS) -> List[str]:
+    """The full 2^k toggle grid over ``layers``, as canonical combo labels.
+
+    Ordered by combination size then canonical layer order, starting at
+    ``"none"`` and ending at the all-on combination.
+    """
+    layers = normalize_layers(layers)
+    labels = []
+    for size in range(len(layers) + 1):
+        for subset in combinations(layers, size):
+            labels.append(combo_label(subset))
+    return labels

@@ -11,12 +11,14 @@ initialization standard deviation for the BERT-like configuration.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.pipelines.base import FitOutcome, Pipeline
+from repro.pipelines.layers import NOISE_LAYERS, combo_label, normalize_layers
 from repro.pipelines.metrics import METRICS
 from repro.pipelines.nn.batched import BatchedNetwork
 from repro.pipelines.nn.network import MLPNetwork
@@ -26,6 +28,11 @@ from repro.pipelines.training import TrainingConfig, train_network, train_networ
 from repro.utils.rng import SeedBundle
 
 __all__ = ["MLPClassifierPipeline", "MLPRegressorPipeline"]
+
+#: Seed of the frozen initialization stream used when the ``init`` noise
+#: layer is toggled off: every fit then starts from the same deterministic
+#: weights while all other streams keep their per-run draws.
+_FROZEN_INIT_SEED = 0x1217_5EED
 
 
 def _build_search_space(include_init_std: bool, include_momentum: bool):
@@ -144,6 +151,7 @@ class _BaseMLPPipeline(Pipeline):
         augmentations: Sequence = (),
         dropout_rate: float = 0.0,
         numerical_noise_scale: float = 0.0,
+        noise_layers: Optional[Sequence[str]] = None,
         name: Optional[str] = None,
     ) -> None:
         self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
@@ -155,11 +163,39 @@ class _BaseMLPPipeline(Pipeline):
         self.augmentations = tuple(augmentations)
         self.dropout_rate = float(dropout_rate)
         self.numerical_noise_scale = float(numerical_noise_scale)
+        self.noise_layers = (
+            NOISE_LAYERS if noise_layers is None else normalize_layers(noise_layers)
+        )
         if optimizer not in ("sgd", "adam"):
             raise ValueError("optimizer must be 'sgd' or 'adam'")
         if metric_name not in METRICS:
             raise ValueError(f"unknown metric {metric_name!r}")
         self.name = name or f"mlp-{self.task_type}"
+        self._base_name = self.name
+        if self.noise_layers != NOISE_LAYERS:
+            self.name = f"{self._base_name}[layers={combo_label(self.noise_layers)}]"
+
+    def _layer_on(self, layer: str) -> bool:
+        """Whether a noise layer is enabled for this pipeline."""
+        return layer in self.noise_layers
+
+    def with_noise_layers(self, layers) -> "_BaseMLPPipeline":
+        """A clone of this pipeline with the given noise layers enabled.
+
+        The clone's ``name`` carries the layer-combination label (unless
+        every layer is on) because the measurement cache keys pipelines by
+        name — two toggle variants must never collide on one cache entry.
+        A layer-off clone consumes exactly the same seed streams for the
+        remaining layers as the original, making its measurements true
+        counterfactuals under a shared seed bundle.
+        """
+        layers = normalize_layers(layers)
+        clone = copy.copy(self)
+        clone.noise_layers = layers
+        clone.name = clone._base_name
+        if layers != NOISE_LAYERS:
+            clone.name = f"{clone._base_name}[layers={combo_label(layers)}]"
+        return clone
 
     def default_hparams(self) -> Dict[str, Any]:
         return {
@@ -187,14 +223,22 @@ class _BaseMLPPipeline(Pipeline):
         self, train: Dataset, hparams: Mapping[str, Any], seeds: SeedBundle
     ) -> MLPNetwork:
         layer_sizes = [train.n_features, *self.hidden_sizes, self._output_size(train)]
+        if self._layer_on("init"):
+            init_rng = seeds.rng_for("init")
+        else:
+            # Counterfactual: frozen deterministic init, other streams
+            # untouched (each source owns an independent generator).
+            init_rng = np.random.default_rng(_FROZEN_INIT_SEED)
         return MLPNetwork(
             layer_sizes,
             activation=self.activation,
             task_type=self.task_type,
-            dropout_rate=float(hparams["dropout_rate"]),
+            dropout_rate=(
+                float(hparams["dropout_rate"]) if self._layer_on("dropout") else 0.0
+            ),
             init_scheme=self._init_scheme(),
             init_scale=float(hparams["init_scale"]),
-            init_rng=seeds.rng_for("init"),
+            init_rng=init_rng,
         )
 
     def _build_optimizer(self, hparams: Mapping[str, Any]):
@@ -217,8 +261,9 @@ class _BaseMLPPipeline(Pipeline):
             n_epochs=self.n_epochs,
             batch_size=self.batch_size,
             schedule=schedule,
-            augmentations=self.augmentations,
+            augmentations=self.augmentations if self._layer_on("augment") else (),
             numerical_noise_scale=self.numerical_noise_scale,
+            shuffle=self._layer_on("order"),
         )
 
     def fit(

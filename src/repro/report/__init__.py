@@ -1,0 +1,37 @@
+"""Variance-provenance reports built from cached results alone.
+
+This package turns the completion records a suite run leaves under
+``<cache_dir>/suites/<suite>/`` into per-study variance-budget artifacts
+(markdown + JSON) **without re-executing anything**: the builder only ever
+reads record files.  Reports are deterministic functions of the records'
+``spec``/``rows``/``report`` payloads — volatile provenance such as
+timings and cache counters is excluded — so a report built from an
+in-process ``run``, a ``run_suite`` cache or a distributed-queue cache is
+byte-identical.
+
+Entry points: ``python -m repro report <cache_dir>`` and
+``GET /v1/reports/<suite>`` on the study service.
+"""
+
+from repro.report.budget import budgets_from_rows
+from repro.report.builder import (
+    ReportError,
+    build_member_report,
+    build_suite_report,
+    list_report_suites,
+    load_suite_records,
+    write_suite_reports,
+)
+from repro.report.render import render_member_markdown, render_suite_markdown
+
+__all__ = [
+    "ReportError",
+    "budgets_from_rows",
+    "build_member_report",
+    "build_suite_report",
+    "list_report_suites",
+    "load_suite_records",
+    "render_member_markdown",
+    "render_suite_markdown",
+    "write_suite_reports",
+]

@@ -1,0 +1,73 @@
+"""Variance-budget extraction from recorded study rows.
+
+A ``layer_ablation`` study's rows carry, per (combo, task) cell, the
+variance of the test metric under that counterfactual toggle combination.
+This module folds those rows into per-task budgets via
+:func:`repro.core.variance.layer_variance_budget`: the ``"all"``
+combination is the total, the ``"none"`` combination the noise floor, and
+each single-layer combination that layer's isolated component.  Rows of
+any other study shape yield no budgets (the report then renders rows
+only).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.core.variance import layer_variance_budget
+
+__all__ = ["budgets_from_rows"]
+
+#: Row keys that identify a layer-ablation toggle grid.
+_ABLATION_KEYS = frozenset({"combo", "task", "layers_on", "variance"})
+
+
+def budgets_from_rows(rows: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-task variance budgets from layer-ablation rows (possibly empty).
+
+    Returns one JSON-safe budget dict per task whose grid contains the
+    ``"all"`` combination plus at least one single-layer combination,
+    sorted by task name for deterministic output.  Rows that do not look
+    like a layer-ablation grid produce an empty list.
+    """
+    if not rows or not all(_ABLATION_KEYS <= set(row) for row in rows):
+        return []
+    per_task: Dict[str, Dict[str, Mapping[str, Any]]] = {}
+    for row in rows:
+        per_task.setdefault(str(row["task"]), {})[str(row["combo"])] = row
+    budgets: List[Dict[str, Any]] = []
+    for task_name in sorted(per_task):
+        by_combo = per_task[task_name]
+        if "all" not in by_combo:
+            continue
+        components = {
+            str(row["layers_on"][0]): float(row["variance"])
+            for row in by_combo.values()
+            if len(row["layers_on"]) == 1
+        }
+        if not components:
+            continue
+        floor_row = by_combo.get("none")
+        budget = layer_variance_budget(
+            float(by_combo["all"]["variance"]),
+            components,
+            floor_variance=float(floor_row["variance"]) if floor_row else 0.0,
+        )
+        fractions = budget.fractions()
+        budgets.append(
+            {
+                "task": task_name,
+                "n_seeds": by_combo["all"].get("n_seeds"),
+                "total_variance": budget.total_variance,
+                "floor_variance": budget.floor_variance,
+                "components": {
+                    name: budget.components[name] for name in sorted(components)
+                },
+                "fractions": {name: fractions[name] for name in sorted(fractions)},
+                "residual_variance": float(
+                    budget.total_variance - sum(budget.components.values())
+                ),
+                "residual_fraction": budget.residual(),
+            }
+        )
+    return budgets

@@ -1,0 +1,188 @@
+"""Report construction from suite completion records — zero re-execution.
+
+The only inputs are the record files a suite run leaves behind
+(``<cache_dir>/suites/<suite>/<member>.json`` plus ``manifest.json``); no
+measurement, cache lookup or study driver ever runs.  Reports land under
+the sibling ``reports`` namespace of the same store root::
+
+    <cache_dir>/reports/<suite>/index.json    whole-suite JSON payload
+    <cache_dir>/reports/<suite>/index.md      whole-suite markdown
+    <cache_dir>/reports/<suite>/<member>.json per-member JSON payload
+    <cache_dir>/reports/<suite>/<member>.md   per-member markdown
+
+Payloads deliberately exclude volatile provenance (``elapsed_seconds``,
+``cache_stats``): everything kept is a pure function of the spec and its
+rows, which is what makes reports byte-identical across the in-process,
+suite and distributed-queue execution paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.engine.cache import atomic_write
+from repro.report.budget import budgets_from_rows
+from repro.report.render import render_member_markdown, render_suite_markdown
+
+__all__ = [
+    "ReportError",
+    "build_member_report",
+    "build_suite_report",
+    "list_report_suites",
+    "load_suite_records",
+    "write_suite_reports",
+]
+
+#: Version tag of the report payload schema.
+REPORT_FORMAT = 1
+
+
+class ReportError(RuntimeError):
+    """A report could not be built from the cached records."""
+
+
+def list_report_suites(cache_dir: str) -> List[str]:
+    """Names of suites with completion records under ``cache_dir``."""
+    if not os.path.isdir(cache_dir):
+        raise ReportError(f"cache directory {cache_dir!r} does not exist")
+    suites_dir = os.path.join(cache_dir, "suites")
+    if not os.path.isdir(suites_dir):
+        return []
+    return sorted(
+        name
+        for name in os.listdir(suites_dir)
+        if os.path.isdir(os.path.join(suites_dir, name))
+    )
+
+
+def load_suite_records(
+    cache_dir: str, suite_name: str
+) -> "OrderedDict[str, Dict[str, Any]]":
+    """Read every member completion record of one suite, manifest order.
+
+    Raises :class:`ReportError` when the suite has no records at all, when
+    a record (or the manifest) is unreadable, or when the manifest names a
+    member whose record is missing — a partial suite cannot produce a
+    trustworthy report.
+    """
+    records_dir = os.path.join(cache_dir, "suites", suite_name)
+    if not os.path.isdir(cache_dir):
+        raise ReportError(f"cache directory {cache_dir!r} does not exist")
+    if not os.path.isdir(records_dir):
+        raise ReportError(
+            f"no completion records for suite {suite_name!r} under {cache_dir!r}"
+        )
+    names: Optional[List[str]] = None
+    manifest_path = os.path.join(records_dir, "manifest.json")
+    if os.path.exists(manifest_path):
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            names = [entry["name"] for entry in manifest["suite"]["specs"]]
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            raise ReportError(
+                f"corrupted suite manifest {manifest_path!r}: {error}"
+            ) from error
+    if names is None:
+        names = sorted(
+            entry[: -len(".json")]
+            for entry in os.listdir(records_dir)
+            if entry.endswith(".json") and entry != "manifest.json"
+        )
+    if not names:
+        raise ReportError(
+            f"suite {suite_name!r} under {cache_dir!r} has no member records"
+        )
+    records: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+    for name in names:
+        record_path = os.path.join(records_dir, f"{name}.json")
+        if not os.path.exists(record_path):
+            raise ReportError(
+                f"suite {suite_name!r} is incomplete: member {name!r} has no "
+                f"completion record (re-run the suite before reporting)"
+            )
+        try:
+            with open(record_path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise ReportError(
+                f"corrupted completion record {record_path!r}: {error}"
+            ) from error
+        if not isinstance(record, Mapping) or "rows" not in record:
+            raise ReportError(
+                f"corrupted completion record {record_path!r}: not a "
+                f"completion record (missing 'rows')"
+            )
+        records[name] = dict(record)
+    return records
+
+
+def build_member_report(
+    record: Mapping[str, Any], *, name: Optional[str] = None
+) -> Dict[str, Any]:
+    """Report payload for one completion record (``StudyResult.to_record``).
+
+    Pure function of the record's path-invariant fields — spec, rows and
+    rendered report — plus any variance budgets the rows support.
+    """
+    rows = record.get("rows") or []
+    return {
+        "format": REPORT_FORMAT,
+        "name": name,
+        "study": record.get("study"),
+        "artefact": record.get("artefact") or "",
+        "spec": record.get("spec"),
+        "rows": rows,
+        "report": record.get("report") or "",
+        "budgets": budgets_from_rows(rows),
+    }
+
+
+def build_suite_report(cache_dir: str, suite_name: str) -> Dict[str, Any]:
+    """Whole-suite report payload, built purely from completion records."""
+    records = load_suite_records(cache_dir, suite_name)
+    return {
+        "format": REPORT_FORMAT,
+        "suite": suite_name,
+        "members": [
+            build_member_report(record, name=name)
+            for name, record in records.items()
+        ],
+    }
+
+
+def _dump(payload: Mapping[str, Any]) -> bytes:
+    """Canonical JSON encoding of a report payload (byte-stable)."""
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def write_suite_reports(
+    cache_dir: str, suite_name: str
+) -> Tuple[Dict[str, Any], List[str]]:
+    """Build and write one suite's report tree; returns (payload, paths).
+
+    Writing is atomic per file and the contents are pure functions of the
+    records, so regenerating from the same cache produces byte-identical
+    trees — the invariant CI's ``report-smoke`` job diffs.
+    """
+    payload = build_suite_report(cache_dir, suite_name)
+    out_dir = os.path.join(cache_dir, "reports", suite_name)
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+    index_json = os.path.join(out_dir, "index.json")
+    atomic_write(index_json, _dump(payload))
+    written.append(index_json)
+    index_md = os.path.join(out_dir, "index.md")
+    atomic_write(index_md, render_suite_markdown(payload).encode("utf-8"))
+    written.append(index_md)
+    for member in payload["members"]:
+        member_json = os.path.join(out_dir, f"{member['name']}.json")
+        atomic_write(member_json, _dump(member))
+        written.append(member_json)
+        member_md = os.path.join(out_dir, f"{member['name']}.md")
+        atomic_write(member_md, render_member_markdown(member).encode("utf-8"))
+        written.append(member_md)
+    return payload, written

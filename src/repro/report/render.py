@@ -1,0 +1,149 @@
+"""Markdown rendering of report payloads.
+
+Rendering is a deterministic pure function of the payload: fixed section
+order, fixed ``%.6g`` float formatting, no timestamps or host details —
+the same payload always renders to the same bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+__all__ = ["render_member_markdown", "render_suite_markdown"]
+
+
+def _fmt(value: Any) -> str:
+    """One cell: stable scalar formatting (floats via shortest ``%.6g``)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (list, tuple)):
+        return "+".join(str(v) for v in value) if value else "—"
+    return str(value)
+
+
+def _table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str]) -> List[str]:
+    """GitHub-flavored markdown table lines."""
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(row.get(col, "")) for col in columns) + " |")
+    return lines
+
+
+def _budget_section(budget: Mapping[str, Any]) -> List[str]:
+    """The variance-budget tables of one task."""
+    lines = [f"### Task `{budget['task']}`", ""]
+    component_rows = [
+        {
+            "component": name,
+            "variance": budget["components"][name],
+            "fraction": budget["fractions"][name],
+        }
+        for name in sorted(budget["components"])
+    ]
+    component_rows.append(
+        {
+            "component": "residual (interactions)",
+            "variance": budget["residual_variance"],
+            "fraction": budget["residual_fraction"],
+        }
+    )
+    lines.extend(_table(component_rows, ["component", "variance", "fraction"]))
+    lines.extend(
+        [
+            "",
+            f"- total variance (all layers on): {_fmt(budget['total_variance'])}",
+            f"- noise floor (all layers off): {_fmt(budget['floor_variance'])}",
+            "",
+        ]
+    )
+    return lines
+
+
+def render_member_markdown(member: Mapping[str, Any]) -> str:
+    """Markdown report of one suite member (or ad-hoc study record)."""
+    title = member.get("name") or member.get("study") or "study"
+    lines: List[str] = [f"# Variance provenance — `{title}`", ""]
+
+    lines.append("## Run configuration")
+    lines.append("")
+    lines.append(f"- study: `{member.get('study')}`")
+    if member.get("artefact"):
+        lines.append(f"- artefact: {member['artefact']}")
+    spec = member.get("spec") or {}
+    if spec:
+        lines.append(f"- random_state: {spec.get('random_state')}")
+        params = json.dumps(spec.get("params") or {}, sort_keys=True)
+        lines.append(f"- params: `{params}`")
+    lines.append("")
+
+    budgets = member.get("budgets") or []
+    if budgets:
+        lines.append("## Variance budget")
+        lines.append("")
+        lines.append(
+            "Counterfactual toggle grid: every combination re-measures the "
+            "*same* seed bundles with the disabled layers silenced, so each "
+            "fraction is the share of the all-layers-on variance explained "
+            "by that layer alone."
+        )
+        lines.append("")
+        for budget in budgets:
+            lines.extend(_budget_section(budget))
+        lines.append(
+            "A large residual is not a bug — it is honest accounting of "
+            "layer interactions: variance the layers only produce (or "
+            "cancel) jointly, which no single-layer counterfactual can "
+            "attribute."
+        )
+        lines.append("")
+
+    rows = member.get("rows") or []
+    if rows:
+        lines.append("## Rows")
+        lines.append("")
+        columns = list(rows[0].keys())
+        lines.extend(_table(rows, columns))
+        lines.append("")
+
+    report = member.get("report") or ""
+    if report:
+        lines.append("## Study report")
+        lines.append("")
+        lines.append("```")
+        lines.append(report.rstrip("\n"))
+        lines.append("```")
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def render_suite_markdown(payload: Mapping[str, Any]) -> str:
+    """Markdown index of one suite's report tree."""
+    lines: List[str] = [f"# Variance provenance — suite `{payload['suite']}`", ""]
+    members: Sequence[Dict[str, Any]] = payload.get("members") or []
+    summary_rows = [
+        {
+            "member": member.get("name"),
+            "study": member.get("study"),
+            "artefact": member.get("artefact") or "—",
+            "rows": len(member.get("rows") or []),
+            "budget tasks": len(member.get("budgets") or []),
+        }
+        for member in members
+    ]
+    lines.extend(
+        _table(summary_rows, ["member", "study", "artefact", "rows", "budget tasks"])
+    )
+    lines.append("")
+    lines.append(
+        "Per-member detail lives next to this index as `<member>.md` / "
+        "`<member>.json`."
+    )
+    lines.append("")
+    return "\n".join(lines)

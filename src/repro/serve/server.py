@@ -28,6 +28,7 @@ GET       ``/v1/jobs/<id>/events``        progress stream (text/event-stream)
 GET       ``/v1/queue``                   snapshot of every live task queue
 GET       ``/v1/results/<suite>``         completed members of a suite
 GET       ``/v1/results/<suite>/<name>``  one member's completion record
+GET       ``/v1/reports/<suite>``         variance-provenance report (JSON)
 ========  ==============================  =====================================
 
 Malformed specs are rejected with 400 and the registry's positional
@@ -137,6 +138,8 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._suite_members(route[1])
             if len(route) == 3 and route[0] == "results":
                 return self._member_record(route[1], route[2])
+            if len(route) == 2 and route[0] == "reports":
+                return self._suite_report(route[1])
             return self._send_error_json(HTTPStatus.NOT_FOUND, "not found")
         except BrokenPipeError:
             pass  # client went away mid-response
@@ -300,6 +303,23 @@ class _Handler(BaseHTTPRequestHandler):
                 ),
             }
         )
+
+    def _suite_report(self, suite: str) -> None:
+        from repro.report import ReportError, build_suite_report
+
+        records_dir = self._suite_records_dir(suite)
+        if records_dir is None or not os.path.isdir(records_dir):
+            return self._send_error_json(
+                HTTPStatus.NOT_FOUND, f"no cached results for suite {suite!r}"
+            )
+        cache_dir = self.server.registry.session.cache.cache_dir
+        try:
+            # Built from the completion records alone — the service never
+            # re-executes a measurement to serve a report.
+            payload = build_suite_report(cache_dir, suite)
+        except ReportError as error:
+            return self._send_error_json(HTTPStatus.CONFLICT, str(error))
+        self._send_json(payload)
 
     def _member_record(self, suite: str, member: str) -> None:
         records_dir = self._suite_records_dir(suite)

@@ -31,6 +31,7 @@ __all__ = [
     "SimulatedTask",
     "simulate_ideal_measurements",
     "simulate_biased_measurements",
+    "simulate_layered_measurements",
     "true_probability_of_outperforming",
     "mean_shift_for_probability",
 ]
@@ -113,6 +114,65 @@ def simulate_biased_measurements(
     return rng.normal(
         task.mean + mean_shift + bias, task.biased_measurement_std, size=k
     )
+
+
+def simulate_layered_measurements(
+    task: SimulatedTask,
+    k: int,
+    *,
+    layer_sigmas,
+    enabled=None,
+    mean_shift: float = 0.0,
+    random_state=None,
+) -> np.ndarray:
+    """Draw ``k`` measurements as a sum of toggleable noise layers.
+
+    The normal-model analogue of the pipeline stack's counterfactual noise
+    layers (:mod:`repro.pipelines.layers`): each layer contributes additive
+    Gaussian noise drawn from its *own* seed stream, derived from the
+    layer's name under a :class:`~repro.utils.rng.SeedScope`.  Disabling a
+    layer removes its term without consuming its stream, so the enabled
+    layers' draws are bitwise identical across any toggle combination at a
+    fixed ``random_state`` — a layer-off simulation is a true
+    counterfactual of the layer-on one.
+
+    Parameters
+    ----------
+    task:
+        Simulated case study supplying the mean performance.
+    k:
+        Number of measurements.
+    layer_sigmas:
+        Mapping from layer name to that layer's noise standard deviation.
+    enabled:
+        Layer names contributing noise; ``None`` enables every layer in
+        ``layer_sigmas``.
+    mean_shift:
+        Mean improvement of the simulated algorithm over the reference.
+    random_state:
+        Seed, generator or :class:`~repro.utils.rng.SeedScope` anchoring
+        the per-layer streams.
+    """
+    from repro.utils.rng import SeedScope
+
+    k = check_positive_int(k, "k")
+    unknown = set() if enabled is None else set(enabled) - set(layer_sigmas)
+    if unknown:
+        raise ValueError(
+            f"enabled layers {sorted(unknown)} not in layer_sigmas "
+            f"{sorted(layer_sigmas)}"
+        )
+    enabled_set = set(layer_sigmas) if enabled is None else set(enabled)
+    scope = SeedScope.from_state(random_state)
+    measurements = np.full(k, task.mean + mean_shift, dtype=float)
+    for name in sorted(layer_sigmas):
+        if name not in enabled_set:
+            continue
+        sigma = float(layer_sigmas[name])
+        if sigma < 0:
+            raise ValueError(f"sigma of layer {name!r} must be non-negative")
+        measurements += scope.child("layer", name).rng().normal(0.0, sigma, size=k)
+    return measurements
 
 
 def true_probability_of_outperforming(mean_shift: float, sigma: float) -> float:

@@ -20,6 +20,14 @@ from repro.pipelines.mlp import MLPClassifierPipeline, MLPRegressorPipeline
 from repro.utils.rng import SeedBundle
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-process or whole-suite test (kept in the tier-1 run; "
+        "deselect with -m 'not slow' for a fast inner loop)",
+    )
+
+
 @pytest.fixture
 def rng():
     """Deterministic generator for tests."""

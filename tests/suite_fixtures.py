@@ -1,0 +1,69 @@
+"""Shared suite-level fixtures for test_suite / test_sched / test_serve.
+
+A plain module (not a conftest) so the import name never collides with
+``benchmarks/conftest.py`` when pytest collects the whole repository.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import StudySpec, SuiteSpec
+
+
+#: 64 MiB — the CI smoke budget; generous for these tiny studies, so the
+#: zero-miss resume and the never-exceeded assertions hold simultaneously.
+STORE_BUDGET = 64 << 20
+
+#: The canonical three-member figure suite at test scale: one study with
+#: real measurements per task, one split-level study, one analytic study.
+SUITE_MEMBERS = [
+    (
+        "fig1-variance",
+        StudySpec(
+            study="variance",
+            params={
+                "task_names": ["entailment"],
+                "n_seeds": 2,
+                "include_hpo": False,
+                "dataset_size": 150,
+            },
+            random_state=0,
+        ),
+    ),
+    (
+        "fig2-binomial",
+        StudySpec(
+            study="binomial",
+            params={"task_names": ["sentiment"], "n_splits": 2, "dataset_size": 150},
+            random_state=1,
+        ),
+    ),
+    (
+        "figC1-sample-size",
+        StudySpec(
+            study="sample_size", params={"gammas": [0.7, 0.75]}, random_state=2
+        ),
+    ),
+]
+
+
+def make_suite(directory, *, name="fig-suite", members=SUITE_MEMBERS, **kwargs):
+    """The canonical test suite bound to a tmp cache dir."""
+    return SuiteSpec(
+        name=name, specs=members, cache_dir=str(directory), **kwargs
+    )
+
+
+def canonical_rows(result) -> str:
+    """Canonical JSON of a result's rows (numpy-safe, order-exact).
+
+    Accepts a Study/SuiteResult (anything with ``to_json``) or the plain
+    rows payload a service endpoint returns — the common currency of
+    every bitwise row comparison in the suite/sched/serve tests.
+    """
+    if hasattr(result, "to_json"):
+        rows = json.loads(result.to_json())["rows"]
+    else:
+        rows = result
+    return json.dumps(rows, sort_keys=True)

@@ -367,6 +367,12 @@ SHARD_PARITY_PARAMS = {
         "dataset_size": 200,
     },
     "sample_size": {"gammas": [0.7, 0.75, 0.9]},
+    "layer_ablation": {
+        "task_names": ["entailment"],
+        "combos": ["none", "dropout", "order", "all"],
+        "n_seeds": 3,
+        "dataset_size": 150,
+    },
 }
 
 
@@ -407,6 +413,25 @@ class TestShardParity:
             assert _canon(full) == _canon(merged), (name, n_jobs)
         # And the whole thing is independent of the worker count.
         assert rows_by_n_jobs[1] == rows_by_n_jobs[4], name
+
+    def test_layer_ablation_parity_across_batch_sizes(self):
+        """The ablation grid survives vectorized multi-seed batching too:
+        batch_size 1 vs 4, full vs sharded, all bitwise-equal."""
+        spec = StudySpec(
+            study="layer_ablation",
+            params=SHARD_PARITY_PARAMS["layer_ablation"],
+            random_state=11,
+        )
+        rows_by_batch = {}
+        for batch_size in (1, 4):
+            with Session(batch_size=batch_size, backend="thread") as session:
+                full = session.run(spec)
+                handle = session.submit(spec)
+                assert len(handle) > 1
+                merged = handle.result()
+            assert _canon(full) == _canon(merged), batch_size
+            rows_by_batch[batch_size] = _canon(full)
+        assert rows_by_batch[1] == rows_by_batch[4]
 
     def test_sharded_submit_replays_run_measurements(self):
         """Same session: the sharded rerun hits the cache for every key —

@@ -198,3 +198,77 @@ class TestListCommand:
             }
             # smoke_params must round-trip into a runnable StudySpec.
             StudySpec(study=entry["name"], params=entry["smoke_params"])
+
+
+class TestReportCommand:
+    def _ran_suite(self, tmp_path):
+        """Run a tiny suite against a cache dir; return (store, records)."""
+        suite = SuiteSpec(name="s", specs=[("only", SPEC)])
+        store = tmp_path / "store"
+        assert main(
+            ["suite", _suite_file(tmp_path, suite), "--cache-dir", str(store)]
+        ) == 0
+        return store, store / "suites" / "s"
+
+    def test_generates_reports_from_cache_alone(self, tmp_path, capsys):
+        store, _ = self._ran_suite(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "suite s: 1 member report(s)" in out
+        for name in ("index.json", "index.md", "only.json", "only.md"):
+            assert (store / "reports" / "s" / name).exists()
+
+    def test_json_payload_shape(self, tmp_path, capsys):
+        store, _ = self._ran_suite(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(store), "--suite", "s", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["suite"] == "s"
+        assert [m["name"] for m in payload["members"]] == ["only"]
+        assert payload["members"][0]["rows"]
+
+    def test_missing_cache_dir_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nowhere")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "no cache directory" in err
+
+    def test_empty_cache_dir_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no suite completion records" in err
+
+    def test_unknown_suite_exits_2(self, tmp_path, capsys):
+        store, _ = self._ran_suite(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(store), "--suite", "ghost"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "no completion records" in err
+
+    def test_partial_suite_exits_2(self, tmp_path, capsys):
+        store, records = self._ran_suite(tmp_path)
+        (records / "only.json").unlink()
+        capsys.readouterr()
+        assert main(["report", str(store), "--suite", "s"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "incomplete" in err
+        assert "re-run the suite" in err
+
+    def test_corrupted_record_exits_2(self, tmp_path, capsys):
+        store, records = self._ran_suite(tmp_path)
+        (records / "only.json").write_text("{broken")
+        capsys.readouterr()
+        assert main(["report", str(store), "--suite", "s"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "corrupted completion record" in err
+
+    def test_report_writes_nothing_to_the_object_store(self, tmp_path, capsys):
+        """Zero re-execution: reporting never stores a new measurement."""
+        store, _ = self._ran_suite(tmp_path)
+        objects = FileStore(str(store))
+        before = (len(objects), objects.total_bytes)
+        capsys.readouterr()
+        assert main(["report", str(store), "--suite", "s"]) == 0
+        objects = FileStore(str(store))
+        assert (len(objects), objects.total_bytes) == before

@@ -1,0 +1,385 @@
+"""Counterfactual noise-layer toggles and the layer_ablation study.
+
+The load-bearing contract: a layer-off pipeline consumes *exactly* the
+same seed streams for every remaining layer as the layer-on pipeline, so
+a toggled measurement under a shared bundle is a true counterfactual.
+These tests pin that bitwise: an off layer's seed is inert, an on layer's
+seed is live, and the ablation grid's repetition bundles are identical
+across combinations (witnessed through the measurement cache).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.benchmark import BenchmarkProcess
+from repro.core.variance import layer_variance_budget
+from repro.data.synthetic import make_nonlinear_classification
+from repro.data.tasks import get_task
+from repro.engine import MeasurementCache
+from repro.experiments import run_layer_ablation_study
+from repro.pipelines.base import Pipeline
+from repro.pipelines.layers import (
+    NOISE_LAYERS,
+    combo_label,
+    full_grid_combos,
+    normalize_layers,
+    one_at_a_time_combos,
+    parse_combo,
+)
+from repro.pipelines.mlp import MLPClassifierPipeline
+from repro.utils.rng import SeedScope
+
+
+def _small_pipeline(**overrides):
+    kwargs = dict(
+        hidden_sizes=(8,),
+        n_epochs=3,
+        batch_size=32,
+        dropout_rate=0.2,
+        name="abl-probe",
+    )
+    kwargs.update(overrides)
+    return MLPClassifierPipeline(**kwargs)
+
+
+@pytest.fixture
+def train():
+    return make_nonlinear_classification(n_samples=120, n_features=6, random_state=0)
+
+
+def _fit_weights(pipeline, train, seeds):
+    outcome = pipeline.fit(train, {}, seeds)
+    return [w.copy() for w in outcome.model.weights]
+
+
+def _weights_equal(a, b) -> bool:
+    return all(np.array_equal(wa, wb) for wa, wb in zip(a, b))
+
+
+# ----------------------------------------------------------------------
+# Label grammar
+# ----------------------------------------------------------------------
+class TestComboLabels:
+    def test_canonical_labels(self):
+        assert combo_label(()) == "none"
+        assert combo_label(NOISE_LAYERS) == "all"
+        assert combo_label(("order", "dropout")) == "dropout+order"
+
+    def test_parse_inverts_label(self):
+        assert parse_combo("none") == ()
+        assert parse_combo("all") == NOISE_LAYERS
+        assert parse_combo("dropout+order") == ("dropout", "order")
+
+    def test_unknown_layers_rejected(self):
+        with pytest.raises(ValueError, match="unknown noise layers"):
+            normalize_layers(("dropout", "cosmic-rays"))
+        with pytest.raises(ValueError, match="unknown noise layers"):
+            parse_combo("dropout+cosmic-rays")
+
+    def test_one_at_a_time_grid(self):
+        assert one_at_a_time_combos() == [
+            "none",
+            "augment",
+            "dropout",
+            "init",
+            "order",
+            "all",
+        ]
+
+    def test_full_grid_size_and_ends(self):
+        grid = full_grid_combos()
+        assert len(grid) == 2 ** len(NOISE_LAYERS)
+        assert grid[0] == "none" and grid[-1] == "all"
+        assert len(set(grid)) == len(grid)
+
+    @given(
+        st.sets(st.sampled_from(NOISE_LAYERS)).map(
+            lambda s: tuple(layer for layer in NOISE_LAYERS if layer in s)
+        )
+    )
+    @settings(max_examples=32, deadline=None)
+    def test_label_roundtrip_for_every_subset(self, subset):
+        assert parse_combo(combo_label(subset)) == subset
+
+    @given(st.lists(st.sampled_from(NOISE_LAYERS), min_size=1, max_size=8))
+    @settings(max_examples=32, deadline=None)
+    def test_normalize_is_order_and_duplicate_invariant(self, layers):
+        assert normalize_layers(layers) == normalize_layers(reversed(list(layers)))
+        assert normalize_layers(layers) == normalize_layers(set(layers))
+
+
+# ----------------------------------------------------------------------
+# Pipeline toggles
+# ----------------------------------------------------------------------
+class TestWithNoiseLayers:
+    def test_clone_names_are_distinct_per_combo(self):
+        """The measurement cache keys pipelines by name: every toggle
+        variant must own a distinct name or ablated measurements would
+        collide on one cache entry."""
+        pipeline = _small_pipeline()
+        names = {
+            pipeline.with_noise_layers(parse_combo(combo)).name
+            for combo in full_grid_combos()
+        }
+        assert len(names) == 2 ** len(NOISE_LAYERS)
+
+    def test_all_on_clone_keeps_base_name(self):
+        pipeline = _small_pipeline()
+        assert pipeline.with_noise_layers(NOISE_LAYERS).name == pipeline.name
+
+    def test_reablation_recomputes_from_base_name(self):
+        pipeline = _small_pipeline()
+        once = pipeline.with_noise_layers(("dropout",))
+        twice = once.with_noise_layers(("order",))
+        assert twice.name == "abl-probe[layers=order]"
+        assert "[layers=" not in twice.name.replace("[layers=order]", "")
+
+    def test_clone_does_not_mutate_original(self):
+        pipeline = _small_pipeline()
+        pipeline.with_noise_layers(())
+        assert pipeline.noise_layers == NOISE_LAYERS
+        assert pipeline.name == "abl-probe"
+
+    def test_base_pipeline_refuses_toggles(self):
+        class Bare(Pipeline):
+            def default_hparams(self):
+                return {}
+
+            def search_space(self):
+                return None
+
+            def fit(self, train, hparams, seeds, valid=None):
+                raise NotImplementedError
+
+            def evaluate(self, model, dataset):
+                raise NotImplementedError
+
+        with pytest.raises(NotImplementedError, match="noise-layer toggles"):
+            Bare().with_noise_layers(("dropout",))
+
+    def test_constructor_accepts_noise_layers(self):
+        pipeline = _small_pipeline(noise_layers=("init", "order"))
+        assert pipeline.noise_layers == ("init", "order")
+        assert pipeline.name == "abl-probe[layers=init+order]"
+
+
+class TestCounterfactualContract:
+    """Toggling a layer never changes the seeds consumed by other layers."""
+
+    @pytest.mark.parametrize("layer", NOISE_LAYERS)
+    def test_off_layer_seed_is_inert_bitwise(self, train, layer):
+        pipeline = _small_pipeline(
+            augmentations=_augmentations(), numerical_noise_scale=0.0
+        )
+        off = pipeline.with_noise_layers(
+            tuple(l for l in NOISE_LAYERS if l != layer)
+        )
+        base = SeedScope.from_state(17).bundle()
+        other = base.with_seeds(**{layer: SeedScope.from_state(99).seed()})
+        assert _weights_equal(
+            _fit_weights(off, train, base), _fit_weights(off, train, other)
+        )
+
+    @pytest.mark.parametrize("layer", NOISE_LAYERS)
+    def test_on_layer_seed_is_live_bitwise(self, train, layer):
+        pipeline = _small_pipeline(
+            augmentations=_augmentations(), numerical_noise_scale=0.0
+        )
+        base = SeedScope.from_state(17).bundle()
+        other = base.with_seeds(**{layer: SeedScope.from_state(99).seed()})
+        assert not _weights_equal(
+            _fit_weights(pipeline, train, base), _fit_weights(pipeline, train, other)
+        )
+
+    def test_augment_off_equals_native_no_augmentations(self, train):
+        pipeline = _small_pipeline(augmentations=_augmentations())
+        off = pipeline.with_noise_layers(
+            tuple(l for l in NOISE_LAYERS if l != "augment")
+        )
+        native = _small_pipeline(augmentations=())
+        seeds = SeedScope.from_state(5).bundle()
+        assert _weights_equal(
+            _fit_weights(off, train, seeds), _fit_weights(native, train, seeds)
+        )
+
+    def test_dropout_off_equals_native_zero_dropout(self, train):
+        pipeline = _small_pipeline()
+        off = pipeline.with_noise_layers(
+            tuple(l for l in NOISE_LAYERS if l != "dropout")
+        )
+        seeds = SeedScope.from_state(5).bundle()
+        assert _weights_equal(
+            _fit_weights(off, train, seeds),
+            [
+                w.copy()
+                for w in pipeline.fit(
+                    train, {"dropout_rate": 0.0}, seeds
+                ).model.weights
+            ],
+        )
+
+    def test_init_off_is_deterministic_across_bundles(self, train):
+        pipeline = _small_pipeline().with_noise_layers(())
+        hp = pipeline.resolve_hparams({})
+        net_a = pipeline._build_network(
+            train, hp, SeedScope.from_state(1).bundle()
+        )
+        net_b = pipeline._build_network(
+            train, hp, SeedScope.from_state(2).bundle()
+        )
+        assert _weights_equal(net_a.weights, net_b.weights)
+
+    def test_toggles_flow_through_vectorized_fit_many(self, train):
+        pipeline = _small_pipeline(augmentations=_augmentations())
+        off = pipeline.with_noise_layers(("init", "order"))
+        bundles = [
+            SeedScope.from_state(0).child("rep", i).bundle() for i in range(3)
+        ]
+        serial = [off.fit(train, {}, seeds) for seeds in bundles]
+        stacked = off.fit_many([train] * 3, off.resolve_hparams({}), bundles)
+        for one, many in zip(serial, stacked):
+            assert _weights_equal(one.model.weights, many.model.weights)
+
+
+def _augmentations():
+    from repro.data.augmentation import GaussianJitter
+
+    return (GaussianJitter(0.05),)
+
+
+# ----------------------------------------------------------------------
+# The layer_ablation study
+# ----------------------------------------------------------------------
+class TestLayerAblationStudy:
+    def test_all_off_variance_is_exactly_zero(self):
+        result = run_layer_ablation_study(
+            ["entailment"],
+            combos=["none"],
+            n_seeds=3,
+            dataset_size=150,
+            random_state=11,
+        )
+        (row,) = result.rows()
+        assert row["combo"] == "none"
+        assert row["variance"] == 0.0
+        assert row["std"] == 0.0
+        scores = result.scores[("none", "entailment")]
+        assert np.ptp(scores) == 0.0
+
+    def test_rep_bundles_are_combo_independent(self, tmp_path):
+        """The 'all' measurements of a one-combo run replay bitwise from
+        cache in a different-combo run: the repetition bundles are a pure
+        function of (task, layer, rep), never of the combo list."""
+        cache = MeasurementCache()
+        run_layer_ablation_study(
+            ["entailment"],
+            combos=["all"],
+            n_seeds=3,
+            dataset_size=150,
+            cache=cache,
+            random_state=11,
+        )
+        misses_before = cache.misses
+        run_layer_ablation_study(
+            ["entailment"],
+            combos=["none", "all"],
+            n_seeds=3,
+            dataset_size=150,
+            cache=cache,
+            random_state=11,
+        )
+        # The 'all' cell replayed entirely; only 'none' ran new fits.
+        assert cache.hits >= 3
+        assert cache.misses - misses_before == 3
+
+    def test_rows_report_and_budgets(self):
+        result = run_layer_ablation_study(
+            ["entailment"],
+            combos=["none", "dropout", "order", "all"],
+            n_seeds=3,
+            dataset_size=150,
+            random_state=11,
+        )
+        rows = result.rows()
+        assert [row["combo"] for row in rows] == ["none", "dropout", "order", "all"]
+        assert all(row["task"] == "entailment" for row in rows)
+        budget = result.budgets()["entailment"]
+        fractions = budget.fractions()
+        assert set(fractions) == {"dropout", "order"}
+        assert all(0.0 <= f <= 1.0 for f in fractions.values())
+        assert sum(fractions.values()) + budget.residual() == pytest.approx(1.0)
+        assert "Layer ablation" in result.report()
+
+    def test_invalid_combo_fails_before_any_work(self):
+        with pytest.raises(ValueError, match="outside the studied set"):
+            run_layer_ablation_study(
+                ["entailment"],
+                layers=("dropout", "order"),
+                combos=["init"],
+                n_seeds=2,
+                dataset_size=150,
+                random_state=0,
+            )
+
+    def test_restricted_layers_all_means_studied_set(self):
+        result = run_layer_ablation_study(
+            ["entailment"],
+            layers=("dropout", "order"),
+            combos=["all"],
+            n_seeds=2,
+            dataset_size=150,
+            random_state=0,
+        )
+        (row,) = result.rows()
+        assert row["layers_on"] == ["dropout", "order"]
+
+
+# ----------------------------------------------------------------------
+# Budget math (hypothesis)
+# ----------------------------------------------------------------------
+_VARIANCES = st.floats(
+    min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+class TestLayerVarianceBudget:
+    @given(
+        total=_VARIANCES,
+        components=st.dictionaries(
+            st.sampled_from(NOISE_LAYERS), _VARIANCES, min_size=1
+        ),
+        floor=_VARIANCES,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_fractions_bounded_and_close_with_residual(
+        self, total, components, floor
+    ):
+        budget = layer_variance_budget(total, components, floor_variance=floor)
+        fractions = budget.fractions()
+        assert set(fractions) == set(components)
+        for value in fractions.values():
+            assert 0.0 <= value <= 1.0
+        assert sum(fractions.values()) + budget.residual() == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_degenerate_total_pushes_mass_to_residual(self):
+        budget = layer_variance_budget(0.0, {"dropout": 0.0, "order": 0.0})
+        assert budget.fractions() == {"dropout": 0.0, "order": 0.0}
+        assert budget.residual() == 1.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            layer_variance_budget(-1.0, {"dropout": 0.1})
+        with pytest.raises(ValueError, match="non-negative"):
+            layer_variance_budget(1.0, {"dropout": -0.1})
+
+    def test_as_rows_closes_the_budget(self):
+        budget = layer_variance_budget(
+            0.01, {"dropout": 0.002, "order": 0.003}, floor_variance=0.0001
+        )
+        rows = budget.as_rows()
+        assert rows[-1]["component"] == "residual (interactions)"
+        assert sum(row["fraction"] for row in rows) == pytest.approx(1.0)

@@ -45,47 +45,15 @@ from repro.sched.backend import retry_not_before
 
 ANALYTIC = StudySpec(study="sample_size", params={"gammas": [0.7]})
 
-#: Small three-member suite with real measurement work (variance), a
-#: split-level study (binomial) and an analytic study (sample_size).
-MEMBERS = [
-    (
-        "fig1-variance",
-        StudySpec(
-            study="variance",
-            params={
-                "task_names": ["entailment"],
-                "n_seeds": 2,
-                "include_hpo": False,
-                "dataset_size": 150,
-            },
-            random_state=0,
-        ),
-    ),
-    (
-        "fig2-binomial",
-        StudySpec(
-            study="binomial",
-            params={"task_names": ["sentiment"], "n_splits": 2, "dataset_size": 150},
-            random_state=1,
-        ),
-    ),
-    (
-        "figC1-sample-size",
-        StudySpec(
-            study="sample_size", params={"gammas": [0.7, 0.75]}, random_state=2
-        ),
-    ),
-]
+# The canonical three-member suite and row canonicalizer live in
+# conftest, shared with test_suite/test_serve.
+from suite_fixtures import SUITE_MEMBERS as MEMBERS, canonical_rows, make_suite
 
-
-def _rows(result) -> str:
-    return json.dumps(json.loads(result.to_json())["rows"], sort_keys=True)
+_rows = canonical_rows
 
 
 def _suite(directory, **kwargs) -> SuiteSpec:
-    return SuiteSpec(
-        name="sched-suite", specs=MEMBERS, cache_dir=str(directory), **kwargs
-    )
+    return make_suite(directory, name="sched-suite", **kwargs)
 
 
 def _reference_rows(tmp_path):
@@ -771,6 +739,7 @@ class TestSchedulingSpec:
 # ----------------------------------------------------------------------
 # System: real workers over a shared cache dir
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 class TestDistributedExecution:
     def test_three_worker_threads_match_in_process_bitwise(
         self, tmp_path, queue_backend, reference_rows
@@ -1008,6 +977,7 @@ def _single_task_queue(store, name, *, backend, **kwargs):
     return queue
 
 
+@pytest.mark.slow
 class TestWorkerLifecycle:
     def test_transient_error_completes_on_a_later_attempt(
         self, tmp_path, queue_backend
@@ -1139,6 +1109,7 @@ class TestWorkerLifecycle:
 # ----------------------------------------------------------------------
 # Worker CLI
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 class TestWorkerCLI:
     def test_worker_drains_an_enqueued_suite(self, tmp_path, capsys):
         suite = _suite(tmp_path / "store")

@@ -22,6 +22,8 @@ from repro.api import Session, StudySpec, SuiteSpec, get_study, list_studies
 from repro.sched import Worker
 from repro.serve import StudyServer
 
+from suite_fixtures import canonical_rows as _rows
+
 DEADLINE = 90.0  # generous wall-clock bound for smoke-scale jobs
 
 STUDY = StudySpec(
@@ -120,10 +122,6 @@ def _sse_events(server, job_id, headers=None):
         for line in body.splitlines()
         if line.startswith("data: ")
     ]
-
-
-def _rows(payload_rows):
-    return json.dumps(payload_rows, sort_keys=True)
 
 
 class TestPlainEndpoints:
@@ -280,6 +278,7 @@ class TestStudyJobs:
             _await_terminal(server, accepted["job"])
 
 
+@pytest.mark.slow
 class TestSuiteJobs:
     def test_external_worker_drains_to_bitwise_identical_rows(
         self, tmp_path
@@ -353,10 +352,31 @@ class TestSuiteJobs:
                 "/v1/results/absent",
                 "/v1/results/../etc",
                 "/v1/results/pair/absent",
+                "/v1/reports/absent",
+                "/v1/reports/../etc",
             ):
                 with pytest.raises(urllib.error.HTTPError) as excinfo:
                     _get(server, path)
                 assert excinfo.value.code == 404
+
+    def test_reports_endpoint_matches_offline_builder(self, tmp_path):
+        """GET /v1/reports/<suite> is the same payload ``repro report``
+        builds offline from the cache — records in, zero re-execution."""
+        from repro.report import build_suite_report
+
+        with serving(tmp_path) as server:
+            _, accepted = _post(server, "/v1/suites", SUITE)
+            _await_terminal(server, accepted["job"])
+            status, payload = _get(server, "/v1/reports/pair")
+            assert status == 200
+            assert payload["suite"] == "pair"
+            assert [m["name"] for m in payload["members"]] == [
+                m["name"] for m in SUITE["specs"]
+            ]
+            offline = build_suite_report(server.registry.cache_dir, "pair")
+            assert json.dumps(payload, sort_keys=True) == json.dumps(
+                offline, sort_keys=True
+            )
 
     def test_malformed_suite_is_400_with_positional_error(self, tmp_path):
         with serving(tmp_path) as server:

@@ -35,58 +35,18 @@ from repro.engine.cache import FileStore
 
 ALL_STUDIES = list_studies()
 
-#: 64 MiB — the CI smoke budget; generous for these tiny studies, so the
-#: zero-miss resume and the never-exceeded assertions hold simultaneously.
-STORE_BUDGET = 64 << 20
-
-#: A three-member figure suite at test scale: one study with real
-#: measurements per task, one split-level study, one analytic study.
-SUITE_MEMBERS = [
-    (
-        "fig1-variance",
-        StudySpec(
-            study="variance",
-            params={
-                "task_names": ["entailment"],
-                "n_seeds": 2,
-                "include_hpo": False,
-                "dataset_size": 150,
-            },
-            random_state=0,
-        ),
-    ),
-    (
-        "fig2-binomial",
-        StudySpec(
-            study="binomial",
-            params={"task_names": ["sentiment"], "n_splits": 2, "dataset_size": 150},
-            random_state=1,
-        ),
-    ),
-    (
-        "figC1-sample-size",
-        StudySpec(
-            study="sample_size", params={"gammas": [0.7, 0.75]}, random_state=2
-        ),
-    ),
-]
+# The canonical three-member suite, its store budget and the row
+# canonicalizer are shared with test_sched/test_serve via conftest.
+from suite_fixtures import STORE_BUDGET, SUITE_MEMBERS, canonical_rows, make_suite
 
 
 def _make_suite(directory, *, n_jobs=None, members=SUITE_MEMBERS):
-    return SuiteSpec(
-        name="fig-suite",
-        specs=members,
-        n_jobs=n_jobs,
-        cache_dir=str(directory),
-        max_store_bytes=STORE_BUDGET,
+    return make_suite(
+        directory, members=members, n_jobs=n_jobs, max_store_bytes=STORE_BUDGET
     )
 
 
-def _rows(result) -> str:
-    """Canonical JSON of a StudyResult's rows (numpy-safe, order-exact)."""
-    return json.dumps(
-        json.loads(result.to_json())["rows"], sort_keys=True
-    )
+_rows = canonical_rows
 
 
 # ----------------------------------------------------------------------
@@ -547,6 +507,7 @@ class TestFullFidelityResume:
 # ----------------------------------------------------------------------
 # CLI acceptance: cold suite run, then --resume with zero misses
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 class TestSuiteCLIAcceptance:
     def test_cold_run_matches_individual_then_resume_zero_miss(
         self, tmp_path, capsys
