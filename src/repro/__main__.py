@@ -17,6 +17,9 @@ figure suite — is launchable from a JSON manifest without writing Python::
     # variance-provenance reports from cached completion records only
     python -m repro report .repro-cache --suite fig-suite
 
+    # telemetry: span tree + per-phase timing from <cache_dir>/telemetry/
+    python -m repro trace .repro-cache --suite fig-suite
+
     # distributed: one coordinator + any number of workers, same cache dir
     python -m repro suite manifest.json --distributed   # terminal 1
     python -m repro worker .repro-cache                 # terminals 2..N
@@ -57,6 +60,15 @@ zero-dependency status dashboard.
 variance budgets, see ``src/repro/report/``) purely from the suite
 completion records in a cache dir — no measurement re-executes — and
 writes them under ``<cache_dir>/reports/<suite>/``.
+``trace`` renders the telemetry span tree persisted under
+``<cache_dir>/telemetry/`` (every process that ran against the cache
+dir appends its spans there, stitched into one trace per suite) plus
+per-phase timing aggregates; ``--json`` emits the raw spans.  ``run``,
+``suite``, ``worker`` and ``serve`` accept ``--log-level`` (or the
+``REPRO_LOG_LEVEL`` environment variable) to tune the levelled stderr
+logging that replaces bare progress prints; ``REPRO_TELEMETRY=0``
+disables metrics and tracing entirely (results are bitwise-identical
+either way).
 ``gc`` prunes a per-key store back within byte / entry budgets,
 LRU-by-last-use.  Because specs fully determine their results (seeds are
 scope-derived, see EXPERIMENTS.md), re-running against the same
@@ -71,6 +83,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import os
 import sys
 from typing import List, Optional
@@ -79,11 +92,24 @@ from repro.api import Session, StudySpec, SuiteSpec, get_study, iter_studies
 from repro.api.spec import VALID_BACKENDS
 from repro.engine.cache import FileStore
 from repro.sched.backend import QUEUE_BACKENDS
+from repro.telemetry.log import get_logger, setup_logging
 
 
 class CLIError(Exception):
     """A user-input problem (bad file, malformed manifest): message, no
     traceback, exit code 2."""
+
+
+def _add_log_level(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help=(
+            "logging threshold for repro.* loggers (DEBUG, INFO, WARNING, "
+            "ERROR, CRITICAL; default: $REPRO_LOG_LEVEL or INFO)"
+        ),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -132,6 +158,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rows + provenance JSON instead of the summary table",
     )
+    _add_log_level(run)
 
     suite = commands.add_parser(
         "suite",
@@ -244,6 +271,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the full output manifest JSON instead of the summaries",
     )
+    _add_log_level(suite)
 
     worker = commands.add_parser(
         "worker",
@@ -347,6 +375,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "progress for this long (default: renew unconditionally)"
         ),
     )
+    _add_log_level(worker)
 
     queue = commands.add_parser(
         "queue",
@@ -507,6 +536,30 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-request access logging",
     )
+    _add_log_level(serve)
+
+    trace = commands.add_parser(
+        "trace",
+        help=(
+            "render the telemetry span tree recorded under a cache "
+            "directory (coordinator, workers and in-process runs all "
+            "append to <cache_dir>/telemetry/)"
+        ),
+    )
+    trace.add_argument(
+        "cache_dir",
+        help="per-key store directory whose telemetry/ spans to read",
+    )
+    trace.add_argument(
+        "--suite",
+        default=None,
+        help="show only spans from this suite's trace",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw spans and per-phase aggregates as JSON",
+    )
 
     report = commands.add_parser(
         "report",
@@ -621,10 +674,11 @@ def _suite(args: argparse.Namespace) -> int:
         raise CLIError(f"malformed suite manifest {args.manifest!r}: {error}") from error
 
     total = len(suite)
+    logger = get_logger("suite")
 
     def progress(event, name, index, total=total, result=None):
         if event == "start":
-            print(f"[{index + 1}/{total}] {name} ...", file=sys.stderr)
+            logger.info("[%d/%d] %s ...", index + 1, total, name)
             return
         tag = "replayed" if event == "replay" else "done"
         stats = result.cache_stats
@@ -633,10 +687,9 @@ def _suite(args: argparse.Namespace) -> int:
             detail = (
                 f" (hits={stats.get('hits', 0)}, misses={stats.get('misses', 0)})"
             )
-        print(
-            f"[{index + 1}/{total}] {name} {tag} in "
-            f"{result.elapsed_seconds:.2f}s{detail}",
-            file=sys.stderr,
+        logger.info(
+            "[%d/%d] %s %s in %.2fs%s",
+            index + 1, total, name, tag, result.elapsed_seconds, detail,
         )
 
     if args.distributed and suite.cache_dir is None:
@@ -700,9 +753,16 @@ def _worker(args: argparse.Namespace) -> int:
     if args.batch_size is not None and args.batch_size < 1:
         raise CLIError("--batch-size must be a positive integer")
 
+    logger = get_logger("worker")
+
     def log(event: str, task_id: str, detail: str) -> None:
         suffix = f" ({detail})" if detail else ""
-        print(f"worker: {event} {task_id}{suffix}", file=sys.stderr)
+        level = (
+            logging.WARNING
+            if event in ("retry", "failed", "lost", "error")
+            else logging.INFO
+        )
+        logger.log(level, "%s %s%s", event, task_id, suffix)
 
     worker = Worker(
         args.cache_dir,
@@ -724,11 +784,11 @@ def _worker(args: argparse.Namespace) -> int:
         timeout=args.timeout,
     )
     served = ", ".join(stats.suites) if stats.suites else "none"
-    print(
-        f"worker {worker.worker_id}: committed {stats.committed} task(s) "
-        f"({stats.stolen} stolen, {stats.lost} lost, {stats.retried} "
-        f"retried, {stats.failed} failed) across suites: {served}",
-        file=sys.stderr,
+    logger.info(
+        "worker %s: committed %d task(s) (%d stolen, %d lost, %d retried, "
+        "%d failed) across suites: %s",
+        worker.worker_id, stats.committed, stats.stolen, stats.lost,
+        stats.retried, stats.failed, served,
     )
     return 0
 
@@ -854,6 +914,52 @@ def _serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.tracing import (  # local: keep CLI start-up light
+        TELEMETRY_DIR,
+        filter_suite,
+        load_spans,
+        phase_aggregates,
+        render_span_tree,
+    )
+
+    if not os.path.isdir(args.cache_dir):
+        raise CLIError(f"no cache directory at {args.cache_dir!r}")
+    spans = load_spans(args.cache_dir)
+    if args.suite is not None:
+        spans = filter_suite(spans, args.suite)
+    if args.json:
+        print(
+            json.dumps(
+                {"spans": spans, "phases": phase_aggregates(spans)},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if not spans:
+        where = f" for suite {args.suite!r}" if args.suite else ""
+        print(
+            f"no spans{where} under "
+            f"{os.path.join(args.cache_dir, TELEMETRY_DIR)} "
+            f"(telemetry disabled, or nothing ran with a cache_dir yet)"
+        )
+        return 0
+    print(render_span_tree(spans))
+    print()
+    print(
+        f"{'phase':<12} {'count':>6} {'errors':>7} "
+        f"{'mean':>10} {'max':>10} {'total':>10}"
+    )
+    for row in phase_aggregates(spans):
+        print(
+            f"{row['phase']:<12} {row['count']:>6} {row['errors']:>7} "
+            f"{row['mean_seconds']:>9.3f}s {row['max_seconds']:>9.3f}s "
+            f"{row['total_seconds']:>9.3f}s"
+        )
+    return 0
+
+
 def _report(args: argparse.Namespace) -> int:
     from repro.report import ReportError, list_report_suites, write_suite_reports
 
@@ -905,6 +1011,10 @@ def _list(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
+        try:
+            setup_logging(getattr(args, "log_level", None))
+        except ValueError as error:
+            raise CLIError(str(error)) from error
         if args.command == "list":
             return _list(args)
         if args.command == "suite":
@@ -919,6 +1029,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _gc(args)
         if args.command == "report":
             return _report(args)
+        if args.command == "trace":
+            return _trace(args)
         return _run(args)
     except CLIError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -77,6 +77,7 @@ from repro.engine.cache import (
     load_fidelity,
 )
 from repro.engine.executor import CancellableExecutor, ParallelExecutor, StudyCancelled
+from repro.telemetry.tracing import suite_trace_context, trace
 
 __all__ = ["Session", "StudyHandle", "SuiteHandle"]
 
@@ -447,6 +448,11 @@ class Session:
         self._lock = threading.Lock()
         self._studies_run = 0
         self._closed = False
+        # Spans persist beside the store this session works against; the
+        # telemetry/ namespace is invisible to the store GC, and the sink
+        # is a pure side channel (results never depend on it).
+        if self.cache.cache_dir is not None:
+            trace.attach_sink(self.cache.cache_dir)
 
     # ------------------------------------------------------------------
     # Resource management
@@ -571,7 +577,16 @@ class Session:
             random_state=spec.random_state,
         )
         start = time.perf_counter()
-        raw = info.func(**kwargs)
+        with trace.span(
+            f"study/{spec.study}",
+            study=spec.study,
+            n_jobs=n_jobs,
+            backend=backend,
+        ) as span:
+            raw = info.func(**kwargs)
+            if view is not None:
+                span.set_attr("cache_hits", view.hits)
+                span.set_attr("cache_misses", view.misses)
         elapsed = time.perf_counter() - start
         cache_stats: Dict[str, float] = {}
         if view is not None:
@@ -652,7 +667,10 @@ class Session:
     ) -> StudyResult:
         if progress is not None:
             progress("start", key, index, total, None)
-        result = self._execute(shard, cancel_event)
+        with trace.span(
+            f"shard/{key or shard.study}", study=shard.study, shard=key
+        ):
+            result = self._execute(shard, cancel_event)
         if progress is not None:
             progress("done", key, index, total, result)
         return result
@@ -812,23 +830,44 @@ class Session:
         results: "Dict[str, StudyResult]" = {}
         total = len(suite)
         start = time.perf_counter()
-        for index, name in enumerate(suite.schedule_order()):
-            spec = suite[name]
-            if resume:
-                replayed = self._load_suite_result(records_dir, name, spec)
-                if replayed is not None:
-                    results[name] = replayed
-                    if progress is not None:
-                        progress("replay", name, index, total, replayed)
-                    continue
-            if progress is not None:
-                progress("start", name, index, total, None)
-            result = self._execute(spec)
-            if records_dir is not None:
-                self._write_suite_record(records_dir, name, result)
-            results[name] = result
-            if progress is not None:
-                progress("done", name, index, total, result)
+        # The same deterministic root the distributed path uses, so
+        # ``repro trace --suite`` renders one coherent tree either way.
+        with trace.span(
+            f"suite/{suite.name}",
+            context=suite_trace_context(suite.name),
+            suite=suite.name,
+            role="in-process",
+            members=total,
+        ):
+            for index, name in enumerate(suite.schedule_order()):
+                spec = suite[name]
+                if resume:
+                    replayed = self._load_suite_result(records_dir, name, spec)
+                    if replayed is not None:
+                        results[name] = replayed
+                        # Replays never touch the object store; the span
+                        # records that the member was served from records.
+                        with trace.span(
+                            f"replay/{name}",
+                            suite=suite.name,
+                            member=name,
+                            cached=True,
+                        ):
+                            pass
+                        if progress is not None:
+                            progress("replay", name, index, total, replayed)
+                        continue
+                if progress is not None:
+                    progress("start", name, index, total, None)
+                with trace.span(
+                    f"member/{name}", suite=suite.name, member=name
+                ):
+                    result = self._execute(spec)
+                if records_dir is not None:
+                    self._write_suite_record(records_dir, name, result)
+                results[name] = result
+                if progress is not None:
+                    progress("done", name, index, total, result)
         suite_result = SuiteResult(
             suite,
             results,
@@ -911,7 +950,8 @@ class Session:
         # pool — blocking here cannot starve them of a worker.
         for dependency in dependencies or ():
             dependency.result()
-        result = self._execute(spec, cancel_event)
+        with trace.span(f"member/{name}", member=name, study=spec.study):
+            result = self._execute(spec, cancel_event)
         if records_dir is not None:
             self._write_suite_record(records_dir, name, result)
         return result

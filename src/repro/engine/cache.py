@@ -50,6 +50,15 @@ from typing import (
 
 import numpy as np
 
+from repro.telemetry.instruments import (
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    CACHE_STORE_HITS,
+    STORE_BYTES,
+    STORE_ROUND_TRIPS,
+)
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.benchmark import BenchmarkProcess, Measurement
     from repro.utils.rng import SeedBundle
@@ -309,6 +318,8 @@ class FileStore:
         try:
             with open(path, "rb") as handle:
                 measurement = pickle.load(handle)
+                STORE_ROUND_TRIPS.labels(op="read").inc()
+                STORE_BYTES.labels(op="read").inc(handle.tell())
         except FileNotFoundError:
             return None
         except (EOFError, pickle.UnpicklingError):  # pragma: no cover - a
@@ -337,6 +348,8 @@ class FileStore:
         """
         blob = pickle.dumps(measurement, protocol=pickle.HIGHEST_PROTOCOL)
         atomic_write(self._path(key), blob)
+        STORE_ROUND_TRIPS.labels(op="write").inc()
+        STORE_BYTES.labels(op="write").inc(len(blob))
         if self.max_bytes is None and self.max_entries is None:
             return len(blob)
         with self._gc_lock:
@@ -380,6 +393,8 @@ class FileStore:
             blob = pickle.dumps(measurement, protocol=pickle.HIGHEST_PROTOCOL)
             atomic_write(self._path(key), blob)
             sizes.append(len(blob))
+        STORE_ROUND_TRIPS.labels(op="write").inc(len(sizes))
+        STORE_BYTES.labels(op="write").inc(sum(sizes))
         if self.max_bytes is None and self.max_entries is None:
             return sizes
         with self._gc_lock:
@@ -709,10 +724,12 @@ class MeasurementCache:
             measurement = self._store.get(key)
             if measurement is not None:
                 self.hits += 1
+                CACHE_HITS.inc()
                 self._store.move_to_end(key)
                 return measurement
             if self._file_store is None:
                 self.misses += 1
+                CACHE_MISSES.inc()
                 return None
         # File I/O happens outside the lock; racing a concurrent writer of
         # the same key is harmless (both persist identical bytes).
@@ -720,9 +737,12 @@ class MeasurementCache:
         with self._lock:
             if measurement is None:
                 self.misses += 1
+                CACHE_MISSES.inc()
             else:
                 self.hits += 1
                 self.store_hits += 1
+                CACHE_HITS.inc()
+                CACHE_STORE_HITS.inc()
                 self._insert(key, measurement)
                 self._evict()
         return measurement
@@ -732,6 +752,7 @@ class MeasurementCache:
         duplicate the runner resolved from its own working set)."""
         with self._lock:
             self.hits += 1
+            CACHE_HITS.inc()
 
     def put(self, key: str, measurement: "Measurement") -> int:
         """Store ``measurement`` under ``key`` (evicting LRU entries if full).
@@ -796,6 +817,8 @@ class MeasurementCache:
             self._total_bytes -= self._sizes.pop(evicted, 0)
             self.evictions += 1
             count += 1
+        if count:
+            CACHE_EVICTIONS.inc(count)
         return count
 
     @property

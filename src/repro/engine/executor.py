@@ -25,8 +25,15 @@ import functools
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.telemetry.instruments import (
+    EXECUTOR_DISPATCH_SECONDS,
+    EXECUTOR_ITEMS,
+    EXECUTOR_QUEUE_DEPTH,
+)
 
 __all__ = [
     "CancellableExecutor",
@@ -71,6 +78,7 @@ def _drain(
     results: Iterable[R],
     tick: Optional[Callable[[], None]],
     weights: Optional[Sequence[int]] = None,
+    item_done: Optional[Callable[[], None]] = None,
 ) -> List[R]:
     """Collect a lazy result stream, invoking ``tick`` as each item lands.
 
@@ -80,14 +88,19 @@ def _drain(
     with ``weights`` it fires ``weights[i]`` times for item ``i`` — one
     tick per *measurement* when a batched task carries B of them, keeping
     progress bars and stall-steal heartbeats measurement-granular.
+    ``item_done`` (telemetry accounting) fires exactly once per item
+    regardless of weights.
     """
-    if tick is None:
+    if tick is None and item_done is None:
         return list(results)
     collected: List[R] = []
     for index, result in enumerate(results):
         collected.append(result)
-        for _ in range(weights[index] if weights is not None else 1):
-            tick()
+        if item_done is not None:
+            item_done()
+        if tick is not None:
+            for _ in range(weights[index] if weights is not None else 1):
+                tick()
     return collected
 
 
@@ -193,12 +206,48 @@ class ParallelExecutor:
         if weights is not None and len(weights) != len(items):
             raise ValueError("weights must align one-to-one with items")
         backend = self.effective_backend
+        # Telemetry: queue depth rises by the whole submission and falls
+        # per completed item; dispatch latency is the full map wall time.
+        # Pure side channel — no effect on ordering, seeding or results.
+        depth = EXECUTOR_QUEUE_DEPTH.labels(backend=backend)
+        done_counter = EXECUTOR_ITEMS.labels(backend=backend)
+        completed = 0
+
+        def _item_done() -> None:
+            nonlocal completed
+            completed += 1
+            done_counter.inc()
+            depth.dec()
+
+        depth.inc(len(items))
+        started = time.perf_counter()
+        try:
+            return self._dispatch(
+                fn, items, backend, cancel, tick, weights, _item_done
+            )
+        finally:
+            depth.dec(len(items) - completed)
+            EXECUTOR_DISPATCH_SECONDS.labels(backend=backend).observe(
+                time.perf_counter() - started
+            )
+
+    def _dispatch(
+        self,
+        fn: Callable[[T], R],
+        items: List[T],
+        backend: str,
+        cancel: Optional[threading.Event],
+        tick: Optional[Callable[[], None]],
+        weights: Optional[Sequence[int]],
+        item_done: Callable[[], None],
+    ) -> List[R]:
         if backend == "serial" or len(items) == 1:
             results = []
             for index, item in enumerate(items):
                 if cancel is not None and cancel.is_set():
                     raise StudyCancelled("batch cancelled mid-run")
                 results.append(fn(item))
+                item_done()
                 if tick is not None:
                     for _ in range(weights[index] if weights is not None else 1):
                         tick()
@@ -212,13 +261,15 @@ class ParallelExecutor:
                         raise StudyCancelled("batch cancelled mid-run")
                     return _fn(item)
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return _drain(pool.map(guarded, items), tick, weights)
+                return _drain(pool.map(guarded, items), tick, weights, item_done)
         chunksize = self.chunksize
         if chunksize is None:
             chunksize = max(1, -(-len(items) // workers))
         if cancel is None:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return _drain(pool.map(fn, items, chunksize=chunksize), tick, weights)
+                return _drain(
+                    pool.map(fn, items, chunksize=chunksize), tick, weights, item_done
+                )
         # Mirror the caller's threading event into a multiprocessing event
         # the pool workers can observe; the relay thread dies with the map.
         context = multiprocessing.get_context()
@@ -249,6 +300,7 @@ class ParallelExecutor:
                     ),
                     tick,
                     weights,
+                    item_done,
                 )
         finally:
             relay_stop.set()

@@ -24,6 +24,7 @@ Usage::
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -42,6 +43,7 @@ import numpy as np
 from repro.engine.cache import MeasurementCache, _canonical_value, measurement_key
 from repro.engine.executor import ParallelExecutor
 from repro.engine.shm import DatasetHandle, shared_arena
+from repro.telemetry.instruments import RUNNER_BATCH_SECONDS, RUNNER_ITEMS
 from repro.utils.rng import SeedBundle, SeedScope
 
 if TYPE_CHECKING:  # pragma: no cover - runtime import would cycle through
@@ -231,7 +233,9 @@ class StudyRunner:
         if not items:
             return []
         if self.cache is None:
-            return self._execute_items(items)
+            measurements = self._execute_items(items)
+            RUNNER_ITEMS.labels(source="fit").inc(len(items))
+            return measurements
 
         keys = [
             measurement_key(
@@ -260,6 +264,8 @@ class StudyRunner:
                 for key, measurement in pairs:
                     self.cache.put(key, measurement)
             results.update(pairs)
+        RUNNER_ITEMS.labels(source="fit").inc(len(pending))
+        RUNNER_ITEMS.labels(source="cache").inc(len(items) - len(pending))
         return [results[key] for key in keys]
 
     # ------------------------------------------------------------------
@@ -276,18 +282,22 @@ class StudyRunner:
 
     def _execute_items(self, items: List[WorkItem]) -> List[Measurement]:
         handle = self._dataset_handle()
-        if self.batch_size <= 1:
-            return self.executor.map(_BoundExecute(self.process, handle), items)
-        tasks, positions = self._plan_batches(items)
-        weights = [len(task) for task in tasks]
-        grouped = self.executor.map(
-            _BoundExecuteMany(self.process, handle), tasks, weights=weights
-        )
-        ordered: List[Optional[Measurement]] = [None] * len(items)
-        for task_positions, measurements in zip(positions, grouped):
-            for position, measurement in zip(task_positions, measurements):
-                ordered[position] = measurement
-        return ordered  # type: ignore[return-value]
+        started = time.perf_counter()
+        try:
+            if self.batch_size <= 1:
+                return self.executor.map(_BoundExecute(self.process, handle), items)
+            tasks, positions = self._plan_batches(items)
+            weights = [len(task) for task in tasks]
+            grouped = self.executor.map(
+                _BoundExecuteMany(self.process, handle), tasks, weights=weights
+            )
+            ordered: List[Optional[Measurement]] = [None] * len(items)
+            for task_positions, measurements in zip(positions, grouped):
+                for position, measurement in zip(task_positions, measurements):
+                    ordered[position] = measurement
+            return ordered  # type: ignore[return-value]
+        finally:
+            RUNNER_BATCH_SECONDS.observe(time.perf_counter() - started)
 
     def _plan_batches(
         self, items: Sequence[WorkItem]

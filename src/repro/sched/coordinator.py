@@ -33,6 +33,7 @@ from repro.api.spec import SuiteSpec
 from repro.engine.cache import atomic_write
 from repro.sched.queue import TaskQueue, TaskRecord
 from repro.sched.worker import Worker
+from repro.telemetry.tracing import suite_trace_context, trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.session import Session, SuiteProgress
@@ -122,6 +123,12 @@ class Coordinator:
 
         order = self.suite.schedule_order()
         specs = dict(self.suite.specs)
+        # Every task carries the suite's deterministic trace context, so
+        # any worker on any host parents its task span under the same
+        # root.  Deterministic (a pure function of the suite name) means
+        # re-enqueueing produces byte-identical plans — the resume-join
+        # equality check is unaffected.
+        trace_ctx = suite_trace_context(self.suite.name).to_dict()
         tasks: List[TaskRecord] = []
         for member in order:
             if member in skip_members:
@@ -147,6 +154,7 @@ class Coordinator:
                         priority=priority,
                         depends_on=depends,
                         index=len(tasks),
+                        trace=trace_ctx,
                     )
                 )
                 continue
@@ -160,6 +168,7 @@ class Coordinator:
                         depends_on=depends,
                         shard_key=shard_key,
                         index=len(tasks),
+                        trace=trace_ctx,
                     )
                 )
         return tasks
@@ -215,8 +224,44 @@ class Coordinator:
         is how a pure submit-and-monitor control plane behaves; combine
         with ``timeout`` to bound the wait for external workers.
         """
+        # The suite root span carries the deterministic context every
+        # task record propagates, so worker-side task spans — this
+        # process's and every remote one's — stitch under it.
+        with trace.span(
+            f"suite/{self.suite.name}",
+            context=suite_trace_context(self.suite.name),
+            suite=self.suite.name,
+            role="coordinator",
+            members=len(self.suite),
+        ):
+            return self._run(
+                participate=participate,
+                progress=progress,
+                resume=resume,
+                timeout=timeout,
+            )
+
+    def _run(
+        self,
+        *,
+        participate: bool,
+        progress: Optional["SuiteProgress"],
+        resume: bool,
+        timeout: Optional[float],
+    ) -> SuiteResult:
         started = time.perf_counter()
         replayed = self.enqueue(resume=resume)
+        for name in self.suite.names:
+            if name in replayed:
+                # Resume records served this member without touching the
+                # object store; record that as an (instant) replay span.
+                with trace.span(
+                    f"replay/{name}",
+                    suite=self.suite.name,
+                    member=name,
+                    cached=True,
+                ):
+                    pass
         total = len(self.suite)
         sequence = 0
         for name in self.suite.names:

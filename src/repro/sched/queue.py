@@ -48,6 +48,14 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.spec import StudySpec, SuiteSpec
 from repro.engine.cache import dump_fidelity, load_fidelity_bytes
+from repro.telemetry.instruments import (
+    SCHED_BACKOFF_GATED,
+    SCHED_CLAIMS,
+    SCHED_COMMITS,
+    SCHED_LEASE_RENEWALS,
+    SCHED_RETRIES,
+    SCHED_STEALS,
+)
 from repro.sched.backend import (
     QUEUE_BACKENDS,
     FilesystemBackend,
@@ -104,6 +112,16 @@ class TaskRecord:
     index:
         Position in the plan — the deterministic tie-break for claim order
         and the assembly order of a member's shards.
+    trace:
+        Telemetry propagation: the coordinator's trace context
+        (``{"trace_id": ..., "span_id": ...}``) every worker parents its
+        ``task/<id>`` span under, carried through the durable plan so a
+        distributed suite yields one coherent trace tree.  Derived
+        deterministically from the suite name
+        (:func:`repro.telemetry.suite_trace_context`), so re-enqueueing
+        the same suite produces byte-identical plans and the resume-join
+        equality check still holds.  ``None`` (pre-telemetry plans) is
+        tolerated everywhere.
     """
 
     id: str
@@ -113,9 +131,10 @@ class TaskRecord:
     depends_on: Tuple[str, ...] = ()
     shard_key: Optional[str] = None
     index: int = 0
+    trace: Optional[Dict[str, str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "id": self.id,
             "member": self.member,
             "spec": self.spec.to_dict(),
@@ -124,6 +143,9 @@ class TaskRecord:
             "shard_key": self.shard_key,
             "index": self.index,
         }
+        if self.trace is not None:
+            payload["trace"] = dict(self.trace)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TaskRecord":
@@ -135,6 +157,7 @@ class TaskRecord:
             depends_on=tuple(data.get("depends_on") or ()),
             shard_key=data.get("shard_key"),
             index=int(data.get("index", 0)),
+            trace=data.get("trace"),
         )
 
 
@@ -587,17 +610,36 @@ class TaskQueue:
         observed lease has expired — a steal.  Returns ``None`` when
         another worker won the race."""
         state = state or self.snapshot()
+        backend_name = getattr(self.backend, "name", "custom")
         if task.id in state.running:
             name, age = state.running[task.id]
             if age < self.lease_seconds:
                 return None
-            return self.backend.steal_expired(task.id, name, worker=worker)
-        return self.backend.claim(task.id, worker=worker)
+            stolen = self.backend.steal_expired(task.id, name, worker=worker)
+            if stolen is not None:
+                SCHED_STEALS.labels(backend=backend_name).inc()
+            else:
+                SCHED_CLAIMS.labels(backend=backend_name, outcome="lost").inc()
+            return stolen
+        gated = state.not_before.get(task.id, 0.0) > time.time()
+        taken = self.backend.claim(task.id, worker=worker)
+        if taken is not None:
+            SCHED_CLAIMS.labels(backend=backend_name, outcome="won").inc()
+        elif gated:
+            SCHED_BACKOFF_GATED.labels(backend=backend_name).inc()
+        else:
+            SCHED_CLAIMS.labels(backend=backend_name, outcome="lost").inc()
+        return taken
 
     def heartbeat(self, claim: TaskClaim) -> bool:
         """Refresh the lease.  ``False`` means the task was stolen — the
         worker should abandon the execution and must not commit."""
-        return self.backend.heartbeat(claim)
+        renewed = self.backend.heartbeat(claim)
+        SCHED_LEASE_RENEWALS.labels(
+            backend=getattr(self.backend, "name", "custom"),
+            outcome="renewed" if renewed else "lost",
+        ).inc()
+        return renewed
 
     def commit(
         self,
@@ -617,7 +659,12 @@ class TaskQueue:
         raw_bytes = None
         if raw is not None:
             raw_bytes = dump_fidelity(record.get("spec"), raw)
-        return self.backend.commit(claim, record_bytes, raw_bytes)
+        committed = self.backend.commit(claim, record_bytes, raw_bytes)
+        SCHED_COMMITS.labels(
+            backend=getattr(self.backend, "name", "custom"),
+            outcome="committed" if committed else "lost",
+        ).inc()
+        return committed
 
     def fail(
         self,
@@ -647,7 +694,7 @@ class TaskQueue:
         this execution was lost, not failed.  Both non-empty dispositions
         are truthy; crash recovery remains the lease's job.
         """
-        return self.backend.fail(
+        disposition = self.backend.fail(
             claim,
             message,
             transient=transient,
@@ -655,6 +702,12 @@ class TaskQueue:
             retry_base_seconds=self.retry_base_seconds,
             retry_cap_seconds=self.retry_cap_seconds,
         )
+        if disposition:
+            SCHED_RETRIES.labels(
+                backend=getattr(self.backend, "name", "custom"),
+                kind="transient" if disposition == "retried" else "fatal",
+            ).inc()
+        return disposition
 
     def release(self, claim: TaskClaim) -> bool:
         """Put a claimed task back (graceful worker shutdown mid-queue)."""

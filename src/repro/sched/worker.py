@@ -44,6 +44,8 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.api.session import Session
 from repro.sched.queue import TaskClaim, TaskQueue, TaskRecord
+from repro.telemetry.instruments import WORKER_EVENTS
+from repro.telemetry.tracing import SpanContext, trace
 
 __all__ = ["Worker", "WorkerStats"]
 
@@ -260,6 +262,7 @@ class Worker:
     # Execution
     # ------------------------------------------------------------------
     def _emit(self, event: str, task_id: str, detail: str = "") -> None:
+        WORKER_EVENTS.labels(worker=self.worker_id, event=event).inc()
         if self.log is not None:
             self.log(event, task_id, detail)
 
@@ -337,65 +340,88 @@ class Worker:
             target=_heartbeat, name=f"repro-heartbeat-{task.id}", daemon=True
         )
         heartbeat.start()
-        try:
-            result = session.run(task.spec, cancel_event=cancel, tick=_tick)
-        except (KeyboardInterrupt, SystemExit):
-            # Being stopped is transient, not a property of the task:
-            # requeue it for the rest of the fleet instead of parking it
-            # in failed/ (which is terminal and would doom dependents).
-            stop_heartbeat.set()
-            heartbeat.join()
-            queue.release(claim)
-            self._emit("release", task.id, "worker interrupted")
-            raise
-        except BaseException as error:  # noqa: BLE001 - park, don't crash
+        # The task span grafts onto the coordinator's trace (the context
+        # rides the durable task record), so a distributed suite's spans
+        # stitch into one tree no matter which host runs which task.
+        with trace.span(
+            f"task/{task.id}",
+            parent=SpanContext.from_dict(task.trace),
+            suite=queue.suite_name,
+            member=task.member,
+            task=task.id,
+            worker=self.worker_id,
+            attempt=claim.attempts + 1,
+        ) as span:
+            try:
+                result = session.run(task.spec, cancel_event=cancel, tick=_tick)
+            except (KeyboardInterrupt, SystemExit):
+                # Being stopped is transient, not a property of the task:
+                # requeue it for the rest of the fleet instead of parking it
+                # in failed/ (which is terminal and would doom dependents).
+                stop_heartbeat.set()
+                heartbeat.join()
+                queue.release(claim)
+                self._emit("release", task.id, "worker interrupted")
+                span.set_attr("disposition", "released")
+                raise
+            except BaseException as error:  # noqa: BLE001 - park, don't crash
+                stop_heartbeat.set()
+                heartbeat.join()
+                span.status = "error"
+                span.set_attr("error", type(error).__name__)
+                if lost.is_set():
+                    self.stats.lost += 1
+                    self._emit("lost", task.id, "lease stolen mid-run")
+                    span.set_attr("disposition", "lost")
+                    return
+                message = "".join(
+                    traceback.format_exception_only(type(error), error)
+                ).strip()
+                transient = isinstance(error, TRANSIENT_EXCEPTIONS)
+                disposition = queue.fail(
+                    claim,
+                    f"{message}\n{traceback.format_exc()}",
+                    transient=transient,
+                )
+                if disposition == "retried":
+                    self.stats.retried += 1
+                    self._emit(
+                        "retry", task.id, f"transient, attempt {claim.attempts + 1}"
+                    )
+                elif disposition == "failed":
+                    self.stats.failed += 1
+                    self._emit("fail", task.id, message)
+                else:
+                    # The claim was stolen before the heartbeat noticed: the
+                    # thief owns the task (and may commit it fine) — this
+                    # execution was lost, not failed.
+                    self.stats.lost += 1
+                    self._emit("lost", task.id, "lease stolen mid-run")
+                    disposition = "lost"
+                span.set_attr("disposition", disposition)
+                return
             stop_heartbeat.set()
             heartbeat.join()
             if lost.is_set():
                 self.stats.lost += 1
                 self._emit("lost", task.id, "lease stolen mid-run")
+                span.status = "error"
+                span.set_attr("disposition", "lost")
                 return
-            message = "".join(
-                traceback.format_exception_only(type(error), error)
-            ).strip()
-            transient = isinstance(error, TRANSIENT_EXCEPTIONS)
-            disposition = queue.fail(
-                claim,
-                f"{message}\n{traceback.format_exc()}",
-                transient=transient,
-            )
-            if disposition == "retried":
-                self.stats.retried += 1
+            if queue.commit(claim, result.to_record(), raw=result.raw):
+                self.stats.committed += 1
+                # Remember the member for shard affinity: the next claim scan
+                # prefers this member's remaining shards.
+                self._last_member[queue.key] = task.member
                 self._emit(
-                    "retry", task.id, f"transient, attempt {claim.attempts + 1}"
+                    "commit", task.id, f"{result.elapsed_seconds:.2f}s"
                 )
-            elif disposition == "failed":
-                self.stats.failed += 1
-                self._emit("fail", task.id, message)
+                span.set_attr("disposition", "committed")
             else:
-                # The claim was stolen before the heartbeat noticed: the
-                # thief owns the task (and may commit it fine) — this
-                # execution was lost, not failed.
                 self.stats.lost += 1
-                self._emit("lost", task.id, "lease stolen mid-run")
-            return
-        stop_heartbeat.set()
-        heartbeat.join()
-        if lost.is_set():
-            self.stats.lost += 1
-            self._emit("lost", task.id, "lease stolen mid-run")
-            return
-        if queue.commit(claim, result.to_record(), raw=result.raw):
-            self.stats.committed += 1
-            # Remember the member for shard affinity: the next claim scan
-            # prefers this member's remaining shards.
-            self._last_member[queue.key] = task.member
-            self._emit(
-                "commit", task.id, f"{result.elapsed_seconds:.2f}s"
-            )
-        else:
-            self.stats.lost += 1
-            self._emit("lost", task.id, "commit lost to a thief")
+                self._emit("lost", task.id, "commit lost to a thief")
+                span.status = "error"
+                span.set_attr("disposition", "lost")
 
     # ------------------------------------------------------------------
     # The loop

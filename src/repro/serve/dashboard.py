@@ -4,7 +4,7 @@ Served verbatim at ``GET /`` — one HTML document, vanilla JS, zero
 external assets, so it works from the same stdlib server that runs the
 jobs (no build step, no CDN, usable over an ssh tunnel).
 
-Three panes:
+Four panes:
 
 * **Jobs** — polls ``/v1/jobs`` and, for the selected job, follows
   ``/v1/jobs/<id>/events`` with ``EventSource`` so per-member progress
@@ -12,6 +12,10 @@ Three panes:
   finish tasks; a progress bar tracks ``completed/total``.
 * **Queue** — polls ``/v1/queue`` for pending / running / done / failed
   counts and active backoff gates per suite.
+* **Timing** — polls ``/v1/telemetry/spans`` and aggregates the server
+  process's recent trace spans per phase (``suite`` / ``member`` /
+  ``task`` / ``study`` / ``replay`` — the first path segment): count,
+  errors, mean and max duration.
 * **Results** — for a finished job, renders the result rows directly:
   variance-decomposition rows (``task/source/std``) as horizontal bars
   grouped by task, detection-rate rows
@@ -99,6 +103,13 @@ DASHBOARD_HTML = """<!DOCTYPE html>
             <th>fail</th><th>backoff</th></tr>
       </thead><tbody></tbody></table>
     </section>
+    <section style="margin-top:16px">
+      <h2>Timing</h2>
+      <table id="timing"><thead>
+        <tr><th>phase</th><th>n</th><th>err</th><th>mean</th><th>max</th></tr>
+      </thead><tbody></tbody></table>
+      <div class="dim" id="timing-empty">no spans recorded yet</div>
+    </section>
   </div>
   <div>
     <section>
@@ -161,6 +172,41 @@ async function refreshJobs() {
       if (job.error) $("results").innerHTML =
         "<div class='error'>" + esc(job.error) + "</div>";
     }
+  }
+}
+
+function fmtSeconds(s) {
+  if (s < 0.001) return (s * 1e6).toFixed(0) + "µs";
+  if (s < 1) return (s * 1e3).toFixed(1) + "ms";
+  return s.toFixed(2) + "s";
+}
+
+async function refreshTiming() {
+  const payload = await getJSON("/v1/telemetry/spans?limit=400")
+    .catch(() => null);
+  const body = $("timing").querySelector("tbody");
+  body.innerHTML = "";
+  const spans = payload ? payload.spans : [];
+  $("timing-empty").style.display = spans.length ? "none" : "";
+  const phases = new Map();
+  for (const span of spans) {
+    const phase = String(span.name || "").split("/")[0] || "?";
+    if (!phases.has(phase))
+      phases.set(phase, {n: 0, err: 0, total: 0, max: 0});
+    const agg = phases.get(phase);
+    agg.n += 1;
+    if (span.status === "error") agg.err += 1;
+    const duration = span.duration || 0;
+    agg.total += duration;
+    if (duration > agg.max) agg.max = duration;
+  }
+  for (const [phase, agg] of [...phases].sort()) {
+    const row = document.createElement("tr");
+    row.innerHTML = "<td>" + esc(phase) + "</td><td>" + agg.n +
+      "</td><td>" + (agg.err || "—") + "</td><td>" +
+      fmtSeconds(agg.total / agg.n) + "</td><td>" +
+      fmtSeconds(agg.max) + "</td>";
+    body.appendChild(row);
   }
 }
 
@@ -286,10 +332,11 @@ async function renderResults(jobId) {
   $("results").innerHTML = html || "<div class='dim'>no rows</div>";
 }
 
-refreshHealth(); refreshJobs(); refreshQueue();
+refreshHealth(); refreshJobs(); refreshQueue(); refreshTiming();
 setInterval(refreshHealth, 5000);
 setInterval(refreshJobs, 2000);
 setInterval(refreshQueue, 2000);
+setInterval(refreshTiming, 5000);
 </script>
 </body>
 </html>

@@ -73,6 +73,8 @@ class Job:
         self.total: Optional[int] = None
         self.completed = 0
         self.error = ""
+        self.traceback = ""  # full driver-side traceback once failed
+        self.attempts: Dict[str, int] = {}  # task id -> failed executions
         self.events: List[Dict[str, Any]] = []
         self.result: Any = None  # StudyResult | SuiteResult once done
         self.cond = threading.Condition()
@@ -107,7 +109,13 @@ class Job:
                 self.started = time.time()
                 self.cond.notify_all()
 
-    def finish(self, state: str, result: Any = None, error: str = "") -> None:
+    def finish(
+        self,
+        state: str,
+        result: Any = None,
+        error: str = "",
+        traceback_text: str = "",
+    ) -> None:
         """Move to a terminal state exactly once and emit the ``end``
         event (the SSE stream's close signal)."""
         with self.cond:
@@ -116,9 +124,29 @@ class Job:
             self.state = state
             self.result = result
             self.error = error
+            self.traceback = traceback_text
             self.finished = time.time()
+        entry: Dict[str, Any] = {"event": "end", "state": state}
+        if error:
+            entry["error"] = error
+        if traceback_text:
+            entry["traceback"] = traceback_text
+        if self.attempts:
+            entry["attempts"] = dict(self.attempts)
+        self._append(entry)
+
+    def record_task_error(
+        self, task_id: str, attempts: int, traceback_text: str
+    ) -> None:
+        """Append one failed task's full worker-side traceback and its
+        durable attempt count (harvested from the queue's error files)."""
         self._append(
-            {"event": "end", "state": state, **({"error": error} if error else {})}
+            {
+                "event": "task_error",
+                "task": task_id,
+                "attempts": attempts,
+                "traceback": traceback_text,
+            }
         )
 
     def _append(self, entry: Dict[str, Any], *, progressed: bool = False) -> None:
@@ -180,6 +208,8 @@ class Job:
                 "completed": self.completed,
                 "events": len(self.events),
                 "error": self.error,
+                "traceback": self.traceback,
+                "attempts": dict(self.attempts),
             }
 
 
@@ -316,13 +346,45 @@ class JobRegistry:
                 max_attempts=self.max_attempts,
                 stall_seconds=self.stall_seconds,
             )
-            return coordinator.run(
-                participate=self.participate, progress=progress
-            )
+            try:
+                return coordinator.run(
+                    participate=self.participate, progress=progress
+                )
+            except BaseException:
+                # A failed run keeps its queue for inspection; pull the
+                # per-task attempt counts and full worker tracebacks into
+                # the event log before surfacing the error.
+                self._harvest_queue_failure(job, coordinator)
+                raise
 
         job.mark_running()
         self._drive(job, execute)
         return job
+
+    @staticmethod
+    def _harvest_queue_failure(job: Job, coordinator) -> None:
+        """Copy a failed suite run's durable diagnostics onto the job:
+        the queue's per-task attempt counters and every failed task's
+        full worker-side traceback (the coordinator's own error message
+        only carries first lines)."""
+        try:
+            state = coordinator.queue.snapshot(detail=True)
+        except (OSError, ValueError):
+            return  # queue already destroyed (e.g. sibling finished it)
+        with job.cond:
+            job.attempts = {
+                task_id: int(count)
+                for task_id, count in sorted(state.attempts.items())
+            }
+        for task_id in sorted(state.failed):
+            try:
+                text = coordinator.queue.load_error(task_id) or ""
+            except OSError:
+                text = ""
+            if text:
+                job.record_task_error(
+                    task_id, state.attempts.get(task_id, 0) or 1, text
+                )
 
     def _drive(self, job: Job, execute) -> None:
         """Run ``execute`` on a daemon driver thread and settle the job."""
@@ -336,10 +398,15 @@ class JobRegistry:
                 message = "".join(
                     traceback.format_exception_only(type(error), error)
                 ).strip()
+                full = "".join(
+                    traceback.format_exception(
+                        type(error), error, error.__traceback__
+                    )
+                )
                 if job.cancel_requested:
-                    job.finish("cancelled", error=message)
+                    job.finish("cancelled", error=message, traceback_text=full)
                 else:
-                    job.finish("failed", error=message)
+                    job.finish("failed", error=message, traceback_text=full)
             else:
                 state = "cancelled" if job.cancel_requested else "done"
                 job.finish(state, result)

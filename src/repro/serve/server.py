@@ -29,6 +29,8 @@ GET       ``/v1/queue``                   snapshot of every live task queue
 GET       ``/v1/results/<suite>``         completed members of a suite
 GET       ``/v1/results/<suite>/<name>``  one member's completion record
 GET       ``/v1/reports/<suite>``         variance-provenance report (JSON)
+GET       ``/v1/telemetry/spans``         recent trace spans (``?limit=N``)
+GET       ``/metrics``                    Prometheus text exposition
 ========  ==============================  =====================================
 
 Malformed specs are rejected with 400 and the registry's positional
@@ -43,15 +45,25 @@ from __future__ import annotations
 import json
 import os
 import socket
+import time
 from http import HTTPStatus
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.api.registry import iter_studies
 from repro.api.session import Session
 from repro.sched.queue import TaskQueue
 from repro.serve.dashboard import DASHBOARD_HTML
-from repro.serve.jobs import JobRegistry
+from repro.serve.jobs import JOB_STATES, JobRegistry
+from repro.telemetry.instruments import (
+    HTTP_REQUESTS,
+    HTTP_REQUEST_SECONDS,
+    SERVE_JOBS,
+    SSE_STREAMS,
+)
+from repro.telemetry.metrics import REGISTRY
+from repro.telemetry.tracing import trace
 
 __all__ = ["StudyServer", "serve"]
 
@@ -107,12 +119,80 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         return [part for part in path.split("/") if part]
 
+    def _query(self) -> Dict[str, List[str]]:
+        split = self.path.split("?", 1)
+        return parse_qs(split[1]) if len(split) == 2 else {}
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        # Remember the status so the instrumentation wrapper can label
+        # ``repro_http_requests_total`` without threading it through
+        # every handler's return path.
+        self._telemetry_status = int(code)
+        super().send_response(code, message)
+
+    def _route_template(self, parts: List[str]) -> str:
+        """Collapse a concrete path to a low-cardinality metric label."""
+        if not parts:
+            return "/"
+        if parts == ["metrics"]:
+            return "/metrics"
+        if parts[0] != "v1":
+            return "other"
+        route = parts[1:]
+        if not route:
+            return "other"
+        head = route[0]
+        if head == "jobs":
+            if len(route) == 1:
+                return "/v1/jobs"
+            if len(route) == 2:
+                return "/v1/jobs/{id}"
+            return "/v1/jobs/{id}/" + route[2]
+        if head == "results":
+            if len(route) == 3:
+                return "/v1/results/{suite}/{member}"
+            return "/v1/results/{suite}"
+        if head == "reports":
+            return "/v1/reports/{suite}"
+        if head in ("health", "studies", "suites", "queue"):
+            return "/v1/" + head
+        if head == "telemetry" and len(route) == 2:
+            return "/v1/telemetry/" + route[1]
+        return "other"
+
+    def _instrumented(self, method: str, inner) -> None:
+        parts = self._parts()
+        route = self._route_template(parts)
+        self._telemetry_status = 0
+        started = time.perf_counter()
+        try:
+            inner(parts)
+        finally:
+            HTTP_REQUEST_SECONDS.labels(route=route).observe(
+                time.perf_counter() - started
+            )
+            HTTP_REQUESTS.labels(
+                method=method,
+                route=route,
+                status=str(self._telemetry_status or 0),
+            ).inc()
+
     # -- verbs ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server contract)
-        parts = self._parts()
+        self._instrumented("GET", self._do_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._instrumented("POST", self._do_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._instrumented("DELETE", self._do_delete)
+
+    def _do_get(self, parts: List[str]) -> None:
         try:
             if not parts:
                 return self._dashboard()
+            if parts == ["metrics"]:
+                return self._metrics()
             if parts[0] != "v1":
                 return self._send_error_json(HTTPStatus.NOT_FOUND, "not found")
             route = parts[1:]
@@ -140,20 +220,20 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._member_record(route[1], route[2])
             if len(route) == 2 and route[0] == "reports":
                 return self._suite_report(route[1])
+            if route == ["telemetry", "spans"]:
+                return self._telemetry_spans()
             return self._send_error_json(HTTPStatus.NOT_FOUND, "not found")
         except BrokenPipeError:
             pass  # client went away mid-response
 
-    def do_POST(self) -> None:  # noqa: N802
-        parts = self._parts()
+    def _do_post(self, parts: List[str]) -> None:
         if parts == ["v1", "studies"]:
             return self._submit(self.server.registry.submit_study)
         if parts == ["v1", "suites"]:
             return self._submit(self.server.registry.submit_suite)
         self._send_error_json(HTTPStatus.NOT_FOUND, "not found")
 
-    def do_DELETE(self) -> None:  # noqa: N802
-        parts = self._parts()
+    def _do_delete(self, parts: List[str]) -> None:
         if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
             job = self.server.registry.get(parts[2])
             if job is None:
@@ -174,6 +254,35 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _metrics(self) -> None:
+        # Job-state gauges are sampled at scrape time rather than
+        # maintained incrementally, so every state (including ones with
+        # zero jobs right now) is published each scrape.
+        states = {state: 0 for state in JOB_STATES}
+        for job in self.server.registry.jobs():
+            states[job.state] = states.get(job.state, 0) + 1
+        for state, count in sorted(states.items()):
+            SERVE_JOBS.labels(state=state).set(count)
+        body = REGISTRY.render().encode("utf-8")
+        self.send_response(HTTPStatus.OK)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _telemetry_spans(self) -> None:
+        query = self._query()
+        try:
+            limit = int(query.get("limit", ["500"])[0])
+        except ValueError:
+            return self._send_error_json(
+                HTTPStatus.BAD_REQUEST, "limit must be an integer"
+            )
+        spans = trace.spans(limit=max(limit, 0))
+        self._send_json({"count": len(spans), "spans": spans})
 
     def _health(self) -> None:
         registry = self.server.registry
@@ -245,6 +354,7 @@ class _Handler(BaseHTTPRequestHandler):
             next_seq = int(self.headers.get("Last-Event-ID", -1)) + 1
         except ValueError:
             next_seq = 0
+        SSE_STREAMS.inc()
         try:
             while True:
                 events, terminal = job.wait_events(
@@ -265,6 +375,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError):
             return  # client disconnected; nothing to clean up
+        finally:
+            SSE_STREAMS.dec()
 
     def _queue(self) -> None:
         statuses = []

@@ -1,0 +1,61 @@
+"""Unified telemetry: metrics registry, span tracer, logging setup.
+
+Three pillars, all zero-dependency and all pure side channels (study
+results stay bitwise-identical with telemetry on or off):
+
+* :mod:`repro.telemetry.metrics` — thread-safe counters / gauges /
+  fixed-bucket histograms in a process-global :data:`REGISTRY`,
+  rendered in Prometheus text format (``GET /metrics``);
+* :mod:`repro.telemetry.tracing` — ``trace.span("suite/...")`` context
+  managers mirroring scope-path addressing, with a bounded in-memory
+  ring, a JSONL sink under ``<cache_dir>/telemetry/``, and
+  deterministic suite roots that stitch coordinator + worker spans
+  into one tree (``repro trace <cache_dir>``);
+* :mod:`repro.telemetry.log` — the single stderr logging setup behind
+  every CLI's ``--log-level`` / ``REPRO_LOG_LEVEL``.
+
+``REPRO_TELEMETRY=0`` (or :func:`set_enabled`) turns every instrument
+and span into a no-op without changing any caller's control flow.
+"""
+
+from repro.telemetry._state import enabled, set_enabled
+from repro.telemetry.log import get_logger, setup_logging
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.telemetry.tracing import (
+    Span,
+    SpanContext,
+    Tracer,
+    build_span_tree,
+    load_spans,
+    phase_aggregates,
+    render_span_tree,
+    suite_trace_context,
+    trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "trace",
+    "suite_trace_context",
+    "load_spans",
+    "build_span_tree",
+    "render_span_tree",
+    "phase_aggregates",
+    "enabled",
+    "set_enabled",
+    "setup_logging",
+    "get_logger",
+]

@@ -1,0 +1,31 @@
+"""The one mutable switch shared by metrics and tracing.
+
+Lives in its own module so ``metrics`` and ``tracing`` can both import
+it without a cycle through ``repro.telemetry.__init__``.  The toggle
+defaults to on; ``REPRO_TELEMETRY=0|off|false|no`` disables every
+instrument and span at startup (each mutation then short-circuits on a
+single attribute read — cheap enough to leave call sites unguarded).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["enabled", "set_enabled"]
+
+_DISABLED_VALUES = {"0", "off", "false", "no", "disabled"}
+
+_enabled = os.environ.get("REPRO_TELEMETRY", "").strip().lower() not in _DISABLED_VALUES
+
+
+def enabled() -> bool:
+    """Whether telemetry mutations (metrics + spans) are recorded."""
+    return _enabled
+
+
+def set_enabled(value: bool) -> bool:
+    """Flip the global switch; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    return previous

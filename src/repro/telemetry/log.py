@@ -1,0 +1,74 @@
+"""One logging setup for every ``repro`` CLI entry point.
+
+All library loggers live under the ``repro`` namespace
+(``repro.worker``, ``repro.suite``, ``repro.serve`` …) and stay
+handler-less until :func:`setup_logging` installs a single stderr
+handler on the root ``repro`` logger — so embedding applications keep
+full control, while ``python -m repro …`` gets consistent, levelled
+output instead of bare ``print(..., file=sys.stderr)`` calls.
+
+Level resolution order: explicit ``--log-level`` flag, then the
+``REPRO_LOG_LEVEL`` environment variable, then ``INFO``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+__all__ = ["setup_logging", "get_logger", "resolve_level", "LOG_FORMAT"]
+
+#: One line per event: time, level, logger, message.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_DATE_FORMAT = "%H:%M:%S"
+
+_LEVELS = {"CRITICAL", "ERROR", "WARNING", "INFO", "DEBUG"}
+
+
+def resolve_level(explicit: Optional[str] = None) -> int:
+    """Flag beats ``REPRO_LOG_LEVEL`` beats ``INFO``; bad names raise."""
+    name = explicit or os.environ.get("REPRO_LOG_LEVEL") or "INFO"
+    name = name.strip().upper()
+    if name not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {name!r} (choose from {sorted(_LEVELS)})"
+        )
+    return getattr(logging, name)
+
+
+def setup_logging(level: Optional[str] = None, *, stream=None) -> logging.Logger:
+    """Install (or retune) the single stderr handler on ``repro``.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers, so tests and long-lived servers can call it freely.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(resolve_level(level))
+    target = stream if stream is not None else sys.stderr
+    for handler in root.handlers:
+        if getattr(handler, "_repro_handler", False):
+            try:
+                handler.setStream(target)
+            except (ValueError, OSError):
+                # setStream flushes the outgoing stream first; if that
+                # stream is already closed (test harnesses swap stderr
+                # between runs), just swap without flushing.
+                handler.stream = target
+            break
+    else:
+        handler = logging.StreamHandler(target)
+        handler.setFormatter(logging.Formatter(LOG_FORMAT, _DATE_FORMAT))
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("worker")``)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

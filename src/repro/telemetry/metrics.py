@@ -1,0 +1,386 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Zero dependencies, thread-safe, Prometheus-text renderable.  The design
+mirrors the client libraries everyone already knows — ``Counter`` /
+``Gauge`` / ``Histogram`` instruments created once at import time and
+addressed through ``.labels(**kv)`` — but stays deliberately tiny:
+
+* one ``threading.Lock`` per instrument (the hot path is a dict lookup
+  plus a float add; no per-label locks, no atomics emulation);
+* histograms use **fixed bucket boundaries** chosen at construction, so
+  two processes observing the same workload produce mergeable series;
+* rendering walks a stable sort of instruments and label sets, emitting
+  the `Prometheus text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_.
+
+Telemetry is a **pure side channel**: nothing in this module touches
+random state, the object store, or study payloads, and the global
+toggle (:func:`repro.telemetry.set_enabled`) turns every mutation into
+a no-op without changing any caller's control flow.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.telemetry._state import enabled
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DURATION_BUCKETS",
+]
+
+#: Default latency buckets (seconds).  Spans sub-millisecond cache hits
+#: through multi-minute suite assemblies; fixed so series merge across
+#: processes and across runs.
+DURATION_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    300.0,
+)
+
+_LabelKey = Tuple[str, ...]
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ValueError(f"invalid metric name: {name!r}")
+    if name[0].isdigit():
+        raise ValueError(f"metric name must not start with a digit: {name!r}")
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labelnames: Sequence[str], labelvalues: _LabelKey, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+class _Instrument:
+    """Base: a named instrument with a fixed label schema."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        self.name = _validate_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, str]) -> _LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    # Subclasses implement ``_samples() -> iterable of (suffix, labelkey,
+    # extra_label, value)`` under their own lock.
+    def _samples(self) -> Iterable[Tuple[str, _LabelKey, str, float]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def render(self) -> str:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for suffix, key, extra, value in self._samples():
+            labels = _render_labels(self.labelnames, key, extra)
+            lines.append(f"{self.name}{suffix}{labels} {_format_value(value)}")
+        return "\n".join(lines)
+
+
+class _CounterChild:
+    __slots__ = ("_parent", "_key")
+
+    def __init__(self, parent: "Counter", key: _LabelKey):
+        self._parent = parent
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._parent._inc(self._key, amount)
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (events, bytes, items)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def labels(self, **labels: str) -> _CounterChild:
+        return _CounterChild(self, self._key(labels))
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._inc(self._key({}), amount)
+
+    def _inc(self, key: _LabelKey, amount: float) -> None:
+        if not enabled():
+            return
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def _samples(self):
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            yield "_total", key, "", value
+
+
+class _GaugeChild:
+    __slots__ = ("_parent", "_key")
+
+    def __init__(self, parent: "Gauge", key: _LabelKey):
+        self._parent = parent
+        self._key = key
+
+    def set(self, value: float) -> None:
+        self._parent._set(self._key, value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._parent._add(self._key, amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._parent._add(self._key, -amount)
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (queue depth, live streams)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def labels(self, **labels: str) -> _GaugeChild:
+        return _GaugeChild(self, self._key(labels))
+
+    def set(self, value: float) -> None:
+        self._set(self._key({}), value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._add(self._key({}), amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._add(self._key({}), -amount)
+
+    def _set(self, key: _LabelKey, value: float) -> None:
+        if not enabled():
+            return
+        with self._lock:
+            self._values[key] = float(value)
+
+    def _add(self, key: _LabelKey, amount: float) -> None:
+        if not enabled():
+            return
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def _samples(self):
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            yield "", key, "", value
+
+
+class _HistogramChild:
+    __slots__ = ("_parent", "_key")
+
+    def __init__(self, parent: "Histogram", key: _LabelKey):
+        self._parent = parent
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        self._parent._observe(self._key, value)
+
+
+class Histogram(_Instrument):
+    """Distribution over fixed, cumulative bucket boundaries."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DURATION_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate histogram bucket boundaries")
+        self.buckets = bounds
+        # Per label set: [per-bucket non-cumulative counts..., +Inf count],
+        # plus running sum.
+        self._counts: Dict[_LabelKey, List[int]] = {}
+        self._sums: Dict[_LabelKey, float] = {}
+
+    def labels(self, **labels: str) -> _HistogramChild:
+        return _HistogramChild(self, self._key(labels))
+
+    def observe(self, value: float) -> None:
+        self._observe(self._key({}), value)
+
+    def _observe(self, key: _LabelKey, value: float) -> None:
+        if not enabled():
+            return
+        value = float(value)
+        # Linear scan: bucket lists are short (~12) and the scan is
+        # branch-predictable; bisect would not be faster at this size.
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+            counts[index] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def snapshot(self, **labels: str) -> Dict[str, object]:
+        """Cumulative bucket counts plus sum/count for one label set."""
+        key = self._key(labels)
+        with self._lock:
+            counts = list(self._counts.get(key, [0] * (len(self.buckets) + 1)))
+            total_sum = self._sums.get(key, 0.0)
+        cumulative = []
+        running = 0
+        for count in counts:
+            running += count
+            cumulative.append(running)
+        return {
+            "buckets": dict(zip([*self.buckets, math.inf], cumulative)),
+            "sum": total_sum,
+            "count": running,
+        }
+
+    def _samples(self):
+        with self._lock:
+            items = sorted((k, (list(v), self._sums.get(k, 0.0))) for k, v in self._counts.items())
+        for key, (counts, total_sum) in items:
+            running = 0
+            for bound, count in zip(self.buckets, counts):
+                running += count
+                extra = f'le="{_format_value(bound)}"'
+                yield "_bucket", key, extra, running
+            running += counts[-1]
+            yield "_bucket", key, 'le="+Inf"', running
+            yield "_sum", key, "", total_sum
+            yield "_count", key, "", running
+
+
+class MetricsRegistry:
+    """Holds instruments; renders them all as one exposition document.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: calling
+    twice with the same name returns the same instrument (and raises if
+    the schema disagrees), so modules can declare their instruments
+    independently without import-order coupling.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} re-registered with a different schema"
+                    )
+                return existing
+            instrument = cls(name, help, labelnames, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DURATION_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        with self._lock:
+            instruments = sorted(self._instruments.values(), key=lambda i: i.name)
+        blocks = [instrument.render() for instrument in instruments]
+        body = "\n".join(block for block in blocks if block)
+        return body + "\n" if body else ""
+
+    def reset(self) -> None:
+        """Drop every instrument (tests only — callers cache children)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: The process-global registry every repro layer registers into.
+REGISTRY = MetricsRegistry()

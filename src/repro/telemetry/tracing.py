@@ -1,0 +1,449 @@
+"""Span-based tracing that mirrors the repo's scope-path addressing.
+
+A :class:`Span` is one timed phase named like a scope path —
+``suite/fig-suite``, ``task/fig1-variance@0``, ``study/variance``,
+``replay/fig2-binomial`` — opened with the ``trace.span(...)`` context
+manager.  Finished spans land in a bounded in-memory ring (served by
+``GET /v1/telemetry/spans``) and, when a sink is attached, as one JSON
+line per span under ``<cache_dir>/telemetry/`` — a namespace the object
+store GC never touches, so traces survive budget sweeps and cost the
+cache nothing.
+
+Cross-process stitching uses the same trick as seeding: determinism.
+:func:`suite_trace_context` derives the suite's trace id and root span
+id from the suite *name* alone, so the coordinator, every worker, and
+any resumed coordinator generation all agree on the root without any
+runtime handshake; task records carry the pair across the queue
+boundary (see ``TaskRecord.trace``) and each worker parents its
+``task/<id>`` span under it.  ``repro trace <cache_dir>`` then reads
+every ``spans-*.jsonl`` file and reassembles one coherent tree.
+
+Like the metrics registry, the tracer is a pure side channel: it never
+touches random state or the object store, and with telemetry disabled
+``span()`` yields an inert span without changing caller control flow.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.telemetry._state import enabled
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "trace",
+    "suite_trace_context",
+    "load_spans",
+    "build_span_tree",
+    "render_span_tree",
+    "phase_aggregates",
+    "TELEMETRY_DIR",
+]
+
+#: Subdirectory of the cache dir holding span JSONL files.  Sits beside
+#: ``objects/`` / ``suites/`` / ``queue/`` — invisible to the store GC.
+TELEMETRY_DIR = "telemetry"
+
+#: Ring capacity: enough for a full smoke suite with replays, small
+#: enough that an always-on server never grows without bound.
+RING_CAPACITY = 4096
+
+
+class SpanContext:
+    """An addressable (trace_id, span_id) pair — the remote-parent handle."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, Any]]) -> Optional["SpanContext"]:
+        if not payload:
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if not trace_id or not span_id:
+            return None
+        return cls(str(trace_id), str(span_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SpanContext({self.trace_id!r}, {self.span_id!r})"
+
+
+def suite_trace_context(suite_name: str) -> SpanContext:
+    """Deterministic trace/root ids for a suite.
+
+    Derived from the suite name alone so every participant — and every
+    resumed coordinator generation — lands in the same trace without
+    changing the queue plan's bytes.
+    """
+    digest = hashlib.sha256(f"repro-trace:{suite_name}".encode()).hexdigest()
+    return SpanContext(digest[:32], digest[32:48])
+
+
+def _new_id(nbytes: int) -> str:
+    # uuid4 draws from os.urandom — never the study RNG streams.
+    return uuid.uuid4().hex[: nbytes * 2]
+
+
+class Span:
+    """One timed phase.  Mutated only by its owning thread."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start",
+        "duration",
+        "status",
+        "attrs",
+        "_clock_start",
+        "_recorded",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        attrs: Dict[str, Any],
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.time()
+        self.duration = 0.0
+        self.status = "ok"
+        self.attrs = attrs
+        self._clock_start = time.perf_counter()
+        self._recorded = True
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """What ``span()`` yields when telemetry is disabled: inert.
+
+    Accepts (and discards) every attribute write, so call sites may set
+    ``span.status`` / ``span.attrs`` unconditionally.
+    """
+
+    __slots__ = ()
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    status = "ok"
+    attrs: Dict[str, Any] = {}
+    _recorded = False
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    @property
+    def context(self) -> Optional[SpanContext]:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Bounded ring of finished spans plus an optional JSONL sink."""
+
+    def __init__(self, capacity: int = RING_CAPACITY):
+        self._ring: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._sink_path: Optional[str] = None
+        self._host = socket.gethostname()
+
+    # -- sink -----------------------------------------------------------
+
+    def attach_sink(self, cache_dir: str) -> str:
+        """Persist finished spans under ``<cache_dir>/telemetry/``.
+
+        One file per (host, pid) so concurrent workers never interleave
+        within a line; re-attaching to the same dir is a no-op.
+        """
+        directory = os.path.join(os.fspath(cache_dir), TELEMETRY_DIR)
+        path = os.path.join(directory, f"spans-{self._host}-{os.getpid()}.jsonl")
+        with self._lock:
+            if self._sink_path != path:
+                os.makedirs(directory, exist_ok=True)
+                self._sink_path = path
+        return path
+
+    def detach_sink(self) -> None:
+        with self._lock:
+            self._sink_path = None
+
+    # -- span lifecycle -------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Optional[SpanContext]:
+        """Context of the innermost active span on this thread."""
+        stack = self._stack()
+        return stack[-1].context if stack else None
+
+    @contextlib.contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[SpanContext] = None,
+        context: Optional[SpanContext] = None,
+        **attrs: Any,
+    ) -> Iterator[Span]:
+        """Open a span; nests under the thread's current span by default.
+
+        Pass ``parent`` (a :class:`SpanContext`, e.g. reconstructed from
+        a task record) to graft onto a remote trace, or ``context`` to
+        pin the span's own ids (deterministic suite roots every fleet
+        participant can parent under without a handshake).
+        """
+        if not enabled():
+            yield _NULL_SPAN  # type: ignore[misc]
+            return
+        stack = self._stack()
+        if parent is None and stack:
+            parent = stack[-1].context
+        if context is not None:
+            trace_id, span_id = context.trace_id, context.span_id
+            parent_id = parent.span_id if parent is not None else None
+        elif parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+            span_id = _new_id(8)
+        else:
+            trace_id, parent_id = _new_id(16), None
+            span_id = _new_id(8)
+        span = Span(name, trace_id, span_id, parent_id, dict(attrs))
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            span.duration = time.perf_counter() - span._clock_start
+            stack.pop()
+            self._record(span)
+
+    def _record(self, span: Span) -> None:
+        self._write(span.to_dict())
+
+    def _write(self, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            self._ring.append(payload)
+            sink = self._sink_path
+        if sink is not None:
+            line = json.dumps(payload, sort_keys=True, default=str)
+            with self._lock:
+                try:
+                    with open(sink, "a", encoding="utf-8") as handle:
+                        handle.write(line + "\n")
+                except OSError:
+                    # Telemetry must never take the workload down with it.
+                    self._sink_path = None
+
+    # -- introspection --------------------------------------------------
+
+    def spans(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Most recent finished spans, oldest first."""
+        with self._lock:
+            items = list(self._ring)
+        if limit is not None and limit >= 0:
+            items = items[-limit:]
+        return items
+
+    def reset(self) -> None:
+        """Clear ring + sink (tests)."""
+        with self._lock:
+            self._ring.clear()
+            self._sink_path = None
+
+
+#: The process-global tracer every repro layer records into.
+trace = Tracer()
+
+
+# -- offline loading / rendering (``repro trace``) ----------------------
+
+
+def load_spans(cache_dir: str) -> List[Dict[str, Any]]:
+    """Every span persisted under ``<cache_dir>/telemetry/``.
+
+    Tolerates torn final lines (a worker killed mid-write) by skipping
+    anything that does not parse.
+    """
+    directory = os.path.join(os.fspath(cache_dir), TELEMETRY_DIR)
+    spans: List[Dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return spans
+    for name in names:
+        if not (name.startswith("spans-") and name.endswith(".jsonl")):
+            continue
+        try:
+            with open(os.path.join(directory, name), "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(payload, dict) and payload.get("span_id"):
+                        spans.append(payload)
+        except OSError:
+            continue
+    spans.sort(key=lambda s: (s.get("start", 0.0), s.get("span_id", "")))
+    return spans
+
+
+def filter_suite(spans: Sequence[Dict[str, Any]], suite: str) -> List[Dict[str, Any]]:
+    """Spans belonging to one suite's trace (by deterministic trace id
+    or an explicit ``suite`` attribute)."""
+    trace_id = suite_trace_context(suite).trace_id
+    return [
+        s
+        for s in spans
+        if s.get("trace_id") == trace_id
+        or (s.get("attrs") or {}).get("suite") == suite
+    ]
+
+
+def build_span_tree(
+    spans: Sequence[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[str, List[Dict[str, Any]]]]:
+    """(roots, children-by-span-id); orphans promote to roots.
+
+    Duplicate span ids (a resumed coordinator re-emitting the same
+    deterministic root) collapse to the last-seen record.
+    """
+    by_id = {s["span_id"]: s for s in spans}
+    children: Dict[str, List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for span in by_id.values():
+        parent = span.get("parent_id")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    order = lambda s: (s.get("start", 0.0), s.get("span_id", ""))
+    roots.sort(key=order)
+    for siblings in children.values():
+        siblings.sort(key=order)
+    return roots, children
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+_TREE_ATTRS = ("worker", "task", "suite", "member", "n_items", "rows", "cached", "error")
+
+
+def render_span_tree(spans: Sequence[Dict[str, Any]]) -> str:
+    """ASCII tree of the span forest, durations + salient attributes."""
+    roots, children = build_span_tree(spans)
+    lines: List[str] = []
+
+    def visit(span: Dict[str, Any], prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        attrs = span.get("attrs") or {}
+        shown = " ".join(
+            f"{key}={attrs[key]}" for key in _TREE_ATTRS if key in attrs
+        )
+        status = "" if span.get("status") == "ok" else f" [{span.get('status')}]"
+        label = (
+            f"{span.get('name', '?')} "
+            f"{_format_duration(float(span.get('duration', 0.0)))}{status}"
+        )
+        if shown:
+            label += f"  ({shown})"
+        lines.append(prefix + connector + label)
+        kids = children.get(span["span_id"], [])
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        for i, kid in enumerate(kids):
+            visit(kid, child_prefix, i == len(kids) - 1, False)
+
+    for root in roots:
+        visit(root, "", True, True)
+    return "\n".join(lines)
+
+
+def phase_aggregates(spans: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-phase (first path segment of the span name) timing summary."""
+    groups: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for span in spans:
+        phase = str(span.get("name", "?")).split("/", 1)[0]
+        groups.setdefault(phase, []).append(float(span.get("duration", 0.0)))
+        if span.get("status") != "ok":
+            errors[phase] = errors.get(phase, 0) + 1
+    out = []
+    for phase in sorted(groups):
+        durations = groups[phase]
+        out.append(
+            {
+                "phase": phase,
+                "count": len(durations),
+                "errors": errors.get(phase, 0),
+                "total_seconds": sum(durations),
+                "mean_seconds": sum(durations) / len(durations),
+                "max_seconds": max(durations),
+            }
+        )
+    return out
